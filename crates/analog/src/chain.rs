@@ -1,0 +1,393 @@
+//! The 7-stage inverter chain of the paper's validation ASIC (Fig. 6).
+
+use crate::error::Error;
+use crate::inverter::Inverter;
+use crate::ode::rk4;
+use crate::stimulus::Pulse;
+use crate::supply::{GroundSource, VddSource};
+use crate::waveform::Waveform;
+
+/// An inverter chain: stage `i`'s output drives stage `i+1`'s input.
+/// Every stage output additionally carries a sense-amplifier load (the
+/// paper's amplifiers present an input load equivalent to three inverter
+/// inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InverterChain {
+    stages: Vec<Inverter>,
+}
+
+/// The waveforms of one chain simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainRun {
+    input: Waveform,
+    nodes: Vec<Waveform>,
+}
+
+impl ChainRun {
+    /// The sampled input stimulus.
+    #[must_use]
+    pub fn input(&self) -> &Waveform {
+        &self.input
+    }
+
+    /// Output waveform of stage `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &Waveform {
+        &self.nodes[i]
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The input waveform of stage `i`: the stimulus for stage 0, the
+    /// previous stage's output otherwise.
+    #[must_use]
+    pub fn stage_input(&self, i: usize) -> &Waveform {
+        if i == 0 {
+            &self.input
+        } else {
+            &self.nodes[i - 1]
+        }
+    }
+}
+
+impl InverterChain {
+    /// Builds a chain from explicit stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `stages` is empty.
+    pub fn new(stages: Vec<Inverter>) -> Result<Self, Error> {
+        if stages.is_empty() {
+            return Err(Error::InvalidParameter {
+                name: "stages",
+                value: 0.0,
+                constraint: "need at least one stage",
+            });
+        }
+        Ok(InverterChain { stages })
+    }
+
+    /// The UMC-90-like chain of Fig. 6: `n` identical inverters, each
+    /// output loaded with the next gate, wire parasitics and the
+    /// sense-amp tap (≈ 5 fF total; the last stage drives the output
+    /// load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `n == 0`.
+    pub fn umc90_like(n: usize) -> Result<Self, Error> {
+        let stages = (0..n)
+            .map(|_| Inverter::umc90_like(5.0))
+            .collect::<Result<Vec<_>, _>>()?;
+        InverterChain::new(stages)
+    }
+
+    /// The stages.
+    #[must_use]
+    pub fn stages(&self) -> &[Inverter] {
+        &self.stages
+    }
+
+    /// Returns a copy with every stage's transistor widths scaled by
+    /// `factor` (chip-wide process variation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `factor ≤ 0`.
+    pub fn scaled_width(&self, factor: f64) -> Result<Self, Error> {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| s.scaled_width(factor))
+            .collect::<Result<Vec<_>, _>>()?;
+        InverterChain::new(stages)
+    }
+
+    /// Simulates the chain with RK4 from `t = 0` to `t_end` at step `dt`
+    /// under the given stimulus and supply.
+    ///
+    /// The initial state is the DC solution for the stimulus value at
+    /// `t = 0` (alternating rails).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for non-positive `t_end`/`dt`.
+    pub fn simulate(
+        &self,
+        stimulus: &Pulse,
+        vdd: &VddSource,
+        t_end: f64,
+        dt: f64,
+    ) -> Result<ChainRun, Error> {
+        self.simulate_with_ground(stimulus, vdd, &GroundSource::ideal(), t_end, dt)
+    }
+
+    /// Like [`simulate`](InverterChain::simulate) but with a bouncing
+    /// ground rail (the paper's "varying the ground level" remark: the
+    /// edge sensitivity of Fig. 8a reverses).
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate`](InverterChain::simulate).
+    pub fn simulate_with_ground(
+        &self,
+        stimulus: &Pulse,
+        vdd: &VddSource,
+        gnd: &GroundSource,
+        t_end: f64,
+        dt: f64,
+    ) -> Result<ChainRun, Error> {
+        if !(dt.is_finite() && dt > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "dt",
+                value: dt,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(t_end.is_finite() && t_end > dt) {
+            return Err(Error::InvalidParameter {
+                name: "t_end",
+                value: t_end,
+                constraint: "must be finite and > dt",
+            });
+        }
+        let n = self.stages.len();
+        let vdd0 = vdd.value_at(0.0);
+        // DC initial condition: alternating rails
+        let mut y0 = vec![0.0; n];
+        let mut v = stimulus.value_at(0.0);
+        for y in y0.iter_mut() {
+            v = if v > vdd0 / 2.0 { 0.0 } else { vdd0 };
+            *y = v;
+        }
+        let steps = (t_end / dt).ceil() as usize;
+        let trace = rk4(0.0, &y0, dt, steps, |t, y, dy| {
+            let vdd_t = vdd.value_at(t);
+            let vss_t = gnd.value_at(t);
+            for i in 0..n {
+                let v_in = if i == 0 {
+                    stimulus.value_at(t)
+                } else {
+                    y[i - 1]
+                };
+                dy[i] = self.stages[i].dv_out_rails(v_in, y[i], vdd_t, vss_t);
+            }
+        });
+        let samples_in = (0..trace.len())
+            .map(|k| stimulus.value_at(k as f64 * dt))
+            .collect();
+        let input = Waveform::new(0.0, dt, samples_in)?;
+        let nodes = (0..n)
+            .map(|i| {
+                let samples = trace.iter().map(|s| s[i]).collect();
+                Waveform::new(0.0, dt, samples)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ChainRun { input, nodes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pulse(width: f64) -> Pulse {
+        Pulse::new(50.0, width, 10.0, 1.0).unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        assert!(InverterChain::new(vec![]).is_err());
+        let c = InverterChain::umc90_like(7).unwrap();
+        assert_eq!(c.stages().len(), 7);
+        assert!(InverterChain::umc90_like(0).is_err());
+    }
+
+    #[test]
+    fn dc_levels_alternate() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let run = c
+            .simulate(&pulse(100.0), &VddSource::dc(1.0), 40.0, 0.1)
+            .unwrap();
+        // before the pulse (t < 45 ps) the nodes sit at alternating rails
+        for i in 0..7 {
+            let v = run.node(i).value_at(30.0);
+            if i % 2 == 0 {
+                assert!(v > 0.95, "node {i} = {v}");
+            } else {
+                assert!(v < 0.05, "node {i} = {v}");
+            }
+        }
+        assert_eq!(run.stage_count(), 7);
+    }
+
+    #[test]
+    fn wide_pulse_propagates_through_all_stages() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let run = c
+            .simulate(&pulse(150.0), &VddSource::dc(1.0), 500.0, 0.1)
+            .unwrap();
+        for i in 0..7 {
+            let w = run.node(i);
+            let expected_edges = if i % 2 == 0 {
+                // even stages (0-based) invert the input pulse: fall, rise
+                (
+                    w.falling_crossings(0.5).len(),
+                    w.rising_crossings(0.5).len(),
+                )
+            } else {
+                (
+                    w.rising_crossings(0.5).len(),
+                    w.falling_crossings(0.5).len(),
+                )
+            };
+            assert_eq!(expected_edges, (1, 1), "stage {i}");
+        }
+    }
+
+    #[test]
+    fn per_stage_delay_is_plausible() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let run = c
+            .simulate(&pulse(200.0), &VddSource::dc(1.0), 600.0, 0.1)
+            .unwrap();
+        // first edge at the input crosses 0.5 at t = 50; track its
+        // arrival at the last stage
+        let t_in = 50.0;
+        let last = run.node(6);
+        let t_out = if 7 % 2 == 0 {
+            last.rising_crossings(0.5)[0]
+        } else {
+            last.falling_crossings(0.5)[0]
+        };
+        let per_stage = (t_out - t_in) / 7.0;
+        assert!(
+            (2.0..60.0).contains(&per_stage),
+            "per-stage delay {per_stage} ps"
+        );
+    }
+
+    #[test]
+    fn short_pulse_attenuates_along_the_chain() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let width_at = |run: &ChainRun, i: usize| -> Option<f64> {
+            let w = run.node(i);
+            let (first, second) = if i % 2 == 0 {
+                (w.falling_crossings(0.5), w.rising_crossings(0.5))
+            } else {
+                (w.rising_crossings(0.5), w.falling_crossings(0.5))
+            };
+            match (first.first(), second.first()) {
+                (Some(&a), Some(&b)) if b > a => Some(b - a),
+                _ => None,
+            }
+        };
+        // find a pulse short enough to attenuate but wide enough to
+        // survive the first stage, then check it shrinks down the chain
+        let mut checked = false;
+        for w_in in [45.0, 35.0, 28.0, 22.0, 16.0] {
+            let run = c
+                .simulate(&pulse(w_in), &VddSource::dc(1.0), 500.0, 0.05)
+                .unwrap();
+            let Some(w0) = width_at(&run, 0) else {
+                continue;
+            };
+            match width_at(&run, 6) {
+                Some(w6) => {
+                    if w6 < w0 - 0.05 {
+                        checked = true;
+                        break;
+                    }
+                }
+                None => {
+                    // fully swallowed along the chain: strongest attenuation
+                    checked = true;
+                    break;
+                }
+            }
+        }
+        assert!(checked, "no attenuating pulse width found");
+    }
+
+    #[test]
+    fn width_scaling_changes_speed() {
+        let nominal = InverterChain::umc90_like(3).unwrap();
+        let fast = nominal.scaled_width(1.1).unwrap();
+        let slow = nominal.scaled_width(0.9).unwrap();
+        let delay = |c: &InverterChain| {
+            let run = c
+                .simulate(&pulse(100.0), &VddSource::dc(1.0), 400.0, 0.1)
+                .unwrap();
+            run.node(2).falling_crossings(0.5)[0]
+        };
+        let d_nom = delay(&nominal);
+        assert!(delay(&fast) < d_nom);
+        assert!(delay(&slow) > d_nom);
+    }
+
+    #[test]
+    fn supply_sine_modulates_delay() {
+        let c = InverterChain::umc90_like(3).unwrap();
+        let d = |phase: f64| {
+            let vdd = VddSource::with_sine(1.0, 0.05, 80.0, phase).unwrap();
+            let run = c.simulate(&pulse(100.0), &vdd, 400.0, 0.1).unwrap();
+            run.node(2).falling_crossings(0.5)[0]
+        };
+        let delays: Vec<f64> = (0..8).map(|k| d(k as f64 * 45.0)).collect();
+        let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.05, "phase must matter: {delays:?}");
+    }
+
+    #[test]
+    fn ground_bounce_modulates_delay_like_supply_does() {
+        let c = InverterChain::umc90_like(3).unwrap();
+        let vdd = VddSource::dc(1.0);
+        let d = |phase: f64| {
+            let gnd = GroundSource::with_sine(0.05, 80.0, phase).unwrap();
+            let run = c
+                .simulate_with_ground(&pulse(100.0), &vdd, &gnd, 400.0, 0.1)
+                .unwrap();
+            run.node(2).falling_crossings(0.5)[0]
+        };
+        let delays: Vec<f64> = (0..8).map(|k| d(k as f64 * 45.0)).collect();
+        let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = delays.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min > 0.05, "ground phase must matter: {delays:?}");
+        // ideal ground reproduces plain simulate exactly
+        let a = c
+            .simulate_with_ground(&pulse(100.0), &vdd, &GroundSource::ideal(), 200.0, 0.1)
+            .unwrap();
+        let b = c.simulate(&pulse(100.0), &vdd, 200.0, 0.1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stage_input_accessor() {
+        let c = InverterChain::umc90_like(2).unwrap();
+        let run = c
+            .simulate(&pulse(50.0), &VddSource::dc(1.0), 200.0, 0.1)
+            .unwrap();
+        assert_eq!(run.stage_input(0), run.input());
+        assert_eq!(run.stage_input(1), run.node(0));
+    }
+
+    #[test]
+    fn simulate_validates() {
+        let c = InverterChain::umc90_like(1).unwrap();
+        assert!(c
+            .simulate(&pulse(50.0), &VddSource::dc(1.0), 0.0, 0.1)
+            .is_err());
+        assert!(c
+            .simulate(&pulse(50.0), &VddSource::dc(1.0), 100.0, 0.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Errors of the analog substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A device or simulation parameter was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Constraint description.
+        constraint: &'static str,
+    },
+    /// A waveform was too short or degenerate for the requested analysis.
+    DegenerateWaveform {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A characterization sweep failed to observe an expected crossing.
+    MissingCrossing {
+        /// Which crossing was missing.
+        what: &'static str,
+        /// The pulse width (ps) being characterized.
+        pulse_width: f64,
+    },
+    /// Propagated core error (e.g. invalid extracted signal).
+    Core(ivl_core::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} invalid: {constraint}"),
+            Error::DegenerateWaveform { reason } => write!(f, "degenerate waveform: {reason}"),
+            Error::MissingCrossing { what, pulse_width } => write!(
+                f,
+                "missing {what} crossing while characterizing a {pulse_width} ps pulse"
+            ),
+            Error::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivl_core::Error> for Error {
+    fn from(e: ivl_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            Error::InvalidParameter {
+                name: "c_load",
+                value: -1.0,
+                constraint: "must be > 0",
+            },
+            Error::DegenerateWaveform { reason: "empty" },
+            Error::MissingCrossing {
+                what: "output rise",
+                pulse_width: 10.0,
+            },
+            Error::Core(ivl_core::Error::SolverFailed { what: "x" }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The alpha-power-law MOSFET model (Sakurai–Newton).
+//!
+//! The alpha-power law captures short-channel velocity saturation with
+//! three parameters: threshold voltage `V_T`, drive strength `k`, and
+//! the saturation exponent `α` (≈ 2 for long channels, ≈ 1.2–1.4 for
+//! deep-submicron devices like the paper's UMC-90 transistors):
+//!
+//! ```text
+//! I_D = 0                                   for V_GS ≤ V_T      (cutoff)
+//! I_D = W·k·(V_GS − V_T)^α                  for V_DS ≥ V_DSAT   (saturation)
+//! I_D = I_DSAT·(2 − V_DS/V_DSAT)·(V_DS/V_DSAT)  otherwise       (linear)
+//! ```
+//!
+//! with `V_DSAT = k_v·(V_GS − V_T)^{α/2}`.
+
+use crate::error::Error;
+
+/// Parameters of an alpha-power-law transistor (NMOS convention; the
+/// inverter mirrors them for the PMOS).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlphaPowerParams {
+    /// Threshold voltage `V_T` in volts.
+    pub v_t: f64,
+    /// Drive coefficient `k` in mA/V^α per unit width.
+    pub k: f64,
+    /// Saturation exponent `α`.
+    pub alpha: f64,
+    /// Saturation-voltage coefficient `k_v` in V^(1−α/2).
+    pub k_v: f64,
+}
+
+impl AlphaPowerParams {
+    /// Creates validated parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `v_t ≥ 0`, `k > 0`,
+    /// `1 ≤ alpha ≤ 2`, `k_v > 0`.
+    pub fn new(v_t: f64, k: f64, alpha: f64, k_v: f64) -> Result<Self, Error> {
+        if !(v_t.is_finite() && v_t >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "v_t",
+                value: v_t,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !(k.is_finite() && k > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "k",
+                value: k,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(alpha.is_finite() && (1.0..=2.0).contains(&alpha)) {
+            return Err(Error::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                constraint: "must be in [1, 2]",
+            });
+        }
+        if !(k_v.is_finite() && k_v > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "k_v",
+                value: k_v,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(AlphaPowerParams { v_t, k, alpha, k_v })
+    }
+
+    /// UMC-90-like NMOS: `V_T = 0.26 V` (the paper's value), drive tuned
+    /// so a 0.36 µm device sources ≈ 0.2 mA at full gate drive,
+    /// `α = 1.3`.
+    #[must_use]
+    pub fn umc90_nmos() -> Self {
+        AlphaPowerParams {
+            v_t: 0.26,
+            k: 0.85, // mA/V^α per µm width
+            alpha: 1.3,
+            k_v: 0.9,
+        }
+    }
+
+    /// UMC-90-like PMOS (mirrored convention): `V_T = 0.29 V`, roughly
+    /// half the electron mobility compensated by the paper's ~2× wider
+    /// pMOS (0.70 µm vs 0.36 µm).
+    #[must_use]
+    pub fn umc90_pmos() -> Self {
+        AlphaPowerParams {
+            v_t: 0.29,
+            k: 0.42,
+            alpha: 1.35,
+            k_v: 0.95,
+        }
+    }
+}
+
+/// A transistor instance: parameters plus channel width (µm).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mosfet {
+    params: AlphaPowerParams,
+    width: f64,
+}
+
+impl Mosfet {
+    /// Creates a transistor of the given width (µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `width ≤ 0`.
+    pub fn new(params: AlphaPowerParams, width: f64) -> Result<Self, Error> {
+        if !(width.is_finite() && width > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "width",
+                value: width,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Mosfet { params, width })
+    }
+
+    /// The channel width in µm.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The device parameters.
+    #[must_use]
+    pub fn params(&self) -> AlphaPowerParams {
+        self.params
+    }
+
+    /// Returns a copy with the width scaled by `factor` (process
+    /// variation; the ±10 % experiments of Figs. 8b/8c).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the scaled width is not
+    /// positive.
+    pub fn scaled_width(&self, factor: f64) -> Result<Self, Error> {
+        Mosfet::new(self.params, self.width * factor)
+    }
+
+    /// Drain current in mA for gate-source voltage `v_gs` and
+    /// drain-source voltage `v_ds ≥ 0` (NMOS convention; clamp the
+    /// caller's values accordingly).
+    #[must_use]
+    pub fn drain_current(&self, v_gs: f64, v_ds: f64) -> f64 {
+        let p = self.params;
+        let v_gt = v_gs - p.v_t;
+        if v_gt <= 0.0 || v_ds <= 0.0 {
+            return 0.0;
+        }
+        let i_dsat = self.width * p.k * v_gt.powf(p.alpha);
+        let v_dsat = p.k_v * v_gt.powf(p.alpha / 2.0);
+        if v_ds >= v_dsat {
+            i_dsat
+        } else {
+            let x = v_ds / v_dsat;
+            i_dsat * (2.0 - x) * x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> Mosfet {
+        Mosfet::new(AlphaPowerParams::umc90_nmos(), 0.36).unwrap()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(AlphaPowerParams::new(-0.1, 1.0, 1.3, 0.9).is_err());
+        assert!(AlphaPowerParams::new(0.3, 0.0, 1.3, 0.9).is_err());
+        assert!(AlphaPowerParams::new(0.3, 1.0, 0.5, 0.9).is_err());
+        assert!(AlphaPowerParams::new(0.3, 1.0, 2.5, 0.9).is_err());
+        assert!(AlphaPowerParams::new(0.3, 1.0, 1.3, 0.0).is_err());
+        assert!(AlphaPowerParams::new(0.3, 1.0, 1.3, 0.9).is_ok());
+        assert!(Mosfet::new(AlphaPowerParams::umc90_nmos(), 0.0).is_err());
+    }
+
+    #[test]
+    fn cutoff_region() {
+        let m = nmos();
+        assert_eq!(m.drain_current(0.2, 1.0), 0.0); // below V_T = 0.26
+        assert_eq!(m.drain_current(0.26, 1.0), 0.0);
+        assert_eq!(m.drain_current(1.0, 0.0), 0.0); // no V_DS
+        assert_eq!(m.drain_current(1.0, -0.5), 0.0);
+    }
+
+    #[test]
+    fn saturation_current_scale() {
+        // ≈ 0.2 mA for a 0.36 µm device at full drive (1 V), per the
+        // UMC-90 calibration target
+        let m = nmos();
+        let i = m.drain_current(1.0, 1.0);
+        assert!((0.1..0.4).contains(&i), "I_DSAT = {i} mA");
+    }
+
+    #[test]
+    fn monotone_in_vgs_and_vds() {
+        let m = nmos();
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let vgs = 0.26 + i as f64 * 0.07;
+            let cur = m.drain_current(vgs, 1.0);
+            assert!(cur > prev);
+            prev = cur;
+        }
+        let mut prev = 0.0;
+        for i in 1..=20 {
+            let vds = i as f64 * 0.05;
+            let cur = m.drain_current(0.8, vds);
+            assert!(cur >= prev, "vds={vds}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn linear_region_continuity_at_vdsat() {
+        let m = nmos();
+        let p = m.params();
+        let vgs = 0.9;
+        let v_dsat = p.k_v * (vgs - p.v_t).powf(p.alpha / 2.0);
+        let below = m.drain_current(vgs, v_dsat * 0.999);
+        let at = m.drain_current(vgs, v_dsat);
+        assert!((below - at).abs() < 1e-3 * at, "{below} vs {at}");
+    }
+
+    #[test]
+    fn current_scales_with_width() {
+        let m = nmos();
+        let wide = m.scaled_width(1.1).unwrap();
+        let narrow = m.scaled_width(0.9).unwrap();
+        let i = m.drain_current(1.0, 1.0);
+        assert!((wide.drain_current(1.0, 1.0) - 1.1 * i).abs() < 1e-12);
+        assert!((narrow.drain_current(1.0, 1.0) - 0.9 * i).abs() < 1e-12);
+        assert!((wide.width() - 0.396).abs() < 1e-12);
+        assert!(m.scaled_width(0.0).is_err());
+    }
+
+    #[test]
+    fn pmos_params_reasonable() {
+        let p = Mosfet::new(AlphaPowerParams::umc90_pmos(), 0.70).unwrap();
+        let n = nmos();
+        // the 2× wider pMOS roughly balances the weaker hole mobility
+        let ip = p.drain_current(1.0 - 0.0, 1.0); // |V_GS| = VDD
+        let in_ = n.drain_current(1.0, 1.0);
+        let ratio = ip / in_;
+        assert!((0.5..2.0).contains(&ratio), "ratio = {ratio}");
+    }
+}

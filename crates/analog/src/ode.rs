@@ -1,0 +1,99 @@
+//! Fixed-step RK4 integration for small ODE systems.
+
+/// Integrates `dy/dt = f(t, y)` from `t0` with fixed step `dt` for
+/// `steps` steps using classic fourth-order Runge–Kutta, recording every
+/// state (including the initial one).
+///
+/// `f` writes the derivative of `y` into its third argument.
+///
+/// ```
+/// use ivl_analog::ode::rk4;
+/// // dy/dt = -y, y(0) = 1 → y(t) = e^{-t}
+/// let trace = rk4(0.0, &[1.0], 0.01, 500, |_t, y, dy| dy[0] = -y[0]);
+/// let y_final = trace.last().unwrap()[0];
+/// assert!((y_final - (-5.0f64).exp()).abs() < 1e-9);
+/// ```
+pub fn rk4<F>(t0: f64, y0: &[f64], dt: f64, steps: usize, mut f: F) -> Vec<Vec<f64>>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = y0.len();
+    let mut y = y0.to_vec();
+    let mut out = Vec::with_capacity(steps + 1);
+    out.push(y.clone());
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    for step in 0..steps {
+        let t = t0 + step as f64 * dt;
+        f(t, &y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * dt * k1[i];
+        }
+        f(t + 0.5 * dt, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * dt * k2[i];
+        }
+        f(t + 0.5 * dt, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + dt * k3[i];
+        }
+        f(t + dt, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        out.push(y.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_decay_fourth_order_accuracy() {
+        // halving dt must shrink the error by ~16×
+        let exact = (-2.0f64).exp();
+        let err = |dt: f64| {
+            let steps = (2.0 / dt).round() as usize;
+            let trace = rk4(0.0, &[1.0], dt, steps, |_t, y, dy| dy[0] = -y[0]);
+            (trace.last().unwrap()[0] - exact).abs()
+        };
+        let e1 = err(0.1);
+        let e2 = err(0.05);
+        let order = (e1 / e2).log2();
+        assert!(order > 3.5, "observed order {order}");
+    }
+
+    #[test]
+    fn harmonic_oscillator_conserves_energy() {
+        // y'' = -y as a 2-state system
+        let trace = rk4(0.0, &[1.0, 0.0], 0.01, 2000, |_t, y, dy| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        for state in trace.iter().step_by(100) {
+            let energy = state[0] * state[0] + state[1] * state[1];
+            assert!((energy - 1.0).abs() < 1e-6, "energy drift: {energy}");
+        }
+    }
+
+    #[test]
+    fn time_dependent_rhs() {
+        // dy/dt = t → y = t²/2
+        let trace = rk4(0.0, &[0.0], 0.1, 100, |t, _y, dy| dy[0] = t);
+        let y = trace.last().unwrap()[0];
+        assert!((y - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn records_initial_state_and_length() {
+        let trace = rk4(0.0, &[3.0], 0.1, 10, |_t, _y, dy| dy[0] = 0.0);
+        assert_eq!(trace.len(), 11);
+        assert_eq!(trace[0], vec![3.0]);
+        assert_eq!(trace[10], vec![3.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! The on-chip sense amplifier of the paper's ASIC (Fig. 6): gain 0.15,
+//! −3 dB cutoff 8.5 GHz, modeled as a one-pole low-pass.
+
+use crate::error::Error;
+use crate::waveform::Waveform;
+
+/// A first-order (one-pole) sense amplifier.
+///
+/// ```
+/// use ivl_analog::senseamp::SenseAmp;
+/// use ivl_analog::Waveform;
+/// # fn main() -> Result<(), ivl_analog::Error> {
+/// let amp = SenseAmp::umc90_like()?;
+/// let step = Waveform::from_fn(0.0, 0.1, 2000, |t| if t < 10.0 { 0.0 } else { 1.0 });
+/// let out = amp.apply(&step)?;
+/// // settles to gain × input
+/// assert!((out.value_at(199.0) - 0.15).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmp {
+    gain: f64,
+    cutoff_ghz: f64,
+}
+
+impl SenseAmp {
+    /// Creates a sense amp with the given DC gain and −3 dB cutoff (GHz).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless both are positive.
+    pub fn new(gain: f64, cutoff_ghz: f64) -> Result<Self, Error> {
+        if !(gain.is_finite() && gain > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "gain",
+                value: gain,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(cutoff_ghz.is_finite() && cutoff_ghz > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "cutoff_ghz",
+                value: cutoff_ghz,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(SenseAmp { gain, cutoff_ghz })
+    }
+
+    /// The paper's amplifier: gain 0.15, 8.5 GHz cutoff.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (constants are valid).
+    pub fn umc90_like() -> Result<Self, Error> {
+        SenseAmp::new(0.15, 8.5)
+    }
+
+    /// The DC gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The −3 dB cutoff in GHz.
+    #[must_use]
+    pub fn cutoff_ghz(&self) -> f64 {
+        self.cutoff_ghz
+    }
+
+    /// Filters a waveform through the amplifier (exact exponential
+    /// stepping of the one-pole filter on the waveform's grid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates waveform construction errors.
+    pub fn apply(&self, input: &Waveform) -> Result<Waveform, Error> {
+        // ω = 2π f; f in GHz, t in ps → ω in rad/ps = 2π·f·1e−3
+        let omega = std::f64::consts::TAU * self.cutoff_ghz * 1e-3;
+        let a = (-input.dt() * omega).exp();
+        let mut state = self.gain * input.samples()[0];
+        let samples = input
+            .samples()
+            .iter()
+            .map(|&x| {
+                state = a * state + (1.0 - a) * self.gain * x;
+                state
+            })
+            .collect();
+        Waveform::new(input.t0(), input.dt(), samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(SenseAmp::new(0.0, 8.5).is_err());
+        assert!(SenseAmp::new(0.15, 0.0).is_err());
+        assert!(SenseAmp::new(f64::NAN, 8.5).is_err());
+        let a = SenseAmp::umc90_like().unwrap();
+        assert_eq!(a.gain(), 0.15);
+        assert_eq!(a.cutoff_ghz(), 8.5);
+    }
+
+    #[test]
+    fn dc_gain() {
+        let amp = SenseAmp::new(0.15, 8.5).unwrap();
+        let dc = Waveform::from_fn(0.0, 0.1, 5000, |_| 1.0);
+        let out = amp.apply(&dc).unwrap();
+        assert!((out.value_at(400.0) - 0.15).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_response_time_constant() {
+        // τ = 1/ω ≈ 18.7 ps for 8.5 GHz
+        let amp = SenseAmp::new(1.0, 8.5).unwrap();
+        let step = Waveform::from_fn(0.0, 0.01, 20000, |t| if t < 1.0 { 0.0 } else { 1.0 });
+        let out = amp.apply(&step).unwrap();
+        let tau = 1.0 / (std::f64::consts::TAU * 8.5e-3);
+        let v_at_tau = out.value_at(1.0 + tau);
+        assert!(
+            (v_at_tau - (1.0 - (-1.0f64).exp())).abs() < 0.01,
+            "{v_at_tau}"
+        );
+    }
+
+    #[test]
+    fn attenuates_fast_wiggle_more_than_slow() {
+        let amp = SenseAmp::new(1.0, 8.5).unwrap();
+        let amplitude_after = |period_ps: f64| {
+            let w = Waveform::from_fn(0.0, 0.01, 100_000, |t| {
+                (std::f64::consts::TAU * t / period_ps).sin()
+            });
+            let out = amp.apply(&w).unwrap();
+            out.samples()
+                .iter()
+                .skip(50_000)
+                .fold(0.0f64, |m, &v| m.max(v.abs()))
+        };
+        let slow = amplitude_after(1000.0); // 1 GHz
+        let fast = amplitude_after(10.0); // 100 GHz
+        assert!(slow > 0.9);
+        assert!(fast < 0.2, "fast wiggle must be attenuated: {fast}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Input voltage stimuli (trapezoid pulses).
+
+use crate::error::Error;
+
+/// A trapezoidal voltage pulse: low until `start`, linear rise over
+/// `slew`, high for `width` (measured at the 50 % points), linear fall
+/// over `slew`, low afterwards.
+///
+/// ```
+/// use ivl_analog::stimulus::Pulse;
+/// # fn main() -> Result<(), ivl_analog::Error> {
+/// let p = Pulse::new(10.0, 50.0, 4.0, 1.0)?;
+/// assert_eq!(p.value_at(0.0), 0.0);
+/// assert_eq!(p.value_at(30.0), 1.0);
+/// assert!((p.value_at(10.0) - 0.5).abs() < 1e-12); // 50 % at `start`
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    start: f64,
+    width: f64,
+    slew: f64,
+    high: f64,
+    low: f64,
+    inverted: bool,
+}
+
+impl Pulse {
+    /// Creates a positive pulse from `low = 0` to `high`, with 50 %
+    /// crossings at `start` and `start + width`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `width > slew > 0` and
+    /// `high > 0`.
+    pub fn new(start: f64, width: f64, slew: f64, high: f64) -> Result<Self, Error> {
+        if !(slew.is_finite() && slew > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "slew",
+                value: slew,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(width.is_finite() && width > slew) {
+            return Err(Error::InvalidParameter {
+                name: "width",
+                value: width,
+                constraint: "must be finite and > slew",
+            });
+        }
+        if !(high.is_finite() && high > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "high",
+                value: high,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Pulse {
+            start,
+            width,
+            slew,
+            high,
+            low: 0.0,
+            inverted: false,
+        })
+    }
+
+    /// An inverted ("anti") pulse: high until `start`, low for `width`,
+    /// high afterwards. Used to characterize the opposite edge pair.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pulse::new`].
+    pub fn inverted(start: f64, width: f64, slew: f64, high: f64) -> Result<Self, Error> {
+        let mut p = Pulse::new(start, width, slew, high)?;
+        p.inverted = true;
+        Ok(p)
+    }
+
+    /// Time of the first 50 % crossing.
+    #[must_use]
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Pulse width between 50 % crossings.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// The voltage at time `t`.
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        // 50 % crossing at `start` means the ramp spans
+        // [start − slew/2, start + slew/2]
+        let ramp = |x: f64| x.clamp(0.0, 1.0);
+        let up = ramp((t - (self.start - self.slew / 2.0)) / self.slew);
+        let down = ramp((t - (self.start + self.width - self.slew / 2.0)) / self.slew);
+        let v01 = up - down; // in [0, 1]
+        let v = self.low + (self.high - self.low) * v01;
+        if self.inverted {
+            self.high - v
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(Pulse::new(0.0, 10.0, 0.0, 1.0).is_err());
+        assert!(Pulse::new(0.0, 1.0, 2.0, 1.0).is_err());
+        assert!(Pulse::new(0.0, 10.0, 1.0, 0.0).is_err());
+        assert!(Pulse::new(0.0, 10.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn trapezoid_shape() {
+        let p = Pulse::new(10.0, 20.0, 2.0, 1.0).unwrap();
+        assert_eq!(p.value_at(5.0), 0.0);
+        assert_eq!(p.value_at(8.9), 0.0);
+        assert!((p.value_at(10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p.value_at(11.1), 1.0);
+        assert_eq!(p.value_at(20.0), 1.0);
+        assert!((p.value_at(30.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p.value_at(31.1), 0.0);
+        assert_eq!(p.start(), 10.0);
+        assert_eq!(p.width(), 20.0);
+    }
+
+    #[test]
+    fn inverted_shape() {
+        let p = Pulse::inverted(10.0, 20.0, 2.0, 1.0).unwrap();
+        assert_eq!(p.value_at(0.0), 1.0);
+        assert!((p.value_at(10.0) - 0.5).abs() < 1e-12);
+        assert_eq!(p.value_at(20.0), 0.0);
+        assert_eq!(p.value_at(40.0), 1.0);
+    }
+
+    #[test]
+    fn slew_is_linear() {
+        let p = Pulse::new(10.0, 20.0, 4.0, 2.0).unwrap();
+        // ramp spans [8, 12]; value at 9 must be a quarter of 2.0
+        assert!((p.value_at(9.0) - 0.5).abs() < 1e-12);
+        assert!((p.value_at(11.0) - 1.5).abs() < 1e-12);
+    }
+}

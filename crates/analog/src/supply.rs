@@ -1,0 +1,248 @@
+//! Supply-voltage sources: DC and sine-modulated (the ±1 % VDD
+//! experiment of Fig. 8a).
+
+use crate::error::Error;
+
+/// A time-varying supply voltage `V_DD(t)`.
+///
+/// ```
+/// use ivl_analog::supply::VddSource;
+/// # fn main() -> Result<(), ivl_analog::Error> {
+/// let dc = VddSource::dc(1.2);
+/// assert_eq!(dc.value_at(123.0), 1.2);
+/// // 1 % sine at 5 GHz (period 200 ps), phase 90°
+/// let wobble = VddSource::with_sine(1.2, 0.012, 200.0, 90.0)?;
+/// assert!((wobble.value_at(0.0) - 1.212).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VddSource {
+    nominal: f64,
+    amplitude: f64,
+    period: f64,
+    phase_rad: f64,
+}
+
+impl VddSource {
+    /// A constant supply.
+    #[must_use]
+    pub fn dc(nominal: f64) -> Self {
+        VddSource {
+            nominal,
+            amplitude: 0.0,
+            period: 1.0,
+            phase_rad: 0.0,
+        }
+    }
+
+    /// A supply with an added sine:
+    /// `V_DD(t) = nominal + amplitude·sin(2π t/period + phase)`.
+    ///
+    /// `phase_deg` is in degrees (the paper randomizes it over 0–360°
+    /// per applied pulse).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `nominal > 0`,
+    /// `amplitude ≥ 0`, `period > 0`.
+    pub fn with_sine(
+        nominal: f64,
+        amplitude: f64,
+        period: f64,
+        phase_deg: f64,
+    ) -> Result<Self, Error> {
+        if !(nominal.is_finite() && nominal > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "nominal",
+                value: nominal,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !(amplitude.is_finite() && amplitude >= 0.0 && amplitude < nominal) {
+            return Err(Error::InvalidParameter {
+                name: "amplitude",
+                value: amplitude,
+                constraint: "must be finite, >= 0 and below nominal",
+            });
+        }
+        if !(period.is_finite() && period > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "period",
+                value: period,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !phase_deg.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "phase_deg",
+                value: phase_deg,
+                constraint: "must be finite",
+            });
+        }
+        Ok(VddSource {
+            nominal,
+            amplitude,
+            period,
+            phase_rad: phase_deg.to_radians(),
+        })
+    }
+
+    /// The nominal (DC) level.
+    #[must_use]
+    pub fn nominal(&self) -> f64 {
+        self.nominal
+    }
+
+    /// Returns a copy with a different phase (degrees) — convenient for
+    /// the per-pulse random-phase procedure of Section V.
+    #[must_use]
+    pub fn with_phase_deg(mut self, phase_deg: f64) -> Self {
+        self.phase_rad = phase_deg.to_radians();
+        self
+    }
+
+    /// The supply voltage at time `t` (ps).
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.nominal
+            + self.amplitude * (std::f64::consts::TAU * t / self.period + self.phase_rad).sin()
+    }
+}
+
+/// A time-varying ground (V_SS) level around 0 V — the paper's remark
+/// after the Fig. 8a discussion: varying the ground instead of the
+/// supply reverses which edge is affected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundSource {
+    amplitude: f64,
+    period: f64,
+    phase_rad: f64,
+}
+
+impl GroundSource {
+    /// Ideal ground (0 V).
+    #[must_use]
+    pub fn ideal() -> Self {
+        GroundSource {
+            amplitude: 0.0,
+            period: 1.0,
+            phase_rad: 0.0,
+        }
+    }
+
+    /// Ground with a sine bounce:
+    /// `V_SS(t) = amplitude·sin(2π t/period + phase)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `amplitude ≥ 0` and
+    /// `period > 0` (both finite) and `phase_deg` is finite.
+    pub fn with_sine(amplitude: f64, period: f64, phase_deg: f64) -> Result<Self, Error> {
+        if !(amplitude.is_finite() && amplitude >= 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "amplitude",
+                value: amplitude,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !(period.is_finite() && period > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "period",
+                value: period,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !phase_deg.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "phase_deg",
+                value: phase_deg,
+                constraint: "must be finite",
+            });
+        }
+        Ok(GroundSource {
+            amplitude,
+            period,
+            phase_rad: phase_deg.to_radians(),
+        })
+    }
+
+    /// Returns a copy with a different phase (degrees).
+    #[must_use]
+    pub fn with_phase_deg(mut self, phase_deg: f64) -> Self {
+        self.phase_rad = phase_deg.to_radians();
+        self
+    }
+
+    /// The ground level at time `t` (ps).
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> f64 {
+        self.amplitude * (std::f64::consts::TAU * t / self.period + self.phase_rad).sin()
+    }
+}
+
+impl Default for GroundSource {
+    /// Ideal ground.
+    fn default() -> Self {
+        GroundSource::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_source_ideal_and_sine() {
+        let g = GroundSource::ideal();
+        assert_eq!(g.value_at(123.0), 0.0);
+        assert_eq!(GroundSource::default(), g);
+        let b = GroundSource::with_sine(0.01, 100.0, 90.0).unwrap();
+        assert!((b.value_at(0.0) - 0.01).abs() < 1e-12);
+        assert!((b.with_phase_deg(270.0).value_at(0.0) + 0.01).abs() < 1e-12);
+        assert!(GroundSource::with_sine(-0.01, 100.0, 0.0).is_err());
+        assert!(GroundSource::with_sine(0.01, 0.0, 0.0).is_err());
+        assert!(GroundSource::with_sine(0.01, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dc_is_constant() {
+        let s = VddSource::dc(1.0);
+        for t in [0.0, 17.3, -5.0, 1e6] {
+            assert_eq!(s.value_at(t), 1.0);
+        }
+        assert_eq!(s.nominal(), 1.0);
+    }
+
+    #[test]
+    fn sine_modulation_bounds_and_period() {
+        let s = VddSource::with_sine(1.2, 0.012, 100.0, 0.0).unwrap();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..1000 {
+            let v = s.value_at(i as f64 * 0.5);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!((max - 1.212).abs() < 1e-4);
+        assert!((min - 1.188).abs() < 1e-4);
+        // periodicity
+        assert!((s.value_at(13.0) - s.value_at(113.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_shifts() {
+        let base = VddSource::with_sine(1.0, 0.01, 100.0, 0.0).unwrap();
+        let shifted = base.with_phase_deg(180.0);
+        assert!((base.value_at(10.0) + shifted.value_at(10.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VddSource::with_sine(0.0, 0.01, 100.0, 0.0).is_err());
+        assert!(VddSource::with_sine(1.0, -0.01, 100.0, 0.0).is_err());
+        assert!(VddSource::with_sine(1.0, 1.5, 100.0, 0.0).is_err());
+        assert!(VddSource::with_sine(1.0, 0.01, 0.0, 0.0).is_err());
+        assert!(VddSource::with_sine(1.0, 0.01, 100.0, f64::NAN).is_err());
+    }
+}

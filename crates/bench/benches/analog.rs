@@ -1,0 +1,42 @@
+//! Analog substrate cost: RK4 chain integration and characterization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_analog::chain::InverterChain;
+use ivl_analog::characterize::{sweep_samples, SweepConfig};
+use ivl_analog::stimulus::Pulse;
+use ivl_analog::supply::VddSource;
+
+fn bench_chain_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_transient");
+    group.sample_size(20);
+    let stim = Pulse::new(60.0, 80.0, 10.0, 1.0).unwrap();
+    let vdd = VddSource::dc(1.0);
+    for &stages in &[3usize, 7, 15] {
+        let chain = InverterChain::umc90_like(stages).unwrap();
+        let steps = (400.0 / 0.1) as u64 * stages as u64;
+        group.throughput(Throughput::Elements(steps));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &chain, |b, ch| {
+            b.iter(|| ch.simulate(&stim, &vdd, 400.0, 0.1).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_characterization_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterization");
+    group.sample_size(10);
+    let chain = InverterChain::umc90_like(7).unwrap();
+    let vdd = VddSource::dc(1.0);
+    let cfg = SweepConfig {
+        widths: vec![40.0, 70.0, 100.0],
+        dt: 0.1,
+        ..SweepConfig::default()
+    };
+    group.bench_function("three_point_sweep", |b| {
+        b.iter(|| sweep_samples(&chain, &vdd, &cfg, false).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain_transient, bench_characterization_point);
+criterion_main!(benches);

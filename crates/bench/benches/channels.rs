@@ -1,0 +1,63 @@
+//! Throughput of the channel implementations on long glitch trains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_core::channel::{
+    Channel, DdmEdgeParams, DegradationDelay, EtaInvolutionChannel, InertialDelay,
+    InvolutionChannel, PureDelay,
+};
+use ivl_core::delay::ExpChannel;
+use ivl_core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
+use ivl_core::Signal;
+
+fn glitch_train(n_pulses: usize) -> Signal {
+    // period 2.5, widths cycling through attenuation-relevant values
+    Signal::pulse_train((0..n_pulses).map(|i| {
+        let w = 0.6 + 0.5 * ((i % 7) as f64 / 7.0);
+        (i as f64 * 2.5, w)
+    }))
+    .expect("valid train")
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_apply");
+    for &n in &[100usize, 1000, 10_000] {
+        let input = glitch_train(n);
+        group.throughput(Throughput::Elements(input.len() as u64));
+        group.bench_with_input(BenchmarkId::new("pure", n), &input, |b, s| {
+            let mut ch = PureDelay::new(1.0).unwrap();
+            b.iter(|| ch.apply(s));
+        });
+        group.bench_with_input(BenchmarkId::new("inertial", n), &input, |b, s| {
+            let mut ch = InertialDelay::new(1.0, 0.7).unwrap();
+            b.iter(|| ch.apply(s));
+        });
+        group.bench_with_input(BenchmarkId::new("ddm", n), &input, |b, s| {
+            let mut ch = DegradationDelay::symmetric(DdmEdgeParams::new(1.0, 0.1, 0.8).unwrap());
+            b.iter(|| ch.apply(s));
+        });
+        group.bench_with_input(BenchmarkId::new("involution_exp", n), &input, |b, s| {
+            let mut ch = InvolutionChannel::new(ExpChannel::new(1.0, 0.5, 0.5).unwrap());
+            b.iter(|| ch.apply(s));
+        });
+        group.bench_with_input(BenchmarkId::new("eta_worst_case", n), &input, |b, s| {
+            let mut ch = EtaInvolutionChannel::new(
+                ExpChannel::new(1.0, 0.5, 0.5).unwrap(),
+                EtaBounds::new(0.02, 0.02).unwrap(),
+                WorstCaseAdversary,
+            );
+            b.iter(|| ch.apply(s));
+        });
+        group.bench_with_input(BenchmarkId::new("eta_uniform_rng", n), &input, |b, s| {
+            let mut ch = EtaInvolutionChannel::new(
+                ExpChannel::new(1.0, 0.5, 0.5).unwrap(),
+                EtaBounds::new(0.02, 0.02).unwrap(),
+                UniformNoise::new(42),
+            );
+            b.iter(|| ch.apply(s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Event-driven simulator throughput: pipelines and the oscillating SPF
+//! loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivl_circuit::{CircuitBuilder, GateKind, Simulator};
+use ivl_core::channel::InvolutionChannel;
+use ivl_core::delay::ExpChannel;
+use ivl_core::noise::{EtaBounds, WorstCaseAdversary};
+use ivl_core::{Bit, Signal};
+use ivl_spf::SpfCircuit;
+
+fn build_pipeline(stages: usize) -> Simulator {
+    let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let mut b = CircuitBuilder::new();
+    let a = b.input("a");
+    let y = b.output("y");
+    let mut prev = a;
+    for i in 0..stages {
+        let g = b.gate(
+            &format!("inv{i}"),
+            GateKind::Not,
+            if i % 2 == 0 { Bit::One } else { Bit::Zero },
+        );
+        if i == 0 {
+            b.connect_direct(prev, g, 0).unwrap();
+        } else {
+            b.connect(prev, g, 0, InvolutionChannel::new(d.clone()))
+                .unwrap();
+        }
+        prev = g;
+    }
+    b.connect(prev, y, 0, InvolutionChannel::new(d)).unwrap();
+    Simulator::new(b.build().unwrap())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim");
+    let input = Signal::pulse_train((0..200).map(|i| (i as f64 * 4.0, 2.0))).unwrap();
+    for &stages in &[2usize, 8, 32] {
+        group.throughput(Throughput::Elements((input.len() * stages) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &s| {
+            let mut sim = build_pipeline(s);
+            sim.set_input("a", input.clone()).unwrap();
+            b.iter(|| sim.run(1e9).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spf_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spf_loop");
+    let delay = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let bounds = EtaBounds::new(0.02, 0.02).unwrap();
+    let spf = SpfCircuit::dimensioned(delay, bounds).unwrap();
+    let th = spf.theory().unwrap();
+    // a long metastable oscillation: hundreds of loop events
+    let input = Signal::pulse(0.0, th.delta0_tilde).unwrap();
+    group.bench_function("metastable_oscillation_400tu", |b| {
+        b.iter(|| spf.simulate(WorstCaseAdversary, &input, 400.0).unwrap());
+    });
+    let latch_input = Signal::pulse(0.0, th.lock_bound + 0.5).unwrap();
+    group.bench_function("clean_latch", |b| {
+        b.iter(|| {
+            spf.simulate(WorstCaseAdversary, &latch_input, 400.0)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_spf_loop);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Cost of the analytic layer: fixed-point solvers and the worst-case
+//! recurrence.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivl_core::delay::{delta_min_of, fit::fit_exp_channel, DelayPair, ExpChannel};
+use ivl_core::noise::EtaBounds;
+use ivl_spf::{SpfTheory, WorstCaseRecurrence};
+
+fn bench_solvers(c: &mut Criterion) {
+    let delay = ExpChannel::new(1.0, 0.5, 0.45).unwrap();
+    let bounds = EtaBounds::new(0.02, 0.02).unwrap();
+    c.bench_function("delta_min_bisection", |b| {
+        b.iter(|| delta_min_of(&delay).unwrap());
+    });
+    c.bench_function("spf_theory_compute", |b| {
+        b.iter(|| SpfTheory::compute(&delay, bounds).unwrap());
+    });
+    let rec = WorstCaseRecurrence::new(delay.clone(), bounds);
+    let th = SpfTheory::compute(&delay, bounds).unwrap();
+    c.bench_function("recurrence_fate_near_threshold", |b| {
+        b.iter(|| rec.fate(th.delta0_tilde + 1e-9, 100_000));
+    });
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let truth = ExpChannel::new(1.2, 0.4, 0.45).unwrap();
+    let ups: Vec<(f64, f64)> = (0..50)
+        .map(|i| {
+            let t = -0.3 + 0.1 * i as f64;
+            (t, truth.delta_up(t))
+        })
+        .collect();
+    let downs: Vec<(f64, f64)> = (0..50)
+        .map(|i| {
+            let t = -0.3 + 0.1 * i as f64;
+            (t, truth.delta_down(t))
+        })
+        .collect();
+    c.bench_function("exp_channel_fit_100pts", |b| {
+        b.iter(|| fit_exp_channel(&ups, &downs, None).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_solvers, bench_fit);
+criterion_main!(benches);

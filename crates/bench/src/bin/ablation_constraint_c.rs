@@ -1,0 +1,125 @@
+//! Ablation — why constraint (C) is the load-bearing wall.
+//!
+//! The paper restricts the adversary by
+//! `(C): η⁺ + η⁻ < δ↓(−η⁺) − δ_min` to prove faithfulness. This ablation
+//! shows what actually breaks as η crosses that boundary:
+//!
+//! 1. the fixed-point equation (6) loses its bracket (`h(τ₀) ≤ 0`), so
+//!    the worst-case self-repeating train — the backbone of Lemma 5 —
+//!    no longer exists;
+//! 2. operationally, the extending adversary can then keep *de-cancelling*
+//!    pulses: the worst-case duty cycle bound γ < 1 fails, and no
+//!    high-threshold buffer dimensioning per Lemmas 10/11 remains valid
+//!    (any threshold below 1 is eventually crossed).
+//!
+//! Run with `cargo run --release -p ivl-bench --bin ablation_constraint_c`.
+
+use ivl_bench::{banner, write_csv, Series};
+use ivl_core::channel::{Channel, EtaInvolutionChannel};
+use ivl_core::delay::{DelayPair, ExpChannel};
+use ivl_core::noise::{EtaBounds, ExtendingAdversary};
+use ivl_core::{PulseStats, Signal};
+use ivl_spf::theory::SpfTheory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Ablation",
+        "crossing constraint (C): fixed point vanishes, duty cycle escapes to 1",
+    );
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    let dmin = delay.delta_min();
+
+    // the symmetric boundary: η⁺ + η⁻ = δ↓(−η⁺) − δ_min
+    let mut eta_c = 0.0;
+    for i in 0..100_000 {
+        let eta = i as f64 * 1e-5;
+        if !(EtaBounds::new(eta, eta)?.satisfies_constraint_c(&delay)) {
+            break;
+        }
+        eta_c = eta;
+    }
+    println!("symmetric (C) boundary: η_C ≈ {eta_c:.4}   (δ_min = {dmin:.4})");
+
+    // 1) theory: SpfTheory must exist below, and be rejected above
+    println!(
+        "\n{:>8} | {:>10} | {:>10} | {:>10}",
+        "η", "theory", "γ", "∆"
+    );
+    let mut gamma_series = Vec::new();
+    for i in 0..14 {
+        let eta = eta_c * (0.2 + 0.1 * i as f64);
+        let bounds = EtaBounds::new(eta, eta)?;
+        match SpfTheory::compute(&delay, bounds) {
+            Ok(th) => {
+                println!(
+                    "{eta:>8.4} | {:>10} | {:>10.4} | {:>10.4}",
+                    "ok", th.gamma, th.delta_bar
+                );
+                gamma_series.push((eta, th.gamma));
+                assert!(eta <= eta_c + 1e-9, "theory must reject beyond (C)");
+            }
+            Err(_) => {
+                println!(
+                    "{eta:>8.4} | {:>10} | {:>10} | {:>10}",
+                    "REJECTED", "—", "—"
+                );
+                assert!(eta > eta_c - 1e-4, "theory must accept below (C)");
+            }
+        }
+    }
+
+    // 2) operation: the extending adversary sustains ever-denser trains.
+    // Feed a fast pulse train through a single η-involution channel and
+    // measure the output duty cycle as η grows past the boundary.
+    println!("\nextending adversary on a fast train (period 1.2, width 0.55):");
+    println!("{:>8} | {:>12} | {:>12}", "η", "out pulses", "max duty");
+    let input = Signal::pulse_train((0..200).map(|i| (i as f64 * 1.2, 0.55)))?;
+    let mut duty_series = Vec::new();
+    for mult in [0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 4.0] {
+        let eta = eta_c * mult;
+        let bounds = EtaBounds::new(eta, eta)?;
+        let mut ch = EtaInvolutionChannel::new(delay.clone(), bounds, ExtendingAdversary);
+        let out = ch.apply(&input);
+        let stats = PulseStats::of(&out);
+        // beyond (C) the adversary fuses the train into one giant pulse
+        // covering (almost) the whole stimulus: report duty cycle 1
+        let span = 200.0 * 1.2;
+        let fused = stats.pulse_count() <= 3 && stats.max_up_time().unwrap_or(0.0) > 0.5 * span;
+        let duty = if fused {
+            1.0
+        } else {
+            stats.max_duty_cycle().unwrap_or(0.0)
+        };
+        println!(
+            "{eta:>8.4} | {:>12} | {duty:>12.4}{}",
+            stats.pulse_count(),
+            if fused { "  (merged to solid 1)" } else { "" }
+        );
+        duty_series.push((eta, duty));
+    }
+    // duty cycle grows monotonically with adversary power, reaching 1
+    // (train fused) beyond the boundary
+    for w in duty_series.windows(2) {
+        assert!(
+            w[1].1 >= w[0].1 - 1e-9,
+            "duty must grow with η: {duty_series:?}"
+        );
+    }
+    assert!(
+        duty_series.last().unwrap().1 >= 1.0 - 1e-9,
+        "far beyond (C) the train must fuse: {duty_series:?}"
+    );
+
+    let path = write_csv(
+        "ablation_constraint_c",
+        "eta",
+        "value",
+        &[
+            Series::new("gamma_theory", gamma_series),
+            Series::new("max_duty_extending", duty_series),
+        ],
+    );
+    println!("\nCSV written to {}", path.display());
+    println!("ablation complete: (C) is exactly where the worst-case train structure is lost");
+    Ok(())
+}

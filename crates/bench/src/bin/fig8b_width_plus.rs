@@ -1,0 +1,18 @@
+//! Fig. 8b — deviation `D(T)` for a chain with 10 % *wider* transistors
+//! against the nominal delay model.
+//!
+//! Paper shape: the wider (faster) circuit switches earlier than the
+//! nominal model predicts, so the whole cloud sits *below* zero and
+//! eventually leaves the η-band as `T` grows.
+//!
+//! Run with `cargo run --release -p ivl-bench --bin fig8b_width_plus`.
+
+use ivl_bench::banner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Fig. 8b",
+        "D(T) for +10 % transistor width — one-sided negative deviations",
+    );
+    ivl_bench::width::run_width_experiment("fig8b_width_plus", 1.1, true)
+}

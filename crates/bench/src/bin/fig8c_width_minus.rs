@@ -1,0 +1,18 @@
+//! Fig. 8c — deviation `D(T)` for a chain with 10 % *narrower*
+//! transistors against the nominal delay model.
+//!
+//! Paper shape: the narrower (slower) circuit switches later than
+//! predicted, so the cloud sits *above* zero and exceeds the η-band with
+//! increasing `T`.
+//!
+//! Run with `cargo run --release -p ivl-bench --bin fig8c_width_minus`.
+
+use ivl_bench::banner;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Fig. 8c",
+        "D(T) for −10 % transistor width — one-sided positive deviations",
+    );
+    ivl_bench::width::run_width_experiment("fig8c_width_minus", 0.9, false)
+}

@@ -1,0 +1,79 @@
+//! Figs. 1–4 — the illustrative single-history / η-involution traces:
+//! pulse attenuation, cancellation, and the adversary's freedom to
+//! shift, extend and de-cancel pulses.
+//!
+//! Run with `cargo run --release -p ivl-bench --bin fig_traces`.
+
+use ivl_bench::{banner, write_csv, Series};
+use ivl_core::channel::{Channel, EtaInvolutionChannel, InvolutionChannel};
+use ivl_core::delay::ExpChannel;
+use ivl_core::noise::{EtaBounds, ExtendingAdversary, WorstCaseAdversary, ZeroNoise};
+use ivl_core::Signal;
+
+fn series_of(label: &str, s: &Signal) -> Series {
+    // encode a trace as a step series for plotting tools
+    let mut pts = vec![(-1.0, s.initial().as_u8() as f64)];
+    for tr in s.transitions() {
+        let v = tr.value.as_u8() as f64;
+        pts.push((tr.time, 1.0 - v));
+        pts.push((tr.time, v));
+    }
+    Series::new(label, pts)
+}
+
+fn show(label: &str, s: &Signal, t1: f64) {
+    println!("{label:>16}: {}", s.render_ascii(-0.5, t1, 64));
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Figs. 1–4",
+        "single-history semantics: attenuation, cancellation, adversarial shifts",
+    );
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    // Fig. 1/2 input: a healthy pulse followed by a short one that the
+    // deterministic channel cancels
+    let input = Signal::pulse_train([(0.0, 4.0), (7.0, 0.62)])?;
+    let t1 = 12.0;
+    show("input", &input, t1);
+
+    let mut det = InvolutionChannel::new(delay.clone());
+    let out_det = det.apply(&input);
+    show("involution", &out_det, t1);
+    assert_eq!(out_det.len(), 2, "second pulse must cancel (Fig. 2)");
+
+    // Fig. 3/4: the η adversary can move transitions within [−η⁻, η⁺];
+    // different choices yield different feasible output traces
+    let bounds = EtaBounds::new(0.06, 0.06)?;
+    let mut zero = EtaInvolutionChannel::new(delay.clone(), bounds, ZeroNoise);
+    let out1 = zero.apply(&input);
+    show("η = 0", &out1, t1);
+
+    let mut late = EtaInvolutionChannel::new(delay.clone(), bounds, WorstCaseAdversary);
+    let out2 = late.apply(&input);
+    show("η shrinking", &out2, t1);
+
+    let mut extend = EtaInvolutionChannel::new(delay, bounds, ExtendingAdversary);
+    let out3 = extend.apply(&input);
+    show("η de-cancel", &out3, t1);
+    assert!(
+        out3.len() > out_det.len(),
+        "the extending adversary must de-cancel the second pulse (Fig. 4): {out3}"
+    );
+
+    let path = write_csv(
+        "fig_traces",
+        "t",
+        "level",
+        &[
+            series_of("input", &input),
+            series_of("involution", &out_det),
+            series_of("eta_zero", &out1),
+            series_of("eta_shrinking", &out2),
+            series_of("eta_decancel", &out3),
+        ],
+    );
+    println!("\nCSV written to {}", path.display());
+    println!("shape check passed: cancellation (Fig. 2) and de-cancellation (Fig. 4) reproduced");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Lemma 5/6 — the worst-case pulse-train quantities (`τ = P`, `∆`, `γ`)
+//! as functions of the adversary power `η`, up to the constraint-(C)
+//! boundary.
+//!
+//! Run with `cargo run --release -p ivl-bench --bin lemma5_bounds`.
+
+use ivl_bench::{ascii_plot, banner, write_csv, Series};
+use ivl_core::delay::{DelayPair, ExpChannel};
+use ivl_core::noise::EtaBounds;
+use ivl_spf::SpfTheory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Lem. 5/6",
+        "worst-case ∆, P = τ, γ vs symmetric adversary power η under (C)",
+    );
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    println!(
+        "channel: δ_min = {:.4}, δ↑∞ = δ↓∞ = {:.4}",
+        delay.delta_min(),
+        delay.delta_up_inf()
+    );
+
+    // find the symmetric η where (C) breaks
+    let mut eta_max = 0.0;
+    for i in 0..1000 {
+        let eta = i as f64 * 1e-4;
+        if !EtaBounds::new(eta, eta)?.satisfies_constraint_c(&delay) {
+            break;
+        }
+        eta_max = eta;
+    }
+    println!("constraint (C) admits symmetric η up to ≈ {eta_max:.4}");
+
+    let mut s_tau = Vec::new();
+    let mut s_delta = Vec::new();
+    let mut s_gamma = Vec::new();
+    let mut s_window = Vec::new();
+    println!(
+        "\n{:>8} | {:>8} | {:>8} | {:>8} | {:>10}",
+        "η", "τ = P", "∆", "γ", "meta-window"
+    );
+    let n = 20;
+    for i in 0..n {
+        let eta = eta_max * i as f64 / n as f64;
+        let bounds = EtaBounds::new(eta, eta)?;
+        let th = SpfTheory::compute(&delay, bounds)?;
+        assert!(th.satisfies_lemma5_inequalities(&delay), "η = {eta}");
+        assert!(th.gamma < 1.0);
+        let window = th.lock_bound - th.filter_bound;
+        println!(
+            "{eta:>8.4} | {:>8.4} | {:>8.4} | {:>8.4} | {window:>10.4}",
+            th.tau, th.delta_bar, th.gamma
+        );
+        s_tau.push((eta, th.tau));
+        s_delta.push((eta, th.delta_bar));
+        s_gamma.push((eta, th.gamma));
+        s_window.push((eta, window));
+    }
+    let series = vec![
+        Series::new("tau", s_tau),
+        Series::new("delta_bar", s_delta.clone()),
+        Series::new("gamma", s_gamma.clone()),
+        Series::new("metastable_window", s_window.clone()),
+    ];
+    println!("\n{}", ascii_plot(&series, 72, 16));
+    let path = write_csv("lemma5_bounds", "eta", "value", &series);
+    println!("CSV written to {}", path.display());
+
+    // headline shapes: the metastable window widens with η; γ stays < 1;
+    // ∆ stays below δ_min
+    assert!(s_window.last().unwrap().1 > s_window.first().unwrap().1);
+    assert!(s_gamma.iter().all(|p| p.1 < 1.0));
+    assert!(s_delta.iter().all(|p| p.1 < delay.delta_min()));
+    println!("shape check passed: window grows with η, γ < 1, ∆ < δ_min throughout");
+    Ok(())
+}

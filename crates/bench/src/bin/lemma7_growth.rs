@@ -1,0 +1,99 @@
+//! Lemma 7 / Theorem 9 — geometric divergence from the metastable fixed
+//! point and the logarithmic stabilization-time law
+//! `pulses ∼ log_a(1/(∆₀ − ∆̃₀))`.
+//!
+//! Run with `cargo run --release -p ivl-bench --bin lemma7_growth`.
+
+use ivl_bench::{ascii_plot, banner, write_csv, Series};
+use ivl_core::delay::ExpChannel;
+use ivl_core::noise::{EtaBounds, WorstCaseAdversary};
+use ivl_core::Signal;
+use ivl_spf::{LoopOutcome, SpfCircuit, WorstCaseRecurrence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Lem. 7",
+        "log-law: feedback pulses until lock vs log10(∆₀ − ∆̃₀), slope 1/log10(a)",
+    );
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    let bounds = EtaBounds::new(0.02, 0.02)?;
+    let rec = WorstCaseRecurrence::new(delay.clone(), bounds);
+    let spf = SpfCircuit::dimensioned(delay, bounds)?;
+    let th = spf.theory()?;
+    // Lemma 7's a = 1 + δ′↑(0) is a *lower bound* on the growth rate; the
+    // actual rate at the fixed point is f′(∆), estimated numerically.
+    let h = 1e-7;
+    let f_prime = (rec.next_pulse(th.delta_bar + h).unwrap()
+        - rec.next_pulse(th.delta_bar - h).unwrap())
+        / (2.0 * h);
+    println!(
+        "growth: lower bound a = {:.4} (Lemma 7), actual f′(∆) = {:.4}",
+        th.growth, f_prime
+    );
+    let expected_slope = (10.0f64).ln() / f_prime.ln();
+    let max_slope = (10.0f64).ln() / th.growth.ln();
+    println!(
+        "expected slope ≈ {expected_slope:.2} pulses/decade (Lemma 7 caps it at {max_slope:.2})"
+    );
+
+    let mut s_rec = Vec::new();
+    let mut s_sim = Vec::new();
+    println!(
+        "\n{:>10} | {:>16} | {:>16}",
+        "gap", "recurrence pulses", "simulated pulses"
+    );
+    for exp in 1..=9 {
+        let gap = 10f64.powi(-exp);
+        let d0 = th.delta0_tilde + gap;
+        let rec_pulses = match rec.fate(d0, 100_000) {
+            ivl_spf::PulseTrainFate::Locks { pulses } => pulses as f64,
+            other => panic!("expected lock for gap {gap}: {other:?}"),
+        };
+        let run = spf.simulate(WorstCaseAdversary, &Signal::pulse(0.0, d0)?, 5000.0)?;
+        let sim_pulses = match LoopOutcome::classify(&run.or_signal, 5000.0, 50.0) {
+            LoopOutcome::Latched { pulses, .. } => pulses as f64,
+            other => panic!("expected latch for gap {gap}: {other:?}"),
+        };
+        println!("{gap:>10.0e} | {rec_pulses:>16} | {sim_pulses:>16}");
+        s_rec.push((-(exp as f64), rec_pulses));
+        s_sim.push((-(exp as f64), sim_pulses));
+        // recurrence and simulation agree to within a pulse or two
+        assert!(
+            (rec_pulses - sim_pulses).abs() <= 2.0,
+            "gap {gap}: {rec_pulses} vs {sim_pulses}"
+        );
+    }
+    let series = vec![
+        Series::new("recurrence", s_rec.clone()),
+        Series::new("simulation", s_sim.clone()),
+        Series::new(
+            "worst_case_trajectory",
+            rec.trajectory(th.delta0_tilde + 1e-6, 40)
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (i as f64 - 9.0, *w * 10.0)) // overlay, scaled
+                .collect(),
+        ),
+    ];
+    println!("\n{}", ascii_plot(&series[..2], 72, 16));
+    let path = write_csv("lemma7_growth", "log10_gap", "pulses_to_lock", &series);
+    println!("CSV written to {}", path.display());
+
+    // headline shape: linear in the decade index, slope matching f′(∆)
+    // and never below the Lemma 7 cap's implication (slope ≤ max_slope)
+    let diffs: Vec<f64> = s_rec.windows(2).map(|w| w[1].1 - w[0].1).collect();
+    let mean_slope = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    println!(
+        "observed slope {mean_slope:.2} pulses/decade vs f′(∆) prediction {expected_slope:.2}"
+    );
+    assert!(
+        (mean_slope - expected_slope).abs() < 0.35 * expected_slope,
+        "slope must match the log-law within 35 %"
+    );
+    assert!(
+        mean_slope <= max_slope + 0.5,
+        "Lemma 7 lower-bounds growth, hence caps the slope"
+    );
+    println!("shape check passed: logarithmic stabilization law reproduced");
+    Ok(())
+}

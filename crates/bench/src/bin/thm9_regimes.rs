@@ -1,0 +1,112 @@
+//! Theorem 9 / Theorem 12 — the three-regime classification of the SPF
+//! circuit across the input pulse width, for the worst-case and random
+//! adversaries, with theory, recurrence and simulation side by side.
+//!
+//! Run with `cargo run --release -p ivl-bench --bin thm9_regimes`.
+
+use ivl_bench::{banner, write_csv, Series};
+use ivl_core::delay::ExpChannel;
+use ivl_core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
+use ivl_core::Signal;
+use ivl_spf::{LoopOutcome, PulseTrainFate, SpfCircuit, WorstCaseRecurrence};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner(
+        "Thm. 9",
+        "regimes: filtered / metastable window / latched, with boundaries from theory",
+    );
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    let bounds = EtaBounds::new(0.02, 0.02)?;
+    let spf = SpfCircuit::dimensioned(delay.clone(), bounds)?;
+    let th = spf.theory()?;
+    let rec = WorstCaseRecurrence::new(delay, bounds);
+    println!(
+        "boundaries: filter ≤ {:.4}   ∆̃₀ = {:.4}   lock ≥ {:.4}",
+        th.filter_bound, th.delta0_tilde, th.lock_bound
+    );
+
+    let horizon = 400.0;
+    let lo = th.filter_bound * 0.6;
+    let hi = th.lock_bound * 1.2;
+    let n = 33;
+    let mut sim_code = Vec::new();
+    let mut rec_code = Vec::new();
+    let mut pulses_series = Vec::new();
+    println!(
+        "\n{:>9} | {:>11} | {:>12} | {:>12} | {:>6}",
+        "∆₀", "recurrence", "sim (worst)", "sim (seed 7)", "pulses"
+    );
+    for i in 0..n {
+        let d0 = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+        let input = Signal::pulse(0.0, d0)?;
+        let fate = rec.fate(d0, 5000);
+        let wc = spf.simulate(WorstCaseAdversary, &input, horizon)?;
+        let wc_out = LoopOutcome::classify(&wc.or_signal, horizon, 20.0);
+        let rnd = spf.simulate(UniformNoise::new(7), &input, horizon)?;
+        let rnd_out = LoopOutcome::classify(&rnd.or_signal, horizon, 20.0);
+        let code = |o: &LoopOutcome| match o {
+            LoopOutcome::Filtered { .. } => 0.0,
+            LoopOutcome::Oscillating { .. } => 0.5,
+            LoopOutcome::Latched { .. } => 1.0,
+        };
+        let fate_code = match fate {
+            PulseTrainFate::Dies { .. } => 0.0,
+            PulseTrainFate::Oscillating { .. } => 0.5,
+            PulseTrainFate::Locks { .. } => 1.0,
+        };
+        let pulses = match wc_out {
+            LoopOutcome::Filtered { pulses }
+            | LoopOutcome::Latched { pulses, .. }
+            | LoopOutcome::Oscillating { pulses } => pulses,
+        };
+        println!(
+            "{d0:>9.4} | {:>11} | {:>12} | {:>12} | {pulses:>6}",
+            fmt_fate(&fate),
+            fmt_outcome(&wc_out),
+            fmt_outcome(&rnd_out)
+        );
+        sim_code.push((d0, code(&wc_out)));
+        rec_code.push((d0, fate_code));
+        pulses_series.push((d0, pulses as f64));
+
+        // consistency: away from the metastable window, recurrence and
+        // simulation must agree
+        if d0 < th.filter_bound * 0.98 {
+            assert_eq!(fate_code, 0.0, "below filter bound at {d0}");
+            assert_eq!(code(&wc_out), 0.0);
+        }
+        if d0 > th.lock_bound * 1.02 {
+            assert_eq!(fate_code, 1.0, "above lock bound at {d0}");
+            assert_eq!(code(&wc_out), 1.0);
+        }
+    }
+    let path = write_csv(
+        "thm9_regimes",
+        "delta0",
+        "outcome",
+        &[
+            Series::new("recurrence", rec_code),
+            Series::new("simulation_worst_case", sim_code),
+            Series::new("feedback_pulses", pulses_series),
+        ],
+    );
+    println!("\nCSV written to {}", path.display());
+    println!("shape check passed: regimes agree outside the metastable window");
+    Ok(())
+}
+
+fn fmt_fate(f: &PulseTrainFate) -> &'static str {
+    match f {
+        PulseTrainFate::Dies { .. } => "dies",
+        PulseTrainFate::Locks { .. } => "locks",
+        PulseTrainFate::Oscillating { .. } => "oscillates",
+    }
+}
+
+fn fmt_outcome(o: &LoopOutcome) -> &'static str {
+    match o {
+        LoopOutcome::Filtered { .. } => "filtered",
+        LoopOutcome::Latched { .. } => "latched",
+        LoopOutcome::Oscillating { .. } => "oscillating",
+    }
+}

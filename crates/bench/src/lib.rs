@@ -1,0 +1,172 @@
+//! # ivl-bench
+//!
+//! Benchmark and figure-reproduction harness. Each binary in `src/bin`
+//! regenerates one figure (or analytic result) of the paper's evaluation
+//! and writes a CSV under `figures/`; the `benches/` directory holds
+//! criterion throughput benchmarks. See `EXPERIMENTS.md` at the
+//! workspace root for the figure-by-figure index.
+
+#![warn(missing_docs)]
+
+pub mod width;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A series of `(x, y)` points with a name, for CSV output and ASCII
+/// plotting.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label (also the CSV column name).
+    pub label: String,
+    /// The points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Resolves the output directory for figure CSVs: `$FIGURES_DIR` or
+/// `figures/` under the workspace root (created if absent).
+#[must_use]
+pub fn figures_dir() -> PathBuf {
+    let dir = std::env::var_os("FIGURES_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // workspace root = two levels above this crate's manifest
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("workspace root exists")
+                .join("figures")
+        });
+    fs::create_dir_all(&dir).expect("can create figures directory");
+    dir
+}
+
+/// Writes series as a long-format CSV (`series,x,y`) into
+/// `figures/<name>.csv` and returns the path.
+pub fn write_csv(name: &str, x_label: &str, y_label: &str, series: &[Series]) -> PathBuf {
+    let mut out = String::new();
+    let _ = writeln!(out, "series,{x_label},{y_label}");
+    for s in series {
+        for (x, y) in &s.points {
+            let _ = writeln!(out, "{},{x},{y}", s.label);
+        }
+    }
+    let path = figures_dir().join(format!("{name}.csv"));
+    fs::write(&path, out).expect("can write figure CSV");
+    path
+}
+
+/// Renders series as a compact ASCII scatter plot (distinct markers per
+/// series, shared axes).
+#[must_use]
+pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
+    const MARKS: [char; 8] = ['o', 'x', '+', '*', '#', '@', '%', '&'];
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
+    if pts.is_empty() || width < 8 || height < 3 {
+        return String::from("(no data)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if x1 <= x0 {
+        x1 = x0 + 1.0;
+    }
+    if y1 <= y0 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    // zero line if visible
+    if y0 < 0.0 && y1 > 0.0 {
+        let row = ((y1) / (y1 - y0) * (height - 1) as f64).round() as usize;
+        if row < height {
+            for c in grid[row].iter_mut() {
+                *c = '·';
+            }
+        }
+    }
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for &(x, y) in &s.points {
+            let col = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let row = ((y1 - y) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            if row < height && col < width {
+                grid[row][col] = mark;
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "  {y1:>10.3} ┐");
+    for row in &grid {
+        let _ = writeln!(out, "             │{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "  {y0:>10.3} ┘");
+    let _ = writeln!(
+        out,
+        "              x ∈ [{x0:.3}, {x1:.3}]   legend: {}",
+        series
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("{}={}", MARKS[i % MARKS.len()], s.label))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    out
+}
+
+/// Prints a standard figure banner.
+pub fn banner(figure: &str, caption: &str) {
+    println!("==========================================================");
+    println!("{figure}: {caption}");
+    println!("==========================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("ivl-bench-test-figs");
+        std::env::set_var("FIGURES_DIR", &dir);
+        let s = Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let path = write_csv("unit_test_fig", "x", "y", &[s]);
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.starts_with("series,x,y"));
+        assert!(content.contains("a,1,2"));
+        std::env::remove_var("FIGURES_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ascii_plot_has_axes_and_marks() {
+        let s = vec![
+            Series::new("up", vec![(0.0, -1.0), (5.0, 1.0)]),
+            Series::new("down", vec![(2.5, 0.5)]),
+        ];
+        let art = ascii_plot(&s, 40, 10);
+        assert!(art.contains('o'));
+        assert!(art.contains('x'));
+        assert!(art.contains('·'), "zero line expected:\n{art}");
+        assert!(art.contains("legend"));
+        assert_eq!(ascii_plot(&[], 40, 10), "(no data)\n");
+    }
+}

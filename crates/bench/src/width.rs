@@ -1,0 +1,69 @@
+//! Shared driver for the Fig. 8b/8c transistor-width experiments.
+
+use crate::{ascii_plot, write_csv, Series};
+use ivl_analog::chain::InverterChain;
+use ivl_analog::characterize::{characterize, measure_deviations, to_empirical, SweepConfig};
+use ivl_analog::supply::VddSource;
+use ivl_core::delay::fit::fit_exp_channel;
+use ivl_core::noise::EtaBounds;
+
+/// Characterizes the nominal chain, measures `D(T)` on a width-scaled
+/// copy, plots/writes the figure, and asserts the paper's one-sidedness.
+pub fn run_width_experiment(
+    name: &str,
+    factor: f64,
+    expect_negative: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let chain = InverterChain::umc90_like(7)?;
+    let vdd = VddSource::dc(1.0);
+    let cfg = SweepConfig::default();
+
+    let (up, down) = characterize(&chain, &vdd, &cfg)?;
+    let reference = to_empirical(&up, &down)?;
+    let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
+    let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
+    let fitted = fit_exp_channel(&ups, &downs, None)?.channel;
+    let eta_plus = 0.3;
+    let eta_minus = EtaBounds::max_minus_for_plus(eta_plus, &fitted)
+        .expect("eta_plus small enough for (C)")
+        * 0.999;
+    println!("η-band from constraint (C): [−{eta_minus:.3}, +{eta_plus:.3}] ps");
+
+    let varied = chain.scaled_width(factor)?;
+    let mut d_up = Vec::new();
+    let mut d_down = Vec::new();
+    for inverted in [false, true] {
+        for s in measure_deviations(&varied, &vdd, &cfg, &reference, inverted)? {
+            match s.edge {
+                ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
+                ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),
+            }
+        }
+    }
+    let t_max = d_up
+        .iter()
+        .chain(&d_down)
+        .map(|p| p.0)
+        .fold(f64::MIN, f64::max);
+    let series = vec![
+        Series::new("delta_down", d_down.clone()),
+        Series::new("delta_up", d_up.clone()),
+        Series::new("eta_hi", vec![(0.0, eta_plus), (t_max, eta_plus)]),
+        Series::new("eta_lo", vec![(0.0, -eta_minus), (t_max, -eta_minus)]),
+    ];
+    println!("\n{}", ascii_plot(&series, 72, 18));
+    let path = write_csv(name, "T_ps", "D_ps", &series);
+    println!("CSV written to {}", path.display());
+
+    // headline shape: clearly one-sided cloud
+    let all: Vec<f64> = d_up.iter().chain(&d_down).map(|p| p.1).collect();
+    let mean = all.iter().sum::<f64>() / all.len() as f64;
+    if expect_negative {
+        assert!(mean < -0.1, "expected negative deviations, mean = {mean}");
+        println!("shape check passed: mean D = {mean:.3} ps < 0 (faster circuit)");
+    } else {
+        assert!(mean > 0.1, "expected positive deviations, mean = {mean}");
+        println!("shape check passed: mean D = {mean:.3} ps > 0 (slower circuit)");
+    }
+    Ok(())
+}

@@ -1,0 +1,196 @@
+use std::fmt;
+
+/// Errors detected while constructing or validating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// Two nodes were given the same name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A node id did not belong to this builder/circuit.
+    UnknownNode {
+        /// The offending id (raw index).
+        index: usize,
+    },
+    /// A connection targeted a pin beyond the gate's input count.
+    PinOutOfRange {
+        /// Target node name.
+        node: String,
+        /// The offending pin.
+        pin: usize,
+        /// Number of pins the node actually has.
+        arity: usize,
+    },
+    /// A gate input pin or output port is driven by two connections.
+    PinAlreadyDriven {
+        /// Target node name.
+        node: String,
+        /// The doubly driven pin.
+        pin: usize,
+    },
+    /// A gate input pin or output port has no driver.
+    UnconnectedPin {
+        /// Target node name.
+        node: String,
+        /// The dangling pin.
+        pin: usize,
+    },
+    /// A direct (zero-delay) connection was used between two gates;
+    /// gates and channels must alternate (Section II of the paper).
+    DirectBetweenGates {
+        /// Source gate name.
+        from: String,
+        /// Target gate name.
+        to: String,
+    },
+    /// A connection started at an output port or ended at an input port.
+    WrongPortDirection {
+        /// The port's name.
+        name: String,
+    },
+    /// A gate was declared with an arity its kind does not support.
+    BadArity {
+        /// The gate's name.
+        name: String,
+        /// The declared input count.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::DuplicateName { name } => write!(f, "duplicate node name {name:?}"),
+            CircuitError::UnknownNode { index } => write!(f, "unknown node id {index}"),
+            CircuitError::PinOutOfRange { node, pin, arity } => {
+                write!(f, "pin {pin} out of range for {node:?} with {arity} pins")
+            }
+            CircuitError::PinAlreadyDriven { node, pin } => {
+                write!(f, "pin {pin} of {node:?} is driven twice")
+            }
+            CircuitError::UnconnectedPin { node, pin } => {
+                write!(f, "pin {pin} of {node:?} has no driver")
+            }
+            CircuitError::DirectBetweenGates { from, to } => write!(
+                f,
+                "direct connection between gates {from:?} and {to:?}: gates and channels must alternate"
+            ),
+            CircuitError::WrongPortDirection { name } => {
+                write!(f, "port {name:?} used against its direction")
+            }
+            CircuitError::BadArity { name, arity } => {
+                write!(f, "gate {name:?} cannot have {arity} inputs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No port with the given name exists.
+    UnknownPort {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An input signal violates condition S1 (transitions before time 0).
+    InputViolatesS1 {
+        /// The input port's name.
+        name: String,
+    },
+    /// A channel scheduled an output transition at or before the current
+    /// simulation time, or cancelled an already delivered one. The
+    /// mathematical channel function is non-causal at this point (e.g.
+    /// η⁻ too large), so event-driven simulation cannot proceed.
+    CausalityViolation {
+        /// Simulation time at which the violation occurred.
+        time: f64,
+        /// The offending edge (for diagnosis).
+        edge: usize,
+    },
+    /// The event budget was exhausted (oscillation guard).
+    MaxEventsExceeded {
+        /// The configured budget.
+        budget: usize,
+        /// Simulation time reached when the budget ran out.
+        time: f64,
+    },
+    /// A node name did not resolve when querying results.
+    UnknownNode {
+        /// The name that failed to resolve.
+        name: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownPort { name } => write!(f, "unknown input port {name:?}"),
+            SimError::InputViolatesS1 { name } => write!(
+                f,
+                "input signal on {name:?} has transitions before time 0 (condition S1)"
+            ),
+            SimError::CausalityViolation { time, edge } => write!(
+                f,
+                "causality violation on edge {edge} at time {time}: channel output would land in the past"
+            ),
+            SimError::MaxEventsExceeded { budget, time } => {
+                write!(f, "event budget of {budget} exhausted at time {time}")
+            }
+            SimError::UnknownNode { name } => write!(f, "unknown node {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let errs: Vec<Box<dyn std::error::Error>> = vec![
+            Box::new(CircuitError::DuplicateName { name: "x".into() }),
+            Box::new(CircuitError::UnknownNode { index: 3 }),
+            Box::new(CircuitError::PinOutOfRange {
+                node: "g".into(),
+                pin: 2,
+                arity: 2,
+            }),
+            Box::new(CircuitError::PinAlreadyDriven {
+                node: "g".into(),
+                pin: 0,
+            }),
+            Box::new(CircuitError::UnconnectedPin {
+                node: "g".into(),
+                pin: 1,
+            }),
+            Box::new(CircuitError::DirectBetweenGates {
+                from: "a".into(),
+                to: "b".into(),
+            }),
+            Box::new(CircuitError::WrongPortDirection { name: "o".into() }),
+            Box::new(CircuitError::BadArity {
+                name: "n".into(),
+                arity: 0,
+            }),
+            Box::new(SimError::UnknownPort { name: "i".into() }),
+            Box::new(SimError::InputViolatesS1 { name: "i".into() }),
+            Box::new(SimError::CausalityViolation { time: 1.0, edge: 0 }),
+            Box::new(SimError::MaxEventsExceeded {
+                budget: 10,
+                time: 5.0,
+            }),
+            Box::new(SimError::UnknownNode { name: "g".into() }),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Zero-time Boolean gates.
+
+use ivl_core::Bit;
+
+/// A lookup table over `inputs` binary inputs (input 0 is the least
+/// significant index bit).
+///
+/// ```
+/// use ivl_circuit::TruthTable;
+/// use ivl_core::Bit;
+/// // a 2-input multiplexer-ish table: out = in0 AND NOT in1
+/// let tt = TruthTable::new(2, vec![Bit::Zero, Bit::One, Bit::Zero, Bit::Zero]).unwrap();
+/// assert_eq!(tt.eval(&[Bit::One, Bit::Zero]), Bit::One);
+/// assert_eq!(tt.eval(&[Bit::One, Bit::One]), Bit::Zero);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TruthTable {
+    inputs: usize,
+    rows: Vec<Bit>,
+}
+
+impl TruthTable {
+    /// Creates a truth table for `inputs` inputs from `2^inputs` rows.
+    ///
+    /// Returns `None` if `rows.len() != 2^inputs` or `inputs == 0` or
+    /// `inputs > 16`.
+    #[must_use]
+    pub fn new(inputs: usize, rows: Vec<Bit>) -> Option<Self> {
+        if inputs == 0 || inputs > 16 || rows.len() != 1 << inputs {
+            return None;
+        }
+        Some(TruthTable { inputs, rows })
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Evaluates the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.inputs()`.
+    #[must_use]
+    pub fn eval(&self, values: &[Bit]) -> Bit {
+        assert_eq!(values.len(), self.inputs, "truth table arity mismatch");
+        let mut idx = 0usize;
+        for (bit, v) in values.iter().enumerate() {
+            if v.is_one() {
+                idx |= 1 << bit;
+            }
+        }
+        self.rows[idx]
+    }
+}
+
+/// The Boolean function of a gate.
+///
+/// `And`/`Or`/`Nand`/`Nor`/`Xor`/`Xnor` accept any arity ≥ 1; `Buf` and
+/// `Not` are unary; `Table` fixes its own arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GateKind {
+    /// Identity.
+    Buf,
+    /// Negation.
+    Not,
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Parity.
+    Xor,
+    /// Negated parity.
+    Xnor,
+    /// Arbitrary lookup table.
+    Table(TruthTable),
+}
+
+impl GateKind {
+    /// Default arity for the kind: 1 for `Buf`/`Not`, the table's arity
+    /// for `Table`, 2 otherwise.
+    #[must_use]
+    pub fn default_arity(&self) -> usize {
+        match self {
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::Table(t) => t.inputs(),
+            _ => 2,
+        }
+    }
+
+    /// `true` if the kind supports the given input count.
+    #[must_use]
+    pub fn supports_arity(&self, arity: usize) -> bool {
+        match self {
+            GateKind::Buf | GateKind::Not => arity == 1,
+            GateKind::Table(t) => arity == t.inputs(),
+            _ => arity >= 1,
+        }
+    }
+
+    /// Evaluates the Boolean function on `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity is unsupported (validated at circuit build
+    /// time, so simulation never panics here).
+    #[must_use]
+    pub fn eval(&self, values: &[Bit]) -> Bit {
+        debug_assert!(self.supports_arity(values.len()));
+        match self {
+            GateKind::Buf => values[0],
+            GateKind::Not => !values[0],
+            GateKind::And => Bit::from(values.iter().all(|v| v.is_one())),
+            GateKind::Or => Bit::from(values.iter().any(|v| v.is_one())),
+            GateKind::Nand => !Bit::from(values.iter().all(|v| v.is_one())),
+            GateKind::Nor => !Bit::from(values.iter().any(|v| v.is_one())),
+            GateKind::Xor => Bit::from(values.iter().filter(|v| v.is_one()).count() % 2 == 1),
+            GateKind::Xnor => Bit::from(values.iter().filter(|v| v.is_one()).count() % 2 == 0),
+            GateKind::Table(t) => t.eval(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Bit::{One, Zero};
+
+    #[test]
+    fn standard_gates_two_inputs() {
+        let cases = [
+            (GateKind::And, [Zero, Zero, Zero, One]),
+            (GateKind::Or, [Zero, One, One, One]),
+            (GateKind::Nand, [One, One, One, Zero]),
+            (GateKind::Nor, [One, Zero, Zero, Zero]),
+            (GateKind::Xor, [Zero, One, One, Zero]),
+            (GateKind::Xnor, [One, Zero, Zero, One]),
+        ];
+        for (kind, expect) in cases {
+            for (i, want) in expect.iter().enumerate() {
+                let a = Bit::from(i & 1 == 1);
+                let b = Bit::from(i & 2 == 2);
+                assert_eq!(kind.eval(&[a, b]), *want, "{kind:?} on ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_gates() {
+        assert_eq!(GateKind::Buf.eval(&[One]), One);
+        assert_eq!(GateKind::Buf.eval(&[Zero]), Zero);
+        assert_eq!(GateKind::Not.eval(&[One]), Zero);
+        assert_eq!(GateKind::Not.eval(&[Zero]), One);
+    }
+
+    #[test]
+    fn multi_input_gates() {
+        assert_eq!(GateKind::Or.eval(&[Zero, Zero, One]), One);
+        assert_eq!(GateKind::And.eval(&[One, One, Zero]), Zero);
+        assert_eq!(GateKind::Xor.eval(&[One, One, One]), One);
+        assert_eq!(GateKind::Xnor.eval(&[One, One, One]), Zero);
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert_eq!(GateKind::Not.default_arity(), 1);
+        assert_eq!(GateKind::Or.default_arity(), 2);
+        assert!(GateKind::Or.supports_arity(5));
+        assert!(!GateKind::Or.supports_arity(0));
+        assert!(!GateKind::Buf.supports_arity(2));
+    }
+
+    #[test]
+    fn truth_table_validation_and_eval() {
+        assert!(TruthTable::new(0, vec![]).is_none());
+        assert!(TruthTable::new(1, vec![One]).is_none());
+        assert!(TruthTable::new(17, vec![One; 1 << 17]).is_none());
+        let tt = TruthTable::new(1, vec![One, Zero]).unwrap(); // NOT
+        assert_eq!(tt.inputs(), 1);
+        assert_eq!(tt.eval(&[Zero]), One);
+        assert_eq!(tt.eval(&[One]), Zero);
+        let kind = GateKind::Table(tt);
+        assert_eq!(kind.default_arity(), 1);
+        assert!(kind.supports_arity(1));
+        assert!(!kind.supports_arity(2));
+        assert_eq!(kind.eval(&[Zero]), One);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn truth_table_panics_on_wrong_arity() {
+        let tt = TruthTable::new(1, vec![One, Zero]).unwrap();
+        let _ = tt.eval(&[One, Zero]);
+    }
+}

@@ -1,0 +1,563 @@
+//! Circuit graphs: ports, gates and channel edges.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ivl_core::channel::OnlineChannel;
+use ivl_core::Bit;
+
+use crate::error::CircuitError;
+use crate::gate::GateKind;
+
+/// Identifier of a circuit node (input port, output port or gate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The raw index of the node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a circuit edge (a channel or a direct port connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// The raw index of the edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a node is.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NodeKind {
+    /// An input port: a source whose signal the test bench provides.
+    Input,
+    /// An output port: a sink with a single implicit pin.
+    Output,
+    /// A zero-time Boolean gate with an initial output value.
+    Gate {
+        /// The Boolean function.
+        kind: GateKind,
+        /// Number of input pins.
+        arity: usize,
+        /// Output value "until time 0" (the paper's initial value).
+        initial: Bit,
+    },
+}
+
+pub(crate) struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+}
+
+pub(crate) enum Connection {
+    /// Zero-delay port connection (the paper's port channels).
+    Direct,
+    /// A single-history channel.
+    Channel(Box<dyn OnlineChannel>),
+}
+
+pub(crate) struct Edge {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    pub(crate) pin: usize,
+    pub(crate) conn: Connection,
+}
+
+/// Incremental circuit constructor.
+///
+/// Nodes are created with [`input`](CircuitBuilder::input),
+/// [`output`](CircuitBuilder::output) and [`gate`](CircuitBuilder::gate);
+/// connections with [`connect`](CircuitBuilder::connect) (through a
+/// channel) or [`connect_direct`](CircuitBuilder::connect_direct)
+/// (zero-delay, only next to ports). [`build`](CircuitBuilder::build)
+/// validates the paper's well-formedness rules: every gate input pin and
+/// output port is driven by exactly one connection, and gates and
+/// channels alternate.
+pub struct CircuitBuilder {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    names: HashMap<String, NodeId>,
+    deferred_error: Option<CircuitError>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        CircuitBuilder {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            names: HashMap::new(),
+            deferred_error: None,
+        }
+    }
+
+    fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        if self.names.insert(name.to_owned(), id).is_some() && self.deferred_error.is_none() {
+            self.deferred_error = Some(CircuitError::DuplicateName {
+                name: name.to_owned(),
+            });
+        }
+        self.nodes.push(Node {
+            name: name.to_owned(),
+            kind,
+        });
+        id
+    }
+
+    /// Adds an input port.
+    pub fn input(&mut self, name: &str) -> NodeId {
+        self.add_node(name, NodeKind::Input)
+    }
+
+    /// Adds an output port.
+    pub fn output(&mut self, name: &str) -> NodeId {
+        self.add_node(name, NodeKind::Output)
+    }
+
+    /// Adds a gate with the kind's default arity.
+    pub fn gate(&mut self, name: &str, kind: GateKind, initial: Bit) -> NodeId {
+        let arity = kind.default_arity();
+        self.gate_with_arity(name, kind, initial, arity)
+    }
+
+    /// Adds a gate with an explicit input count.
+    pub fn gate_with_arity(
+        &mut self,
+        name: &str,
+        kind: GateKind,
+        initial: Bit,
+        arity: usize,
+    ) -> NodeId {
+        if !kind.supports_arity(arity) && self.deferred_error.is_none() {
+            self.deferred_error = Some(CircuitError::BadArity {
+                name: name.to_owned(),
+                arity,
+            });
+        }
+        self.add_node(
+            name,
+            NodeKind::Gate {
+                kind,
+                arity,
+                initial,
+            },
+        )
+    }
+
+    fn check_endpoints(&self, from: NodeId, to: NodeId, pin: usize) -> Result<(), CircuitError> {
+        let from_node = self
+            .nodes
+            .get(from.0)
+            .ok_or(CircuitError::UnknownNode { index: from.0 })?;
+        let to_node = self
+            .nodes
+            .get(to.0)
+            .ok_or(CircuitError::UnknownNode { index: to.0 })?;
+        if matches!(from_node.kind, NodeKind::Output) {
+            return Err(CircuitError::WrongPortDirection {
+                name: from_node.name.clone(),
+            });
+        }
+        if matches!(to_node.kind, NodeKind::Input) {
+            return Err(CircuitError::WrongPortDirection {
+                name: to_node.name.clone(),
+            });
+        }
+        let arity = match &to_node.kind {
+            NodeKind::Gate { arity, .. } => *arity,
+            NodeKind::Output => 1,
+            NodeKind::Input => unreachable!("rejected above"),
+        };
+        if pin >= arity {
+            return Err(CircuitError::PinOutOfRange {
+                node: to_node.name.clone(),
+                pin,
+                arity,
+            });
+        }
+        if self.edges.iter().any(|e| e.to == to && e.pin == pin) {
+            return Err(CircuitError::PinAlreadyDriven {
+                node: to_node.name.clone(),
+                pin,
+            });
+        }
+        Ok(())
+    }
+
+    /// Connects `from` to pin `pin` of `to` through `channel`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown nodes, out-of-range or doubly driven
+    /// pins, or connections against port direction.
+    pub fn connect<C>(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        pin: usize,
+        channel: C,
+    ) -> Result<EdgeId, CircuitError>
+    where
+        C: OnlineChannel + 'static,
+    {
+        self.check_endpoints(from, to, pin)?;
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            pin,
+            conn: Connection::Channel(Box::new(channel)),
+        });
+        Ok(id)
+    }
+
+    /// Connects `from` to pin `pin` of `to` with zero delay. At least one
+    /// endpoint must be a port (gates and channels must alternate).
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](CircuitBuilder::connect), plus
+    /// [`CircuitError::DirectBetweenGates`] if both endpoints are gates.
+    pub fn connect_direct(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        pin: usize,
+    ) -> Result<EdgeId, CircuitError> {
+        self.check_endpoints(from, to, pin)?;
+        let from_is_gate = matches!(self.nodes[from.0].kind, NodeKind::Gate { .. });
+        let to_is_gate = matches!(self.nodes[to.0].kind, NodeKind::Gate { .. });
+        if from_is_gate && to_is_gate {
+            return Err(CircuitError::DirectBetweenGates {
+                from: self.nodes[from.0].name.clone(),
+                to: self.nodes[to.0].name.clone(),
+            });
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            from,
+            to,
+            pin,
+            conn: Connection::Direct,
+        });
+        Ok(id)
+    }
+
+    /// Validates and finalizes the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first well-formedness violation: duplicate names, bad
+    /// gate arities, or unconnected gate pins / output ports.
+    pub fn build(self) -> Result<Circuit, CircuitError> {
+        if let Some(err) = self.deferred_error {
+            return Err(err);
+        }
+        // every gate pin and output port must be driven (exactly once —
+        // double driving was rejected at connect time)
+        for (i, node) in self.nodes.iter().enumerate() {
+            let arity = match &node.kind {
+                NodeKind::Gate { arity, .. } => *arity,
+                NodeKind::Output => 1,
+                NodeKind::Input => continue,
+            };
+            for pin in 0..arity {
+                if !self.edges.iter().any(|e| e.to == NodeId(i) && e.pin == pin) {
+                    return Err(CircuitError::UnconnectedPin {
+                        node: node.name.clone(),
+                        pin,
+                    });
+                }
+            }
+        }
+        let mut outgoing = vec![Vec::new(); self.nodes.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            outgoing[e.from.0].push(EdgeId(i));
+        }
+        Ok(Circuit {
+            nodes: self.nodes,
+            edges: self.edges,
+            outgoing,
+            names: self.names,
+        })
+    }
+}
+
+impl Default for CircuitBuilder {
+    fn default() -> Self {
+        CircuitBuilder::new()
+    }
+}
+
+impl fmt::Debug for CircuitBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CircuitBuilder")
+            .field("nodes", &self.nodes.len())
+            .field("edges", &self.edges.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A validated circuit, ready to simulate.
+pub struct Circuit {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) outgoing: Vec<Vec<EdgeId>>,
+    pub(crate) names: HashMap<String, NodeId>,
+}
+
+impl Circuit {
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.names.get(name).copied()
+    }
+
+    /// The node's name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[must_use]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// The node's kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[must_use]
+    pub fn node_kind(&self, id: NodeId) -> &NodeKind {
+        &self.nodes[id.0].kind
+    }
+
+    /// Names of all input ports, in creation order.
+    #[must_use]
+    pub fn input_names(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Input))
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    /// Names of all output ports, in creation order.
+    #[must_use]
+    pub fn output_names(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Output))
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    /// Source, target and pin of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    #[must_use]
+    pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId, usize) {
+        let e = &self.edges[id.0];
+        (e.from, e.to, e.pin)
+    }
+}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Circuit")
+            .field("nodes", &self.nodes.len())
+            .field("edges", &self.edges.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_core::channel::PureDelay;
+
+    fn delay() -> PureDelay {
+        PureDelay::new(1.0).unwrap()
+    }
+
+    #[test]
+    fn builds_simple_pipeline() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(g, y, 0, delay()).unwrap();
+        let c = b.build().unwrap();
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.edge_count(), 2);
+        assert_eq!(c.node("inv"), Some(g));
+        assert_eq!(c.node_name(g), "inv");
+        assert_eq!(c.input_names(), vec!["a"]);
+        assert_eq!(c.output_names(), vec!["y"]);
+        assert!(matches!(c.node_kind(g), NodeKind::Gate { .. }));
+        assert_eq!(c.edge_endpoints(EdgeId(0)), (a, g, 0));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = CircuitBuilder::new();
+        b.input("x");
+        b.output("x");
+        assert!(matches!(b.build(), Err(CircuitError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = CircuitBuilder::new();
+        b.gate_with_arity("n", GateKind::Not, Bit::Zero, 2);
+        assert!(matches!(b.build(), Err(CircuitError::BadArity { .. })));
+    }
+
+    #[test]
+    fn unconnected_pin_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("and", GateKind::And, Bit::Zero); // 2 pins
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(g, y, 0, delay()).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(CircuitError::UnconnectedPin { pin: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn unconnected_output_rejected() {
+        let mut b = CircuitBuilder::new();
+        b.input("a");
+        b.output("y");
+        assert!(matches!(
+            b.build(),
+            Err(CircuitError::UnconnectedPin { .. })
+        ));
+    }
+
+    #[test]
+    fn double_driver_rejected_immediately() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let c = b.input("c");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        b.connect_direct(a, g, 0).unwrap();
+        assert!(matches!(
+            b.connect_direct(c, g, 0),
+            Err(CircuitError::PinAlreadyDriven { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_out_of_range_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        assert!(matches!(
+            b.connect_direct(a, g, 1),
+            Err(CircuitError::PinOutOfRange { .. })
+        ));
+        let y = b.output("y");
+        assert!(matches!(
+            b.connect(g, y, 1, delay()),
+            Err(CircuitError::PinOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn direct_between_gates_rejected() {
+        let mut b = CircuitBuilder::new();
+        let g1 = b.gate("g1", GateKind::Not, Bit::One);
+        let g2 = b.gate("g2", GateKind::Not, Bit::Zero);
+        assert!(matches!(
+            b.connect_direct(g1, g2, 0),
+            Err(CircuitError::DirectBetweenGates { .. })
+        ));
+        // but a channel between gates is fine
+        assert!(b.connect(g1, g2, 0, delay()).is_ok());
+    }
+
+    #[test]
+    fn port_direction_enforced() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        assert!(matches!(
+            b.connect(y, g, 0, delay()),
+            Err(CircuitError::WrongPortDirection { .. })
+        ));
+        assert!(matches!(
+            b.connect(g, a, 0, delay()),
+            Err(CircuitError::WrongPortDirection { .. })
+        ));
+        // port-to-port direct wire-through is allowed
+        assert!(b.connect_direct(a, y, 0).is_ok());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let ghost = NodeId(99);
+        assert!(matches!(
+            b.connect_direct(a, ghost, 0),
+            Err(CircuitError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn feedback_loop_is_legal() {
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, delay()).unwrap(); // feedback
+        b.connect(or, y, 0, delay()).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn debug_impls() {
+        let b = CircuitBuilder::new();
+        assert!(!format!("{b:?}").is_empty());
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let c = b.build().unwrap();
+        assert!(!format!("{c:?}").is_empty());
+        assert_eq!(NodeId(3).index(), 3);
+        assert_eq!(EdgeId(2).index(), 2);
+    }
+}

@@ -1,0 +1,806 @@
+//! The event-driven simulator.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use ivl_core::channel::FeedEffect;
+use ivl_core::{Bit, Signal, SignalBuilder, Transition};
+
+use crate::error::SimError;
+use crate::graph::{Circuit, Connection, EdgeId, NodeId, NodeKind};
+
+/// Heap key ordering events by time, then by creation sequence (so causes
+/// precede effects at equal times and runs are deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapKey {
+    time: f64,
+    seq: usize,
+}
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+struct Event {
+    time: f64,
+    edge: usize,
+    value: Bit,
+    valid: bool,
+    delivered: bool,
+}
+
+/// Event-driven simulator over a [`Circuit`].
+///
+/// Owns the circuit (and hence the channels' adversary/noise state).
+/// Typical use: [`set_input`](Simulator::set_input) for every input port,
+/// then [`run`](Simulator::run). Re-running resets channel history but
+/// deliberately *not* noise RNG streams, so repeated runs explore fresh
+/// adversary choices.
+pub struct Simulator {
+    circuit: Circuit,
+    inputs: Vec<Signal>,
+    max_events: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator; all inputs default to the zero signal.
+    #[must_use]
+    pub fn new(circuit: Circuit) -> Self {
+        let inputs = vec![Signal::zero(); circuit.node_count()];
+        Simulator {
+            circuit,
+            inputs,
+            max_events: 10_000_000,
+        }
+    }
+
+    /// Caps the number of processed events per run (guards against
+    /// unbounded oscillation; default 10 million).
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: usize) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The circuit under simulation.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Assigns the signal of an input port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPort`] if `name` is not an input port
+    /// and [`SimError::InputViolatesS1`] if the signal has transitions
+    /// before time 0.
+    pub fn set_input(&mut self, name: &str, signal: Signal) -> Result<(), SimError> {
+        let id = self
+            .circuit
+            .node(name)
+            .filter(|id| matches!(self.circuit.node_kind(*id), NodeKind::Input))
+            .ok_or_else(|| SimError::UnknownPort {
+                name: name.to_owned(),
+            })?;
+        if !signal.satisfies_s1() {
+            return Err(SimError::InputViolatesS1 {
+                name: name.to_owned(),
+            });
+        }
+        self.inputs[id.index()] = signal;
+        Ok(())
+    }
+
+    /// Runs the simulation up to and including time `horizon`.
+    ///
+    /// Events scheduled after the horizon are discarded; an oscillating
+    /// circuit simply yields signals truncated at the horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CausalityViolation`] if a channel's output
+    /// would land in the simulation's past (adversary bounds too large
+    /// for event-driven evaluation) and [`SimError::MaxEventsExceeded`]
+    /// if the event budget runs out before the horizon.
+    pub fn run(&mut self, horizon: f64) -> Result<SimResult, SimError> {
+        let n_nodes = self.circuit.node_count();
+        let n_edges = self.circuit.edge_count();
+
+        // reset channel history
+        for e in &mut self.circuit.edges {
+            if let Connection::Channel(ch) = &mut e.conn {
+                ch.reset();
+            }
+        }
+
+        // node state
+        let mut node_initial = vec![Bit::Zero; n_nodes];
+        for i in 0..n_nodes {
+            node_initial[i] = match self.circuit.node_kind(NodeId(i)) {
+                NodeKind::Input => self.inputs[i].initial(),
+                NodeKind::Gate { initial, .. } => *initial,
+                // output ports inherit their (unique) driver's initial
+                NodeKind::Output => Bit::Zero, // fixed up below
+            };
+        }
+        // pin values: driver's initial value propagated (channels keep
+        // the initial value)
+        let mut pins: Vec<Vec<Bit>> = (0..n_nodes)
+            .map(|i| match self.circuit.node_kind(NodeId(i)) {
+                NodeKind::Gate { arity, .. } => vec![Bit::Zero; *arity],
+                NodeKind::Output => vec![Bit::Zero; 1],
+                NodeKind::Input => Vec::new(),
+            })
+            .collect();
+        for e in &self.circuit.edges {
+            pins[e.to.index()][e.pin] = node_initial[e.from.index()];
+        }
+        for i in 0..n_nodes {
+            if matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Output) {
+                node_initial[i] = pins[i][0];
+            }
+        }
+
+        let mut out_value = node_initial.clone();
+        let mut node_rec: Vec<SignalBuilder> = node_initial
+            .iter()
+            .map(|&v| SignalBuilder::new(v))
+            .collect();
+        let mut edge_rec: Vec<SignalBuilder> = self
+            .circuit
+            .edges
+            .iter()
+            .map(|e| SignalBuilder::new(node_initial[e.from.index()]))
+            .collect();
+
+        // event machinery
+        let mut events: Vec<Event> = Vec::new();
+        let mut heap: BinaryHeap<Reverse<HeapKey>> = BinaryHeap::new();
+        let mut edge_pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_edges];
+
+        // `schedule` and `feed_edge` as closures over the state would
+        // fight the borrow checker; use small fns taking explicit state.
+        struct Queue<'a> {
+            events: &'a mut Vec<Event>,
+            heap: &'a mut BinaryHeap<Reverse<HeapKey>>,
+            edge_pending: &'a mut Vec<VecDeque<usize>>,
+        }
+        impl Queue<'_> {
+            fn schedule(&mut self, edge: usize, tr: Transition) {
+                let id = self.events.len();
+                self.events.push(Event {
+                    time: tr.time,
+                    edge,
+                    value: tr.value,
+                    valid: true,
+                    delivered: false,
+                });
+                self.heap.push(Reverse(HeapKey {
+                    time: tr.time,
+                    seq: id,
+                }));
+                self.edge_pending[edge].push_back(id);
+            }
+
+            /// Applies a channel feed effect for `edge`; `now` is the
+            /// current simulation time (`None` during pre-scheduling of
+            /// input-port signals, when causality cannot be violated).
+            fn apply(
+                &mut self,
+                edge: usize,
+                effect: FeedEffect,
+                now: Option<f64>,
+            ) -> Result<(), SimError> {
+                match effect {
+                    FeedEffect::Scheduled(tr) => {
+                        if let Some(now) = now {
+                            if tr.time <= now {
+                                return Err(SimError::CausalityViolation { time: now, edge });
+                            }
+                        }
+                        self.schedule(edge, tr);
+                        Ok(())
+                    }
+                    FeedEffect::CancelledPair { cancelled } => {
+                        let id = self.edge_pending[edge].pop_back().ok_or(
+                            SimError::CausalityViolation {
+                                time: now.unwrap_or(cancelled.time),
+                                edge,
+                            },
+                        )?;
+                        let ev = &mut self.events[id];
+                        debug_assert_eq!(ev.time, cancelled.time);
+                        if ev.delivered {
+                            return Err(SimError::CausalityViolation {
+                                time: now.unwrap_or(cancelled.time),
+                                edge,
+                            });
+                        }
+                        ev.valid = false;
+                        Ok(())
+                    }
+                    FeedEffect::Dropped => Ok(()),
+                }
+            }
+        }
+
+        let mut queue = Queue {
+            events: &mut events,
+            heap: &mut heap,
+            edge_pending: &mut edge_pending,
+        };
+
+        // Pre-schedule all input-port signals. A channel driven by an
+        // input port sees exactly that port's transitions, so feeding
+        // them all upfront is equivalent to feeding them in global time
+        // order.
+        for i in 0..n_nodes {
+            if !matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Input) {
+                continue;
+            }
+            let signal = self.inputs[i].clone();
+            for eid in self.circuit.outgoing[i].clone() {
+                let edge = &mut self.circuit.edges[eid.index()];
+                match &mut edge.conn {
+                    Connection::Direct => {
+                        for tr in &signal {
+                            queue.schedule(eid.index(), *tr);
+                        }
+                    }
+                    Connection::Channel(ch) => {
+                        for tr in &signal {
+                            let effect = ch.feed(*tr);
+                            queue.apply(eid.index(), effect, None)?;
+                        }
+                    }
+                }
+            }
+            // record the input signal itself
+            for tr in &signal {
+                node_rec[i]
+                    .push(*tr)
+                    .expect("input signal is already validated");
+            }
+        }
+
+        // main loop: process batches of equal-time events, then evaluate
+        // affected gates, then feed their output transitions onward.
+        let mut processed = 0usize;
+        let mut dirty: Vec<usize> = (0..n_nodes)
+            .filter(|&i| matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Gate { .. }))
+            .collect();
+        let mut dirty_flag = vec![false; n_nodes];
+        for &i in &dirty {
+            dirty_flag[i] = true;
+        }
+        // the initial batch runs at t = 0 to surface inconsistent gate
+        // initial values (the paper lets a gate's declared initial value
+        // disagree with its function; the mismatch appears at time 0)
+        let mut batch_time = 0.0_f64;
+
+        loop {
+            // deliver every valid event at batch_time
+            loop {
+                let Some(&Reverse(key)) = queue.heap.peek() else {
+                    break;
+                };
+                if key.time > batch_time {
+                    break;
+                }
+                queue.heap.pop();
+                let ev = &mut queue.events[key.seq];
+                if !ev.valid || ev.delivered {
+                    continue;
+                }
+                ev.delivered = true;
+                processed += 1;
+                if processed > self.max_events {
+                    return Err(SimError::MaxEventsExceeded {
+                        budget: self.max_events,
+                        time: batch_time,
+                    });
+                }
+                let edge_idx = ev.edge;
+                let (value, time) = (ev.value, ev.time);
+                // maintain the edge pending queue and channel bookkeeping
+                if let Some(&front) = queue.edge_pending[edge_idx].front() {
+                    if front == key.seq {
+                        queue.edge_pending[edge_idx].pop_front();
+                    }
+                }
+                let edge = &mut self.circuit.edges[edge_idx];
+                if let Connection::Channel(ch) = &mut edge.conn {
+                    ch.discard_delivered(time);
+                }
+                edge_rec[edge_idx]
+                    .push(Transition::new(time, value))
+                    .expect("channel outputs alternate and increase");
+                let to = edge.to.index();
+                let pin = edge.pin;
+                pins[to][pin] = value;
+                match self.circuit.node_kind(NodeId(to)) {
+                    NodeKind::Gate { .. } => {
+                        if !dirty_flag[to] {
+                            dirty_flag[to] = true;
+                            dirty.push(to);
+                        }
+                    }
+                    NodeKind::Output => {
+                        if out_value[to] != value {
+                            out_value[to] = value;
+                            node_rec[to]
+                                .push(Transition::new(time, value))
+                                .expect("output port deliveries alternate");
+                        }
+                    }
+                    NodeKind::Input => unreachable!("edges cannot enter input ports"),
+                }
+            }
+
+            // evaluate dirty gates and feed their transitions
+            let batch_dirty = std::mem::take(&mut dirty);
+            for i in &batch_dirty {
+                dirty_flag[*i] = false;
+            }
+            for i in batch_dirty {
+                let NodeKind::Gate { kind, .. } = self.circuit.node_kind(NodeId(i)) else {
+                    continue;
+                };
+                let new_value = kind.eval(&pins[i]);
+                if new_value == out_value[i] {
+                    continue;
+                }
+                out_value[i] = new_value;
+                let tr = Transition::new(batch_time, new_value);
+                node_rec[i]
+                    .push(tr)
+                    .expect("gate output changes strictly after its previous change");
+                for eid in self.circuit.outgoing[i].clone() {
+                    let edge = &mut self.circuit.edges[eid.index()];
+                    match &mut edge.conn {
+                        Connection::Direct => queue.schedule(eid.index(), tr),
+                        Connection::Channel(ch) => {
+                            let effect = ch.feed(tr);
+                            queue.apply(eid.index(), effect, Some(batch_time))?;
+                        }
+                    }
+                }
+            }
+
+            // next batch: earliest remaining valid event
+            let next = loop {
+                match queue.heap.peek() {
+                    None => break None,
+                    Some(&Reverse(key)) => {
+                        if queue.events[key.seq].valid && !queue.events[key.seq].delivered {
+                            break Some(key.time);
+                        }
+                        queue.heap.pop();
+                    }
+                }
+            };
+            match next {
+                Some(t) if t <= horizon => {
+                    if t > batch_time {
+                        batch_time = t;
+                    }
+                    // equal time: keep batching at the same time (newly
+                    // scheduled same-time direct deliveries)
+                }
+                _ => break,
+            }
+        }
+
+        let node_signals: Vec<Signal> = node_rec.into_iter().map(SignalBuilder::finish).collect();
+        let edge_signals: Vec<Signal> = edge_rec.into_iter().map(SignalBuilder::finish).collect();
+        Ok(SimResult {
+            names: self.circuit.names.clone(),
+            node_signals,
+            edge_signals,
+            horizon,
+            processed_events: processed,
+        })
+    }
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("circuit", &self.circuit)
+            .field("max_events", &self.max_events)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The recorded signals of a completed run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    names: HashMap<String, NodeId>,
+    node_signals: Vec<Signal>,
+    edge_signals: Vec<Signal>,
+    horizon: f64,
+    processed_events: usize,
+}
+
+impl SimResult {
+    /// The signal at the named node (input port, gate output, or output
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if the name does not resolve.
+    pub fn signal(&self, name: &str) -> Result<&Signal, SimError> {
+        self.names
+            .get(name)
+            .map(|id| &self.node_signals[id.index()])
+            .ok_or_else(|| SimError::UnknownNode {
+                name: name.to_owned(),
+            })
+    }
+
+    /// The signal at a node id.
+    #[must_use]
+    pub fn node_signal(&self, id: NodeId) -> &Signal {
+        &self.node_signals[id.index()]
+    }
+
+    /// The signal delivered at the *output* of an edge's channel.
+    #[must_use]
+    pub fn edge_signal(&self, id: EdgeId) -> &Signal {
+        &self.edge_signals[id.index()]
+    }
+
+    /// The simulation horizon this run used.
+    #[must_use]
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    /// Number of events processed.
+    #[must_use]
+    pub fn processed_events(&self) -> usize {
+        self.processed_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::graph::CircuitBuilder;
+    use ivl_core::channel::{Channel, InvolutionChannel, PureDelay};
+    use ivl_core::delay::ExpChannel;
+
+    fn pure(d: f64) -> PureDelay {
+        PureDelay::new(d).unwrap()
+    }
+
+    #[test]
+    fn wire_through() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        let s = Signal::pulse(1.0, 2.0).unwrap();
+        sim.set_input("a", s.clone()).unwrap();
+        let run = sim.run(10.0).unwrap();
+        assert_eq!(run.signal("y").unwrap(), &s);
+        assert_eq!(run.signal("a").unwrap(), &s);
+        assert_eq!(run.processed_events(), 2);
+    }
+
+    #[test]
+    fn inverter_with_pure_delay() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(g, y, 0, pure(1.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(1.0, 2.0).unwrap())
+            .unwrap();
+        let run = sim.run(10.0).unwrap();
+        let y_sig = run.signal("y").unwrap();
+        assert_eq!(y_sig.initial(), Bit::One);
+        // input rises at 1 → inv falls at 1 → y falls at 2.5
+        assert!(y_sig.approx_eq(
+            &Signal::new(
+                Bit::One,
+                vec![
+                    Transition::new(2.5, Bit::Zero),
+                    Transition::new(4.5, Bit::One)
+                ]
+            )
+            .unwrap(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn set_input_validation() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        assert!(matches!(
+            sim.set_input("nope", Signal::zero()),
+            Err(SimError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            sim.set_input("y", Signal::zero()),
+            Err(SimError::UnknownPort { .. })
+        ));
+        assert!(matches!(
+            sim.set_input("a", Signal::pulse(-1.0, 0.5).unwrap()),
+            Err(SimError::InputViolatesS1 { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_initial_value_fires_at_zero() {
+        // NOT gate with initial 0 and input initial 0 → function value 1,
+        // so the output must transition to 1 at t = 0
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(g, y, 0, pure(1.0)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        let run = sim.run(10.0).unwrap();
+        let g_sig = run.signal("inv").unwrap();
+        assert_eq!(g_sig.transitions(), &[Transition::new(0.0, Bit::One)]);
+        let y_sig = run.signal("y").unwrap();
+        assert_eq!(y_sig.transitions(), &[Transition::new(1.0, Bit::One)]);
+    }
+
+    #[test]
+    fn two_gate_pipeline_matches_batch_channels() {
+        // circuit: a -> inv1 -(involution)-> inv2 -(involution)-> y
+        // must equal applying the channels in sequence with gate logic
+        let d = ExpChannel::new(1.0, 0.5, 0.45).unwrap();
+        let input = Signal::pulse_train([(0.0, 3.0), (5.0, 1.2), (8.0, 0.9)]).unwrap();
+
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g1 = b.gate("inv1", GateKind::Not, Bit::One);
+        let g2 = b.gate("inv2", GateKind::Not, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(a, g1, 0).unwrap();
+        b.connect(g1, g2, 0, InvolutionChannel::new(d.clone()))
+            .unwrap();
+        b.connect(g2, y, 0, InvolutionChannel::new(d.clone()))
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", input.clone()).unwrap();
+        let run = sim.run(100.0).unwrap();
+
+        // reference: batch evaluation
+        let mut c1 = InvolutionChannel::new(d.clone());
+        let mut c2 = InvolutionChannel::new(d);
+        let ref_out = c2.apply(&c1.apply(&input.complemented()).complemented());
+        assert!(
+            run.signal("y").unwrap().approx_eq(&ref_out, 1e-9),
+            "sim: {}\nref: {}",
+            run.signal("y").unwrap(),
+            ref_out
+        );
+    }
+
+    #[test]
+    fn feedback_or_latches() {
+        // the storage loop of Fig. 5 with a pure-delay channel: a pulse
+        // latches the OR output to 1 forever
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, pure(1.0)).unwrap();
+        b.connect(or, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("i", Signal::pulse(0.0, 2.0).unwrap())
+            .unwrap();
+        let run = sim.run(50.0).unwrap();
+        let or_sig = run.signal("or").unwrap();
+        assert_eq!(
+            or_sig.transitions(),
+            &[Transition::new(0.0, Bit::One)],
+            "latched high: {or_sig}"
+        );
+        assert_eq!(run.signal("y").unwrap().final_value(), Bit::One);
+    }
+
+    #[test]
+    fn feedback_or_oscillates_with_short_loop_pulse() {
+        // pure-delay feedback with a pulse shorter than the loop delay
+        // produces a periodic pulse train at the OR output
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, pure(2.0)).unwrap();
+        b.connect(or, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("i", Signal::pulse(0.0, 0.5).unwrap())
+            .unwrap();
+        let run = sim.run(20.5).unwrap();
+        let or_sig = run.signal("or").unwrap();
+        // pulses at 0, 2, 4, … each 0.5 wide → 2 transitions per period
+        assert!(or_sig.len() >= 20, "oscillation expected: {or_sig}");
+        let stats = ivl_core::PulseStats::of(or_sig);
+        assert!((stats.min_period().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_events_guard_fires() {
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, pure(0.001)).unwrap();
+        b.connect(or, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).with_max_events(100);
+        sim.set_input("i", Signal::pulse(0.0, 0.0005).unwrap())
+            .unwrap();
+        assert!(matches!(
+            sim.run(1e9),
+            Err(SimError::MaxEventsExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_input_gate_and_fanout() {
+        // y = a AND b, z = NOT(a AND b), both fed from one AND gate
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let bb = b.input("b");
+        let and = b.gate("and", GateKind::And, Bit::Zero);
+        let inv = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        let z = b.output("z");
+        b.connect_direct(a, and, 0).unwrap();
+        b.connect_direct(bb, and, 1).unwrap();
+        b.connect(and, y, 0, pure(0.1)).unwrap();
+        b.connect(and, inv, 0, pure(0.1)).unwrap();
+        b.connect(inv, z, 0, pure(0.1)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(0.0, 4.0).unwrap())
+            .unwrap();
+        sim.set_input("b", Signal::pulse(2.0, 4.0).unwrap())
+            .unwrap();
+        let run = sim.run(10.0).unwrap();
+        // overlap is [2, 4)
+        assert!(run
+            .signal("y")
+            .unwrap()
+            .approx_eq(&Signal::pulse(2.1, 2.0).unwrap(), 1e-12));
+        let z_sig = run.signal("z").unwrap();
+        assert_eq!(z_sig.initial(), Bit::One);
+        assert_eq!(z_sig.value_at(3.0), Bit::Zero);
+        assert_eq!(z_sig.final_value(), Bit::One);
+    }
+
+    #[test]
+    fn edge_signals_are_recorded() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("buf", GateKind::Buf, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        let e = b.connect(g, y, 0, pure(1.0)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(0.0, 1.0).unwrap())
+            .unwrap();
+        let run = sim.run(10.0).unwrap();
+        assert!(run
+            .edge_signal(e)
+            .approx_eq(&Signal::pulse(1.0, 1.0).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn horizon_truncates() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse_train([(0.0, 1.0), (5.0, 1.0)]).unwrap())
+            .unwrap();
+        let run = sim.run(3.0).unwrap();
+        assert_eq!(run.signal("y").unwrap().len(), 2);
+        assert_eq!(run.horizon(), 3.0);
+    }
+
+    #[test]
+    fn rerun_with_different_input() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(
+            g,
+            y,
+            0,
+            InvolutionChannel::new(ExpChannel::new(1.0, 0.5, 0.5).unwrap()),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(0.0, 5.0).unwrap())
+            .unwrap();
+        let first = sim.run(20.0).unwrap();
+        sim.set_input("a", Signal::pulse(1.0, 5.0).unwrap())
+            .unwrap();
+        let second = sim.run(20.0).unwrap();
+        assert!(second
+            .signal("y")
+            .unwrap()
+            .approx_eq(&first.signal("y").unwrap().shifted(1.0), 1e-9));
+    }
+
+    #[test]
+    fn causality_violation_is_detected_not_miscomputed() {
+        // An adversary far beyond any sane bound can shift an output
+        // before an already *delivered* transition. Batch evaluation
+        // handles this (the model is non-causal there); event-driven
+        // simulation must refuse with a CausalityViolation instead of
+        // silently producing wrong waveforms.
+        use ivl_core::channel::EtaInvolutionChannel;
+        use ivl_core::noise::{EtaBounds, RecordedChoices};
+
+        let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let bounds = EtaBounds::new(10.0, 10.0).unwrap(); // no (C) here!
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("buf", GateKind::Buf, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        // first transition unshifted (delivered at ≈1.19), second shifted
+        // 9 time units early: lands at ≈ −3.3, before the committed one
+        b.connect(
+            g,
+            y,
+            0,
+            EtaInvolutionChannel::new(d, bounds, RecordedChoices::new(vec![0.0, -9.0])),
+        )
+        .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(0.0, 5.0).unwrap())
+            .unwrap();
+        assert!(matches!(
+            sim.run(100.0),
+            Err(SimError::CausalityViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn debug_impl() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let sim = Simulator::new(b.build().unwrap());
+        assert!(!format!("{sim:?}").is_empty());
+        assert_eq!(sim.circuit().node_count(), 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! Value-change-dump (VCD) export of simulation results, for viewing
+//! traces in GTKWave & friends.
+
+use std::fmt::Write as _;
+
+use ivl_core::Signal;
+
+use crate::sim::SimResult;
+
+/// Writes named signals as an IEEE-1364 VCD document.
+///
+/// Times are scaled by `time_scale` (simulation time units per VCD tick)
+/// and rounded to integer ticks; pick a scale fine enough for your
+/// shortest pulse. The `timescale` text (e.g. `"1ps"`) is emitted
+/// verbatim.
+///
+/// ```
+/// use ivl_circuit::vcd::write_vcd;
+/// use ivl_core::Signal;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let s = Signal::pulse(1.0, 2.0)?;
+/// let doc = write_vcd(&[("clk", &s)], "1ps", 0.001)?;
+/// assert!(doc.contains("$var wire 1"));
+/// assert!(doc.contains("#1000"));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns an error message if `time_scale` is not positive or more than
+/// 94 signals are given (VCD one-character identifiers).
+pub fn write_vcd(
+    signals: &[(&str, &Signal)],
+    timescale: &str,
+    time_scale: f64,
+) -> Result<String, String> {
+    if !(time_scale.is_finite() && time_scale > 0.0) {
+        return Err(format!("time_scale must be positive, got {time_scale}"));
+    }
+    if signals.len() > 94 {
+        return Err(format!(
+            "at most 94 signals supported, got {}",
+            signals.len()
+        ));
+    }
+    let ident = |i: usize| char::from(b'!' + i as u8);
+    let mut out = String::new();
+    let _ = writeln!(out, "$timescale {timescale} $end");
+    let _ = writeln!(out, "$scope module faithful $end");
+    for (i, (name, _)) in signals.iter().enumerate() {
+        let sanitized: String = name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        let _ = writeln!(out, "$var wire 1 {} {sanitized} $end", ident(i));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+    let _ = writeln!(out, "$dumpvars");
+    for (i, (_, s)) in signals.iter().enumerate() {
+        let _ = writeln!(out, "{}{}", s.initial().as_u8(), ident(i));
+    }
+    let _ = writeln!(out, "$end");
+
+    // merge all transitions in time order
+    let mut events: Vec<(i64, usize, u8)> = Vec::new();
+    for (i, (_, s)) in signals.iter().enumerate() {
+        for tr in s.transitions() {
+            let tick = (tr.time / time_scale).round() as i64;
+            events.push((tick, i, tr.value.as_u8()));
+        }
+    }
+    events.sort_unstable();
+    let mut last_tick = None;
+    for (tick, i, v) in events {
+        if last_tick != Some(tick) {
+            let _ = writeln!(out, "#{tick}");
+            last_tick = Some(tick);
+        }
+        let _ = writeln!(out, "{v}{}", ident(i));
+    }
+    Ok(out)
+}
+
+/// Convenience: dumps every named node of a [`SimResult`].
+///
+/// # Errors
+///
+/// As [`write_vcd`].
+pub fn sim_result_to_vcd(
+    result: &SimResult,
+    names: &[&str],
+    timescale: &str,
+    time_scale: f64,
+) -> Result<String, String> {
+    let mut pairs = Vec::with_capacity(names.len());
+    for &name in names {
+        let signal = result
+            .signal(name)
+            .map_err(|e| format!("unknown node {name:?}: {e}"))?;
+        pairs.push((name, signal));
+    }
+    write_vcd(&pairs, timescale, time_scale)
+}
+
+/// Parses a (single-scope, single-bit) VCD document back into named
+/// signals, inverting [`write_vcd`]: times are multiplied by
+/// `time_scale` (the same value used when writing).
+///
+/// Only the subset emitted by [`write_vcd`] is supported: one scope,
+/// 1-bit wires, scalar value changes.
+///
+/// # Errors
+///
+/// Returns a message describing the first malformed line.
+pub fn read_vcd(doc: &str, time_scale: f64) -> Result<Vec<(String, Signal)>, String> {
+    use ivl_core::{Bit, SignalBuilder};
+    use std::collections::HashMap;
+
+    if !(time_scale.is_finite() && time_scale > 0.0) {
+        return Err(format!("time_scale must be positive, got {time_scale}"));
+    }
+    let mut order: Vec<(char, String)> = Vec::new();
+    let mut initial: HashMap<char, Bit> = HashMap::new();
+    let mut changes: HashMap<char, Vec<(f64, Bit)>> = HashMap::new();
+    let mut time = 0.0_f64;
+    let mut in_dumpvars = false;
+    let mut header_done = false;
+    for line in doc.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("$var wire 1 ") {
+            let mut parts = rest.split_whitespace();
+            let ident = parts
+                .next()
+                .and_then(|x| x.chars().next())
+                .ok_or_else(|| format!("malformed $var line: {line}"))?;
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("malformed $var line: {line}"))?;
+            order.push((ident, name.to_owned()));
+            changes.insert(ident, Vec::new());
+            continue;
+        }
+        match line {
+            "$dumpvars" => {
+                in_dumpvars = true;
+                continue;
+            }
+            "$end" if in_dumpvars => {
+                in_dumpvars = false;
+                header_done = true;
+                continue;
+            }
+            "$upscope $end" | "$enddefinitions $end" => continue,
+            _ => {}
+        }
+        if line.starts_with("$timescale") || line.starts_with("$scope") {
+            continue;
+        }
+        if let Some(tick) = line.strip_prefix('#') {
+            let tick: i64 = tick
+                .parse()
+                .map_err(|_| format!("malformed timestamp: {line}"))?;
+            time = tick as f64 * time_scale;
+            continue;
+        }
+        // value change: "<0|1><ident>"
+        let mut chars = line.chars();
+        let value = match chars.next() {
+            Some('0') => Bit::Zero,
+            Some('1') => Bit::One,
+            _ => return Err(format!("unsupported value change: {line}")),
+        };
+        let ident = chars
+            .next()
+            .ok_or_else(|| format!("missing identifier: {line}"))?;
+        if in_dumpvars || !header_done {
+            initial.insert(ident, value);
+        } else {
+            changes
+                .get_mut(&ident)
+                .ok_or_else(|| format!("unknown identifier: {line}"))?
+                .push((time, value));
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for (ident, name) in order {
+        let init = initial.get(&ident).copied().unwrap_or(Bit::Zero);
+        let mut builder = SignalBuilder::new(init);
+        let mut current = init;
+        for (t, v) in changes.remove(&ident).unwrap_or_default() {
+            if v != current {
+                builder
+                    .push_time(t)
+                    .map_err(|e| format!("signal {name:?}: {e}"))?;
+                current = v;
+            }
+        }
+        out.push((name, builder.finish()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, GateKind, Simulator};
+    use ivl_core::channel::PureDelay;
+    use ivl_core::Bit;
+
+    #[test]
+    fn header_and_transitions() {
+        let a = Signal::pulse(1.0, 2.0).unwrap();
+        let b = Signal::constant(Bit::One);
+        let doc = write_vcd(&[("a", &a), ("b busy", &b)], "1ns", 0.5).unwrap();
+        assert!(doc.contains("$timescale 1ns $end"));
+        assert!(doc.contains("$var wire 1 ! a $end"));
+        assert!(doc.contains("$var wire 1 \" b_busy $end"));
+        // initial values
+        assert!(doc.contains("0!"));
+        assert!(doc.contains("1\""));
+        // transitions at ticks 2 and 6 (time/0.5)
+        assert!(doc.contains("#2\n1!"));
+        assert!(doc.contains("#6\n0!"));
+    }
+
+    #[test]
+    fn validation() {
+        let s = Signal::zero();
+        assert!(write_vcd(&[("s", &s)], "1ps", 0.0).is_err());
+        assert!(write_vcd(&[("s", &s)], "1ps", -1.0).is_err());
+        let many: Vec<(&str, &Signal)> = (0..95).map(|_| ("x", &s)).collect();
+        assert!(write_vcd(&many, "1ps", 1.0).is_err());
+    }
+
+    #[test]
+    fn simultaneous_events_share_a_timestamp() {
+        let a = Signal::pulse(1.0, 1.0).unwrap();
+        let b = Signal::pulse(1.0, 2.0).unwrap();
+        let doc = write_vcd(&[("a", &a), ("b", &b)], "1ps", 1.0).unwrap();
+        // only one "#1" header for the two simultaneous rises
+        assert_eq!(doc.matches("#1\n").count(), 1);
+    }
+
+    #[test]
+    fn from_sim_result() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(g, y, 0, PureDelay::new(1.0).unwrap()).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(0.0, 2.0).unwrap())
+            .unwrap();
+        let run = sim.run(10.0).unwrap();
+        let doc = sim_result_to_vcd(&run, &["a", "inv", "y"], "1ps", 0.001).unwrap();
+        assert!(doc.contains("$var wire 1 ! a $end"));
+        assert!(doc.contains("$var wire 1 # y $end"));
+        assert!(sim_result_to_vcd(&run, &["nope"], "1ps", 1.0).is_err());
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let a = Signal::pulse_train([(1.0, 2.0), (5.0, 0.5)]).unwrap();
+        let b = Signal::from_times(ivl_core::Bit::One, &[2.5, 7.0]).unwrap();
+        let doc = write_vcd(&[("a", &a), ("b", &b)], "1ps", 0.001).unwrap();
+        let parsed = read_vcd(&doc, 0.001).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "a");
+        assert_eq!(parsed[1].0, "b");
+        assert!(parsed[0].1.approx_eq(&a, 1e-9), "{}", parsed[0].1);
+        assert!(parsed[1].1.approx_eq(&b, 1e-9), "{}", parsed[1].1);
+    }
+
+    #[test]
+    fn read_rejects_malformed_documents() {
+        assert!(read_vcd("#notanumber", 1.0).is_err());
+        assert!(read_vcd("$var wire 1", 1.0).is_err());
+        assert!(read_vcd("xq", 1.0).is_err());
+        assert!(read_vcd("", 0.0).is_err());
+        // value change for an undeclared identifier after the header
+        let doc = "$enddefinitions $end\n$dumpvars\n$end\n#1\n1Z";
+        assert!(read_vcd(doc, 1.0).is_err());
+    }
+}

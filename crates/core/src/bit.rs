@@ -1,0 +1,194 @@
+//! Binary values and transition edges.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A binary signal value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Bit {
+    /// Logic low.
+    #[default]
+    Zero,
+    /// Logic high.
+    One,
+}
+
+impl Bit {
+    /// Returns `true` if the bit is [`Bit::One`].
+    ///
+    /// ```
+    /// use ivl_core::Bit;
+    /// assert!(Bit::One.is_one());
+    /// assert!(!Bit::Zero.is_one());
+    /// ```
+    #[must_use]
+    pub fn is_one(self) -> bool {
+        self == Bit::One
+    }
+
+    /// Returns `true` if the bit is [`Bit::Zero`].
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self == Bit::Zero
+    }
+
+    /// The edge direction of a transition *to* this value: a transition to
+    /// [`Bit::One`] is rising, a transition to [`Bit::Zero`] is falling.
+    ///
+    /// ```
+    /// use ivl_core::{Bit, Edge};
+    /// assert_eq!(Bit::One.edge(), Edge::Rising);
+    /// ```
+    #[must_use]
+    pub fn edge(self) -> Edge {
+        match self {
+            Bit::Zero => Edge::Falling,
+            Bit::One => Edge::Rising,
+        }
+    }
+
+    /// Numeric value, 0 or 1.
+    #[must_use]
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Bit::Zero => 0,
+            Bit::One => 1,
+        }
+    }
+}
+
+impl Not for Bit {
+    type Output = Bit;
+
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Bit {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl From<Bit> for bool {
+    fn from(b: Bit) -> bool {
+        b.is_one()
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_u8())
+    }
+}
+
+/// The direction of a signal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// A `0 → 1` transition.
+    Rising,
+    /// A `1 → 0` transition.
+    Falling,
+}
+
+impl Edge {
+    /// The value the signal takes *after* this edge.
+    ///
+    /// ```
+    /// use ivl_core::{Bit, Edge};
+    /// assert_eq!(Edge::Falling.target(), Bit::Zero);
+    /// ```
+    #[must_use]
+    pub fn target(self) -> Bit {
+        match self {
+            Edge::Rising => Bit::One,
+            Edge::Falling => Bit::Zero,
+        }
+    }
+
+    /// The opposite edge.
+    #[must_use]
+    pub fn flipped(self) -> Edge {
+        match self {
+            Edge::Rising => Edge::Falling,
+            Edge::Falling => Edge::Rising,
+        }
+    }
+
+    /// `true` for [`Edge::Rising`].
+    #[must_use]
+    pub fn is_rising(self) -> bool {
+        self == Edge::Rising
+    }
+}
+
+impl Not for Edge {
+    type Output = Edge;
+
+    fn not(self) -> Edge {
+        self.flipped()
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rising => write!(f, "↑"),
+            Edge::Falling => write!(f, "↓"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_is_involutive() {
+        assert_eq!(!!Bit::Zero, Bit::Zero);
+        assert_eq!(!!Bit::One, Bit::One);
+        assert_eq!(!!Edge::Rising, Edge::Rising);
+        assert_eq!(!!Edge::Falling, Edge::Falling);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert!(bool::from(Bit::One));
+        assert!(!bool::from(Bit::Zero));
+    }
+
+    #[test]
+    fn edge_target_matches_bit_edge() {
+        for bit in [Bit::Zero, Bit::One] {
+            assert_eq!(bit.edge().target(), bit);
+        }
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Bit::default(), Bit::Zero);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Bit::Zero.to_string(), "0");
+        assert_eq!(Bit::One.to_string(), "1");
+        assert_eq!(Edge::Rising.to_string(), "↑");
+        assert_eq!(Edge::Falling.to_string(), "↓");
+    }
+
+    #[test]
+    fn ordering_zero_before_one() {
+        assert!(Bit::Zero < Bit::One);
+    }
+}

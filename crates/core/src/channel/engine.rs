@@ -1,0 +1,250 @@
+//! The shared single-history engine implementing the paper's output
+//! transition generation algorithm.
+
+use std::collections::VecDeque;
+
+use crate::channel::FeedEffect;
+use crate::signal::Transition;
+
+/// When does a newly computed output transition cancel against the most
+/// recent retained one?
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum CancelRule {
+    /// Non-FIFO cancellation (the paper's rule): the `n`-th and `m`-th
+    /// pending transitions cancel if `n < m` but `t_n + δ_n ≥ t_m + δ_m`.
+    NonFifo,
+    /// Minimum-separation cancellation (inertial delays): cancel the pair
+    /// if the new output would follow the previous one within less than
+    /// the window.
+    MinSeparation(f64),
+}
+
+impl CancelRule {
+    fn cancels(self, last_retained: f64, new_time: f64) -> bool {
+        match self {
+            CancelRule::NonFifo => last_retained >= new_time,
+            CancelRule::MinSeparation(w) => new_time - last_retained < w,
+        }
+    }
+}
+
+/// Single-history channel state machine.
+///
+/// Tracks `(t_{n−1}, δ_{n−1})` for the offset recursion and the stack of
+/// retained (scheduled, not cancelled) output transitions for pairwise
+/// cancellation. Concrete channels compute the delay `δ_n` and delegate
+/// everything else here.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineCore {
+    rule: CancelRule,
+    t_prev: f64,
+    d_prev: f64,
+    count: usize,
+    /// Retained outputs in increasing time order; cancellation pops from
+    /// the back, delivery bookkeeping drops from the front.
+    retained: VecDeque<Transition>,
+}
+
+impl EngineCore {
+    pub(crate) fn new(rule: CancelRule) -> Self {
+        EngineCore {
+            rule,
+            t_prev: f64::NEG_INFINITY,
+            d_prev: 0.0,
+            count: 0,
+            retained: VecDeque::new(),
+        }
+    }
+
+    /// The previous-output-to-input offset `T = t − t_{n−1} − δ_{n−1}`
+    /// for a new input transition at `t` (`+∞` before the first
+    /// transition, matching `t_0 = −∞, δ_0 = 0`).
+    pub(crate) fn offset(&self, t: f64) -> f64 {
+        // IEEE-754 arithmetic gives the right answers at the extended
+        // points: t − (−∞) − 0 = +∞ for the first transition, and
+        // t − t_prev − (−∞) = +∞ after a domain-guarded transition.
+        t - self.t_prev - self.d_prev
+    }
+
+    /// Number of input transitions fed so far.
+    pub(crate) fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds an input transition whose delay `δ_n` has already been
+    /// computed (`−∞` encodes the domain-guard case).
+    pub(crate) fn feed(&mut self, input: Transition, delay: f64) -> FeedEffect {
+        debug_assert!(!delay.is_nan(), "delay must not be NaN");
+        debug_assert!(
+            input.time > self.t_prev,
+            "input transitions must be fed in strictly increasing time order"
+        );
+        self.t_prev = input.time;
+        self.d_prev = delay;
+        self.count += 1;
+        let on = input.time + delay;
+        let cancels = match self.retained.back() {
+            Some(last) => self.rule.cancels(last.time, on),
+            None => on == f64::NEG_INFINITY,
+        };
+        if cancels {
+            match self.retained.pop_back() {
+                Some(cancelled) => FeedEffect::CancelledPair { cancelled },
+                None => FeedEffect::Dropped,
+            }
+        } else {
+            if let Some(last) = self.retained.back() {
+                debug_assert_ne!(
+                    last.value, input.value,
+                    "pairwise cancellation must preserve alternation"
+                );
+            }
+            let tr = Transition::new(on, input.value);
+            self.retained.push_back(tr);
+            FeedEffect::Scheduled(tr)
+        }
+    }
+
+    /// Drops retained entries scheduled at or before `before` (they have
+    /// been delivered by the simulator and can no longer cancel).
+    pub(crate) fn discard_delivered(&mut self, before: f64) {
+        while self.retained.front().is_some_and(|tr| tr.time <= before) {
+            self.retained.pop_front();
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.t_prev = f64::NEG_INFINITY;
+        self.d_prev = 0.0;
+        self.count = 0;
+        self.retained.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Bit;
+
+    fn tr(t: f64, v: u8) -> Transition {
+        Transition::new(t, if v == 1 { Bit::One } else { Bit::Zero })
+    }
+
+    #[test]
+    fn offset_extended_points() {
+        let e = EngineCore::new(CancelRule::NonFifo);
+        assert_eq!(e.offset(5.0), f64::INFINITY); // before first transition
+
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(1.0, 1), 0.5);
+        assert_eq!(e.offset(2.0), 0.5); // 2 − 1 − 0.5
+
+        // after a domain-guarded (−∞ delay) transition, offset is +∞
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(1.0, 1), 2.0);
+        e.feed(tr(1.5, 0), f64::NEG_INFINITY);
+        assert_eq!(e.offset(3.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn non_fifo_cancellation() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        assert_eq!(e.feed(tr(0.0, 1), 3.0), FeedEffect::Scheduled(tr(3.0, 1)));
+        // output at 2.5 would precede the pending one at 3.0 → pair cancels
+        assert_eq!(
+            e.feed(tr(1.0, 0), 1.5),
+            FeedEffect::CancelledPair {
+                cancelled: tr(3.0, 1)
+            }
+        );
+        // stack is empty again
+        assert_eq!(e.feed(tr(2.0, 1), 1.0), FeedEffect::Scheduled(tr(3.0, 1)));
+    }
+
+    #[test]
+    fn equal_times_cancel_under_non_fifo() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(0.0, 1), 2.0);
+        assert!(matches!(
+            e.feed(tr(1.0, 0), 1.0), // output also at 2.0
+            FeedEffect::CancelledPair { .. }
+        ));
+    }
+
+    #[test]
+    fn cascaded_cancellation_exposes_older_entries() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(0.0, 1), 5.0); // pending at 5
+        e.feed(tr(1.0, 0), 8.0); // pending at 9
+                                 // new output at 7 ≤ 9 → cancels the 9-pair; 5 survives
+        assert_eq!(
+            e.feed(tr(2.0, 1), 5.0),
+            FeedEffect::CancelledPair {
+                cancelled: tr(9.0, 0)
+            }
+        );
+        // next transition now compares against 5
+        assert_eq!(
+            e.feed(tr(3.0, 0), 1.0), // output at 4 ≤ 5 → cancel with 5
+            FeedEffect::CancelledPair {
+                cancelled: tr(5.0, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn minus_infinity_delay_cancels_or_drops() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        // no pending partner → dropped alone
+        assert_eq!(e.feed(tr(0.0, 1), f64::NEG_INFINITY), FeedEffect::Dropped);
+        // with a pending partner → pair cancellation
+        e.feed(tr(1.0, 0), 2.0);
+        assert!(matches!(
+            e.feed(tr(1.5, 1), f64::NEG_INFINITY),
+            FeedEffect::CancelledPair { .. }
+        ));
+    }
+
+    #[test]
+    fn min_separation_rule() {
+        let mut e = EngineCore::new(CancelRule::MinSeparation(1.0));
+        e.feed(tr(0.0, 1), 2.0); // out at 2
+                                 // out at 2.5: separation 0.5 < 1 → cancel pair
+        assert!(matches!(
+            e.feed(tr(0.5, 0), 2.0),
+            FeedEffect::CancelledPair { .. }
+        ));
+        // rebuild: out at 3, then out at 4.5 (separation 1.5) → retained
+        e.feed(tr(1.0, 1), 2.0);
+        assert!(matches!(e.feed(tr(2.5, 0), 2.0), FeedEffect::Scheduled(_)));
+    }
+
+    #[test]
+    fn discard_delivered_prevents_cancellation_against_past() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(0.0, 1), 1.0); // out at 1
+        e.discard_delivered(1.0); // simulator delivered it
+                                  // a later non-FIFO output no longer has a partner
+        assert_eq!(e.feed(tr(2.0, 0), -1.5), FeedEffect::Scheduled(tr(0.5, 0)));
+    }
+
+    #[test]
+    fn count_and_reset() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(0.0, 1), 1.0);
+        e.feed(tr(5.0, 0), 1.0);
+        assert_eq!(e.count(), 2);
+        e.reset();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.offset(3.0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    #[cfg(debug_assertions)]
+    fn non_monotone_feed_panics_in_debug() {
+        let mut e = EngineCore::new(CancelRule::NonFifo);
+        e.feed(tr(1.0, 1), 1.0);
+        e.feed(tr(0.5, 0), 1.0);
+    }
+}

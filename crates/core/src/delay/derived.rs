@@ -1,0 +1,268 @@
+//! Deriving a full involution pair from a single delay function.
+
+use std::fmt;
+
+use crate::delay::DelayPair;
+use crate::error::Error;
+
+/// An involution pair whose `δ↓` is *derived* from a user-supplied `δ↑`
+/// via numeric inversion.
+///
+/// The involution property `−δ↑(−δ↓(T)) = T` is equivalent to
+/// `δ↓(T) = −δ↑⁻¹(−T)`, so given any strictly increasing concave
+/// `δ↑ : (−d_min, ∞) → (−∞, sup)` with finite `sup`, the derived pair
+/// satisfies the involution property *by construction* (up to solver
+/// tolerance).
+///
+/// `δ↑⁻¹` is computed by bisection, making evaluation of `δ↓` roughly two
+/// orders of magnitude slower than a closed-form pair — use
+/// [`ExpChannel`](crate::delay::ExpChannel) or
+/// [`RationalPair`](crate::delay::RationalPair) when they fit.
+///
+/// # Examples
+///
+/// Re-deriving the exp-channel's `δ↓` from its `δ↑`:
+///
+/// ```
+/// use ivl_core::delay::{DelayPair, DerivedPair, ExpChannel};
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let exp = ExpChannel::new(1.0, 0.5, 0.3)?;
+/// let e2 = exp.clone();
+/// let derived = DerivedPair::new(
+///     move |t| exp.delta_up(t),
+///     e2.delta_up_inf(),
+///     -e2.delta_down_inf(),
+/// )?;
+/// let t = 0.4;
+/// assert!((derived.delta_down(t) - e2.delta_down(t)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct DerivedPair<F> {
+    up: F,
+    up_inf: f64,
+    /// Lower end of δ↑'s domain, i.e. `−δ↓∞`.
+    domain_min: f64,
+    tolerance: f64,
+}
+
+impl<F: Fn(f64) -> f64> DerivedPair<F> {
+    /// Creates a derived pair from `up = δ↑`, its supremum `up_inf = δ↑∞`,
+    /// and the lower end of its domain `domain_min = −δ↓∞`.
+    ///
+    /// `up` must be strictly increasing and concave on
+    /// `(domain_min, ∞)` with `up(t) → −∞` as `t → domain_min⁺` and
+    /// `up(t) → up_inf` as `t → ∞`; these properties are spot-checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDelayParameter`] if the spot checks fail
+    /// (non-finite bounds, decreasing samples, `up(0) ≤ 0`).
+    pub fn new(up: F, up_inf: f64, domain_min: f64) -> Result<Self, Error> {
+        if !up_inf.is_finite() {
+            return Err(Error::InvalidDelayParameter {
+                name: "up_inf",
+                value: up_inf,
+                constraint: "must be finite",
+            });
+        }
+        if !domain_min.is_finite() || domain_min >= 0.0 {
+            return Err(Error::InvalidDelayParameter {
+                name: "domain_min",
+                value: domain_min,
+                constraint: "must be finite and < 0 (= −δ↓∞ < 0)",
+            });
+        }
+        if !(up(0.0) > 0.0) {
+            return Err(Error::InvalidDelayParameter {
+                name: "up(0)",
+                value: up(0.0),
+                constraint: "must be > 0 (strict causality)",
+            });
+        }
+        // spot-check monotonicity on a few probes
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..=16 {
+            let t = domain_min + (i as f64 / 16.0) * (2.0 * domain_min.abs() + 4.0);
+            let v = up(t);
+            if v.is_finite() && prev.is_finite() && v <= prev {
+                return Err(Error::InvalidDelayParameter {
+                    name: "up",
+                    value: t,
+                    constraint: "must be strictly increasing",
+                });
+            }
+            prev = v;
+        }
+        Ok(DerivedPair {
+            up,
+            up_inf,
+            domain_min,
+            tolerance: 1e-12,
+        })
+    }
+
+    /// Sets the bisection tolerance used when inverting `δ↑` (default
+    /// `1e-12`, relative to the bracket size).
+    #[must_use]
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance.abs().max(f64::EPSILON);
+        self
+    }
+
+    /// Inverts δ↑: finds `x` with `up(x) = y`, for `y < up_inf`.
+    fn invert_up(&self, y: f64) -> f64 {
+        debug_assert!(y < self.up_inf);
+        // bracket: lo just above domain_min (up → −∞), hi grows until up(hi) > y
+        let mut lo = self.domain_min;
+        let mut hi = self.domain_min.abs().max(1.0);
+        let mut tries = 0;
+        while (self.up)(hi) < y {
+            hi *= 2.0;
+            tries += 1;
+            if tries > 200 {
+                return f64::INFINITY;
+            }
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if hi - lo < self.tolerance * hi.abs().max(1.0) {
+                break;
+            }
+            if (self.up)(mid) < y {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+impl<F: Fn(f64) -> f64> DelayPair for DerivedPair<F> {
+    fn delta_up(&self, t: f64) -> f64 {
+        if t == f64::INFINITY {
+            return self.up_inf;
+        }
+        if t <= self.domain_min {
+            return f64::NEG_INFINITY;
+        }
+        (self.up)(t)
+    }
+
+    fn delta_down(&self, t: f64) -> f64 {
+        // δ↓(T) = −δ↑⁻¹(−T); domain T > −δ↑∞, sup = −domain_min
+        if t == f64::INFINITY {
+            return -self.domain_min;
+        }
+        if t <= -self.up_inf {
+            return f64::NEG_INFINITY;
+        }
+        -self.invert_up(-t)
+    }
+
+    fn delta_up_inf(&self) -> f64 {
+        self.up_inf
+    }
+
+    fn delta_down_inf(&self) -> f64 {
+        -self.domain_min
+    }
+}
+
+impl<F> fmt::Debug for DerivedPair<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DerivedPair")
+            .field("up_inf", &self.up_inf)
+            .field("domain_min", &self.domain_min)
+            .field("tolerance", &self.tolerance)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{check_involution, delta_min_of, ExpChannel, RationalPair};
+
+    fn derived_from_exp(tau: f64, t_p: f64, v_th: f64) -> DerivedPair<impl Fn(f64) -> f64> {
+        let exp = ExpChannel::new(tau, t_p, v_th).unwrap();
+        let up_inf = exp.delta_up_inf();
+        let domain_min = -exp.delta_down_inf();
+        DerivedPair::new(move |t| exp.delta_up(t), up_inf, domain_min).unwrap()
+    }
+
+    #[test]
+    fn derived_down_matches_closed_form() {
+        let exp = ExpChannel::new(1.0, 0.5, 0.3).unwrap();
+        let d = derived_from_exp(1.0, 0.5, 0.3);
+        for &t in &[-0.4, -0.1, 0.0, 0.5, 2.0, 20.0] {
+            let want = exp.delta_down(t);
+            let got = d.delta_down(t);
+            assert!((got - want).abs() < 1e-8, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn involution_property_by_construction() {
+        let d = derived_from_exp(0.7, 0.2, 0.6);
+        let report = check_involution(&d, -0.18, 5.0, 60);
+        assert!(report.max_roundtrip_error < 1e-6, "{report:?}");
+    }
+
+    #[test]
+    fn delta_min_matches_underlying() {
+        let d = derived_from_exp(1.0, 0.5, 0.5);
+        let dm = delta_min_of(&d).unwrap();
+        assert!((dm - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rational_roundtrip_through_derivation() {
+        let r = RationalPair::new(2.0, 1.0, 3.0).unwrap();
+        let d = DerivedPair::new(move |t| r.delta_up(t), 2.0, -3.0).unwrap();
+        for &t in &[-1.5, 0.0, 1.0, 4.0] {
+            assert!((d.delta_down(t) - r.delta_down(t)).abs() < 1e-8, "t={t}");
+        }
+        assert_eq!(d.delta_down_inf(), r.delta_down_inf());
+        assert_eq!(d.delta_up_inf(), r.delta_up_inf());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(DerivedPair::new(|t: f64| t.min(1.0), f64::INFINITY, -1.0).is_err());
+        assert!(DerivedPair::new(|_t: f64| -1.0, 1.0, -1.0).is_err()); // not causal
+        assert!(DerivedPair::new(|t: f64| 1.0 - t, 1.0, -1.0).is_err()); // decreasing
+        assert!(DerivedPair::new(|t: f64| t, 1.0, 1.0).is_err()); // domain_min >= 0
+    }
+
+    #[test]
+    fn extended_arguments() {
+        let d = derived_from_exp(1.0, 0.5, 0.5);
+        assert_eq!(d.delta_up(f64::INFINITY), d.delta_up_inf());
+        assert_eq!(d.delta_down(f64::INFINITY), d.delta_down_inf());
+        assert_eq!(d.delta_up(d.delta_up(-100.0)), f64::NEG_INFINITY);
+        assert_eq!(d.delta_down(-d.delta_up_inf() - 1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn debug_impl_nonempty() {
+        let d = derived_from_exp(1.0, 0.5, 0.5);
+        assert!(!format!("{d:?}").is_empty());
+    }
+
+    #[test]
+    fn with_tolerance_still_accurate_enough() {
+        let exp = ExpChannel::new(1.0, 0.5, 0.4).unwrap();
+        let e2 = exp.clone();
+        let d = DerivedPair::new(
+            move |t| exp.delta_up(t),
+            e2.delta_up_inf(),
+            -e2.delta_down_inf(),
+        )
+        .unwrap()
+        .with_tolerance(1e-9);
+        assert!((d.delta_down(0.5) - e2.delta_down(0.5)).abs() < 1e-6);
+    }
+}

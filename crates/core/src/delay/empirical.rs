@@ -1,0 +1,204 @@
+//! Delay pairs built from *independently measured* `δ↑` and `δ↓`
+//! samples.
+
+use crate::delay::polyline::Polyline;
+use crate::delay::DelayPair;
+use crate::error::Error;
+
+/// A delay pair interpolating two independently measured polylines —
+/// one for `δ↑`, one for `δ↓` — as extracted from lab measurements or
+/// analog simulation (the per-edge delay functions of the paper's
+/// Figs. 7–9).
+///
+/// Unlike [`PiecewiseLinearPair`](crate::delay::PiecewiseLinearPair),
+/// which *derives* `δ↓` from `δ↑` so that the involution property holds
+/// exactly, an `EmpiricalPair` represents the data as measured; how
+/// close it is to a true involution can be quantified with
+/// [`check_involution`](crate::delay::check_involution) (and is itself a
+/// modeling-accuracy question the paper's Section V investigates).
+///
+/// Outside the sampled ranges the polylines extrapolate with their end
+/// slopes; `δ∞` values are the last sampled delays.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_core::delay::{DelayPair, EmpiricalPair};
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let up = [(0.0, 1.0), (5.0, 1.8), (20.0, 2.0)];
+/// let down = [(0.0, 1.1), (5.0, 1.9), (20.0, 2.2)];
+/// let d = EmpiricalPair::from_samples(&up, &down)?;
+/// assert_eq!(d.delta_up(5.0), 1.8);
+/// assert_eq!(d.delta_down_inf(), 2.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalPair {
+    up: Polyline,
+    down: Polyline,
+}
+
+impl EmpiricalPair {
+    /// Builds the pair from `(T, δ↑)` and `(T, δ↓)` samples (each sorted
+    /// by strictly increasing `T` with strictly increasing delays).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSampleData`] if either sample set is
+    /// unusable (fewer than two points, non-monotone, non-finite,
+    /// strongly non-concave) or strict causality `δ(0) > 0` fails.
+    pub fn from_samples(up: &[(f64, f64)], down: &[(f64, f64)]) -> Result<Self, Error> {
+        let up = Polyline::new(up).ok_or(Error::InvalidSampleData {
+            reason: "up samples must be >= 2 strictly increasing points",
+        })?;
+        let down = Polyline::new(down).ok_or(Error::InvalidSampleData {
+            reason: "down samples must be >= 2 strictly increasing points",
+        })?;
+        for p in [&up, &down] {
+            if p.max_slope_increase_ratio() > 0.15 {
+                return Err(Error::InvalidSampleData {
+                    reason: "data is strongly non-concave",
+                });
+            }
+        }
+        let pair = EmpiricalPair { up, down };
+        if pair.delta_up(0.0) <= 0.0 || pair.delta_down(0.0) <= 0.0 {
+            return Err(Error::InvalidSampleData {
+                reason: "delta(0) must be > 0 (strict causality)",
+            });
+        }
+        Ok(pair)
+    }
+
+    /// The sampled `T` range of the `δ↑` polyline.
+    #[must_use]
+    pub fn up_range(&self) -> (f64, f64) {
+        self.up.x_range()
+    }
+
+    /// The sampled `T` range of the `δ↓` polyline.
+    #[must_use]
+    pub fn down_range(&self) -> (f64, f64) {
+        self.down.x_range()
+    }
+
+    /// The `(T, δ↑)` sample points.
+    #[must_use]
+    pub fn up_samples(&self) -> Vec<(f64, f64)> {
+        self.up.points().collect()
+    }
+
+    /// The `(T, δ↓)` sample points.
+    #[must_use]
+    pub fn down_samples(&self) -> Vec<(f64, f64)> {
+        self.down.points().collect()
+    }
+}
+
+impl DelayPair for EmpiricalPair {
+    fn delta_up(&self, t: f64) -> f64 {
+        if t == f64::INFINITY {
+            return self.delta_up_inf();
+        }
+        self.up.eval(t)
+    }
+
+    fn delta_down(&self, t: f64) -> f64 {
+        if t == f64::INFINITY {
+            return self.delta_down_inf();
+        }
+        self.down.eval(t)
+    }
+
+    /// Last sampled `δ↑` value (saturation knee).
+    fn delta_up_inf(&self) -> f64 {
+        self.up.last_y()
+    }
+
+    /// Last sampled `δ↓` value (saturation knee).
+    fn delta_down_inf(&self) -> f64 {
+        self.down.last_y()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{check_involution, delta_min_of, ExpChannel};
+
+    fn from_exp(tau: f64, tp: f64, vth: f64, lo: f64, hi: f64, n: usize) -> EmpiricalPair {
+        let d = ExpChannel::new(tau, tp, vth).unwrap();
+        let sample = |f: &dyn Fn(f64) -> f64| -> Vec<(f64, f64)> {
+            (0..n)
+                .map(|i| {
+                    let t = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                    (t, f(t))
+                })
+                .collect()
+        };
+        EmpiricalPair::from_samples(&sample(&|t| d.delta_up(t)), &sample(&|t| d.delta_down(t)))
+            .unwrap()
+    }
+
+    #[test]
+    fn interpolates_both_edges_independently() {
+        let exp = ExpChannel::new(1.0, 0.5, 0.3).unwrap();
+        let p = from_exp(1.0, 0.5, 0.3, -0.3, 5.0, 80);
+        for i in 0..40 {
+            let t = -0.25 + i as f64 * 0.12;
+            assert!((p.delta_up(t) - exp.delta_up(t)).abs() < 5e-3, "t={t}");
+            assert!((p.delta_down(t) - exp.delta_down(t)).abs() < 5e-3, "t={t}");
+        }
+    }
+
+    #[test]
+    fn near_involution_when_data_comes_from_one() {
+        // Probe the faithfulness-relevant region around −δ_min, where
+        // the round-trip −δ↑(−δ↓(T)) stays inside the sampled ranges;
+        // for larger T the image −δ↓(T) leaves the data and only the
+        // end-slope extrapolation remains.
+        let p = from_exp(1.0, 0.5, 0.4, -0.95, 4.0, 200);
+        let report = check_involution(&p, -0.35, -0.15, 20);
+        assert!(report.max_roundtrip_error < 0.02, "{report:?}");
+    }
+
+    #[test]
+    fn delta_min_close_to_truth() {
+        let p = from_exp(1.0, 0.5, 0.5, -0.45, 4.0, 100);
+        let dm = delta_min_of(&p).unwrap();
+        assert!((dm - 0.5).abs() < 0.02, "delta_min = {dm}");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EmpiricalPair::from_samples(&[(0.0, 1.0)], &[(0.0, 1.0), (1.0, 2.0)]).is_err());
+        assert!(
+            EmpiricalPair::from_samples(&[(0.0, 2.0), (1.0, 1.0)], &[(0.0, 1.0), (1.0, 2.0)])
+                .is_err()
+        );
+        // convex data rejected
+        assert!(EmpiricalPair::from_samples(
+            &[(0.0, 1.0), (1.0, 1.1), (2.0, 3.0)],
+            &[(0.0, 1.0), (1.0, 2.0)]
+        )
+        .is_err());
+        // non-causal rejected
+        assert!(EmpiricalPair::from_samples(
+            &[(1.0, -3.0), (2.0, -2.0)],
+            &[(0.0, 1.0), (1.0, 2.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let p = from_exp(1.0, 0.5, 0.5, 0.0, 3.0, 10);
+        assert_eq!(p.up_range(), (0.0, 3.0));
+        assert_eq!(p.down_range(), (0.0, 3.0));
+        assert_eq!(p.up_samples().len(), 10);
+        assert_eq!(p.down_samples().len(), 10);
+        assert_eq!(p.delta_up(f64::INFINITY), p.delta_up_inf());
+        assert_eq!(p.delta_down(f64::INFINITY), p.delta_down_inf());
+    }
+}

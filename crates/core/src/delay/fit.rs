@@ -1,0 +1,277 @@
+//! Least-squares fitting of exp-channel parameters to measured delay
+//! samples (the procedure behind Fig. 9 of the paper).
+
+use crate::delay::{DelayPair, ExpChannel};
+use crate::error::Error;
+
+/// Result of an exp-channel fit.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The fitted channel.
+    pub channel: ExpChannel,
+    /// Residual sum of squares at the optimum.
+    pub rss: f64,
+    /// Root-mean-square residual.
+    pub rms: f64,
+    /// Number of Nelder–Mead iterations performed.
+    pub iterations: usize,
+}
+
+/// Fits exp-channel parameters `(τ, T_p, V_th)` to samples of `δ↑` and/or
+/// `δ↓` by Nelder–Mead on log/logit-transformed parameters.
+///
+/// Either sample slice may be empty, but not both. Sample points that the
+/// candidate model maps to `−∞` (outside its domain) incur a large finite
+/// penalty instead, keeping the objective total.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSampleData`] if both sample sets are empty and
+/// [`Error::SolverFailed`] if no valid parameter vector is found.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_core::delay::{DelayPair, ExpChannel, fit::fit_exp_channel};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let truth = ExpChannel::new(1.2, 0.4, 0.45)?;
+/// let ups: Vec<(f64, f64)> = (0..40)
+///     .map(|i| { let t = -0.3 + 0.1 * i as f64; (t, truth.delta_up(t)) })
+///     .collect();
+/// let downs: Vec<(f64, f64)> = (0..40)
+///     .map(|i| { let t = -0.3 + 0.1 * i as f64; (t, truth.delta_down(t)) })
+///     .collect();
+/// let fit = fit_exp_channel(&ups, &downs, None)?;
+/// assert!((fit.channel.tau() - 1.2).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_exp_channel(
+    up_samples: &[(f64, f64)],
+    down_samples: &[(f64, f64)],
+    initial: Option<ExpChannel>,
+) -> Result<FitResult, Error> {
+    if up_samples.is_empty() && down_samples.is_empty() {
+        return Err(Error::InvalidSampleData {
+            reason: "no samples to fit",
+        });
+    }
+    let n_samples = up_samples.len() + down_samples.len();
+
+    // crude scale estimate for the initial simplex
+    let scale = up_samples
+        .iter()
+        .chain(down_samples)
+        .map(|&(_, d)| d.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let init = match initial {
+        Some(ch) => ch,
+        None => ExpChannel::new(scale, scale / 2.0, 0.5).expect("positive parameters"),
+    };
+
+    // Parameter transform keeps (τ, T_p) > 0 and V_th ∈ (0, 1).
+    let encode = |ch: &ExpChannel| [ch.tau().ln(), ch.t_p().ln(), logit(ch.v_th())];
+    let decode = |x: &[f64; 3]| -> Option<ExpChannel> {
+        let tau = x[0].exp();
+        let t_p = x[1].exp();
+        let v_th = sigmoid(x[2]);
+        ExpChannel::new(tau, t_p, v_th).ok()
+    };
+    let objective = |x: &[f64; 3]| -> f64 {
+        let Some(ch) = decode(x) else {
+            return f64::INFINITY;
+        };
+        let mut rss = 0.0;
+        for &(t, d) in up_samples {
+            rss += residual(ch.delta_up(t), d, scale);
+        }
+        for &(t, d) in down_samples {
+            rss += residual(ch.delta_down(t), d, scale);
+        }
+        rss
+    };
+
+    let x0 = encode(&init);
+    let (x_best, rss, iterations) = nelder_mead(objective, x0, 0.4, 2000, 1e-12);
+    let channel = decode(&x_best).ok_or(Error::SolverFailed {
+        what: "exp-channel fit produced invalid parameters",
+    })?;
+    Ok(FitResult {
+        channel,
+        rss,
+        rms: (rss / n_samples as f64).sqrt(),
+        iterations,
+    })
+}
+
+fn residual(model: f64, data: f64, scale: f64) -> f64 {
+    if model.is_finite() {
+        (model - data).powi(2)
+    } else {
+        // outside the model's domain: large finite penalty
+        (100.0 * scale).powi(2)
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+/// Minimal Nelder–Mead in 3 dimensions. Returns `(best_x, best_f, iters)`.
+fn nelder_mead<F: Fn(&[f64; 3]) -> f64>(
+    f: F,
+    x0: [f64; 3],
+    step: f64,
+    max_iter: usize,
+    tol: f64,
+) -> ([f64; 3], f64, usize) {
+    const N: usize = 3;
+    let mut simplex: Vec<[f64; 3]> = vec![x0];
+    for i in 0..N {
+        let mut x = x0;
+        x[i] += step;
+        simplex.push(x);
+    }
+    let mut values: Vec<f64> = simplex.iter().map(|x| f(x)).collect();
+    let mut iters = 0;
+    for _ in 0..max_iter {
+        iters += 1;
+        // sort simplex by value
+        let mut idx: Vec<usize> = (0..=N).collect();
+        idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+        let ordered: Vec<[f64; 3]> = idx.iter().map(|&i| simplex[i]).collect();
+        let ordered_vals: Vec<f64> = idx.iter().map(|&i| values[i]).collect();
+        simplex = ordered;
+        values = ordered_vals;
+        if (values[N] - values[0]).abs() <= tol * (values[0].abs() + tol) {
+            break;
+        }
+        // centroid of all but worst
+        let mut centroid = [0.0; 3];
+        for x in simplex.iter().take(N) {
+            for d in 0..N {
+                centroid[d] += x[d] / N as f64;
+            }
+        }
+        let worst = simplex[N];
+        let reflect = |alpha: f64| {
+            let mut x = [0.0; 3];
+            for d in 0..N {
+                x[d] = centroid[d] + alpha * (centroid[d] - worst[d]);
+            }
+            x
+        };
+        let xr = reflect(1.0);
+        let fr = f(&xr);
+        if fr < values[0] {
+            let xe = reflect(2.0);
+            let fe = f(&xe);
+            if fe < fr {
+                simplex[N] = xe;
+                values[N] = fe;
+            } else {
+                simplex[N] = xr;
+                values[N] = fr;
+            }
+        } else if fr < values[N - 1] {
+            simplex[N] = xr;
+            values[N] = fr;
+        } else {
+            let xc = reflect(-0.5);
+            let fc = f(&xc);
+            if fc < values[N] {
+                simplex[N] = xc;
+                values[N] = fc;
+            } else {
+                // shrink toward best
+                for i in 1..=N {
+                    for d in 0..N {
+                        simplex[i][d] = simplex[0][d] + 0.5 * (simplex[i][d] - simplex[0][d]);
+                    }
+                    values[i] = f(&simplex[i]);
+                }
+            }
+        }
+    }
+    (simplex[0], values[0], iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_channel(
+        ch: &ExpChannel,
+        lo: f64,
+        hi: f64,
+        n: usize,
+    ) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+        let ups = (0..n)
+            .map(|i| {
+                let t = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (t, ch.delta_up(t))
+            })
+            .collect();
+        let downs = (0..n)
+            .map(|i| {
+                let t = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (t, ch.delta_down(t))
+            })
+            .collect();
+        (ups, downs)
+    }
+
+    #[test]
+    fn recovers_exact_parameters_from_clean_data() {
+        let truth = ExpChannel::new(1.5, 0.6, 0.4).unwrap();
+        let (ups, downs) = sample_channel(&truth, -0.5, 5.0, 60);
+        let fit = fit_exp_channel(&ups, &downs, None).unwrap();
+        assert!((fit.channel.tau() - 1.5).abs() < 0.02, "{:?}", fit.channel);
+        assert!((fit.channel.t_p() - 0.6).abs() < 0.02);
+        assert!((fit.channel.v_th() - 0.4).abs() < 0.02);
+        assert!(fit.rms < 1e-3, "rms = {}", fit.rms);
+    }
+
+    #[test]
+    fn fits_up_only_data() {
+        let truth = ExpChannel::new(0.8, 0.3, 0.5).unwrap();
+        let (ups, _) = sample_channel(&truth, -0.2, 4.0, 50);
+        let fit = fit_exp_channel(&ups, &[], None).unwrap();
+        assert!(fit.rms < 1e-2, "rms = {}", fit.rms);
+    }
+
+    #[test]
+    fn fits_noisy_data_with_small_rms() {
+        let truth = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let (mut ups, mut downs) = sample_channel(&truth, -0.4, 5.0, 80);
+        // deterministic pseudo-noise
+        for (i, s) in ups.iter_mut().enumerate() {
+            s.1 += 0.002 * ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.001;
+        }
+        for (i, s) in downs.iter_mut().enumerate() {
+            s.1 += 0.002 * ((i * 1103515245) % 1000) as f64 / 1000.0 - 0.001;
+        }
+        let fit = fit_exp_channel(&ups, &downs, None).unwrap();
+        assert!(fit.rms < 0.01, "rms = {}", fit.rms);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(fit_exp_channel(&[], &[], None).is_err());
+    }
+
+    #[test]
+    fn initial_guess_is_respected() {
+        let truth = ExpChannel::new(2.0, 1.0, 0.6).unwrap();
+        let (ups, downs) = sample_channel(&truth, -0.8, 6.0, 40);
+        let init = ExpChannel::new(2.1, 0.9, 0.55).unwrap();
+        let fit = fit_exp_channel(&ups, &downs, Some(init)).unwrap();
+        assert!(fit.rms < 1e-3);
+        assert!(fit.iterations < 2000);
+    }
+}

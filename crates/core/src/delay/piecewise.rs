@@ -1,0 +1,208 @@
+//! Piecewise-linear involution pairs built from measured samples.
+
+use crate::delay::polyline::Polyline;
+use crate::delay::DelayPair;
+use crate::error::Error;
+
+/// An involution pair whose `δ↑` is a polyline through measured
+/// `(T, δ↑(T))` samples, with `δ↓` the *reflected* polyline
+/// `δ↓(T) = −δ↑⁻¹(−T)` (exact for polylines), so the involution property
+/// holds by construction.
+///
+/// This is the natural representation for delay functions extracted from
+/// measurements or analog simulation, as in Figs. 7 and 9 of the paper.
+///
+/// Outside the sampled range the polyline is extrapolated with the end
+/// segments' slopes. Consequently `δ↑∞`/`δ↓∞` are only finite in the
+/// mathematical sense if the final slope is zero; `delta_up_inf` returns
+/// the extrapolation's value at the *saturation knee* — the sampled range
+/// is where this family is meaningful. Slopes must be strictly positive
+/// and (weakly) decreasing, which the constructor checks.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_core::delay::{DelayPair, PiecewiseLinearPair};
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// // samples of a saturating delay function
+/// let samples = [(-0.4, 0.2), (0.0, 0.9), (1.0, 1.4), (3.0, 1.6)];
+/// let d = PiecewiseLinearPair::from_up_samples(&samples)?;
+/// let t = 0.5;
+/// assert!((-d.delta_up(-d.delta_down(t)) - t).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinearPair {
+    line: Polyline,
+}
+
+impl PiecewiseLinearPair {
+    /// Builds the pair from samples of `δ↑`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSampleData`] if fewer than two samples are
+    /// given, the abscissae are not strictly increasing, the values are
+    /// not strictly increasing, a slope is non-positive, the slopes
+    /// increase by more than 10 % between segments (non-concave data), or
+    /// strict causality `δ↑(0) > 0` fails.
+    pub fn from_up_samples(samples: &[(f64, f64)]) -> Result<Self, Error> {
+        let line = Polyline::new(samples).ok_or(Error::InvalidSampleData {
+            reason: "need >= 2 finite samples with strictly increasing T and delay",
+        })?;
+        // measured data is noisy; allow mild concavity violations
+        if line.max_slope_increase_ratio() > 0.1 {
+            return Err(Error::InvalidSampleData {
+                reason: "data is strongly non-concave",
+            });
+        }
+        let pair = PiecewiseLinearPair { line };
+        if pair.delta_up(0.0) <= 0.0 {
+            return Err(Error::InvalidSampleData {
+                reason: "delta_up(0) must be > 0 (strict causality)",
+            });
+        }
+        Ok(pair)
+    }
+
+    /// The sample points `(T, δ↑(T))` this pair interpolates.
+    #[must_use]
+    pub fn up_samples(&self) -> Vec<(f64, f64)> {
+        self.line.points().collect()
+    }
+
+    /// The sampled range of `T`.
+    #[must_use]
+    pub fn t_range(&self) -> (f64, f64) {
+        self.line.x_range()
+    }
+}
+
+impl DelayPair for PiecewiseLinearPair {
+    fn delta_up(&self, t: f64) -> f64 {
+        if t == f64::INFINITY {
+            return self.delta_up_inf();
+        }
+        self.line.eval(t)
+    }
+
+    fn delta_down(&self, t: f64) -> f64 {
+        if t == f64::INFINITY {
+            return self.delta_down_inf();
+        }
+        // δ↓(T) = −δ↑⁻¹(−T), exact for polylines
+        -self.line.invert(-t)
+    }
+
+    /// Value at the last sample (the saturation knee); see the type-level
+    /// documentation for the extrapolation caveat.
+    fn delta_up_inf(&self) -> f64 {
+        self.line.last_y()
+    }
+
+    /// `−T` of the first sample's reflected image, i.e. the negated lower
+    /// end of the sampled range.
+    fn delta_down_inf(&self) -> f64 {
+        -self.line.x_range().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delay::{delta_min_of, DelayPair, ExpChannel};
+
+    fn exp_sampled() -> PiecewiseLinearPair {
+        let exp = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let samples: Vec<(f64, f64)> = (0..60)
+            .map(|i| {
+                let t = -0.45 + i as f64 * 0.1;
+                (t, exp.delta_up(t))
+            })
+            .collect();
+        PiecewiseLinearPair::from_up_samples(&samples).unwrap()
+    }
+
+    #[test]
+    fn interpolates_samples_exactly() {
+        let d = exp_sampled();
+        for (t, v) in d.up_samples() {
+            assert!((d.delta_up(t) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn involution_exact_for_polyline() {
+        let d = exp_sampled();
+        for i in 0..100 {
+            let t = -0.4 + i as f64 * 0.05;
+            let rt = -d.delta_up(-d.delta_down(t));
+            assert!((rt - t).abs() < 1e-9, "t={t}: {rt}");
+        }
+    }
+
+    #[test]
+    fn close_to_underlying_exp_between_samples() {
+        let exp = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let d = exp_sampled();
+        for i in 0..50 {
+            let t = -0.4 + i as f64 * 0.11; // off-grid
+            assert!((d.delta_up(t) - exp.delta_up(t)).abs() < 5e-3, "t={t}");
+        }
+    }
+
+    #[test]
+    fn delta_min_close_to_underlying() {
+        // the fixed point sits at t = −0.5, just outside the sampled
+        // range, so the solution relies on the end-slope extrapolation
+        let d = exp_sampled();
+        let dm = delta_min_of(&d).unwrap();
+        assert!((dm - 0.5).abs() < 1e-2, "delta_min = {dm}");
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(PiecewiseLinearPair::from_up_samples(&[(0.0, 1.0)]).is_err());
+        assert!(
+            PiecewiseLinearPair::from_up_samples(&[(0.0, 1.0), (0.0, 2.0)]).is_err(),
+            "duplicate abscissa"
+        );
+        assert!(
+            PiecewiseLinearPair::from_up_samples(&[(0.0, 1.0), (1.0, 0.5)]).is_err(),
+            "decreasing values"
+        );
+        assert!(
+            PiecewiseLinearPair::from_up_samples(&[(0.0, 1.0), (1.0, 1.1), (2.0, 3.0)]).is_err(),
+            "convex data"
+        );
+        assert!(
+            PiecewiseLinearPair::from_up_samples(&[(0.0, f64::NAN), (1.0, 1.0)]).is_err(),
+            "non-finite"
+        );
+        assert!(
+            PiecewiseLinearPair::from_up_samples(&[(-1.0, -2.0), (4.0, -1.0)]).is_err(),
+            "not causal"
+        );
+    }
+
+    #[test]
+    fn t_range_and_sample_access() {
+        let d =
+            PiecewiseLinearPair::from_up_samples(&[(-0.5, 0.1), (0.5, 0.9), (2.0, 1.5)]).unwrap();
+        assert_eq!(d.t_range(), (-0.5, 2.0));
+        assert_eq!(d.up_samples().len(), 3);
+    }
+
+    #[test]
+    fn extrapolation_uses_end_slopes() {
+        let d =
+            PiecewiseLinearPair::from_up_samples(&[(0.0, 1.0), (1.0, 2.0), (2.0, 2.5)]).unwrap();
+        // left slope 1.0
+        assert!((d.delta_up(-1.0) - 0.0).abs() < 1e-12);
+        // right slope 0.5
+        assert!((d.delta_up(3.0) - 3.0).abs() < 1e-12);
+        assert_eq!(d.delta_up(f64::INFINITY), d.delta_up_inf());
+        assert_eq!(d.delta_down(f64::INFINITY), d.delta_down_inf());
+    }
+}

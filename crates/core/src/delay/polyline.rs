@@ -1,0 +1,132 @@
+//! Shared strictly increasing polyline (internal helper for the
+//! sample-based delay families).
+
+/// A strictly increasing polyline through `(x, y)` points, extrapolated
+/// beyond the sampled range with the end segments' slopes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Polyline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds the polyline; returns `None` unless there are ≥ 2 finite
+    /// points with strictly increasing `x` *and* `y`.
+    pub(crate) fn new(points: &[(f64, f64)]) -> Option<Self> {
+        if points.len() < 2 {
+            return None;
+        }
+        let mut xs = Vec::with_capacity(points.len());
+        let mut ys = Vec::with_capacity(points.len());
+        for &(x, y) in points {
+            if !x.is_finite() || !y.is_finite() {
+                return None;
+            }
+            if let (Some(&px), Some(&py)) = (xs.last(), ys.last()) {
+                if x <= px || y <= py {
+                    return None;
+                }
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        Some(Polyline { xs, ys })
+    }
+
+    pub(crate) fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.xs.iter().copied().zip(self.ys.iter().copied())
+    }
+
+    pub(crate) fn x_range(&self) -> (f64, f64) {
+        (self.xs[0], *self.xs.last().expect("nonempty"))
+    }
+
+    pub(crate) fn last_y(&self) -> f64 {
+        *self.ys.last().expect("nonempty")
+    }
+
+    /// Largest relative slope increase between consecutive segments
+    /// (0 for concave data); used to validate concavity.
+    pub(crate) fn max_slope_increase_ratio(&self) -> f64 {
+        let mut prev = f64::INFINITY;
+        let mut worst = 0.0_f64;
+        for i in 1..self.xs.len() {
+            let slope = (self.ys[i] - self.ys[i - 1]) / (self.xs[i] - self.xs[i - 1]);
+            if prev.is_finite() && slope > prev {
+                worst = worst.max(slope / prev - 1.0);
+            }
+            prev = slope;
+        }
+        worst
+    }
+
+    pub(crate) fn eval(&self, x: f64) -> f64 {
+        let n = self.xs.len();
+        let i = match self.xs.partition_point(|&v| v <= x) {
+            0 => 0,
+            k if k >= n => n - 2,
+            k => k - 1,
+        }
+        .min(n - 2);
+        let slope = (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.ys[i] + slope * (x - self.xs[i])
+    }
+
+    pub(crate) fn invert(&self, y: f64) -> f64 {
+        let n = self.ys.len();
+        let i = match self.ys.partition_point(|&v| v <= y) {
+            0 => 0,
+            k if k >= n => n - 2,
+            k => k - 1,
+        }
+        .min(n - 2);
+        let slope = (self.ys[i + 1] - self.ys[i]) / (self.xs[i + 1] - self.xs[i]);
+        self.xs[i] + (y - self.ys[i]) / slope
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_rules() {
+        assert!(Polyline::new(&[(0.0, 1.0)]).is_none());
+        assert!(Polyline::new(&[(0.0, 1.0), (0.0, 2.0)]).is_none());
+        assert!(Polyline::new(&[(0.0, 1.0), (1.0, 1.0)]).is_none());
+        assert!(Polyline::new(&[(0.0, f64::NAN), (1.0, 2.0)]).is_none());
+        assert!(Polyline::new(&[(0.0, 1.0), (1.0, 2.0)]).is_some());
+    }
+
+    #[test]
+    fn eval_invert_roundtrip() {
+        let p = Polyline::new(&[(0.0, 0.0), (1.0, 2.0), (3.0, 3.0)]).unwrap();
+        for x in [-1.0, 0.0, 0.5, 1.0, 2.0, 3.0, 4.0] {
+            let y = p.eval(x);
+            assert!((p.invert(y) - x).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn extrapolation_uses_end_slopes() {
+        let p = Polyline::new(&[(0.0, 0.0), (1.0, 2.0), (3.0, 3.0)]).unwrap();
+        assert!((p.eval(-1.0) - (-2.0)).abs() < 1e-12);
+        assert!((p.eval(5.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_increase_detection() {
+        let concave = Polyline::new(&[(0.0, 0.0), (1.0, 2.0), (2.0, 3.0)]).unwrap();
+        assert_eq!(concave.max_slope_increase_ratio(), 0.0);
+        let convex = Polyline::new(&[(0.0, 0.0), (1.0, 1.0), (2.0, 3.0)]).unwrap();
+        assert!((convex.max_slope_increase_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = Polyline::new(&[(0.0, 1.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(p.x_range(), (0.0, 2.0));
+        assert_eq!(p.last_y(), 4.0);
+        assert_eq!(p.points().count(), 2);
+    }
+}

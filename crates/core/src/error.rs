@@ -1,0 +1,136 @@
+use std::fmt;
+
+/// Errors produced by `ivl-core` constructors and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A signal's transition times were not strictly increasing.
+    NonMonotonicTimes {
+        /// Index of the offending transition.
+        index: usize,
+        /// Time of the previous transition.
+        previous: f64,
+        /// Time of the offending transition.
+        time: f64,
+    },
+    /// A signal's transition values did not alternate.
+    NonAlternating {
+        /// Index of the offending transition.
+        index: usize,
+    },
+    /// A transition time was NaN or infinite.
+    NonFiniteTime {
+        /// Index of the offending transition.
+        index: usize,
+    },
+    /// A delay-function parameter was out of range.
+    InvalidDelayParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be > 0"`.
+        constraint: &'static str,
+    },
+    /// The noise bounds `η = [−η⁻, η⁺]` were invalid (negative or non-finite).
+    InvalidEtaBounds {
+        /// η⁻ as given.
+        minus: f64,
+        /// η⁺ as given.
+        plus: f64,
+    },
+    /// A numeric solver failed to bracket or converge on a root.
+    SolverFailed {
+        /// What was being solved.
+        what: &'static str,
+    },
+    /// A channel produced an output transition in the past of an already
+    /// committed output; the adversary bounds are too large for a causal
+    /// execution.
+    CausalityViolation {
+        /// Time at which the violation was detected.
+        time: f64,
+    },
+    /// Piecewise-linear delay data was unusable (too few points,
+    /// non-monotone, …).
+    InvalidSampleData {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NonMonotonicTimes {
+                index,
+                previous,
+                time,
+            } => write!(
+                f,
+                "transition {index} at time {time} is not after previous transition at {previous}"
+            ),
+            Error::NonAlternating { index } => {
+                write!(f, "transition {index} does not alternate with its predecessor")
+            }
+            Error::NonFiniteTime { index } => {
+                write!(f, "transition {index} has a non-finite time")
+            }
+            Error::InvalidDelayParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "delay parameter {name} = {value} invalid: {constraint}"),
+            Error::InvalidEtaBounds { minus, plus } => write!(
+                f,
+                "eta bounds [-{minus}, {plus}] invalid: both must be finite and >= 0"
+            ),
+            Error::SolverFailed { what } => write!(f, "numeric solver failed: {what}"),
+            Error::CausalityViolation { time } => write!(
+                f,
+                "channel output would cancel or precede an already committed transition at time {time}"
+            ),
+            Error::InvalidSampleData { reason } => {
+                write!(f, "invalid delay sample data: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = [
+            Error::NonMonotonicTimes {
+                index: 1,
+                previous: 2.0,
+                time: 1.5,
+            },
+            Error::NonAlternating { index: 3 },
+            Error::NonFiniteTime { index: 0 },
+            Error::InvalidDelayParameter {
+                name: "tau",
+                value: -1.0,
+                constraint: "must be > 0",
+            },
+            Error::InvalidEtaBounds {
+                minus: -0.1,
+                plus: 0.2,
+            },
+            Error::SolverFailed { what: "delta_min" },
+            Error::CausalityViolation { time: 1.0 },
+            Error::InvalidSampleData {
+                reason: "fewer than two points",
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

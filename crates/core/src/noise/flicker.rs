@@ -1,0 +1,175 @@
+//! 1/f ("flicker") noise via the Voss–McCartney algorithm.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::noise::{NoiseContext, NoiseSource};
+
+/// Pink (1/f) jitter, the slowly varying flicker noise of digital
+/// electronics (Calosso & Rubiola, the paper's ref. \[4\]).
+///
+/// Uses the Voss–McCartney construction: `octaves` independent white
+/// sources, source `k` refreshed every `2^k` samples; their sum has an
+/// approximately 1/f spectrum. The output is scaled to `amplitude` RMS
+/// and clamped into the admissible interval by the caller's bounds.
+///
+/// ```
+/// use ivl_core::noise::{EtaBounds, FlickerNoise, NoiseContext, NoiseSource};
+/// use ivl_core::Edge;
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let mut src = FlickerNoise::new(0.01, 8, 42)?;
+/// let bounds = EtaBounds::symmetric(0.05)?;
+/// let ctx = NoiseContext { index: 0, edge: Edge::Rising, input_time: 0.0, offset: 1.0, bounds };
+/// let eta = src.sample(&ctx);
+/// assert!(bounds.contains(eta));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlickerNoise {
+    amplitude: f64,
+    rows: Vec<f64>,
+    counter: u64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl FlickerNoise {
+    /// Creates a flicker source with RMS `amplitude`, `octaves` rows
+    /// (4–16 is typical; more octaves extend the 1/f band to lower
+    /// frequencies) and a deterministic `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidDelayParameter`] if `amplitude` is
+    /// negative/non-finite or `octaves == 0`.
+    pub fn new(amplitude: f64, octaves: usize, seed: u64) -> Result<Self, crate::Error> {
+        if !(amplitude.is_finite() && amplitude >= 0.0) {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "amplitude",
+                value: amplitude,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if octaves == 0 || octaves > 62 {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "octaves",
+                value: octaves as f64,
+                constraint: "must be in 1..=62",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = (0..octaves).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        Ok(FlickerNoise {
+            amplitude,
+            rows,
+            counter: 0,
+            rng,
+            seed,
+        })
+    }
+
+    fn next_value(&mut self) -> f64 {
+        self.counter = self.counter.wrapping_add(1);
+        // refresh row k when bit k of the counter flips from 0 — the
+        // classic trailing-zeros trick
+        let k = (self.counter.trailing_zeros() as usize).min(self.rows.len() - 1);
+        self.rows[k] = self.rng.gen_range(-1.0..1.0);
+        let sum: f64 = self.rows.iter().sum();
+        // each row is uniform on [−1,1] (variance 1/3); the sum of m rows
+        // has std sqrt(m/3)
+        let norm = (self.rows.len() as f64 / 3.0).sqrt();
+        self.amplitude * sum / norm
+    }
+}
+
+impl NoiseSource for FlickerNoise {
+    fn sample(&mut self, ctx: &NoiseContext) -> f64 {
+        ctx.bounds.clamp(self.next_value())
+    }
+
+    fn reset(&mut self) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for row in &mut self.rows {
+            *row = rng.gen_range(-1.0..1.0);
+        }
+        self.counter = 0;
+        self.rng = rng;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Edge;
+    use crate::noise::EtaBounds;
+
+    fn ctx(bounds: EtaBounds) -> NoiseContext {
+        NoiseContext {
+            index: 0,
+            edge: Edge::Rising,
+            input_time: 0.0,
+            offset: 1.0,
+            bounds,
+        }
+    }
+
+    #[test]
+    fn constructor_validates() {
+        assert!(FlickerNoise::new(0.1, 8, 0).is_ok());
+        assert!(FlickerNoise::new(-0.1, 8, 0).is_err());
+        assert!(FlickerNoise::new(f64::NAN, 8, 0).is_err());
+        assert!(FlickerNoise::new(0.1, 0, 0).is_err());
+        assert!(FlickerNoise::new(0.1, 63, 0).is_err());
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        let b = EtaBounds::symmetric(0.02).unwrap();
+        let mut src = FlickerNoise::new(0.05, 8, 1).unwrap();
+        for _ in 0..1000 {
+            assert!(b.contains(src.sample(&ctx(b))));
+        }
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let b = EtaBounds::symmetric(1.0).unwrap();
+        let mut a = FlickerNoise::new(0.1, 8, 99).unwrap();
+        let mut bsrc = FlickerNoise::new(0.1, 8, 99).unwrap();
+        let seq_a: Vec<f64> = (0..50).map(|_| a.sample(&ctx(b))).collect();
+        let seq_b: Vec<f64> = (0..50).map(|_| bsrc.sample(&ctx(b))).collect();
+        assert_eq!(seq_a, seq_b);
+        a.reset();
+        let seq_a2: Vec<f64> = (0..50).map(|_| a.sample(&ctx(b))).collect();
+        assert_eq!(seq_a, seq_a2);
+    }
+
+    #[test]
+    fn has_low_frequency_correlation() {
+        // Pink noise must be positively correlated at lag 1, unlike white
+        // noise. Estimate the lag-1 autocorrelation over many samples.
+        let b = EtaBounds::symmetric(f64::INFINITY);
+        assert!(b.is_err()); // infinite bounds are rejected …
+        let b = EtaBounds::symmetric(1e9).unwrap(); // … so use huge finite ones
+        let mut src = FlickerNoise::new(1.0, 10, 7).unwrap();
+        let xs: Vec<f64> = (0..4096).map(|_| src.sample(&ctx(b))).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>();
+        let rho = cov / var;
+        assert!(rho > 0.5, "lag-1 autocorrelation {rho} too small for 1/f");
+    }
+
+    #[test]
+    fn rms_roughly_matches_amplitude() {
+        let b = EtaBounds::symmetric(1e9).unwrap();
+        let mut src = FlickerNoise::new(0.5, 8, 11).unwrap();
+        let xs: Vec<f64> = (0..8192).map(|_| src.sample(&ctx(b))).collect();
+        let rms = (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt();
+        assert!((0.2..=1.0).contains(&rms), "rms = {rms}, expected near 0.5");
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic periodic jitter and random-telegraph (burst) noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::noise::{NoiseContext, NoiseSource};
+
+/// Sinusoidal jitter: `η(t) = amplitude · sin(2π t/period + phase)`,
+/// evaluated at each transition's *input time* and clamped into the
+/// admissible interval.
+///
+/// Models deterministic periodic interference (supply ripple coupling
+/// into delays, as in the Section V supply-sine experiment) inside the
+/// digital abstraction.
+///
+/// ```
+/// use ivl_core::noise::{EtaBounds, NoiseContext, NoiseSource, SineJitter};
+/// use ivl_core::Edge;
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let mut src = SineJitter::new(0.05, 10.0, 90.0)?;
+/// let bounds = EtaBounds::symmetric(0.1)?;
+/// let ctx = NoiseContext { index: 0, edge: Edge::Rising, input_time: 0.0, offset: 1.0, bounds };
+/// assert!((src.sample(&ctx) - 0.05).abs() < 1e-12); // sin(90°) = 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineJitter {
+    amplitude: f64,
+    period: f64,
+    phase_rad: f64,
+}
+
+impl SineJitter {
+    /// Creates sinusoidal jitter with the given amplitude, period and
+    /// phase (degrees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidDelayParameter`] unless
+    /// `amplitude ≥ 0` and `period > 0` (both finite).
+    pub fn new(amplitude: f64, period: f64, phase_deg: f64) -> Result<Self, crate::Error> {
+        if !(amplitude.is_finite() && amplitude >= 0.0) {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "amplitude",
+                value: amplitude,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !(period.is_finite() && period > 0.0) {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "period",
+                value: period,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !phase_deg.is_finite() {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "phase_deg",
+                value: phase_deg,
+                constraint: "must be finite",
+            });
+        }
+        Ok(SineJitter {
+            amplitude,
+            period,
+            phase_rad: phase_deg.to_radians(),
+        })
+    }
+}
+
+impl NoiseSource for SineJitter {
+    fn sample(&mut self, ctx: &NoiseContext) -> f64 {
+        let eta = self.amplitude
+            * (std::f64::consts::TAU * ctx.input_time / self.period + self.phase_rad).sin();
+        ctx.bounds.clamp(eta)
+    }
+}
+
+/// Random-telegraph ("burst" / popcorn) noise: a two-state source that
+/// flips between `+level` and `−level` with probability `flip_prob` per
+/// transition, clamped into the admissible interval.
+///
+/// Models the low-frequency burst noise of deep-submicron devices: the
+/// delay error is *correlated* over many transitions rather than i.i.d.
+#[derive(Debug, Clone)]
+pub struct BurstNoise {
+    level: f64,
+    flip_prob: f64,
+    state_high: bool,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl BurstNoise {
+    /// Creates a burst source with shift magnitude `level` and per-sample
+    /// flip probability `flip_prob ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error::InvalidDelayParameter`] for invalid
+    /// parameters.
+    pub fn new(level: f64, flip_prob: f64, seed: u64) -> Result<Self, crate::Error> {
+        if !(level.is_finite() && level >= 0.0) {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "level",
+                value: level,
+                constraint: "must be finite and >= 0",
+            });
+        }
+        if !(flip_prob.is_finite() && (0.0..=1.0).contains(&flip_prob)) {
+            return Err(crate::Error::InvalidDelayParameter {
+                name: "flip_prob",
+                value: flip_prob,
+                constraint: "must be in [0, 1]",
+            });
+        }
+        Ok(BurstNoise {
+            level,
+            flip_prob,
+            state_high: false,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        })
+    }
+}
+
+impl NoiseSource for BurstNoise {
+    fn sample(&mut self, ctx: &NoiseContext) -> f64 {
+        if self.rng.gen_bool(self.flip_prob) {
+            self.state_high = !self.state_high;
+        }
+        let eta = if self.state_high {
+            self.level
+        } else {
+            -self.level
+        };
+        ctx.bounds.clamp(eta)
+    }
+
+    fn reset(&mut self) {
+        self.state_high = false;
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit::Edge;
+    use crate::noise::EtaBounds;
+
+    fn ctx(t: f64, bounds: EtaBounds) -> NoiseContext {
+        NoiseContext {
+            index: 0,
+            edge: Edge::Rising,
+            input_time: t,
+            offset: 1.0,
+            bounds,
+        }
+    }
+
+    #[test]
+    fn sine_jitter_validation_and_shape() {
+        assert!(SineJitter::new(-0.1, 1.0, 0.0).is_err());
+        assert!(SineJitter::new(0.1, 0.0, 0.0).is_err());
+        assert!(SineJitter::new(0.1, 1.0, f64::NAN).is_err());
+        let b = EtaBounds::symmetric(1.0).unwrap();
+        let mut s = SineJitter::new(0.5, 8.0, 0.0).unwrap();
+        assert!(s.sample(&ctx(0.0, b)).abs() < 1e-12); // sin 0
+        assert!((s.sample(&ctx(2.0, b)) - 0.5).abs() < 1e-12); // quarter period
+        assert!((s.sample(&ctx(6.0, b)) + 0.5).abs() < 1e-12); // three quarters
+                                                               // periodicity
+        assert!((s.sample(&ctx(1.0, b)) - s.sample(&ctx(9.0, b))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sine_jitter_respects_bounds() {
+        let b = EtaBounds::new(0.01, 0.02).unwrap();
+        let mut s = SineJitter::new(5.0, 3.0, 0.0).unwrap();
+        for i in 0..100 {
+            let eta = s.sample(&ctx(i as f64 * 0.37, b));
+            assert!(b.contains(eta));
+        }
+    }
+
+    #[test]
+    fn burst_noise_is_two_level_and_correlated() {
+        let b = EtaBounds::symmetric(1.0).unwrap();
+        let mut src = BurstNoise::new(0.3, 0.05, 7).unwrap();
+        let xs: Vec<f64> = (0..2000).map(|i| src.sample(&ctx(i as f64, b))).collect();
+        // exactly two levels
+        assert!(xs.iter().all(|&x| x == 0.3 || x == -0.3));
+        // correlated: far fewer level changes than samples
+        let flips = xs.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(flips > 10, "some flips expected, got {flips}");
+        assert!(flips < 400, "bursty, not white: {flips}");
+        // both levels visited
+        assert!(xs.iter().any(|&x| x > 0.0) && xs.iter().any(|&x| x < 0.0));
+    }
+
+    #[test]
+    fn burst_noise_validation_and_reset() {
+        assert!(BurstNoise::new(-0.1, 0.1, 0).is_err());
+        assert!(BurstNoise::new(0.1, 1.5, 0).is_err());
+        let b = EtaBounds::symmetric(1.0).unwrap();
+        let mut src = BurstNoise::new(0.2, 0.3, 11).unwrap();
+        let first: Vec<f64> = (0..20).map(|i| src.sample(&ctx(i as f64, b))).collect();
+        src.reset();
+        let second: Vec<f64> = (0..20).map(|i| src.sample(&ctx(i as f64, b))).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn burst_noise_clamps_to_bounds() {
+        let b = EtaBounds::new(0.05, 0.01).unwrap();
+        let mut src = BurstNoise::new(0.3, 0.5, 3).unwrap();
+        for i in 0..100 {
+            let eta = src.sample(&ctx(i as f64, b));
+            assert!(eta == 0.01 || eta == -0.05);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Pulses and pulse-train statistics (up-times, periods, duty cycles).
+//!
+//! Lemmas 5 and 6 of the paper bound the up-times `∆_n`, periods
+//! `P_n = ∆_n + ∆′_{n+1}` and duty cycles `γ_n = ∆_n / P_n` of any
+//! infinite pulse train produced by the fed-back OR stage. [`PulseStats`]
+//! computes exactly these quantities from a [`Signal`].
+
+use crate::signal::Signal;
+
+/// A maximal 1-interval of a signal: `[start, start + width)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Time of the rising transition.
+    pub start: f64,
+    /// Up-time (∆ in the paper); infinite if the signal never falls again.
+    pub width: f64,
+}
+
+impl Pulse {
+    /// Creates a pulse.
+    #[must_use]
+    pub fn new(start: f64, width: f64) -> Self {
+        Pulse { start, width }
+    }
+
+    /// Time of the falling transition (`start + width`).
+    #[must_use]
+    pub fn end(&self) -> f64 {
+        self.start + self.width
+    }
+}
+
+/// Per-pulse statistics of a pulse train, following the paper's notation.
+///
+/// For pulses `∆_1, ∆_2, …` (up-times) the *period* of pulse `n` is
+/// measured rising-edge to next rising-edge, `P_n = ∆_n + ∆′_{n+1}` where
+/// `∆′_{n+1}` is the down-time between pulse `n` and pulse `n+1`; the duty
+/// cycle is `γ_n = ∆_n / P_n`.
+///
+/// ```
+/// use ivl_core::{PulseStats, Signal};
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let s = Signal::pulse_train([(0.0, 1.0), (4.0, 1.0), (8.0, 1.0)])?;
+/// let stats = PulseStats::of(&s);
+/// assert_eq!(stats.periods(), &[4.0, 4.0]);
+/// assert_eq!(stats.duty_cycles(), &[0.25, 0.25]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PulseStats {
+    pulses: Vec<Pulse>,
+    down_times: Vec<f64>,
+    periods: Vec<f64>,
+    duty_cycles: Vec<f64>,
+}
+
+impl PulseStats {
+    /// Computes pulse statistics for `signal`.
+    ///
+    /// Unclosed trailing pulses (infinite width) are excluded from period
+    /// and duty-cycle lists but included in [`PulseStats::pulses`].
+    #[must_use]
+    pub fn of(signal: &Signal) -> Self {
+        let pulses = signal.pulses();
+        let mut down_times = Vec::new();
+        let mut periods = Vec::new();
+        let mut duty_cycles = Vec::new();
+        for w in pulses.windows(2) {
+            let down = w[1].start - w[0].end();
+            down_times.push(down);
+            if w[0].width.is_finite() {
+                let period = w[1].start - w[0].start;
+                periods.push(period);
+                duty_cycles.push(w[0].width / period);
+            }
+        }
+        PulseStats {
+            pulses,
+            down_times,
+            periods,
+            duty_cycles,
+        }
+    }
+
+    /// All pulses of the signal.
+    #[must_use]
+    pub fn pulses(&self) -> &[Pulse] {
+        &self.pulses
+    }
+
+    /// Up-times `∆_n` of all complete pulses.
+    #[must_use]
+    pub fn up_times(&self) -> Vec<f64> {
+        self.pulses
+            .iter()
+            .filter(|p| p.width.is_finite())
+            .map(|p| p.width)
+            .collect()
+    }
+
+    /// Down-times `∆′_n` between consecutive pulses.
+    #[must_use]
+    pub fn down_times(&self) -> &[f64] {
+        &self.down_times
+    }
+
+    /// Periods `P_n` (rising edge to next rising edge).
+    #[must_use]
+    pub fn periods(&self) -> &[f64] {
+        &self.periods
+    }
+
+    /// Duty cycles `γ_n = ∆_n / P_n`.
+    #[must_use]
+    pub fn duty_cycles(&self) -> &[f64] {
+        &self.duty_cycles
+    }
+
+    /// Largest finite up-time, if any.
+    #[must_use]
+    pub fn max_up_time(&self) -> Option<f64> {
+        self.up_times().into_iter().fold(None, fmax)
+    }
+
+    /// Smallest down-time, if any.
+    #[must_use]
+    pub fn min_down_time(&self) -> Option<f64> {
+        self.down_times.iter().copied().fold(None, fmin)
+    }
+
+    /// Smallest period, if any.
+    #[must_use]
+    pub fn min_period(&self) -> Option<f64> {
+        self.periods.iter().copied().fold(None, fmin)
+    }
+
+    /// Largest duty cycle, if any.
+    #[must_use]
+    pub fn max_duty_cycle(&self) -> Option<f64> {
+        self.duty_cycles.iter().copied().fold(None, fmax)
+    }
+
+    /// Number of complete (finite-width) pulses.
+    #[must_use]
+    pub fn pulse_count(&self) -> usize {
+        self.pulses.iter().filter(|p| p.width.is_finite()).count()
+    }
+}
+
+fn fmax(acc: Option<f64>, x: f64) -> Option<f64> {
+    Some(acc.map_or(x, |a| a.max(x)))
+}
+
+fn fmin(acc: Option<f64>, x: f64) -> Option<f64> {
+    Some(acc.map_or(x, |a| a.min(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Signal;
+
+    #[test]
+    fn pulse_end() {
+        let p = Pulse::new(1.0, 2.5);
+        assert_eq!(p.end(), 3.5);
+    }
+
+    #[test]
+    fn stats_of_regular_train() {
+        let s = Signal::pulse_train([(0.0, 1.0), (3.0, 1.0), (6.0, 1.0)]).unwrap();
+        let st = PulseStats::of(&s);
+        assert_eq!(st.pulse_count(), 3);
+        assert_eq!(st.up_times(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(st.down_times(), &[2.0, 2.0]);
+        assert_eq!(st.periods(), &[3.0, 3.0]);
+        assert!((st.max_duty_cycle().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.min_period(), Some(3.0));
+        assert_eq!(st.min_down_time(), Some(2.0));
+        assert_eq!(st.max_up_time(), Some(1.0));
+    }
+
+    #[test]
+    fn stats_of_irregular_train() {
+        let s = Signal::pulse_train([(0.0, 2.0), (3.0, 0.5), (10.0, 1.0)]).unwrap();
+        let st = PulseStats::of(&s);
+        assert_eq!(st.periods(), &[3.0, 7.0]);
+        assert_eq!(st.down_times(), &[1.0, 6.5]);
+        let gammas = st.duty_cycles();
+        assert!((gammas[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((gammas[1] - 0.5 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_constant_and_single_pulse() {
+        let st = PulseStats::of(&Signal::zero());
+        assert_eq!(st.pulse_count(), 0);
+        assert!(st.max_duty_cycle().is_none());
+        assert!(st.min_period().is_none());
+
+        let s = Signal::pulse(0.0, 1.0).unwrap();
+        let st = PulseStats::of(&s);
+        assert_eq!(st.pulse_count(), 1);
+        assert!(st.periods().is_empty()); // no next rising edge
+    }
+
+    #[test]
+    fn unclosed_tail_excluded_from_periods() {
+        // rises at 0, falls at 1, rises at 2 and stays up
+        let s = Signal::from_times(crate::Bit::Zero, &[0.0, 1.0, 2.0]).unwrap();
+        let st = PulseStats::of(&s);
+        assert_eq!(st.pulses().len(), 2);
+        assert_eq!(st.pulse_count(), 1);
+        assert_eq!(st.periods(), &[2.0]);
+        assert_eq!(st.down_times(), &[1.0]);
+    }
+}

@@ -1,0 +1,699 @@
+//! Continuous-time binary signals as alternating transition lists.
+//!
+//! A [`Signal`] follows Section II of the paper: it has an *initial value*
+//! (the transition "at time −∞") and a finite list of transitions whose
+//! times are strictly increasing (condition S2) and whose values alternate.
+//! Condition S1 (all finite transitions at times `t ≥ 0`) is required of
+//! circuit *inputs* and can be checked with [`Signal::satisfies_s1`];
+//! channel outputs are allowed to carry negative transition times so that
+//! channels remain total functions. Condition S3 concerns infinite
+//! signals, which are represented here by finite prefixes over a simulated
+//! horizon.
+
+use std::fmt;
+
+use crate::bit::Bit;
+use crate::error::Error;
+use crate::pulse::Pulse;
+
+/// A single signal transition: at `time` the signal takes `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// The time of the transition.
+    pub time: f64,
+    /// The value of the signal immediately after the transition.
+    pub value: Bit,
+}
+
+impl Transition {
+    /// Creates a transition to `value` at `time`.
+    ///
+    /// ```
+    /// use ivl_core::{Bit, Transition};
+    /// let t = Transition::new(1.5, Bit::One);
+    /// assert!(t.is_rising());
+    /// ```
+    #[must_use]
+    pub fn new(time: f64, value: Bit) -> Self {
+        Transition { time, value }
+    }
+
+    /// `true` if this is a rising (`0 → 1`) transition.
+    #[must_use]
+    pub fn is_rising(&self) -> bool {
+        self.value.is_one()
+    }
+
+    /// `true` if this is a falling (`1 → 0`) transition.
+    #[must_use]
+    pub fn is_falling(&self) -> bool {
+        self.value.is_zero()
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.time, self.value)
+    }
+}
+
+/// A continuous-time binary signal.
+///
+/// Invariants (checked on construction):
+///
+/// * transition times are finite and strictly increasing (S2);
+/// * the first transition's value differs from the initial value, and
+///   consecutive transition values alternate.
+///
+/// # Examples
+///
+/// ```
+/// use ivl_core::{Bit, Signal};
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let s = Signal::pulse(1.0, 2.0)?; // up-pulse on [1, 3)
+/// assert_eq!(s.value_at(0.0), Bit::Zero);
+/// assert_eq!(s.value_at(1.0), Bit::One);
+/// assert_eq!(s.value_at(3.5), Bit::Zero);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Signal {
+    initial: Bit,
+    transitions: Vec<Transition>,
+}
+
+impl Signal {
+    /// Creates a signal from an initial value and a transition list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if times are non-finite or not strictly
+    /// increasing, or if values do not alternate starting from
+    /// `!initial`.
+    pub fn new(initial: Bit, transitions: Vec<Transition>) -> Result<Self, Error> {
+        let mut expected = !initial;
+        let mut prev_time = f64::NEG_INFINITY;
+        for (index, tr) in transitions.iter().enumerate() {
+            if !tr.time.is_finite() {
+                return Err(Error::NonFiniteTime { index });
+            }
+            if tr.time <= prev_time {
+                return Err(Error::NonMonotonicTimes {
+                    index,
+                    previous: prev_time,
+                    time: tr.time,
+                });
+            }
+            if tr.value != expected {
+                return Err(Error::NonAlternating { index });
+            }
+            prev_time = tr.time;
+            expected = !expected;
+        }
+        Ok(Signal {
+            initial,
+            transitions,
+        })
+    }
+
+    /// Creates a signal from an initial value and transition *times* only;
+    /// values are inferred by alternation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the times are non-finite or not strictly
+    /// increasing.
+    pub fn from_times(initial: Bit, times: &[f64]) -> Result<Self, Error> {
+        let mut value = initial;
+        let transitions = times
+            .iter()
+            .map(|&time| {
+                value = !value;
+                Transition::new(time, value)
+            })
+            .collect();
+        Signal::new(initial, transitions)
+    }
+
+    /// The constant signal with the given value and no transitions.
+    #[must_use]
+    pub fn constant(value: Bit) -> Self {
+        Signal {
+            initial: value,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The zero signal (constant [`Bit::Zero`]).
+    #[must_use]
+    pub fn zero() -> Self {
+        Signal::constant(Bit::Zero)
+    }
+
+    /// A single up-pulse of length `width` starting at time `start`
+    /// (initial value 0, rising at `start`, falling at `start + width`).
+    ///
+    /// This is "a pulse of length ∆ at time T" in the paper's Section IV.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `width <= 0` or the times are non-finite.
+    pub fn pulse(start: f64, width: f64) -> Result<Self, Error> {
+        Signal::from_times(Bit::Zero, &[start, start + width])
+    }
+
+    /// A train of up-pulses: each `(start, width)` pair contributes one
+    /// pulse. Pulses must be disjoint and in increasing order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the resulting transition times are not strictly
+    /// increasing.
+    pub fn pulse_train<I>(pulses: I) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let mut times = Vec::new();
+        for (start, width) in pulses {
+            times.push(start);
+            times.push(start + width);
+        }
+        Signal::from_times(Bit::Zero, &times)
+    }
+
+    /// The initial value (the "transition at −∞").
+    #[must_use]
+    pub fn initial(&self) -> Bit {
+        self.initial
+    }
+
+    /// The transitions, in increasing time order.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Number of transitions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` if the signal has no transitions (it is constant).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// `true` if this is the zero signal (constant 0).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.initial.is_zero() && self.transitions.is_empty()
+    }
+
+    /// The signal trace value at time `t` (value of the most recent
+    /// transition at or before `t`).
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> Bit {
+        match self
+            .transitions
+            .partition_point(|tr| tr.time <= t)
+            .checked_sub(1)
+        {
+            Some(i) => self.transitions[i].value,
+            None => self.initial,
+        }
+    }
+
+    /// The value after all transitions.
+    #[must_use]
+    pub fn final_value(&self) -> Bit {
+        self.transitions.last().map_or(self.initial, |tr| tr.value)
+    }
+
+    /// Time of the last transition, or `None` for constant signals.
+    #[must_use]
+    pub fn last_time(&self) -> Option<f64> {
+        self.transitions.last().map(|tr| tr.time)
+    }
+
+    /// `true` if every transition happens at a time `t ≥ 0` (condition S1
+    /// of the paper, required of circuit input signals).
+    #[must_use]
+    pub fn satisfies_s1(&self) -> bool {
+        self.transitions.first().map_or(true, |tr| tr.time >= 0.0)
+    }
+
+    /// Returns the signal shifted by `dt` in time.
+    #[must_use]
+    pub fn shifted(&self, dt: f64) -> Self {
+        let transitions = self
+            .transitions
+            .iter()
+            .map(|tr| Transition::new(tr.time + dt, tr.value))
+            .collect();
+        Signal {
+            initial: self.initial,
+            transitions,
+        }
+    }
+
+    /// The complemented signal (all values inverted, same times).
+    #[must_use]
+    pub fn complemented(&self) -> Self {
+        let transitions = self
+            .transitions
+            .iter()
+            .map(|tr| Transition::new(tr.time, !tr.value))
+            .collect();
+        Signal {
+            initial: !self.initial,
+            transitions,
+        }
+    }
+
+    /// Maximal intervals during which the signal is 1, as [`Pulse`]s.
+    /// A trailing 1-interval that never falls is reported with infinite
+    /// width.
+    #[must_use]
+    pub fn pulses(&self) -> Vec<Pulse> {
+        let mut pulses = Vec::new();
+        let mut rise: Option<f64> = if self.initial.is_one() {
+            Some(f64::NEG_INFINITY)
+        } else {
+            None
+        };
+        for tr in &self.transitions {
+            match (tr.value, rise) {
+                (Bit::One, None) => rise = Some(tr.time),
+                (Bit::Zero, Some(start)) => {
+                    pulses.push(Pulse::new(start, tr.time - start));
+                    rise = None;
+                }
+                _ => unreachable!("alternation invariant"),
+            }
+        }
+        if let Some(start) = rise {
+            pulses.push(Pulse::new(start, f64::INFINITY));
+        }
+        pulses
+    }
+
+    /// `true` if the signal contains a (complete) up-pulse of length `< eps`
+    /// or a 0-gap of length `< eps` between pulses. This is the property
+    /// ruled out by SPF condition F4 ("no short pulses").
+    #[must_use]
+    pub fn contains_interval_shorter_than(&self, eps: f64) -> bool {
+        self.transitions
+            .windows(2)
+            .any(|w| w[1].time - w[0].time < eps)
+    }
+
+    /// The width of the shortest interval between consecutive transitions,
+    /// or `None` if there are fewer than two transitions.
+    #[must_use]
+    pub fn min_interval(&self) -> Option<f64> {
+        self.transitions
+            .windows(2)
+            .map(|w| w[1].time - w[0].time)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.min(w))))
+    }
+
+    /// Restriction of the signal to `(-∞, horizon]`: transitions after
+    /// `horizon` are dropped.
+    #[must_use]
+    pub fn truncated(&self, horizon: f64) -> Self {
+        let keep = self.transitions.partition_point(|tr| tr.time <= horizon);
+        Signal {
+            initial: self.initial,
+            transitions: self.transitions[..keep].to_vec(),
+        }
+    }
+
+    /// `true` if `self` and `other` have the same initial value, the same
+    /// number of transitions, and pairwise times within `tol`.
+    #[must_use]
+    pub fn approx_eq(&self, other: &Signal, tol: f64) -> bool {
+        self.initial == other.initial
+            && self.transitions.len() == other.transitions.len()
+            && self
+                .transitions
+                .iter()
+                .zip(&other.transitions)
+                .all(|(a, b)| a.value == b.value && (a.time - b.time).abs() <= tol)
+    }
+
+    /// Renders the signal trace as single-line ASCII art over
+    /// `[t_start, t_end]` with `width` columns — handy for examples and
+    /// debugging.
+    ///
+    /// ```
+    /// use ivl_core::Signal;
+    /// # fn main() -> Result<(), ivl_core::Error> {
+    /// let s = Signal::pulse(2.0, 4.0)?;
+    /// let art = s.render_ascii(0.0, 8.0, 16);
+    /// assert_eq!(art.chars().count(), 16);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn render_ascii(&self, t_start: f64, t_end: f64, width: usize) -> String {
+        if width == 0 || t_end <= t_start {
+            return String::new();
+        }
+        let dt = (t_end - t_start) / width as f64;
+        let mut out = String::with_capacity(width * 3);
+        let mut prev = self.value_at(t_start - dt / 2.0);
+        for col in 0..width {
+            let t = t_start + (col as f64 + 0.5) * dt;
+            let v = self.value_at(t);
+            let ch = match (prev, v) {
+                (Bit::Zero, Bit::Zero) => '_',
+                (Bit::One, Bit::One) => '‾',
+                (Bit::Zero, Bit::One) => '/',
+                (Bit::One, Bit::Zero) => '\\',
+            };
+            out.push(ch);
+            prev = v;
+        }
+        out
+    }
+}
+
+impl Default for Signal {
+    /// The zero signal.
+    fn default() -> Self {
+        Signal::zero()
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@-∞", self.initial)?;
+        for tr in &self.transitions {
+            write!(f, " {tr}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Signal {
+    type Item = &'a Transition;
+    type IntoIter = std::slice::Iter<'a, Transition>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.transitions.iter()
+    }
+}
+
+/// Incremental builder for [`Signal`]s.
+///
+/// Appends transitions in time order, checking the invariants as it goes.
+///
+/// ```
+/// use ivl_core::{Bit, SignalBuilder};
+/// # fn main() -> Result<(), ivl_core::Error> {
+/// let mut b = SignalBuilder::new(Bit::Zero);
+/// b.push_time(1.0)?;
+/// b.push_time(2.0)?;
+/// let s = b.finish();
+/// assert_eq!(s.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignalBuilder {
+    initial: Bit,
+    transitions: Vec<Transition>,
+    next_value: Bit,
+}
+
+impl SignalBuilder {
+    /// Starts a builder for a signal with the given initial value.
+    #[must_use]
+    pub fn new(initial: Bit) -> Self {
+        SignalBuilder {
+            initial,
+            transitions: Vec::new(),
+            next_value: !initial,
+        }
+    }
+
+    /// Current value at the end of the partial signal.
+    #[must_use]
+    pub fn current_value(&self) -> Bit {
+        !self.next_value
+    }
+
+    /// Appends a transition at `time` (value inferred by alternation).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `time` is non-finite or not after the previous
+    /// transition.
+    pub fn push_time(&mut self, time: f64) -> Result<&mut Self, Error> {
+        let index = self.transitions.len();
+        if !time.is_finite() {
+            return Err(Error::NonFiniteTime { index });
+        }
+        if let Some(last) = self.transitions.last() {
+            if time <= last.time {
+                return Err(Error::NonMonotonicTimes {
+                    index,
+                    previous: last.time,
+                    time,
+                });
+            }
+        }
+        self.transitions
+            .push(Transition::new(time, self.next_value));
+        self.next_value = !self.next_value;
+        Ok(self)
+    }
+
+    /// Appends a transition, checking that its value matches the expected
+    /// alternation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on broken alternation or non-monotone time.
+    pub fn push(&mut self, tr: Transition) -> Result<&mut Self, Error> {
+        if tr.value != self.next_value {
+            return Err(Error::NonAlternating {
+                index: self.transitions.len(),
+            });
+        }
+        self.push_time(tr.time)?;
+        Ok(self)
+    }
+
+    /// Number of transitions so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// `true` if no transitions have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Finishes the builder, producing the signal.
+    #[must_use]
+    pub fn finish(self) -> Signal {
+        Signal {
+            initial: self.initial,
+            transitions: self.transitions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signals() {
+        let z = Signal::zero();
+        assert!(z.is_zero());
+        assert!(z.is_empty());
+        assert_eq!(z.value_at(-10.0), Bit::Zero);
+        assert_eq!(z.final_value(), Bit::Zero);
+        let one = Signal::constant(Bit::One);
+        assert!(!one.is_zero());
+        assert_eq!(one.value_at(5.0), Bit::One);
+    }
+
+    #[test]
+    fn pulse_trace_evaluation() {
+        let s = Signal::pulse(1.0, 2.0).unwrap();
+        assert_eq!(s.value_at(0.999), Bit::Zero);
+        assert_eq!(s.value_at(1.0), Bit::One); // most recent transition at t
+        assert_eq!(s.value_at(2.999), Bit::One);
+        assert_eq!(s.value_at(3.0), Bit::Zero);
+        assert_eq!(s.final_value(), Bit::Zero);
+        assert_eq!(s.last_time(), Some(3.0));
+    }
+
+    #[test]
+    fn new_rejects_nonmonotone() {
+        let err = Signal::from_times(Bit::Zero, &[1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, Error::NonMonotonicTimes { index: 1, .. }));
+        let err = Signal::from_times(Bit::Zero, &[2.0, 1.0]).unwrap_err();
+        assert!(matches!(err, Error::NonMonotonicTimes { .. }));
+    }
+
+    #[test]
+    fn new_rejects_nonfinite() {
+        let err = Signal::from_times(Bit::Zero, &[f64::NAN]).unwrap_err();
+        assert!(matches!(err, Error::NonFiniteTime { index: 0 }));
+        let err = Signal::from_times(Bit::Zero, &[f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, Error::NonFiniteTime { index: 0 }));
+    }
+
+    #[test]
+    fn new_rejects_broken_alternation() {
+        let trs = vec![
+            Transition::new(1.0, Bit::One),
+            Transition::new(2.0, Bit::One),
+        ];
+        let err = Signal::new(Bit::Zero, trs).unwrap_err();
+        assert!(matches!(err, Error::NonAlternating { index: 1 }));
+        let trs = vec![Transition::new(1.0, Bit::Zero)];
+        let err = Signal::new(Bit::Zero, trs).unwrap_err();
+        assert!(matches!(err, Error::NonAlternating { index: 0 }));
+    }
+
+    #[test]
+    fn pulse_rejects_nonpositive_width() {
+        assert!(Signal::pulse(0.0, 0.0).is_err());
+        assert!(Signal::pulse(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn pulse_train_constructs_and_validates() {
+        let s = Signal::pulse_train([(0.0, 1.0), (2.0, 0.5)]).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.pulses().len(), 2);
+        assert!(Signal::pulse_train([(0.0, 3.0), (2.0, 1.0)]).is_err()); // overlap
+    }
+
+    #[test]
+    fn pulses_extraction() {
+        let s = Signal::pulse_train([(1.0, 2.0), (5.0, 1.0)]).unwrap();
+        let ps = s.pulses();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].start, 1.0);
+        assert_eq!(ps[0].width, 2.0);
+        assert_eq!(ps[1].start, 5.0);
+        assert_eq!(ps[1].width, 1.0);
+    }
+
+    #[test]
+    fn pulses_with_initial_one_and_unclosed_tail() {
+        let s = Signal::from_times(Bit::One, &[1.0, 2.0]).unwrap(); // falls at 1, rises at 2
+        let ps = s.pulses();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].start, f64::NEG_INFINITY);
+        assert_eq!(ps[0].width, f64::INFINITY);
+        assert_eq!(ps[1].start, 2.0);
+        assert!(ps[1].width.is_infinite());
+    }
+
+    #[test]
+    fn min_interval_and_short_pulse_detection() {
+        let s = Signal::pulse_train([(0.0, 0.1), (1.0, 2.0)]).unwrap();
+        assert!((s.min_interval().unwrap() - 0.1).abs() < 1e-12);
+        assert!(s.contains_interval_shorter_than(0.2));
+        assert!(!s.contains_interval_shorter_than(0.05));
+        assert_eq!(Signal::zero().min_interval(), None);
+    }
+
+    #[test]
+    fn shifted_and_complemented() {
+        let s = Signal::pulse(1.0, 1.0).unwrap();
+        let sh = s.shifted(-0.5);
+        assert_eq!(sh.transitions()[0].time, 0.5);
+        let c = s.complemented();
+        assert_eq!(c.initial(), Bit::One);
+        assert_eq!(c.value_at(1.5), Bit::Zero);
+        assert_eq!(c.complemented(), s);
+    }
+
+    #[test]
+    fn truncated_drops_late_transitions() {
+        let s = Signal::pulse_train([(0.0, 1.0), (2.0, 1.0)]).unwrap();
+        let t = s.truncated(1.5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.final_value(), Bit::Zero);
+        // truncation keeps a transition exactly at the horizon
+        let t2 = s.truncated(2.0);
+        assert_eq!(t2.len(), 3);
+    }
+
+    #[test]
+    fn satisfies_s1() {
+        assert!(Signal::pulse(0.0, 1.0).unwrap().satisfies_s1());
+        assert!(Signal::zero().satisfies_s1());
+        assert!(!Signal::pulse(-1.0, 0.5).unwrap().satisfies_s1());
+    }
+
+    #[test]
+    fn approx_eq_tolerates_time_jitter() {
+        let a = Signal::pulse(0.0, 1.0).unwrap();
+        let b = Signal::pulse(0.001, 1.0).unwrap();
+        assert!(a.approx_eq(&b, 0.01));
+        assert!(!a.approx_eq(&b, 1e-6));
+        assert!(!a.approx_eq(&Signal::zero(), 1.0));
+    }
+
+    #[test]
+    fn builder_happy_path_and_errors() {
+        let mut b = SignalBuilder::new(Bit::Zero);
+        assert!(b.is_empty());
+        b.push_time(0.5).unwrap();
+        assert_eq!(b.current_value(), Bit::One);
+        b.push(Transition::new(1.5, Bit::Zero)).unwrap();
+        assert!(b.push(Transition::new(2.0, Bit::Zero)).is_err()); // alternation
+        assert!(b.push_time(1.0).is_err()); // monotonicity
+        assert_eq!(b.len(), 2);
+        let s = b.finish();
+        assert_eq!(s, Signal::pulse(0.5, 1.0).unwrap());
+    }
+
+    #[test]
+    fn render_ascii_shape() {
+        let s = Signal::pulse(2.0, 4.0).unwrap();
+        let art = s.render_ascii(0.0, 8.0, 8);
+        assert_eq!(art.chars().count(), 8);
+        assert!(art.contains('/'));
+        assert!(art.contains('\\'));
+        assert!(art.starts_with('_'));
+        assert_eq!(s.render_ascii(0.0, 0.0, 8), "");
+        assert_eq!(s.render_ascii(0.0, 1.0, 0), "");
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = Signal::pulse(1.0, 1.0).unwrap();
+        let d = s.to_string();
+        assert!(d.contains("0@-∞"));
+        assert!(d.contains("(1, 1)"));
+    }
+
+    #[test]
+    fn iteration() {
+        let s = Signal::pulse(1.0, 1.0).unwrap();
+        let times: Vec<f64> = (&s).into_iter().map(|tr| tr.time).collect();
+        assert_eq!(times, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn value_at_exact_transition_time_is_post_value() {
+        let s = Signal::from_times(Bit::One, &[3.0]).unwrap();
+        assert_eq!(s.value_at(3.0), Bit::Zero);
+        assert_eq!(s.value_at(3.0 - 1e-12), Bit::One);
+    }
+}

@@ -1,0 +1,155 @@
+//! Zero-time Boolean combinations of signals.
+//!
+//! The paper's gates compute their Boolean function in zero time; these
+//! combinators implement exactly that semantics at the signal level,
+//! which is handy for building stimuli and for verifying the
+//! event-driven simulator against a closed form.
+
+use crate::bit::Bit;
+use crate::signal::{Signal, SignalBuilder};
+
+impl Signal {
+    /// Combines two signals through a zero-time Boolean function.
+    ///
+    /// The result transitions only where `f` applied to the two traces
+    /// changes value; simultaneous input transitions produce a single
+    /// output evaluation (no zero-width glitches), matching the gate
+    /// semantics of the circuit model.
+    ///
+    /// ```
+    /// use ivl_core::{Bit, Signal};
+    /// # fn main() -> Result<(), ivl_core::Error> {
+    /// let a = Signal::pulse(0.0, 4.0)?;
+    /// let b = Signal::pulse(2.0, 4.0)?;
+    /// let and = Signal::zip_with(&a, &b, |x, y| Bit::from(x.is_one() && y.is_one()));
+    /// assert_eq!(and, Signal::pulse(2.0, 2.0)?);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn zip_with<F>(a: &Signal, b: &Signal, f: F) -> Signal
+    where
+        F: Fn(Bit, Bit) -> Bit,
+    {
+        let initial = f(a.initial(), b.initial());
+        let mut builder = SignalBuilder::new(initial);
+        let mut current = initial;
+        let (ta, tb) = (a.transitions(), b.transitions());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (mut va, mut vb) = (a.initial(), b.initial());
+        while i < ta.len() || j < tb.len() {
+            // advance to the next event time, consuming *all* transitions
+            // at that time from both signals before evaluating f
+            let time = match (ta.get(i), tb.get(j)) {
+                (Some(x), Some(y)) => x.time.min(y.time),
+                (Some(x), None) => x.time,
+                (None, Some(y)) => y.time,
+                (None, None) => unreachable!("loop condition"),
+            };
+            while i < ta.len() && ta[i].time == time {
+                va = ta[i].value;
+                i += 1;
+            }
+            while j < tb.len() && tb[j].time == time {
+                vb = tb[j].value;
+                j += 1;
+            }
+            let next = f(va, vb);
+            if next != current {
+                builder
+                    .push_time(time)
+                    .expect("event times are strictly increasing");
+                current = next;
+            }
+        }
+        builder.finish()
+    }
+
+    /// Pointwise AND.
+    #[must_use]
+    pub fn and(&self, other: &Signal) -> Signal {
+        Signal::zip_with(self, other, |a, b| Bit::from(a.is_one() && b.is_one()))
+    }
+
+    /// Pointwise OR.
+    #[must_use]
+    pub fn or(&self, other: &Signal) -> Signal {
+        Signal::zip_with(self, other, |a, b| Bit::from(a.is_one() || b.is_one()))
+    }
+
+    /// Pointwise XOR.
+    #[must_use]
+    pub fn xor(&self, other: &Signal) -> Signal {
+        Signal::zip_with(self, other, |a, b| Bit::from(a != b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_or_xor_of_overlapping_pulses() {
+        let a = Signal::pulse(0.0, 4.0).unwrap();
+        let b = Signal::pulse(2.0, 4.0).unwrap();
+        assert_eq!(a.and(&b), Signal::pulse(2.0, 2.0).unwrap());
+        assert_eq!(a.or(&b), Signal::pulse(0.0, 6.0).unwrap());
+        assert_eq!(
+            a.xor(&b),
+            Signal::pulse_train([(0.0, 2.0), (4.0, 2.0)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn constants_behave_as_identities_and_annihilators() {
+        let a = Signal::pulse(1.0, 2.0).unwrap();
+        let zero = Signal::zero();
+        let one = Signal::constant(Bit::One);
+        assert_eq!(a.and(&one), a);
+        assert!(a.and(&zero).is_zero());
+        assert_eq!(a.or(&zero), a);
+        assert_eq!(a.or(&one), one);
+        assert_eq!(a.xor(&zero), a);
+        assert_eq!(a.xor(&one), a.complemented());
+    }
+
+    #[test]
+    fn simultaneous_transitions_do_not_glitch() {
+        // a XOR a = 0 even though both inputs switch at identical times
+        let a = Signal::pulse_train([(0.0, 1.0), (3.0, 2.0)]).unwrap();
+        assert!(a.xor(&a).is_zero());
+        assert_eq!(a.and(&a), a);
+        assert_eq!(a.or(&a), a);
+    }
+
+    #[test]
+    fn disjoint_pulses() {
+        let a = Signal::pulse(0.0, 1.0).unwrap();
+        let b = Signal::pulse(5.0, 1.0).unwrap();
+        assert!(a.and(&b).is_zero());
+        assert_eq!(
+            a.or(&b),
+            Signal::pulse_train([(0.0, 1.0), (5.0, 1.0)]).unwrap()
+        );
+    }
+
+    #[test]
+    fn initial_values_propagate() {
+        let a = Signal::constant(Bit::One);
+        let b = Signal::from_times(Bit::One, &[2.0]).unwrap(); // falls at 2
+        let and = a.and(&b);
+        assert_eq!(and.initial(), Bit::One);
+        assert_eq!(and.len(), 1);
+        assert_eq!(and.value_at(3.0), Bit::Zero);
+    }
+
+    #[test]
+    fn custom_function_nand() {
+        let a = Signal::pulse(0.0, 3.0).unwrap();
+        let b = Signal::pulse(1.0, 3.0).unwrap();
+        let nand = Signal::zip_with(&a, &b, |x, y| !Bit::from(x.is_one() && y.is_one()));
+        assert_eq!(nand.initial(), Bit::One);
+        assert_eq!(nand.value_at(2.0), Bit::Zero);
+        assert_eq!(nand.value_at(3.5), Bit::One);
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+use ivl_circuit::{CircuitError, SimError};
+
+/// Errors of the SPF theory and circuit layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The η bounds violate constraint (C); the faithfulness results do
+    /// not apply and the worst-case quantities are undefined.
+    ConstraintCViolated {
+        /// `η⁻` of the offending bounds.
+        minus: f64,
+        /// `η⁺` of the offending bounds.
+        plus: f64,
+        /// The slack `δ↓(−η⁺) − δ_min − (η⁺ + η⁻)` (negative here).
+        slack: f64,
+    },
+    /// A fixed-point solver failed to bracket or converge.
+    Solver {
+        /// What was being solved.
+        what: &'static str,
+    },
+    /// Propagated core error.
+    Core(ivl_core::Error),
+    /// Propagated circuit construction error.
+    Circuit(CircuitError),
+    /// Propagated simulation error.
+    Sim(SimError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ConstraintCViolated { minus, plus, slack } => write!(
+                f,
+                "eta bounds [-{minus}, {plus}] violate constraint (C) by {slack}"
+            ),
+            Error::Solver { what } => write!(f, "solver failed: {what}"),
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Circuit(e) => write!(f, "{e}"),
+            Error::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Circuit(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivl_core::Error> for Error {
+    fn from(e: ivl_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<CircuitError> for Error {
+    fn from(e: CircuitError) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = Error::ConstraintCViolated {
+            minus: 0.5,
+            plus: 0.5,
+            slack: -0.1,
+        };
+        assert!(e.to_string().contains("constraint (C)"));
+        assert!(e.source().is_none());
+        let e = Error::from(ivl_core::Error::SolverFailed { what: "x" });
+        assert!(e.source().is_some());
+        let e = Error::from(SimError::UnknownPort { name: "i".into() });
+        assert!(!e.to_string().is_empty());
+        let e = Error::from(CircuitError::UnknownNode { index: 0 });
+        assert!(!e.to_string().is_empty());
+        assert!(!Error::Solver { what: "tau" }.to_string().is_empty());
+    }
+}

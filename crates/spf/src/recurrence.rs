@@ -1,0 +1,302 @@
+//! The worst-case pulse-train recurrence of Lemma 5 (Eq. (2)).
+//!
+//! In the fed-back OR of Fig. 5, the `n`-th feedback pulse width under
+//! the worst-case adversary (rising maximally late, falling maximally
+//! early) satisfies
+//!
+//! ```text
+//! ∆_n = f(∆_{n−1}) = δ↓(∆_{n−1} − η⁺ − δ↑(−∆_{n−1}))
+//!                    + ∆_{n−1} − η⁻ − η⁺ − δ↑(−∆_{n−1})
+//! ```
+//!
+//! with the expanding fixed point `∆` computed by
+//! [`SpfTheory`]. Iterating `f` classifies the
+//! fate of the loop for a given input pulse.
+
+use ivl_core::delay::DelayPair;
+use ivl_core::noise::EtaBounds;
+
+use crate::theory::SpfTheory;
+
+/// The fate of the OR-loop pulse train for a given input pulse width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PulseTrainFate {
+    /// The train died out (a pulse cancelled); the loop output resolves
+    /// to constant 0. `pulses` counts the feedback pulses produced.
+    Dies {
+        /// Number of feedback pulses before cancellation.
+        pulses: usize,
+    },
+    /// A pulse reached the lock bound `δ↑∞ + η⁺`; the loop output
+    /// resolves to constant 1.
+    Locks {
+        /// Number of feedback pulses before locking.
+        pulses: usize,
+    },
+    /// Neither happened within the iteration budget — the metastable
+    /// regime near the fixed point.
+    Oscillating {
+        /// Number of iterations observed.
+        observed: usize,
+        /// The last pulse width.
+        last_width: f64,
+    },
+}
+
+impl PulseTrainFate {
+    /// `true` for [`PulseTrainFate::Locks`].
+    #[must_use]
+    pub fn locks(&self) -> bool {
+        matches!(self, PulseTrainFate::Locks { .. })
+    }
+
+    /// `true` for [`PulseTrainFate::Dies`].
+    #[must_use]
+    pub fn dies(&self) -> bool {
+        matches!(self, PulseTrainFate::Dies { .. })
+    }
+}
+
+/// Iterator-style driver for the worst-case recurrence.
+#[derive(Debug, Clone)]
+pub struct WorstCaseRecurrence<D> {
+    delay: D,
+    bounds: EtaBounds,
+    lock_bound: f64,
+}
+
+impl<D: DelayPair> WorstCaseRecurrence<D> {
+    /// Creates the recurrence for a delay pair and η bounds.
+    #[must_use]
+    pub fn new(delay: D, bounds: EtaBounds) -> Self {
+        let lock_bound = delay.delta_up_inf() + bounds.plus();
+        WorstCaseRecurrence {
+            delay,
+            bounds,
+            lock_bound,
+        }
+    }
+
+    /// The lock bound `δ↑∞ + η⁺` (Lemma 3).
+    #[must_use]
+    pub fn lock_bound(&self) -> f64 {
+        self.lock_bound
+    }
+
+    /// The first feedback pulse `∆₁` produced by an input pulse of width
+    /// `delta0` (the map `g` of Lemma 8), or `None` if it cancels.
+    #[must_use]
+    pub fn first_pulse(&self, delta0: f64) -> Option<f64> {
+        let up_inf = self.delay.delta_up_inf();
+        let d1 = self.delay.delta_down(delta0 - self.bounds.plus() - up_inf) + delta0
+            - self.bounds.minus()
+            - self.bounds.plus()
+            - up_inf;
+        (d1.is_finite() && d1 > 0.0).then_some(d1)
+    }
+
+    /// One application of the worst-case map `f` (Eq. (2)), or `None` if
+    /// the pulse cancels.
+    #[must_use]
+    pub fn next_pulse(&self, delta: f64) -> Option<f64> {
+        let du = self.delay.delta_up(-delta);
+        if !du.is_finite() {
+            // ∆ ≥ δ↓∞: the rising edge's delay leaves the domain, which
+            // only happens far above the lock bound
+            return Some(f64::INFINITY);
+        }
+        let arg = delta - self.bounds.plus() - du;
+        let dn = self.delay.delta_down(arg) + delta - self.bounds.minus() - self.bounds.plus() - du;
+        (dn.is_finite() && dn > 0.0).then_some(dn)
+    }
+
+    /// Iterates the recurrence from an *input* pulse of width `delta0`,
+    /// classifying the fate within `max_pulses` iterations.
+    #[must_use]
+    pub fn fate(&self, delta0: f64, max_pulses: usize) -> PulseTrainFate {
+        if delta0 >= self.lock_bound {
+            return PulseTrainFate::Locks { pulses: 0 };
+        }
+        let Some(mut width) = self.first_pulse(delta0) else {
+            return PulseTrainFate::Dies { pulses: 0 };
+        };
+        for n in 1..=max_pulses {
+            if width >= self.lock_bound {
+                return PulseTrainFate::Locks { pulses: n };
+            }
+            match self.next_pulse(width) {
+                Some(next) => width = next,
+                None => return PulseTrainFate::Dies { pulses: n },
+            }
+        }
+        PulseTrainFate::Oscillating {
+            observed: max_pulses,
+            last_width: width,
+        }
+    }
+
+    /// The full worst-case pulse-width sequence `∆₁, ∆₂, …` (up to
+    /// `max_pulses`), for inspection and plotting.
+    #[must_use]
+    pub fn trajectory(&self, delta0: f64, max_pulses: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        let Some(mut width) = self.first_pulse(delta0) else {
+            return out;
+        };
+        out.push(width);
+        for _ in 1..max_pulses {
+            match self.next_pulse(width) {
+                Some(next) if next.is_finite() => {
+                    width = next;
+                    out.push(width);
+                    if width >= self.lock_bound {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// The theory bundle for these parameters.
+    ///
+    /// # Errors
+    ///
+    /// As [`SpfTheory::compute`].
+    pub fn theory(&self) -> Result<SpfTheory, crate::error::Error> {
+        SpfTheory::compute(&self.delay, self.bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivl_core::delay::ExpChannel;
+
+    fn rec(eta: f64) -> WorstCaseRecurrence<ExpChannel> {
+        WorstCaseRecurrence::new(
+            ExpChannel::new(1.0, 0.5, 0.5).unwrap(),
+            EtaBounds::new(eta, eta).unwrap(),
+        )
+    }
+
+    #[test]
+    fn three_regimes_of_theorem_9() {
+        let r = rec(0.02);
+        let th = r.theory().unwrap();
+        // far below the filter bound: dies immediately
+        assert_eq!(
+            r.fate(th.filter_bound * 0.5, 1000),
+            PulseTrainFate::Dies { pulses: 0 }
+        );
+        // far above the lock bound: locks immediately
+        assert_eq!(
+            r.fate(th.lock_bound + 1.0, 1000),
+            PulseTrainFate::Locks { pulses: 0 }
+        );
+        // above ∆̃₀ but below lock: locks after finitely many pulses
+        let fate = r.fate(th.delta0_tilde + 0.05, 1000);
+        assert!(fate.locks(), "{fate:?}");
+        // below ∆̃₀: dies after finitely many pulses
+        let fate = r.fate(th.delta0_tilde - 0.05, 1000);
+        assert!(fate.dies(), "{fate:?}");
+    }
+
+    #[test]
+    fn fixed_point_oscillates() {
+        let r = rec(0.02);
+        let th = r.theory().unwrap();
+        // start the *feedback* width exactly at ∆: stays at ∆
+        let next = r.next_pulse(th.delta_bar).unwrap();
+        assert!((next - th.delta_bar).abs() < 1e-9);
+        // an input pulse of width exactly ∆̃₀ stays near ∆ for many pulses
+        let fate = r.fate(th.delta0_tilde, 50);
+        if let PulseTrainFate::Oscillating { last_width, .. } = fate {
+            assert!((last_width - th.delta_bar).abs() < 0.05, "{last_width}");
+        }
+        // (floating point may eventually tip it either way; both fates
+        // are legitimate metastability resolutions)
+    }
+
+    #[test]
+    fn growth_rate_matches_lemma_7() {
+        // f(∆₁) − ∆ ≥ a (∆₁ − ∆) with a = 1 + δ′↑(0)
+        let r = rec(0.03);
+        let th = r.theory().unwrap();
+        for gap in [1e-4, 1e-3, 1e-2] {
+            let d1 = th.delta_bar + gap;
+            let d2 = r.next_pulse(d1).unwrap();
+            assert!(
+                d2 - th.delta_bar >= th.growth * gap - 1e-9,
+                "gap {gap}: {} < {}",
+                d2 - th.delta_bar,
+                th.growth * gap
+            );
+        }
+    }
+
+    #[test]
+    fn stabilization_time_is_logarithmic() {
+        // pulses-to-lock grows like log(1/(∆0 − ∆̃0))
+        let r = rec(0.02);
+        let th = r.theory().unwrap();
+        let mut counts = Vec::new();
+        for exp in 1..=6 {
+            let gap = 10f64.powi(-exp);
+            match r.fate(th.delta0_tilde + gap, 10_000) {
+                PulseTrainFate::Locks { pulses } => counts.push(pulses as f64),
+                other => panic!("expected lock for gap {gap}: {other:?}"),
+            }
+        }
+        // roughly linear in the exponent: each decade adds a bounded
+        // number of pulses
+        let diffs: Vec<f64> = counts.windows(2).map(|w| w[1] - w[0]).collect();
+        for d in &diffs {
+            assert!(*d >= 0.0, "more pulses for smaller gap: {counts:?}");
+            assert!(*d < 40.0, "log-law violated: {counts:?}");
+        }
+        // and the bound from theory dominates the observed count
+        for (exp, count) in (1..=6).zip(&counts) {
+            let gap = 10f64.powi(-exp);
+            let bound = th.stabilization_pulse_bound(th.delta0_tilde + gap).unwrap();
+            // bound is asymptotic (order-of); allow a constant factor
+            assert!(
+                *count <= 3.0 * bound + 10.0,
+                "gap {gap}: count {count} vs bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_is_monotone_away_from_fixed_point() {
+        let r = rec(0.02);
+        let th = r.theory().unwrap();
+        let up = r.trajectory(th.delta0_tilde + 0.01, 100);
+        for w in up.windows(2) {
+            assert!(w[1] > w[0], "diverging upward: {up:?}");
+        }
+        let down = r.trajectory(th.delta0_tilde - 0.01, 100);
+        for w in down.windows(2) {
+            assert!(w[1] < w[0], "diverging downward: {down:?}");
+        }
+    }
+
+    #[test]
+    fn zero_eta_reduces_to_deterministic_model() {
+        let r = rec(0.0);
+        let th = r.theory().unwrap();
+        // the singular point: filter and lock regions touch the
+        // oscillation window (δ↑∞ − δmin, δ↑∞)
+        assert!((th.filter_bound - (r.delay.delta_up_inf() - th.delta_min)).abs() < 1e-12);
+        assert!((th.lock_bound - r.delay.delta_up_inf()).abs() < 1e-12);
+        let fate = r.fate(th.delta0_tilde + 1e-3, 1000);
+        assert!(fate.locks());
+    }
+
+    #[test]
+    fn lock_bound_accessor() {
+        let r = rec(0.01);
+        assert!((r.lock_bound() - (r.delay.delta_up_inf() + 0.01)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,118 @@
+//! The validation setup of Fig. 6: simulate the UMC-90-like 7-stage
+//! inverter chain at transistor level, record a stage through the
+//! sense-amplifier model, characterize its delay functions, and compare
+//! the digital abstraction with the analog ground truth.
+//!
+//! Run with `cargo run --release --example inverter_chain`.
+
+use faithful::analog::chain::InverterChain;
+use faithful::analog::characterize::{characterize, to_empirical, SweepConfig};
+use faithful::analog::senseamp::SenseAmp;
+use faithful::analog::stimulus::Pulse;
+use faithful::analog::supply::VddSource;
+use faithful::core::channel::{Channel, InvolutionChannel};
+use faithful::core::delay::fit::fit_exp_channel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chain = InverterChain::umc90_like(7)?;
+    let vdd = VddSource::dc(1.0);
+
+    // One transient: a 60 ps pulse through the chain.
+    let stim = Pulse::new(60.0, 60.0, 10.0, 1.0)?;
+    let run = chain.simulate(&stim, &vdd, 400.0, 0.05)?;
+    println!("Analog waveforms (1 V rails, ASCII-sampled):");
+    let render = |w: &faithful::analog::Waveform| {
+        (0..64)
+            .map(|i| {
+                let t = 400.0 * i as f64 / 64.0;
+                let v = w.value_at(t);
+                if v > 0.75 {
+                    '▔'
+                } else if v > 0.25 {
+                    '─'
+                } else {
+                    '▁'
+                }
+            })
+            .collect::<String>()
+    };
+    println!("   input: {}", render(run.input()));
+    for i in 0..7 {
+        println!("  node {i}: {}", render(run.node(i)));
+    }
+
+    // The sense-amp tap (gain 0.15, 8.5 GHz) as the oscilloscope sees it.
+    let amp = SenseAmp::umc90_like()?;
+    let scoped = amp.apply(run.node(3))?;
+    println!(
+        "\nSense-amp output swing at node 3: {:.3} V (≈ 0.15 × rail)",
+        scoped
+            .samples()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - scoped
+                .samples()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+    );
+
+    // Characterize stage 3's delay functions from pulse sweeps.
+    let cfg = SweepConfig::default();
+    let (up, down) = characterize(&chain, &vdd, &cfg)?;
+    println!("\nMeasured δ↑ samples (stage 3): {} points", up.len());
+    println!("Measured δ↓ samples (stage 3): {} points", down.len());
+    let pair = to_empirical(&up, &down)?;
+    println!(
+        "Empirical delay pair built; sampled T ∈ [{:.1}, {:.1}] ps",
+        pair.up_range().0,
+        pair.up_range().1
+    );
+
+    // Fit an exp-channel to the same data (the Fig. 9 procedure).
+    let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
+    let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
+    let fit = fit_exp_channel(&ups, &downs, None)?;
+    println!(
+        "\nExp-channel fit: τ = {:.2} ps, T_p = {:.2} ps, V_th = {:.3} (rms {:.3} ps)",
+        fit.channel.tau(),
+        fit.channel.t_p(),
+        fit.channel.v_th(),
+        fit.rms
+    );
+
+    // Digital prediction vs analog truth for a fresh pulse. The stage is
+    // modeled as a zero-time NOT gate (complement) followed by the
+    // measured delay channel.
+    let input_sig = run.stage_input(3).digitize(0.5)?;
+    let analog_out = run.node(3).digitize(0.5)?;
+    let mut model = InvolutionChannel::new(pair);
+    let predicted = model.apply(&input_sig.complemented());
+    println!("\nStage-3 digital comparison for the 60 ps pulse:");
+    println!("  analog crossings : {analog_out}");
+    println!("  model prediction : {predicted}");
+    if analog_out.len() == predicted.len() {
+        for (a, p) in analog_out.transitions().iter().zip(predicted.transitions()) {
+            println!(
+                "    edge at {:8.3} ps — prediction off by {:+7.3} ps",
+                a.time,
+                p.time - a.time
+            );
+        }
+    }
+
+    // Delay at low supply voltage exploded (the Fig. 7 effect).
+    println!("\nPer-stage delay vs V_DD (the Fig. 7 shift):");
+    for v in [1.0, 0.8, 0.6, 0.4] {
+        let vdd_v = VddSource::dc(v);
+        let stim = Pulse::new(60.0, 2000.0, 10.0, v)?;
+        let run = chain.simulate(&stim, &vdd_v, 12_000.0, 0.25)?;
+        let t_out = run.node(6).falling_crossings(v / 2.0);
+        match t_out.first() {
+            Some(t) => println!("  V_DD = {v:.1} V: chain delay = {:8.1} ps", t - 60.0),
+            None => println!("  V_DD = {v:.1} V: no crossing within horizon"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! The one-shot latch built from the SPF circuit (the paper's Section I
+//! remark: SPF and one-shot latches are mutually reducible, so
+//! faithfulness transfers), with a VCD dump of a metastable capture.
+//!
+//! Run with `cargo run --example one_shot_latch`.
+
+use faithful::circuit::vcd::write_vcd;
+use faithful::core::delay::ExpChannel;
+use faithful::core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary, ZeroNoise};
+use faithful::spf::latch::OneShotLatch;
+use faithful::Signal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let latch =
+        OneShotLatch::dimensioned(ExpChannel::new(1.0, 0.5, 0.5)?, EtaBounds::new(0.02, 0.02)?)?;
+    let th = latch.theory()?;
+    let en = Signal::pulse(5.0, 10.0)?;
+
+    println!("One-shot latch: enable window [5, 15), storage-loop theory:");
+    println!(
+        "  metastability threshold (loop-side ∆̃₀) = {:.4}\n",
+        th.delta0_tilde
+    );
+
+    // clean captures
+    let d1 = Signal::pulse(0.0, 30.0)?; // data high across the window
+    let run1 = latch.capture(ZeroNoise, ZeroNoise, &d1, &en, 200.0)?;
+    println!("data high across enable  → q: {}", run1.q);
+    let run0 = latch.capture(ZeroNoise, ZeroNoise, &Signal::zero(), &en, 200.0)?;
+    println!("data low                 → q: {}", run0.q);
+
+    // a setup-time sweep: data arrives ever closer to the enable's fall
+    println!("\nsetup sweep (data arrival vs enable fall at t = 15):");
+    println!("{:>12} | {:>8} | {:>22}", "overlap", "loop act.", "q");
+    let mut metastable_run = None;
+    for i in 0..12 {
+        let overlap = 0.4 + 0.18 * i as f64;
+        let d = Signal::pulse(15.0 - overlap, overlap + 30.0)?;
+        let run = latch.capture(WorstCaseAdversary, WorstCaseAdversary, &d, &en, 300.0)?;
+        let pulses = faithful::PulseStats::of(&run.loop_signal).pulse_count();
+        let q = if run.q.is_zero() {
+            "0".to_owned()
+        } else {
+            format!("rises at {:.2}", run.q.transitions()[0].time)
+        };
+        println!("{overlap:>12.2} | {pulses:>8} | {q:>22}");
+        if pulses >= 3 && metastable_run.is_none() {
+            metastable_run = Some(run);
+        }
+    }
+
+    // random adversaries at the decision boundary: always clean output
+    println!("\nrandom adversaries at the boundary (q must stay clean):");
+    for seed in 0..5 {
+        let d = Signal::pulse(15.0 - 1.1, 40.0)?;
+        let run = latch.capture(
+            UniformNoise::new(seed),
+            UniformNoise::new(seed + 100),
+            &d,
+            &en,
+            300.0,
+        )?;
+        assert!(run.q.len() <= 1, "never a runt pulse at q");
+        println!("  seed {seed}: q = {}", run.q);
+    }
+
+    // dump the most interesting (metastable) capture as VCD
+    if let Some(run) = metastable_run {
+        let doc = write_vcd(
+            &[
+                ("en", &en),
+                ("overlap", &run.overlap),
+                ("storage_loop", &run.loop_signal),
+                ("q", &run.q),
+            ],
+            "1ps",
+            0.01,
+        )?;
+        std::fs::create_dir_all("figures")?;
+        std::fs::write("figures/one_shot_latch.vcd", &doc)?;
+        println!("\nmetastable capture dumped to figures/one_shot_latch.vcd (view in GTKWave)");
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Quickstart: build an η-involution channel and watch it attenuate,
+//! cancel, and adversarially shift glitches.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use faithful::core::channel::{Channel, EtaInvolutionChannel, InvolutionChannel};
+use faithful::core::delay::{DelayPair, ExpChannel};
+use faithful::core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
+use faithful::Signal;
+
+fn show(label: &str, s: &Signal, t0: f64, t1: f64) {
+    println!("{label:>12}: {}  {}", s.render_ascii(t0, t1, 64), s);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An exp-channel: the delay functions of a gate driving an RC load
+    // with time constant τ = 1, pure delay T_p = 0.5, threshold V_DD/2.
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    println!(
+        "exp-channel: δ↑∞ = {:.3}, δ↓∞ = {:.3}, δ_min = {:.3}",
+        delay.delta_up_inf(),
+        delay.delta_down_inf(),
+        delay.delta_min()
+    );
+
+    // A glitch train: one comfortable pulse, one marginal, one hopeless.
+    let input = Signal::pulse_train([(0.0, 3.0), (6.0, 1.0), (9.0, 0.3)])?;
+    show("input", &input, -0.5, 14.0);
+
+    // The deterministic involution channel (DATE'15).
+    let mut det = InvolutionChannel::new(delay.clone());
+    show("involution", &det.apply(&input), -0.5, 14.0);
+
+    // Adversarial bounds satisfying constraint (C) — faithfulness holds.
+    let bounds = EtaBounds::new(0.05, 0.05)?;
+    assert!(bounds.satisfies_constraint_c(&delay));
+
+    // Worst-case adversary: rising maximally late, falling maximally
+    // early — pulses shrink.
+    let mut worst = EtaInvolutionChannel::new(delay.clone(), bounds, WorstCaseAdversary);
+    show("worst-case", &worst.apply(&input), -0.5, 14.0);
+
+    // Random bounded jitter: a different trace every run of the stream.
+    let mut noisy = EtaInvolutionChannel::new(delay, bounds, UniformNoise::new(42));
+    show("uniform η", &noisy.apply(&input), -0.5, 14.0);
+    show("uniform η", &noisy.apply(&input), -0.5, 14.0);
+
+    Ok(())
+}

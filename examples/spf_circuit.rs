@@ -1,0 +1,86 @@
+//! The SPF circuit of Fig. 5: sweep the input pulse width across the
+//! three regimes of Theorem 9 and show an adversarially sustained
+//! metastable oscillation.
+//!
+//! Run with `cargo run --example spf_circuit`.
+
+use faithful::core::delay::ExpChannel;
+use faithful::core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
+use faithful::spf::{LoopOutcome, SpfCircuit, WorstCaseRecurrence};
+use faithful::Signal;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    let bounds = EtaBounds::new(0.02, 0.02)?;
+    let spf = SpfCircuit::dimensioned(delay.clone(), bounds)?;
+    let th = spf.theory()?;
+
+    println!("Theory (Lemmas 1–8):");
+    println!("  δ_min        = {:.4}", th.delta_min);
+    println!("  τ = P        = {:.4}   (fixed point of eq. (6))", th.tau);
+    println!(
+        "  ∆            = {:.4}   (worst-case up-time bound)",
+        th.delta_bar
+    );
+    println!("  γ            = {:.4}   (worst-case duty cycle)", th.gamma);
+    println!("  filter bound = {:.4}   (Lemma 4)", th.filter_bound);
+    println!(
+        "  ∆̃₀           = {:.4}   (Lemma 8 threshold)",
+        th.delta0_tilde
+    );
+    println!("  lock bound   = {:.4}   (Lemma 3)", th.lock_bound);
+    println!("  growth a     = {:.4}   (Lemma 7)", th.growth);
+    println!();
+
+    let horizon = 300.0;
+    println!("∆₀ sweep (worst-case adversary), Theorem 9 regimes:");
+    println!(
+        "{:>10} | {:>12} | {:>7} | output",
+        "∆₀", "loop outcome", "pulses"
+    );
+    for frac in [0.5, 0.9, 0.99, 1.0, 1.001, 1.01, 1.2, 2.0] {
+        let d0 = th.delta0_tilde * frac;
+        let run = spf.simulate(WorstCaseAdversary, &Signal::pulse(0.0, d0)?, horizon)?;
+        let outcome = LoopOutcome::classify(&run.or_signal, horizon, 10.0);
+        let (kind, pulses) = match outcome {
+            LoopOutcome::Filtered { pulses } => ("filtered", pulses),
+            LoopOutcome::Latched { pulses, .. } => ("latched", pulses),
+            LoopOutcome::Oscillating { pulses } => ("oscillating", pulses),
+        };
+        let out = if run.output.is_zero() {
+            "0".to_owned()
+        } else {
+            format!("rises at t = {:.2}", run.output.transitions()[0].time)
+        };
+        println!("{d0:>10.5} | {kind:>12} | {pulses:>7} | {out}");
+    }
+
+    println!("\nWorst-case recurrence (Eq. 2) vs simulation near ∆̃₀:");
+    let rec = WorstCaseRecurrence::new(delay, bounds);
+    let d0 = th.delta0_tilde + 0.01;
+    let predicted = rec.trajectory(d0, 8);
+    let run = spf.simulate(WorstCaseAdversary, &Signal::pulse(0.0, d0)?, horizon)?;
+    let simulated = faithful::PulseStats::of(&run.or_signal).up_times();
+    println!(
+        "{:>4} | {:>12} | {:>12}",
+        "n", "predicted ∆n", "simulated ∆n"
+    );
+    for (i, p) in predicted.iter().enumerate() {
+        let sim = simulated
+            .get(i + 1)
+            .map_or("—".to_owned(), |w| format!("{w:.6}"));
+        println!("{:>4} | {:>12.6} | {:>12}", i + 1, p, sim);
+    }
+
+    println!("\nRandom adversaries resolve metastability in either direction:");
+    for seed in 0..6 {
+        let run = spf.simulate(
+            UniformNoise::new(seed),
+            &Signal::pulse(0.0, th.delta0_tilde)?,
+            horizon,
+        )?;
+        let outcome = LoopOutcome::classify(&run.or_signal, horizon, 10.0);
+        println!("  seed {seed}: {outcome:?}");
+    }
+    Ok(())
+}

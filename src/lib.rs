@@ -1,0 +1,23 @@
+//! # faithful — a faithful binary circuit model with adversarial noise
+//!
+//! Umbrella crate re-exporting the full reproduction of Függer, Maier,
+//! Najvirt, Nowak and Schmid, *"A Faithful Binary Circuit Model with
+//! Adversarial Noise"*, DATE 2018:
+//!
+//! * [`core`] — signals, involution delay functions, and channels
+//!   (pure / inertial / DDM / involution / η-involution);
+//! * [`circuit`] — gates, netlists, and the event-driven simulator;
+//! * [`analog`] — the transistor-level analog substrate used as "ground
+//!   truth" for the Section V experiments;
+//! * [`spf`] — the Short-Pulse Filtration problem, the Fig. 5 circuit,
+//!   and the Section IV theory (fixed points, bounds, classification).
+//!
+//! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
+//! paper-figure reproduction index.
+
+pub use ivl_analog as analog;
+pub use ivl_circuit as circuit;
+pub use ivl_core as core;
+pub use ivl_spf as spf;
+
+pub use ivl_core::{Bit, Edge, Pulse, PulseStats, Signal, SignalBuilder, Transition};

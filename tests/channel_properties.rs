@@ -1,0 +1,255 @@
+//! Property-based tests of the channel algebra: signal invariants,
+//! involution identities, and adversary envelopes.
+
+use faithful::core::channel::{
+    Channel, DdmEdgeParams, DegradationDelay, EtaInvolutionChannel, InertialDelay,
+    InvolutionChannel, PureDelay,
+};
+use faithful::core::delay::{check_involution, DelayPair, ExpChannel, RationalPair};
+use faithful::core::noise::{
+    EtaBounds, ExtendingAdversary, RecordedChoices, UniformNoise, WorstCaseAdversary, ZeroNoise,
+};
+use faithful::Signal;
+use proptest::prelude::*;
+
+/// Random alternating signal: up to 24 transitions with gaps from a
+/// fast-glitch-friendly distribution.
+fn arb_signal() -> impl Strategy<Value = Signal> {
+    proptest::collection::vec(0.01f64..3.0, 0..24).prop_map(|gaps| {
+        let mut t = 0.0;
+        let mut times = Vec::new();
+        for g in gaps {
+            t += g;
+            times.push(t);
+        }
+        Signal::from_times(faithful::Bit::Zero, &times)
+            .expect("strictly increasing by construction")
+    })
+}
+
+fn arb_exp() -> impl Strategy<Value = ExpChannel> {
+    (0.2f64..3.0, 0.05f64..1.0, 0.15f64..0.85)
+        .prop_map(|(tau, tp, vth)| ExpChannel::new(tau, tp, vth).expect("valid params"))
+}
+
+/// Checks the output invariants every channel must preserve: alternation
+/// and strict monotonicity (guaranteed by `Signal` construction inside
+/// `apply`, so reaching here without panic is most of the test), plus
+/// value-parity consistency with the input.
+fn assert_valid_output(input: &Signal, output: &Signal) {
+    assert_eq!(output.initial(), input.initial());
+    // cancellation removes transitions pairwise, so parity is preserved
+    assert_eq!(
+        input.len() % 2,
+        output.len() % 2,
+        "parity broken: {input} -> {output}"
+    );
+    assert_eq!(input.final_value(), output.final_value());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn involution_identity_random_exp_channels(d in arb_exp(), t in -0.5f64..5.0) {
+        // −δ↑(−δ↓(T)) = T on the representable range
+        let hi = 6.0 * d.tau();
+        prop_assume!(t < hi);
+        prop_assume!(t > -0.9 * d.delta_min());
+        let rt = -d.delta_up(-d.delta_down(t));
+        prop_assert!((rt - t).abs() < 1e-6, "t={t}, roundtrip={rt}");
+    }
+
+    #[test]
+    fn involution_identity_random_rational_pairs(
+        a in 0.5f64..4.0, c in 0.5f64..4.0, bf in 0.05f64..0.95, t in -0.4f64..8.0
+    ) {
+        let b = bf * a * c; // guarantees b < a·c (strict causality)
+        let d = RationalPair::new(a, b, c).expect("valid");
+        prop_assume!(t > -0.9 * a.min(c));
+        let rt = -d.delta_down(-d.delta_up(t));
+        prop_assert!((rt - t).abs() < 1e-7);
+    }
+
+    #[test]
+    fn derivative_identity_of_lemma_1(d in arb_exp(), t in -0.3f64..3.0) {
+        // δ′↑(−δ↓(T)) = 1/δ′↓(T)
+        prop_assume!(t > -0.9 * d.delta_min());
+        let lhs = d.d_delta_up(-d.delta_down(t));
+        let rhs = 1.0 / d.d_delta_down(t);
+        prop_assert!((lhs - rhs).abs() < 1e-5 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn delta_min_is_positive_fixed_point(d in arb_exp()) {
+        let dm = d.delta_min();
+        prop_assert!(dm > 0.0);
+        prop_assert!((d.delta_up(-dm) - dm).abs() < 1e-9);
+        prop_assert!((d.delta_down(-dm) - dm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_involution_passes_for_valid_pairs(d in arb_exp()) {
+        let report = check_involution(&d, -0.8 * d.delta_min(), 5.0 * d.tau(), 60);
+        prop_assert!(report.is_valid(1e-6), "{report:?}");
+    }
+
+    #[test]
+    fn all_channels_preserve_signal_invariants(input in arb_signal(), d in arb_exp()) {
+        let mut channels: Vec<Box<dyn FnMut(&Signal) -> Signal>> = vec![
+            {
+                let mut c = PureDelay::new(0.7).unwrap();
+                Box::new(move |s: &Signal| c.apply(s))
+            },
+            {
+                let mut c = InertialDelay::new(0.7, 0.4).unwrap();
+                Box::new(move |s: &Signal| c.apply(s))
+            },
+            {
+                let mut c =
+                    DegradationDelay::symmetric(DdmEdgeParams::new(0.7, 0.1, 0.5).unwrap());
+                Box::new(move |s: &Signal| c.apply(s))
+            },
+            {
+                let mut c = InvolutionChannel::new(d.clone());
+                Box::new(move |s: &Signal| c.apply(s))
+            },
+            {
+                let bounds = EtaBounds::new(0.01, 0.01).unwrap();
+                let mut c = EtaInvolutionChannel::new(d.clone(), bounds, UniformNoise::new(7));
+                Box::new(move |s: &Signal| c.apply(s))
+            },
+        ];
+        for apply in &mut channels {
+            let out = apply(&input);
+            assert_valid_output(&input, &out);
+        }
+    }
+
+    #[test]
+    fn eta_zero_equals_involution(input in arb_signal(), d in arb_exp()) {
+        let mut det = InvolutionChannel::new(d.clone());
+        let mut eta = EtaInvolutionChannel::new(d.clone(), EtaBounds::zero(), ZeroNoise);
+        prop_assert_eq!(det.apply(&input), eta.apply(&input));
+    }
+
+    #[test]
+    fn deterministic_channels_are_pure_functions(input in arb_signal(), d in arb_exp()) {
+        let mut c = InvolutionChannel::new(d);
+        let a = c.apply(&input);
+        let b = c.apply(&input);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recorded_adversary_replays_exactly(input in arb_signal(), d in arb_exp(), seed in 0u64..1000) {
+        // capture a uniform stream, then replay it: identical output
+        let bounds = EtaBounds::new(0.02, 0.02).unwrap();
+        let n = input.len();
+        let mut src = UniformNoise::new(seed);
+        let choices: Vec<f64> = (0..n)
+            .map(|i| {
+                let ctx = faithful::core::noise::NoiseContext {
+                    index: i,
+                    edge: faithful::Edge::Rising,
+                    input_time: 0.0,
+                    offset: 1.0,
+                    bounds,
+                };
+                faithful::core::noise::NoiseSource::sample(&mut src, &ctx)
+            })
+            .collect();
+        let mut live = EtaInvolutionChannel::new(
+            d.clone(),
+            bounds,
+            RecordedChoices::new(choices.clone()),
+        );
+        let mut replay =
+            EtaInvolutionChannel::new(d, bounds, RecordedChoices::new(choices));
+        prop_assert_eq!(live.apply(&input), replay.apply(&input));
+    }
+
+    #[test]
+    fn adversary_envelope_for_single_pulses(d in arb_exp(), w in 0.1f64..6.0, seed in 0u64..64) {
+        // for a single input pulse, any bounded adversary's output pulse
+        // width lies between the worst-case (shrinking) and extending
+        // adversaries' widths
+        let bounds = EtaBounds::new(0.02, 0.02).unwrap();
+        let input = Signal::pulse(0.0, w).unwrap();
+        let width_of = |s: &Signal| -> Option<f64> {
+            (s.len() == 2).then(|| s.transitions()[1].time - s.transitions()[0].time)
+        };
+        let mut wc = EtaInvolutionChannel::new(d.clone(), bounds, WorstCaseAdversary);
+        let mut ext = EtaInvolutionChannel::new(d.clone(), bounds, ExtendingAdversary);
+        let mut rnd = EtaInvolutionChannel::new(d.clone(), bounds, UniformNoise::new(seed));
+        let w_min = width_of(&wc.apply(&input));
+        let w_max = width_of(&ext.apply(&input));
+        let w_rnd = width_of(&rnd.apply(&input));
+        if let (Some(lo), Some(hi), Some(mid)) = (w_min, w_max, w_rnd) {
+            prop_assert!(lo <= mid + 1e-9 && mid <= hi + 1e-9, "{lo} {mid} {hi}");
+        }
+        // and if even the extender cancels the pulse, everyone cancels
+        if w_max.is_none() {
+            prop_assert!(w_rnd.is_none());
+            prop_assert!(w_min.is_none());
+        }
+    }
+
+    #[test]
+    fn pure_delay_is_exact_shift(input in arb_signal(), delay in 0.1f64..5.0) {
+        let mut c = PureDelay::new(delay).unwrap();
+        let out = c.apply(&input);
+        prop_assert!(out.approx_eq(&input.shifted(delay), 1e-12));
+    }
+
+    #[test]
+    fn inertial_delay_output_has_no_short_interval(input in arb_signal()) {
+        let window = 0.5;
+        let mut c = InertialDelay::new(1.0, window).unwrap();
+        let out = c.apply(&input);
+        if let Some(min) = out.min_interval() {
+            prop_assert!(min >= window - 1e-12, "interval {min} < window");
+        }
+    }
+
+    #[test]
+    fn ddm_delays_never_exceed_nominal(input in arb_signal()) {
+        // Bounded single-history channel: every output transition lies
+        // within [t_in − s, t_in + t_p0] of *some* same-value input
+        // transition, where s bounds the (slightly negative) delay at the
+        // degradation onset: |δ(0)| = t_p0·(e^{T0/τ} − 1).
+        let (t_p0, t_0, tau) = (0.8, 0.1, 0.5);
+        let p = DdmEdgeParams::new(t_p0, t_0, tau).unwrap();
+        let neg_bound = t_p0 * ((t_0 / tau).exp() - 1.0);
+        let mut c = DegradationDelay::symmetric(p);
+        let out = c.apply(&input);
+        for tr in out.transitions() {
+            let close = input.transitions().iter().any(|i| {
+                i.value == tr.value
+                    && tr.time - i.time <= t_p0 + 1e-9
+                    && i.time - tr.time <= neg_bound + 1e-9
+            });
+            prop_assert!(close, "unbounded output {tr:?} for {input}");
+        }
+    }
+}
+
+#[test]
+fn fast_glitch_train_separates_ddm_from_involution() {
+    // the regime the paper's introduction calls out: fast glitch trains,
+    // where DDM and involution channels disagree most
+    let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let ddm = DdmEdgeParams::new(d.delta_up_inf(), 0.1, 1.0).unwrap();
+    let input = Signal::pulse_train((0..20).map(|i| (i as f64 * 1.7, 0.85))).unwrap();
+    let mut inv = InvolutionChannel::new(d);
+    let mut deg = DegradationDelay::symmetric(ddm);
+    let a = inv.apply(&input);
+    let b = deg.apply(&input);
+    assert_ne!(
+        a.len(),
+        b.len(),
+        "models should disagree on fast trains: {} vs {}",
+        a.len(),
+        b.len()
+    );
+}

@@ -1,0 +1,104 @@
+//! Cross-family consistency of the delay-pair implementations: the same
+//! mathematical involution represented four ways must agree.
+
+use faithful::core::delay::{
+    check_involution, delta_min_of, DelayPair, DerivedPair, EmpiricalPair, ExpChannel,
+    PiecewiseLinearPair, RationalPair,
+};
+use proptest::prelude::*;
+
+fn arb_exp() -> impl Strategy<Value = ExpChannel> {
+    (0.4f64..2.5, 0.1f64..0.9, 0.3f64..0.7)
+        .prop_map(|(tau, tp, vth)| ExpChannel::new(tau, tp, vth).expect("valid"))
+}
+
+fn dense_samples<F: Fn(f64) -> f64>(lo: f64, hi: f64, n: usize, f: F) -> Vec<(f64, f64)> {
+    (0..n)
+        .map(|i| {
+            let t = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+            (t, f(t))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn four_representations_agree_on_exp_channels(d in arb_exp(), t in -0.2f64..2.0) {
+        prop_assume!(t > -0.8 * d.delta_min());
+        let lo = -0.9 * d.delta_min();
+        let hi = 4.0 * d.tau();
+        prop_assume!(t < hi * 0.9 && t > lo * 0.9);
+
+        // 1) closed form (ground truth)
+        let want_up = d.delta_up(t);
+        let want_down = d.delta_down(t);
+
+        // 2) derived: δ↓ from δ↑ by numeric inversion
+        let dc = d.clone();
+        let derived = DerivedPair::new(
+            move |x| dc.delta_up(x),
+            d.delta_up_inf(),
+            -d.delta_down_inf(),
+        )
+        .expect("valid derivation");
+        prop_assert!((derived.delta_up(t) - want_up).abs() < 1e-9);
+        prop_assert!((derived.delta_down(t) - want_down).abs() < 1e-6);
+
+        // 3) piecewise-linear through dense samples (reflected δ↓)
+        let pl = PiecewiseLinearPair::from_up_samples(&dense_samples(lo, hi, 400, |x| {
+            d.delta_up(x)
+        }))
+        .expect("concave increasing samples");
+        prop_assert!((pl.delta_up(t) - want_up).abs() < 2e-3, "{t}");
+        // the reflected δ↓ is only valid where −δ↓(t) stays in range
+        if -want_down > lo && -want_down < hi {
+            prop_assert!((pl.delta_down(t) - want_down).abs() < 2e-3, "{t}");
+        }
+
+        // 4) empirical: both polylines measured independently
+        let emp = EmpiricalPair::from_samples(
+            &dense_samples(lo, hi, 400, |x| d.delta_up(x)),
+            &dense_samples(lo, hi, 400, |x| d.delta_down(x)),
+        )
+        .expect("valid samples");
+        prop_assert!((emp.delta_up(t) - want_up).abs() < 2e-3);
+        prop_assert!((emp.delta_down(t) - want_down).abs() < 2e-3);
+    }
+
+    #[test]
+    fn delta_min_agrees_across_representations(d in arb_exp()) {
+        let want = d.t_p(); // exact for exp-channels
+        let lo = -0.95 * d.delta_min();
+        let hi = 4.0 * d.tau();
+        let pl = PiecewiseLinearPair::from_up_samples(&dense_samples(lo, hi, 300, |x| {
+            d.delta_up(x)
+        }))
+        .expect("valid");
+        prop_assert!((delta_min_of(&pl).unwrap() - want).abs() < 5e-3);
+        let emp = EmpiricalPair::from_samples(
+            &dense_samples(lo, hi, 300, |x| d.delta_up(x)),
+            &dense_samples(lo, hi, 300, |x| d.delta_down(x)),
+        )
+        .expect("valid");
+        prop_assert!((delta_min_of(&emp).unwrap() - want).abs() < 5e-3);
+    }
+
+    #[test]
+    fn rational_pairs_survive_derivation_roundtrip(
+        a in 0.6f64..3.0,
+        c in 0.6f64..3.0,
+        bf in 0.1f64..0.9,
+        t in -0.3f64..3.0,
+    ) {
+        let r = RationalPair::new(a, bf * a * c, c).expect("valid");
+        prop_assume!(t > -0.8 * r.delta_min());
+        let rc = r;
+        let derived = DerivedPair::new(move |x| rc.delta_up(x), a, -c).expect("valid");
+        prop_assert!((derived.delta_down(t) - r.delta_down(t)).abs() < 1e-6);
+        // and the involution check accepts both
+        let rep = check_involution(&r, -0.5 * r.delta_min(), 2.0, 30);
+        prop_assert!(rep.is_valid(1e-7), "{rep:?}");
+    }
+}

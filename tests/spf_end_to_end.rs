@@ -1,0 +1,327 @@
+//! End-to-end faithfulness: Theorem 12 (unbounded SPF is solvable with
+//! η-involution channels) and the contrast with non-faithful models.
+
+use faithful::core::channel::{Channel, DdmEdgeParams, DegradationDelay, InertialDelay};
+use faithful::core::delay::{ExpChannel, RationalPair};
+use faithful::core::noise::{EtaBounds, RecordedChoices, UniformNoise, WorstCaseAdversary};
+use faithful::spf::{verify_spf, LoopOutcome, PulseTrainFate, SpfCircuit, WorstCaseRecurrence};
+use faithful::{Bit, PulseStats, Signal};
+
+fn exp_spf(eta: f64) -> SpfCircuit<ExpChannel> {
+    SpfCircuit::dimensioned(
+        ExpChannel::new(1.0, 0.5, 0.5).unwrap(),
+        EtaBounds::new(eta, eta).unwrap(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn theorem_12_f1_to_f4_battery() {
+    let circuit = exp_spf(0.02);
+    let th = circuit.theory().unwrap();
+    let widths: Vec<f64> = (1..=12)
+        .map(|i| th.filter_bound * 0.3 + i as f64 * (th.lock_bound * 1.3) / 12.0)
+        .collect();
+    let report = verify_spf(&circuit, &widths, 500.0).unwrap();
+    assert!(report.passes(1e-3), "{report:?}");
+}
+
+#[test]
+fn theorem_12_with_rational_delay_family() {
+    let circuit = SpfCircuit::dimensioned(
+        RationalPair::new(2.0, 1.0, 2.0).unwrap(),
+        EtaBounds::new(0.02, 0.02).unwrap(),
+    )
+    .unwrap();
+    let th = circuit.theory().unwrap();
+    let widths = [
+        th.filter_bound * 0.7,
+        th.delta0_tilde * 0.99,
+        th.delta0_tilde * 1.01,
+        th.lock_bound * 1.5,
+    ];
+    let report = verify_spf(&circuit, &widths, 500.0).unwrap();
+    assert!(report.passes(1e-3), "{report:?}");
+}
+
+#[test]
+fn theorem_9_regimes_match_between_theory_recurrence_and_simulation() {
+    let circuit = exp_spf(0.03);
+    let th = circuit.theory().unwrap();
+    let rec = WorstCaseRecurrence::new(circuit.delay_pair().clone(), circuit.bounds());
+    let horizon = 400.0;
+    for frac in [0.6, 0.95, 1.05, 1.5] {
+        let d0 = th.delta0_tilde * frac;
+        let fate = rec.fate(d0, 5000);
+        let run = circuit
+            .simulate(
+                WorstCaseAdversary,
+                &Signal::pulse(0.0, d0).unwrap(),
+                horizon,
+            )
+            .unwrap();
+        let outcome = LoopOutcome::classify(&run.or_signal, horizon, 20.0);
+        match fate {
+            PulseTrainFate::Locks { .. } => {
+                assert!(
+                    matches!(outcome, LoopOutcome::Latched { .. }),
+                    "d0={d0}: {fate:?} vs {outcome:?}"
+                );
+                assert_eq!(run.output.len(), 1, "output must rise once");
+            }
+            PulseTrainFate::Dies { .. } => {
+                assert!(
+                    matches!(outcome, LoopOutcome::Filtered { .. }),
+                    "d0={d0}: {fate:?} vs {outcome:?}"
+                );
+                assert!(run.output.is_zero());
+            }
+            PulseTrainFate::Oscillating { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn lemma_5_overshoot_implies_lock_for_every_random_adversary() {
+    // Lemma 5 bounds the pulses of *infinite* trains by ∆. Its
+    // contrapositive is executable on finite runs: once any feedback
+    // pulse exceeds ∆, the subsequent pulses grow monotonically
+    // (Lemma 7) and the loop resolves to 1.
+    let circuit = exp_spf(0.02);
+    let th = circuit.theory().unwrap();
+    let horizon = 300.0;
+    for seed in 0..20u64 {
+        let run = circuit
+            .simulate(
+                UniformNoise::new(seed),
+                &Signal::pulse(0.0, th.delta0_tilde).unwrap(),
+                horizon,
+            )
+            .unwrap();
+        let stats = PulseStats::of(&run.or_signal);
+        let ups = stats.up_times();
+        let overshoot = ups
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|(_, &u)| u > th.delta_bar + 1e-9)
+            .map(|(i, _)| i);
+        if let Some(i) = overshoot {
+            // monotone growth from the first overshoot on
+            for w in ups[i..].windows(2) {
+                assert!(
+                    w[1] > w[0] - 1e-9,
+                    "seed {seed}: widths must grow after overshoot: {ups:?}"
+                );
+            }
+            // and the loop resolves to 1 (the last activity is a rise,
+            // or the signal already sits at 1)
+            assert_eq!(
+                run.or_signal.final_value(),
+                Bit::One,
+                "seed {seed}: overshoot must latch: {}",
+                run.or_signal
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma_5_bounds_hold_on_the_worst_case_self_repeating_train() {
+    // The infinite-train bounds themselves, probed on the closest
+    // finite witness: the worst-case adversary at the threshold ∆̃₀
+    // produces a long self-repeating train with ∆_n ≈ ∆ and P_n ≈ P.
+    let circuit = exp_spf(0.02);
+    let th = circuit.theory().unwrap();
+    let run = circuit
+        .simulate(
+            WorstCaseAdversary,
+            &Signal::pulse(0.0, th.delta0_tilde).unwrap(),
+            400.0,
+        )
+        .unwrap();
+    let stats = PulseStats::of(&run.or_signal);
+    let ups = stats.up_times();
+    assert!(ups.len() >= 10, "need a long train: {}", run.or_signal);
+    // The bisection error on ∆̃₀ (~1e-9) is amplified by the growth
+    // ratio a per pulse (Lemma 7), so only the early train sits at the
+    // fixed point; check pulses 1..=8 (drift there ≲ 1e-6). Pulse 0 is
+    // the input pulse itself.
+    for &u in &ups[1..=8] {
+        assert!(
+            (u - th.delta_bar).abs() < 1e-4,
+            "up-time {u} vs ∆ = {}",
+            th.delta_bar
+        );
+    }
+    for &p in &stats.periods()[1..=8] {
+        assert!(
+            (p - th.period).abs() < 1e-4,
+            "period {p} vs P = {}",
+            th.period
+        );
+    }
+}
+
+#[test]
+fn adversary_can_sustain_oscillation_longer_than_zero_noise() {
+    // With η = 0 the loop at ∆̃₀ + ε resolves quickly (geometric growth);
+    // an adversary pushing against the drift keeps it alive longer.
+    let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let bounds = EtaBounds::new(0.02, 0.02).unwrap();
+    let circuit = SpfCircuit::dimensioned(d.clone(), bounds).unwrap();
+    let th = circuit.theory().unwrap();
+    let d0 = th.delta0_tilde + 5e-4;
+    let horizon = 300.0;
+
+    let zero_run = circuit
+        .simulate(
+            RecordedChoices::new(vec![]),
+            &Signal::pulse(0.0, d0).unwrap(),
+            horizon,
+        )
+        .unwrap();
+    let zero_pulses = PulseStats::of(&zero_run.or_signal).pulse_count();
+
+    // worst-case adversary counteracts growth (rising late, falling early)
+    let wc_run = circuit
+        .simulate(
+            WorstCaseAdversary,
+            &Signal::pulse(0.0, d0).unwrap(),
+            horizon,
+        )
+        .unwrap();
+    let wc_pulses = PulseStats::of(&wc_run.or_signal).pulse_count();
+    assert!(
+        wc_pulses > zero_pulses,
+        "adversary should sustain more pulses: {wc_pulses} vs {zero_pulses}"
+    );
+}
+
+#[test]
+fn stabilization_time_follows_log_law_in_simulation() {
+    let circuit = exp_spf(0.02);
+    let th = circuit.theory().unwrap();
+    let mut pulse_counts = Vec::new();
+    for exp in 1..=4 {
+        let gap = 10f64.powi(-exp);
+        let run = circuit
+            .simulate(
+                WorstCaseAdversary,
+                &Signal::pulse(0.0, th.delta0_tilde + gap).unwrap(),
+                2000.0,
+            )
+            .unwrap();
+        let outcome = LoopOutcome::classify(&run.or_signal, 2000.0, 50.0);
+        match outcome {
+            LoopOutcome::Latched { pulses, .. } => pulse_counts.push(pulses as f64),
+            other => panic!("gap {gap}: expected latch, got {other:?}"),
+        }
+    }
+    // counts increase roughly linearly in the decade index
+    for w in pulse_counts.windows(2) {
+        assert!(w[1] >= w[0], "{pulse_counts:?}");
+        assert!(w[1] - w[0] <= 25.0, "{pulse_counts:?}");
+    }
+    assert!(
+        pulse_counts.last().unwrap() - pulse_counts.first().unwrap() >= 1.0,
+        "log law must show growth: {pulse_counts:?}"
+    );
+}
+
+#[test]
+fn bounded_models_solve_bounded_spf_the_unfaithfulness_witness() {
+    // An inertial delay solves *bounded-time* SPF outright: output settles
+    // within a fixed horizon for every input pulse — which is physically
+    // impossible (Marino), hence the model is unfaithful. The η-involution
+    // loop instead has unbounded stabilization time (metastability).
+    let mut inertial = InertialDelay::new(1.0, 0.5).unwrap();
+    let settle_horizon = 3.0; // delay + max pulse width considered
+    for i in 1..200 {
+        let w = i as f64 * 0.01;
+        let out = inertial.apply(&Signal::pulse(0.0, w).unwrap());
+        // settled (constant) after the horizon, for every width:
+        assert!(
+            out.last_time().unwrap_or(0.0) <= settle_horizon,
+            "width {w}"
+        );
+        // and output is never a runt pulse shorter than the window
+        if let Some(min) = out.min_interval() {
+            assert!(min >= 0.5);
+        }
+    }
+
+    // DDM likewise: bounded delays → bounded stabilization
+    let mut ddm = DegradationDelay::symmetric(DdmEdgeParams::new(1.0, 0.1, 0.8).unwrap());
+    for i in 1..200 {
+        let w = i as f64 * 0.01;
+        let out = ddm.apply(&Signal::pulse(0.0, w).unwrap());
+        assert!(
+            out.last_time().unwrap_or(0.0) <= 1.0 + w + 1e-9,
+            "width {w}"
+        );
+    }
+
+    // η-involution loop: stabilization grows without bound as ∆₀ → ∆̃₀
+    let circuit = exp_spf(0.02);
+    let th = circuit.theory().unwrap();
+    let settle_after = |gap: f64| -> f64 {
+        let run = circuit
+            .simulate(
+                WorstCaseAdversary,
+                &Signal::pulse(0.0, th.delta0_tilde + gap).unwrap(),
+                5000.0,
+            )
+            .unwrap();
+        run.or_signal.last_time().unwrap_or(0.0)
+    };
+    let fast = settle_after(1e-1);
+    let slow = settle_after(1e-6);
+    assert!(
+        slow > 2.0 * fast,
+        "stabilization must blow up near the threshold: {slow} vs {fast}"
+    );
+}
+
+#[test]
+fn output_never_produces_short_pulses_even_when_loop_oscillates() {
+    // F4 at the output across a fine ∆₀ grid straddling the metastable
+    // window, under several adversaries
+    let circuit = exp_spf(0.02);
+    let th = circuit.theory().unwrap();
+    let horizon = 300.0;
+    for i in 0..40 {
+        let d0 = th.filter_bound + (th.lock_bound - th.filter_bound) * i as f64 / 39.0;
+        if d0 <= 0.0 {
+            continue;
+        }
+        for seed in [1u64, 17, 113] {
+            let run = circuit
+                .simulate(
+                    UniformNoise::new(seed),
+                    &Signal::pulse(0.0, d0).unwrap(),
+                    horizon,
+                )
+                .unwrap();
+            assert!(
+                run.output.len() <= 1,
+                "d0={d0}, seed={seed}: {}",
+                run.output
+            );
+            if run.output.len() == 1 {
+                assert_eq!(run.output.final_value(), Bit::One);
+            }
+        }
+    }
+}
+
+#[test]
+fn constraint_c_is_necessary_for_the_dimensioning() {
+    // Violating (C) must be rejected before any simulation happens.
+    let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let max_minus = EtaBounds::max_minus_for_plus(0.05, &d).unwrap();
+    let ok = EtaBounds::new(max_minus * 0.99, 0.05).unwrap();
+    let bad = EtaBounds::new(max_minus * 1.01, 0.05).unwrap();
+    assert!(SpfCircuit::dimensioned(d.clone(), ok).is_ok());
+    assert!(SpfCircuit::dimensioned(d, bad).is_err());
+}

@@ -1,0 +1,152 @@
+//! Property tests of the Section IV theory over random channel
+//! parameterizations: every lemma's inequality must hold wherever
+//! constraint (C) admits the parameters.
+
+use faithful::core::delay::{DelayPair, ExpChannel, RationalPair};
+use faithful::core::noise::EtaBounds;
+use faithful::spf::{PulseTrainFate, SpfTheory, WorstCaseRecurrence};
+use proptest::prelude::*;
+
+fn arb_exp() -> impl Strategy<Value = ExpChannel> {
+    (0.2f64..3.0, 0.05f64..1.2, 0.2f64..0.8)
+        .prop_map(|(tau, tp, vth)| ExpChannel::new(tau, tp, vth).expect("valid"))
+}
+
+fn arb_rational() -> impl Strategy<Value = RationalPair> {
+    (0.5f64..4.0, 0.5f64..4.0, 0.05f64..0.9)
+        .prop_map(|(a, c, bf)| RationalPair::new(a, bf * a * c, c).expect("valid"))
+}
+
+/// Scales requested η into the admissible (C) region of the channel.
+fn admissible_bounds<D: DelayPair>(delay: &D, f_minus: f64, f_plus: f64) -> Option<EtaBounds> {
+    // find the largest symmetric η, then scale the asymmetric request
+    let mut eta_max: f64 = 0.0;
+    let dmin = delay.delta_min();
+    for i in 1..=200 {
+        let eta = dmin * i as f64 / 200.0;
+        if EtaBounds::new(eta, eta).ok()?.satisfies_constraint_c(delay) {
+            eta_max = eta;
+        } else {
+            break;
+        }
+    }
+    if eta_max == 0.0 {
+        return None;
+    }
+    let bounds = EtaBounds::new(eta_max * f_minus, eta_max * f_plus).ok()?;
+    bounds.satisfies_constraint_c(delay).then_some(bounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn lemma5_inequalities_hold_under_constraint_c(
+        d in arb_exp(),
+        f_minus in 0.0f64..0.9,
+        f_plus in 0.0f64..0.9,
+    ) {
+        let Some(bounds) = admissible_bounds(&d, f_minus, f_plus) else {
+            return Ok(());
+        };
+        let th = SpfTheory::compute(&d, bounds).expect("(C) holds");
+        prop_assert!(th.satisfies_lemma5_inequalities(&d), "{th:?}");
+        prop_assert!(th.delta_bar > 0.0);
+        prop_assert!(th.delta_bar < th.delta_min);
+        prop_assert!(th.gamma < 1.0);
+        prop_assert!(th.growth > 1.0);
+        // fixed point actually solves eq. (6)
+        let h = d.delta_down(bounds.plus() - th.tau)
+            + d.delta_up(-bounds.minus() - th.tau)
+            - th.tau;
+        prop_assert!(h.abs() < 1e-8, "h(tau) = {h}");
+        // regime ordering
+        prop_assert!(th.filter_bound < th.delta0_tilde);
+        prop_assert!(th.delta0_tilde < th.lock_bound);
+    }
+
+    #[test]
+    fn lemma5_also_holds_for_rational_family(
+        d in arb_rational(),
+        f in 0.0f64..0.9,
+    ) {
+        let Some(bounds) = admissible_bounds(&d, f, f) else {
+            return Ok(());
+        };
+        let th = SpfTheory::compute(&d, bounds).expect("(C) holds");
+        prop_assert!(th.satisfies_lemma5_inequalities(&d), "{th:?}");
+    }
+
+    #[test]
+    fn recurrence_fate_is_monotone_in_delta0(
+        d in arb_exp(),
+        f in 0.0f64..0.8,
+    ) {
+        // if ∆₀ locks, every larger ∆₀ locks; if ∆₀ dies, every smaller
+        // ∆₀ dies (the regimes of Theorem 9 are intervals)
+        let Some(bounds) = admissible_bounds(&d, f, f) else {
+            return Ok(());
+        };
+        let th = SpfTheory::compute(&d, bounds).expect("(C) holds");
+        let rec = WorstCaseRecurrence::new(d, bounds);
+        let probe: Vec<f64> = (0..12)
+            .map(|i| th.filter_bound.max(0.01) * 0.5
+                + (th.lock_bound * 1.2) * i as f64 / 11.0)
+            .collect();
+        let fates: Vec<PulseTrainFate> = probe.iter().map(|&x| rec.fate(x, 3000)).collect();
+        let mut seen_lock = false;
+        for (x, fate) in probe.iter().zip(&fates) {
+            match fate {
+                PulseTrainFate::Locks { .. } => seen_lock = true,
+                PulseTrainFate::Dies { .. } => {
+                    prop_assert!(!seen_lock, "death after lock at ∆₀ = {x}: {fates:?}");
+                }
+                PulseTrainFate::Oscillating { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn theory_threshold_separates_recurrence_fates(
+        d in arb_exp(),
+        f in 0.0f64..0.8,
+    ) {
+        let Some(bounds) = admissible_bounds(&d, f, f) else {
+            return Ok(());
+        };
+        let th = SpfTheory::compute(&d, bounds).expect("(C) holds");
+        let rec = WorstCaseRecurrence::new(d, bounds);
+        // a safe margin away from ∆̃₀ the fate is decided
+        let margin = 0.05 * (th.lock_bound - th.filter_bound);
+        prop_assert!(rec.fate(th.delta0_tilde + margin, 5000).locks());
+        prop_assert!(rec.fate(th.delta0_tilde - margin, 5000).dies());
+    }
+
+    #[test]
+    fn first_pulse_is_monotone_and_consistent_with_theory(
+        d in arb_exp(),
+        f in 0.0f64..0.8,
+    ) {
+        let Some(bounds) = admissible_bounds(&d, f, f) else {
+            return Ok(());
+        };
+        let th = SpfTheory::compute(&d, bounds).expect("(C) holds");
+        let rec = WorstCaseRecurrence::new(d.clone(), bounds);
+        // g(∆̃₀) = ∆ via both implementations
+        let a = rec.first_pulse(th.delta0_tilde);
+        let b = th.first_pulse(&d, th.delta0_tilde);
+        prop_assert_eq!(a, b);
+        prop_assert!((a.unwrap() - th.delta_bar).abs() < 1e-7);
+        // g is increasing where defined
+        let mut prev = None;
+        for i in 0..10 {
+            let x = th.filter_bound + (th.lock_bound - th.filter_bound) * i as f64 / 9.0;
+            if let Some(w) = rec.first_pulse(x) {
+                if let Some(p) = prev {
+                    prop_assert!(w > p, "g must increase");
+                }
+                prev = Some(w);
+            }
+        }
+    }
+}
