@@ -220,7 +220,7 @@ mod tests {
         // before the pulse (t < 45 ps) the nodes sit at alternating rails
         for i in 0..7 {
             let v = run.node(i).value_at(30.0);
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 assert!(v > 0.95, "node {i} = {v}");
             } else {
                 assert!(v < 0.05, "node {i} = {v}");
@@ -237,7 +237,7 @@ mod tests {
             .unwrap();
         for i in 0..7 {
             let w = run.node(i);
-            let expected_edges = if i % 2 == 0 {
+            let expected_edges = if i.is_multiple_of(2) {
                 // even stages (0-based) invert the input pulse: fall, rise
                 (
                     w.falling_crossings(0.5).len(),
@@ -280,7 +280,7 @@ mod tests {
         let c = InverterChain::umc90_like(7).unwrap();
         let width_at = |run: &ChainRun, i: usize| -> Option<f64> {
             let w = run.node(i);
-            let (first, second) = if i % 2 == 0 {
+            let (first, second) = if i.is_multiple_of(2) {
                 (w.falling_crossings(0.5), w.rising_crossings(0.5))
             } else {
                 (w.rising_crossings(0.5), w.falling_crossings(0.5))

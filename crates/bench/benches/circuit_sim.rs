@@ -19,7 +19,11 @@ fn build_pipeline(stages: usize) -> Simulator {
         let g = b.gate(
             &format!("inv{i}"),
             GateKind::Not,
-            if i % 2 == 0 { Bit::One } else { Bit::Zero },
+            if i.is_multiple_of(2) {
+                Bit::One
+            } else {
+                Bit::Zero
+            },
         );
         if i == 0 {
             b.connect_direct(prev, g, 0).unwrap();

@@ -7,7 +7,7 @@
 //! or below γ, a sustained metastable train leaks through the buffer as
 //! pulses; above γ it is filtered to a clean output.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin ablation_buffer`.
+//! Run with `cargo run --release -p ivl_bench --bin ablation_buffer`.
 
 use ivl_bench::{banner, write_csv, Series};
 use ivl_core::delay::ExpChannel;

@@ -12,7 +12,7 @@
 //!    high-threshold buffer dimensioning per Lemmas 10/11 remains valid
 //!    (any threshold below 1 is eventually crossed).
 //!
-//! Run with `cargo run --release -p ivl-bench --bin ablation_constraint_c`.
+//! Run with `cargo run --release -p ivl_bench --bin ablation_constraint_c`.
 
 use ivl_bench::{banner, write_csv, Series};
 use ivl_core::channel::{Channel, EtaInvolutionChannel};

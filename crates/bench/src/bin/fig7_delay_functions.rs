@@ -4,7 +4,7 @@
 //! Paper shape: every curve increases and saturates in `T`; lowering
 //! `V_DD` shifts the whole curve up (dramatically near threshold).
 //!
-//! Run with `cargo run --release -p ivl-bench --bin fig7_delay_functions`.
+//! Run with `cargo run --release -p ivl_bench --bin fig7_delay_functions`.
 
 use ivl_analog::chain::InverterChain;
 use ivl_analog::characterize::{sweep_samples, SweepConfig};

@@ -6,7 +6,7 @@
 //! small-`T` region; δ↑ is flatter than δ↓ (the supply barely affects
 //! the edge whose driving transistor is closing).
 //!
-//! Run with `cargo run --release -p ivl-bench --bin fig8a_supply_variation`.
+//! Run with `cargo run --release -p ivl_bench --bin fig8a_supply_variation`.
 
 use ivl_analog::chain::InverterChain;
 use ivl_analog::characterize::{characterize, measure_deviations, to_empirical, SweepConfig};

@@ -5,7 +5,7 @@
 //! nominal model predicts, so the whole cloud sits *below* zero and
 //! eventually leaves the η-band as `T` grows.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin fig8b_width_plus`.
+//! Run with `cargo run --release -p ivl_bench --bin fig8b_width_plus`.
 
 use ivl_bench::banner;
 

@@ -5,7 +5,7 @@
 //! predicted, so the cloud sits *above* zero and exceeds the η-band with
 //! increasing `T`.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin fig8c_width_minus`.
+//! Run with `cargo run --release -p ivl_bench --bin fig8c_width_minus`.
 
 use ivl_bench::banner;
 

@@ -6,7 +6,7 @@
 //! setup) for large `T` — harmless for faithfulness, which only concerns
 //! `T ∈ [−δ_min, 0]`.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin fig9_exp_fit`.
+//! Run with `cargo run --release -p ivl_bench --bin fig9_exp_fit`.
 
 use ivl_analog::chain::InverterChain;
 use ivl_analog::characterize::{characterize, measure_deviations, SweepConfig};

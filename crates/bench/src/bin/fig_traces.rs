@@ -2,7 +2,7 @@
 //! pulse attenuation, cancellation, and the adversary's freedom to
 //! shift, extend and de-cancel pulses.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin fig_traces`.
+//! Run with `cargo run --release -p ivl_bench --bin fig_traces`.
 
 use ivl_bench::{banner, write_csv, Series};
 use ivl_core::channel::{Channel, EtaInvolutionChannel, InvolutionChannel};

@@ -2,7 +2,7 @@
 //! as functions of the adversary power `η`, up to the constraint-(C)
 //! boundary.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin lemma5_bounds`.
+//! Run with `cargo run --release -p ivl_bench --bin lemma5_bounds`.
 
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 use ivl_core::delay::{DelayPair, ExpChannel};

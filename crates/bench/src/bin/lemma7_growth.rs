@@ -2,7 +2,7 @@
 //! point and the logarithmic stabilization-time law
 //! `pulses ∼ log_a(1/(∆₀ − ∆̃₀))`.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin lemma7_growth`.
+//! Run with `cargo run --release -p ivl_bench --bin lemma7_growth`.
 
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 use ivl_core::delay::ExpChannel;

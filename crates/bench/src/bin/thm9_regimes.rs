@@ -2,7 +2,7 @@
 //! circuit across the input pulse width, for the worst-case and random
 //! adversaries, with theory, recurrence and simulation side by side.
 //!
-//! Run with `cargo run --release -p ivl-bench --bin thm9_regimes`.
+//! Run with `cargo run --release -p ivl_bench --bin thm9_regimes`.
 
 use ivl_bench::{banner, write_csv, Series};
 use ivl_core::delay::ExpChannel;

@@ -122,7 +122,13 @@ impl GateKind {
             GateKind::Nand => !Bit::from(values.iter().all(|v| v.is_one())),
             GateKind::Nor => !Bit::from(values.iter().any(|v| v.is_one())),
             GateKind::Xor => Bit::from(values.iter().filter(|v| v.is_one()).count() % 2 == 1),
-            GateKind::Xnor => Bit::from(values.iter().filter(|v| v.is_one()).count() % 2 == 0),
+            GateKind::Xnor => Bit::from(
+                values
+                    .iter()
+                    .filter(|v| v.is_one())
+                    .count()
+                    .is_multiple_of(2),
+            ),
             GateKind::Table(t) => t.eval(values),
         }
     }

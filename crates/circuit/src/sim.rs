@@ -128,15 +128,14 @@ impl Simulator {
         }
 
         // node state
-        let mut node_initial = vec![Bit::Zero; n_nodes];
-        for i in 0..n_nodes {
-            node_initial[i] = match self.circuit.node_kind(NodeId(i)) {
+        let mut node_initial: Vec<Bit> = (0..n_nodes)
+            .map(|i| match self.circuit.node_kind(NodeId(i)) {
                 NodeKind::Input => self.inputs[i].initial(),
                 NodeKind::Gate { initial, .. } => *initial,
                 // output ports inherit their (unique) driver's initial
                 NodeKind::Output => Bit::Zero, // fixed up below
-            };
-        }
+            })
+            .collect();
         // pin values: driver's initial value propagated (channels keep
         // the initial value)
         let mut pins: Vec<Vec<Bit>> = (0..n_nodes)
@@ -248,7 +247,7 @@ impl Simulator {
         // input port sees exactly that port's transitions, so feeding
         // them all upfront is equivalent to feeding them in global time
         // order.
-        for i in 0..n_nodes {
+        for (i, rec) in node_rec.iter_mut().enumerate() {
             if !matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Input) {
                 continue;
             }
@@ -271,9 +270,7 @@ impl Simulator {
             }
             // record the input signal itself
             for tr in &signal {
-                node_rec[i]
-                    .push(*tr)
-                    .expect("input signal is already validated");
+                rec.push(*tr).expect("input signal is already validated");
             }
         }
 
@@ -294,10 +291,7 @@ impl Simulator {
 
         loop {
             // deliver every valid event at batch_time
-            loop {
-                let Some(&Reverse(key)) = queue.heap.peek() else {
-                    break;
-                };
+            while let Some(&Reverse(key)) = queue.heap.peek() {
                 if key.time > batch_time {
                     break;
                 }

@@ -74,10 +74,11 @@ impl<F: Fn(f64) -> f64> DerivedPair<F> {
                 constraint: "must be finite and < 0 (= −δ↓∞ < 0)",
             });
         }
-        if !(up(0.0) > 0.0) {
+        let up0 = up(0.0);
+        if !(up0.is_finite() && up0 > 0.0) {
             return Err(Error::InvalidDelayParameter {
                 name: "up(0)",
-                value: up(0.0),
+                value: up0,
                 constraint: "must be > 0 (strict causality)",
             });
         }

@@ -137,7 +137,7 @@ fn nelder_mead<F: Fn(&[f64; 3]) -> f64>(
         x[i] += step;
         simplex.push(x);
     }
-    let mut values: Vec<f64> = simplex.iter().map(|x| f(x)).collect();
+    let mut values: Vec<f64> = simplex.iter().map(&f).collect();
     let mut iters = 0;
     for _ in 0..max_iter {
         iters += 1;
@@ -189,9 +189,10 @@ fn nelder_mead<F: Fn(&[f64; 3]) -> f64>(
                 values[N] = fc;
             } else {
                 // shrink toward best
+                let best = simplex[0];
                 for i in 1..=N {
-                    for d in 0..N {
-                        simplex[i][d] = simplex[0][d] + 0.5 * (simplex[i][d] - simplex[0][d]);
+                    for (d, s) in simplex[i].iter_mut().enumerate() {
+                        *s = best[d] + 0.5 * (*s - best[d]);
                     }
                     values[i] = f(&simplex[i]);
                 }
@@ -205,12 +206,9 @@ fn nelder_mead<F: Fn(&[f64; 3]) -> f64>(
 mod tests {
     use super::*;
 
-    fn sample_channel(
-        ch: &ExpChannel,
-        lo: f64,
-        hi: f64,
-        n: usize,
-    ) -> (Vec<(f64, f64)>, Vec<(f64, f64)>) {
+    type Samples = Vec<(f64, f64)>;
+
+    fn sample_channel(ch: &ExpChannel, lo: f64, hi: f64, n: usize) -> (Samples, Samples) {
         let ups = (0..n)
             .map(|i| {
                 let t = lo + (hi - lo) * i as f64 / (n - 1) as f64;

@@ -181,9 +181,10 @@ pub fn delta_min_of<D: DelayPair + ?Sized>(pair: &D) -> Result<f64, Error> {
     // g(x) = δ↑(−x) − x is strictly decreasing; g(0) = δ↑(0) > 0 for a
     // strictly causal channel, and g(x) → −∞ as x → δ↓∞.
     let g = |x: f64| pair.delta_up(-x) - x;
-    if !(g(0.0) > 0.0) {
+    let g0 = g(0.0);
+    if !(g0.is_finite() && g0 > 0.0) {
         return Err(Error::SolverFailed {
-            what: "delta_min: channel is not strictly causal (delta_up(0) <= 0)",
+            what: "delta_min: delta_up(0) must be finite and > 0 (strict causality)",
         });
     }
     // Expand hi until g(hi) < 0. For exact involution pairs g(x) → −∞ as

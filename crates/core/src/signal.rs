@@ -242,7 +242,7 @@ impl Signal {
     /// of the paper, required of circuit input signals).
     #[must_use]
     pub fn satisfies_s1(&self) -> bool {
-        self.transitions.first().map_or(true, |tr| tr.time >= 0.0)
+        self.transitions.first().is_none_or(|tr| tr.time >= 0.0)
     }
 
     /// Returns the signal shifted by `dt` in time.

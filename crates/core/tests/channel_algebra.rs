@@ -1,0 +1,201 @@
+//! Property-style tests of the channel algebra, pinned directly to the
+//! paper's defining identities: the involution law of Lemma 1, the
+//! constraint-(C) admissibility boundary for η-bounds, and the
+//! construction invariants of `Signal`/`SignalBuilder`/`Pulse`.
+
+use ivl_core::delay::{DelayPair, ExpChannel, RationalPair};
+use ivl_core::noise::EtaBounds;
+use ivl_core::{Bit, PulseStats, Signal, SignalBuilder};
+use proptest::prelude::*;
+
+fn arb_exp() -> impl Strategy<Value = ExpChannel> {
+    (0.2f64..3.0, 0.05f64..1.0, 0.15f64..0.85)
+        .prop_map(|(tau, tp, vth)| ExpChannel::new(tau, tp, vth).expect("valid params"))
+}
+
+fn arb_rational() -> impl Strategy<Value = RationalPair> {
+    (0.5f64..4.0, 0.5f64..4.0, 0.05f64..0.9)
+        .prop_map(|(a, c, bf)| RationalPair::new(a, bf * a * c, c).expect("valid params"))
+}
+
+/// Evaluates the involution residual `−δ↑(−δ↓(t)) − t` over an `n`-point
+/// grid of the pair's admissible domain and returns the largest |residual|.
+fn max_involution_residual<D: DelayPair>(d: &D, lo: f64, hi: f64, n: usize) -> f64 {
+    (0..n)
+        .map(|i| {
+            let t = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+            (-d.delta_up(-d.delta_down(t)) - t).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- involution self-inverse, δ↑(−δ↓(t)) = t on a grid ---
+
+    #[test]
+    fn exp_involution_self_inverse_on_grid(d in arb_exp()) {
+        // the admissible domain is (−δ_min^down, ∞); stay clear of both
+        // the pole and the saturation plateau
+        let lo = -0.85 * d.delta_min();
+        let hi = 5.0 * d.tau();
+        prop_assert!(max_involution_residual(&d, lo, hi, 257) < 1e-6);
+    }
+
+    #[test]
+    fn rational_involution_self_inverse_on_grid(d in arb_rational()) {
+        let lo = -0.85 * d.delta_min();
+        let hi = 8.0;
+        prop_assert!(max_involution_residual(&d, lo, hi, 257) < 1e-7);
+    }
+
+    #[test]
+    fn involution_swap_order_also_identity(d in arb_exp(), t in -0.1f64..4.0) {
+        // the dual composition −δ↓(−δ↑(t)) = t holds on the same domain
+        prop_assume!(t > -0.85 * d.delta_min());
+        let rt = -d.delta_down(-d.delta_up(t));
+        prop_assert!((rt - t).abs() < 1e-6, "t={t} roundtrip={rt}");
+    }
+
+    // --- η-bounds: constraint (C) admissibility and rejection ---
+
+    #[test]
+    fn constraint_c_accepts_then_rejects_across_boundary(
+        d in arb_exp(),
+        plus in 0.0f64..0.2,
+    ) {
+        // Section V dimensioning: η⁻_max = δ↓(−η⁺) − δ_min − η⁺ is the
+        // exact boundary — strictly inside satisfies (C), outside violates
+        let Some(max_minus) = EtaBounds::max_minus_for_plus(plus, &d) else {
+            // η⁺ alone already inadmissible: symmetric bounds must fail too
+            prop_assert!(
+                !EtaBounds::new(plus, plus).unwrap().satisfies_constraint_c(&d)
+            );
+            return Ok(());
+        };
+        let inside = EtaBounds::new(max_minus * 0.99, plus).unwrap();
+        prop_assert!(inside.satisfies_constraint_c(&d));
+        let outside = EtaBounds::new(max_minus * 1.01, plus).unwrap();
+        prop_assert!(!outside.satisfies_constraint_c(&d));
+    }
+
+    #[test]
+    fn constraint_c_is_monotone_in_eta(d in arb_exp(), e in 0.0f64..1.5, shrink in 0.1f64..0.9) {
+        // if [−e, e] satisfies (C) then every narrower symmetric interval
+        // does too: admissibility is downward closed
+        let wide = EtaBounds::symmetric(e).unwrap();
+        prop_assume!(wide.satisfies_constraint_c(&d));
+        let narrow = EtaBounds::symmetric(e * shrink).unwrap();
+        prop_assert!(narrow.satisfies_constraint_c(&d));
+    }
+
+    #[test]
+    fn eta_wider_than_delta_min_always_violates_c(d in arb_exp(), f in 1.0f64..4.0) {
+        // (C) forces η⁺ + η⁻ < δ↓(−η⁺) − δ_min < δ↑∞ − δ_min; an interval
+        // at least as wide as δ_min is far past that for these channels
+        let e = d.delta_min() * f;
+        prop_assert!(!EtaBounds::symmetric(e).unwrap().satisfies_constraint_c(&d));
+    }
+
+    // --- pulse/signal builder invariants ---
+
+    #[test]
+    fn builder_accepts_increasing_rejects_stale_times(gaps in proptest::collection::vec(0.01f64..2.0, 1..20)) {
+        let mut b = SignalBuilder::new(Bit::Zero);
+        let mut t = 0.0;
+        for g in &gaps {
+            t += g;
+            b.push_time(t).expect("strictly increasing");
+        }
+        // any time ≤ the last accepted one must be rejected...
+        prop_assert!(b.clone().push_time(t).is_err());
+        prop_assert!(b.clone().push_time(t - 1e-3).is_err());
+        prop_assert!(b.clone().push_time(f64::NAN).is_err());
+        // ...and rejection leaves the builder state untouched
+        prop_assert_eq!(b.len(), gaps.len());
+        let s = b.finish();
+        prop_assert_eq!(s.len(), gaps.len());
+        prop_assert!(s.satisfies_s1());
+    }
+
+    #[test]
+    fn builder_alternation_is_forced(gaps in proptest::collection::vec(0.01f64..2.0, 1..20), init in 0u64..2) {
+        let initial = if init == 0 { Bit::Zero } else { Bit::One };
+        let mut b = SignalBuilder::new(initial);
+        let mut t = 0.0;
+        for g in &gaps {
+            t += g;
+            b.push_time(t).unwrap();
+        }
+        let s = b.finish();
+        prop_assert_eq!(s.initial(), initial);
+        // values strictly alternate starting from !initial
+        let mut expect = !initial;
+        for tr in s.transitions() {
+            prop_assert_eq!(tr.value, expect);
+            expect = !expect;
+        }
+        // parity determines the final value
+        let want_final = if gaps.len().is_multiple_of(2) { initial } else { !initial };
+        prop_assert_eq!(s.final_value(), want_final);
+    }
+
+    #[test]
+    fn pulse_train_roundtrips_through_pulses(
+        widths in proptest::collection::vec(0.05f64..0.9, 1..12),
+    ) {
+        // non-overlapping unit-spaced train: pulses() must recover it
+        let train: Vec<(f64, f64)> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (i as f64 * 2.0, w))
+            .collect();
+        let s = Signal::pulse_train(train.iter().copied()).unwrap();
+        let pulses = s.pulses();
+        prop_assert_eq!(pulses.len(), train.len());
+        for (p, (start, width)) in pulses.iter().zip(&train) {
+            prop_assert!((p.start - start).abs() < 1e-12);
+            prop_assert!((p.width - width).abs() < 1e-12);
+            prop_assert!((p.end() - (start + width)).abs() < 1e-12);
+        }
+        let stats = PulseStats::of(&s);
+        prop_assert_eq!(stats.pulse_count(), train.len());
+        prop_assert_eq!(stats.pulses(), &pulses[..]);
+    }
+
+    #[test]
+    fn single_pulse_invariants(start in -3.0f64..3.0, width in 0.001f64..5.0) {
+        let s = Signal::pulse(start, width).unwrap();
+        prop_assert_eq!(s.len(), 2);
+        prop_assert_eq!(s.initial(), Bit::Zero);
+        prop_assert_eq!(s.final_value(), Bit::Zero);
+        prop_assert_eq!(s.value_at(start + width / 2.0), Bit::One);
+        let min = s.min_interval().unwrap();
+        prop_assert!((min - width).abs() < 1e-12, "min interval {min} vs width {width}");
+        let pulses = s.pulses();
+        prop_assert_eq!(pulses.len(), 1);
+        prop_assert!((pulses[0].start - start).abs() < 1e-12);
+        prop_assert!((pulses[0].width - width).abs() < 1e-12);
+        // zero/negative width is rejected
+        prop_assert!(Signal::pulse(start, 0.0).is_err());
+        prop_assert!(Signal::pulse(start, -width).is_err());
+    }
+}
+
+#[test]
+fn involution_grid_identity_for_reference_channel() {
+    // the paper's running example: τ = 1, T_p = 0.5, V_th = ½
+    let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let residual = max_involution_residual(&d, -0.9 * d.delta_min(), 6.0, 1001);
+    assert!(residual < 1e-9, "max residual {residual}");
+}
+
+#[test]
+fn eta_bounds_rejects_malformed_inputs() {
+    assert!(EtaBounds::new(-0.01, 0.1).is_err());
+    assert!(EtaBounds::new(0.1, -0.01).is_err());
+    assert!(EtaBounds::new(f64::NAN, 0.1).is_err());
+    assert!(EtaBounds::new(0.1, f64::INFINITY).is_err());
+    assert!(EtaBounds::symmetric(-1.0).is_err());
+}

@@ -149,11 +149,13 @@ impl SpfTheory {
 
 /// Bisects a strictly decreasing function for its root in `(lo, hi)`.
 fn bisect_decreasing<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64) -> Option<f64> {
-    if !(lo < hi) || !(f(lo) > 0.0) {
+    // bracket checks; partial_cmp makes the NaN → None behaviour explicit
+    use std::cmp::Ordering::{Greater, Less};
+    if lo.partial_cmp(&hi) != Some(Less) || f(lo).partial_cmp(&0.0) != Some(Greater) {
         return None;
     }
     // f(hi) may be −∞; that is a valid bracket
-    if !(f(hi) < 0.0) {
+    if f(hi).partial_cmp(&0.0) != Some(Less) {
         return None;
     }
     for _ in 0..200 {

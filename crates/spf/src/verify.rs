@@ -84,7 +84,7 @@ impl SpfReport {
             && self.f2_no_generation
             && self.f3_nontrivial
             && self.anomalies == 0
-            && self.f4_min_output_interval.map_or(true, |m| m >= epsilon)
+            && self.f4_min_output_interval.is_none_or(|m| m >= epsilon)
     }
 }
 

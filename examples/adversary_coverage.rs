@@ -68,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if ok {
                     covered += 1;
                 }
-                if total % 9 == 0 {
+                if total.is_multiple_of(9) {
                     println!(
                         "{:>10.2} | {:>+9.3} | [−{:.3}, +{:.3}] | {}",
                         d.offset,

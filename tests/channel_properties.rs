@@ -96,7 +96,8 @@ proptest! {
 
     #[test]
     fn all_channels_preserve_signal_invariants(input in arb_signal(), d in arb_exp()) {
-        let mut channels: Vec<Box<dyn FnMut(&Signal) -> Signal>> = vec![
+        type BoxedApply = Box<dyn FnMut(&Signal) -> Signal>;
+        let mut channels: Vec<BoxedApply> = vec![
             {
                 let mut c = PureDelay::new(0.7).unwrap();
                 Box::new(move |s: &Signal| c.apply(s))

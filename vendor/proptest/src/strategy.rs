@@ -1,0 +1,157 @@
+//! Value-generation strategies (subset: no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+use crate::collection::SizeRange;
+
+/// A source of random values of an associated type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a
+/// strategy simply draws a fresh value from the generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: std::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, rejecting the rest.
+    ///
+    /// The whole test case is rejected when the drawn value fails the
+    /// predicate, mirroring proptest's local-rejection behaviour closely
+    /// enough for these suites.
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: std::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`]. Draws until the
+/// predicate holds (bounded retries).
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter: predicate rejected 10000 consecutive draws");
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f64, u8, u16, u32, u64, usize, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Strategy for `Vec`s, created by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = if self.size.max - self.size.min <= 1 {
+            self.size.min
+        } else {
+            rng.gen_range(self.size.min..self.size.max)
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

@@ -1,0 +1,66 @@
+//! Test-case configuration and outcome types.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a [`crate::proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion; fails the whole test.
+    Fail(String),
+    /// The case was rejected (e.g. by [`crate::prop_assume!`]); another
+    /// case is drawn instead.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Creates a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic per-test generator: the seed is an FNV-1a hash of the
+/// test name (optionally overridden by `PROPTEST_SEED`), so failures
+/// reproduce without a persistence file.
+#[must_use]
+pub fn rng_for_test(name: &str) -> StdRng {
+    if let Some(seed) = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        return StdRng::seed_from_u64(seed);
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
