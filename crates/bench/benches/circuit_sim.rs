@@ -1,15 +1,16 @@
-//! Event-driven simulator throughput: pipelines and the oscillating SPF
-//! loop.
+//! Event-driven simulator throughput: pipelines, the oscillating SPF
+//! loop, state-reuse on ≥1k-gate chains, fanout grids, cancel-heavy
+//! inertial workloads, and parallel scenario sweeps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ivl_circuit::{CircuitBuilder, GateKind, Simulator};
-use ivl_core::channel::InvolutionChannel;
+use ivl_circuit::{Circuit, CircuitBuilder, GateKind, Scenario, ScenarioRunner, Simulator};
+use ivl_core::channel::{InertialDelay, InvolutionChannel, PureDelay};
 use ivl_core::delay::ExpChannel;
 use ivl_core::noise::{EtaBounds, WorstCaseAdversary};
 use ivl_core::{Bit, Signal};
 use ivl_spf::SpfCircuit;
 
-fn build_pipeline(stages: usize) -> Simulator {
+fn pipeline_circuit(stages: usize) -> Circuit {
     let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
     let mut b = CircuitBuilder::new();
     let a = b.input("a");
@@ -34,7 +35,11 @@ fn build_pipeline(stages: usize) -> Simulator {
         prev = g;
     }
     b.connect(prev, y, 0, InvolutionChannel::new(d)).unwrap();
-    Simulator::new(b.build().unwrap())
+    b.build().unwrap()
+}
+
+fn build_pipeline(stages: usize) -> Simulator {
+    Simulator::new(pipeline_circuit(stages))
 }
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -72,5 +77,146 @@ fn bench_spf_loop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pipeline, bench_spf_loop);
+/// Repeated `run` on a ≥1k-gate inverter chain: after the warmup run,
+/// the reused `SimState` makes every iteration pool/recorder
+/// allocation-free — this bench is the wall-clock witness of the slab
+/// event pool and in-place state rebuild.
+fn bench_reused_run_1k_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reused_run_1k_chain");
+    let input = Signal::pulse_train((0..20).map(|i| (i as f64 * 40.0, 20.0))).unwrap();
+    for &stages in &[1024usize, 2048] {
+        group.throughput(Throughput::Elements((input.len() * stages) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, &s| {
+            let mut sim = build_pipeline(s);
+            sim.set_input("a", input.clone()).unwrap();
+            sim.run(1e9).unwrap(); // warmup: grow pool + recorders
+            let capacity = sim.event_pool_capacity();
+            b.iter(|| sim.run(1e9).unwrap());
+            assert_eq!(sim.event_pool_capacity(), capacity, "pool must not grow");
+        });
+    }
+    group.finish();
+}
+
+/// Fanout grid: one driver into `width` parallel buffer columns of
+/// `depth` stages each — stresses the per-edge pending queues and the
+/// dirty set.
+fn bench_fanout_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fanout_grid");
+    let input = Signal::pulse_train((0..10).map(|i| (i as f64 * 10.0, 5.0))).unwrap();
+    for &(width, depth) in &[(32usize, 8usize), (64, 16)] {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let root = b.gate("root", GateKind::Buf, Bit::Zero);
+        b.connect_direct(a, root, 0).unwrap();
+        for w in 0..width {
+            let mut prev = root;
+            for d in 0..depth {
+                let g = b.gate(&format!("b{w}_{d}"), GateKind::Buf, Bit::Zero);
+                b.connect(prev, g, 0, PureDelay::new(0.1 + w as f64 * 1e-3).unwrap())
+                    .unwrap();
+                prev = g;
+            }
+            let y = b.output(&format!("y{w}"));
+            b.connect(prev, y, 0, PureDelay::new(0.1).unwrap()).unwrap();
+        }
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", input.clone()).unwrap();
+        group.throughput(Throughput::Elements((input.len() * width * depth) as u64));
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{width}x{depth}")),
+            |b| {
+                b.iter(|| sim.run(1e9).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Cancel-heavy inertial workload: a pulse train whose odd pulses are
+/// narrower than the rejection window, so about a third of the scheduled
+/// events are cancelled — stresses slab recycling and generation
+/// stamping.
+fn bench_cancel_heavy_inertial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cancel_heavy_inertial");
+    // alternating wide (passed) and narrow (cancelled) pulses
+    let input = Signal::pulse_train((0..200).map(|i| {
+        let t = i as f64 * 10.0;
+        if i % 2 == 0 {
+            (t, 4.0)
+        } else {
+            (t, 0.4)
+        }
+    }))
+    .unwrap();
+    for &stages in &[4usize, 16] {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let mut prev = a;
+        for i in 0..stages {
+            let g = b.gate(&format!("buf{i}"), GateKind::Buf, Bit::Zero);
+            if i == 0 {
+                b.connect_direct(prev, g, 0).unwrap();
+            } else {
+                b.connect(prev, g, 0, InertialDelay::new(0.5, 1.0).unwrap())
+                    .unwrap();
+            }
+            prev = g;
+        }
+        let y = b.output("y");
+        b.connect(prev, y, 0, InertialDelay::new(0.5, 1.0).unwrap())
+            .unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", input.clone()).unwrap();
+        let probe = sim.run(1e9).unwrap();
+        assert!(
+            probe.scheduled_events() > probe.processed_events(),
+            "workload must actually cancel"
+        );
+        group.throughput(Throughput::Elements(probe.scheduled_events() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| sim.run(1e9).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Multi-scenario sweep over worker counts: the same 64-scenario batch
+/// on 1, 2 and 4 threads — wall clock should drop with workers.
+fn bench_scenario_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep");
+    let scenarios: Vec<Scenario> = (0..64u64)
+        .map(|k| {
+            Scenario::new(format!("s{k}"))
+                .with_input(
+                    "a",
+                    Signal::pulse_train((0..10).map(|i| (i as f64 * 40.0, 15.0 + k as f64 * 0.1)))
+                        .unwrap(),
+                )
+                .with_seed(k)
+        })
+        .collect();
+    group.throughput(Throughput::Elements(scenarios.len() as u64));
+    for &workers in &[1usize, 2, 4] {
+        let runner = ScenarioRunner::new(pipeline_circuit(128), 1e9).with_workers(workers);
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+            b.iter(|| {
+                let sweep = runner.run(&scenarios);
+                assert_eq!(sweep.stats().failures, 0);
+                sweep
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline,
+    bench_spf_loop,
+    bench_reused_run_1k_chain,
+    bench_fanout_grid,
+    bench_cancel_heavy_inertial,
+    bench_scenario_sweep_scaling
+);
 criterion_main!(benches);

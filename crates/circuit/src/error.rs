@@ -113,7 +113,25 @@ pub enum SimError {
         /// The offending edge (for diagnosis).
         edge: usize,
     },
+    /// A channel reported a pairwise cancellation that does not match the
+    /// event the simulator has pending for that edge (wrong time or
+    /// value), or targets an event that was already delivered or
+    /// cancelled. Before this was a hard error, a release build would
+    /// silently invalidate the *wrong* pending event and corrupt the
+    /// waveform.
+    CancellationMismatch {
+        /// The offending edge (for diagnosis).
+        edge: usize,
+        /// Time of the event the simulator would have cancelled, if any.
+        pending: Option<f64>,
+        /// Time of the transition the channel claims to cancel.
+        cancelled: f64,
+    },
     /// The event budget was exhausted (oscillation guard).
+    ///
+    /// The budget counts *scheduled* events, so cancel-heavy churn
+    /// (schedule-then-cancel loops that deliver nothing) trips the guard
+    /// too.
     MaxEventsExceeded {
         /// The configured budget.
         budget: usize,
@@ -139,6 +157,22 @@ impl fmt::Display for SimError {
                 f,
                 "causality violation on edge {edge} at time {time}: channel output would land in the past"
             ),
+            SimError::CancellationMismatch {
+                edge,
+                pending,
+                cancelled,
+            } => match pending {
+                Some(pending) => write!(
+                    f,
+                    "cancellation mismatch on edge {edge}: channel cancelled the transition at \
+                     {cancelled} but the pending event is at {pending}"
+                ),
+                None => write!(
+                    f,
+                    "cancellation mismatch on edge {edge}: channel cancelled the transition at \
+                     {cancelled} but no event is pending"
+                ),
+            },
             SimError::MaxEventsExceeded { budget, time } => {
                 write!(f, "event budget of {budget} exhausted at time {time}")
             }
@@ -183,6 +217,16 @@ mod tests {
             Box::new(SimError::UnknownPort { name: "i".into() }),
             Box::new(SimError::InputViolatesS1 { name: "i".into() }),
             Box::new(SimError::CausalityViolation { time: 1.0, edge: 0 }),
+            Box::new(SimError::CancellationMismatch {
+                edge: 1,
+                pending: Some(2.0),
+                cancelled: 3.0,
+            }),
+            Box::new(SimError::CancellationMismatch {
+                edge: 1,
+                pending: None,
+                cancelled: 3.0,
+            }),
             Box::new(SimError::MaxEventsExceeded {
                 budget: 10,
                 time: 5.0,

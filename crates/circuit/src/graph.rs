@@ -2,8 +2,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use ivl_core::channel::OnlineChannel;
+use ivl_core::channel::SimChannel;
 use ivl_core::Bit;
 
 use crate::error::CircuitError;
@@ -52,18 +53,21 @@ pub enum NodeKind {
     },
 }
 
+#[derive(Clone)]
 pub(crate) struct Node {
     pub(crate) name: String,
     pub(crate) kind: NodeKind,
 }
 
+#[derive(Clone)]
 pub(crate) enum Connection {
     /// Zero-delay port connection (the paper's port channels).
     Direct,
     /// A single-history channel.
-    Channel(Box<dyn OnlineChannel>),
+    Channel(Box<dyn SimChannel>),
 }
 
+#[derive(Clone)]
 pub(crate) struct Edge {
     pub(crate) from: NodeId,
     pub(crate) to: NodeId,
@@ -196,6 +200,11 @@ impl CircuitBuilder {
 
     /// Connects `from` to pin `pin` of `to` through `channel`.
     ///
+    /// Any [`OnlineChannel`](ivl_core::channel::OnlineChannel) that is
+    /// also `Clone + Send` qualifies (the [`SimChannel`] blanket impl);
+    /// clonability lets [`Circuit`]s be duplicated across scenario-sweep
+    /// worker threads.
+    ///
     /// # Errors
     ///
     /// Returns an error for unknown nodes, out-of-range or doubly driven
@@ -208,7 +217,7 @@ impl CircuitBuilder {
         channel: C,
     ) -> Result<EdgeId, CircuitError>
     where
-        C: OnlineChannel + 'static,
+        C: SimChannel + 'static,
     {
         self.check_endpoints(from, to, pin)?;
         let id = EdgeId(self.edges.len());
@@ -288,7 +297,7 @@ impl CircuitBuilder {
             nodes: self.nodes,
             edges: self.edges,
             outgoing,
-            names: self.names,
+            names: Arc::new(self.names),
         })
     }
 }
@@ -309,11 +318,18 @@ impl fmt::Debug for CircuitBuilder {
 }
 
 /// A validated circuit, ready to simulate.
+///
+/// Cloning a circuit deep-copies every channel (including its noise/RNG
+/// state), so clones simulate independently — the basis of the parallel
+/// [`ScenarioRunner`](crate::ScenarioRunner).
+#[derive(Clone)]
 pub struct Circuit {
     pub(crate) nodes: Vec<Node>,
     pub(crate) edges: Vec<Edge>,
     pub(crate) outgoing: Vec<Vec<EdgeId>>,
-    pub(crate) names: HashMap<String, NodeId>,
+    /// Shared with every [`SimResult`](crate::SimResult) so repeated runs
+    /// don't re-allocate the name table.
+    pub(crate) names: Arc<HashMap<String, NodeId>>,
 }
 
 impl Circuit {

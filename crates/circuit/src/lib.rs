@@ -14,7 +14,13 @@
 //! SPF circuit of Fig. 5 is a fed-back OR gate. The simulator feeds each
 //! channel its input transitions in time order and honours the pairwise
 //! non-FIFO cancellation semantics of `ivl-core`, including *unscheduling*
-//! pending output events that a later input transition cancels.
+//! pending output events that a later input transition cancels — via a
+//! slab event pool with generation-stamped ids, so a mismatched
+//! cancellation is a hard error rather than silent corruption.
+//!
+//! For Monte-Carlo batteries, [`ScenarioRunner`] fans scenarios (input
+//! signals plus noise seeds) across worker threads, each simulating its
+//! own clone of the circuit with fully reused per-run state.
 //!
 //! ```
 //! use ivl_circuit::{CircuitBuilder, GateKind, Simulator};
@@ -43,10 +49,12 @@
 mod error;
 mod gate;
 mod graph;
+mod runner;
 mod sim;
 pub mod vcd;
 
 pub use error::{CircuitError, SimError};
 pub use gate::{GateKind, TruthTable};
 pub use graph::{Circuit, CircuitBuilder, EdgeId, NodeId, NodeKind};
+pub use runner::{Scenario, ScenarioOutcome, ScenarioRunner, SweepResult, SweepStats};
 pub use sim::{SimResult, Simulator};

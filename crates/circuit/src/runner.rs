@@ -1,0 +1,513 @@
+//! Parallel multi-scenario sweeps: fan a batch of stimuli / noise seeds
+//! over worker threads, each simulating its own clone of one circuit.
+//!
+//! The paper's Monte-Carlo experiments (adversary batteries, η-noise
+//! sweeps) run the *same* circuit under thousands of slightly different
+//! scenarios. A [`ScenarioRunner`] amortizes setup across the batch:
+//! every worker thread owns a deep clone of the circuit and one
+//! [`Simulator`] whose per-run state is reused scenario after scenario,
+//! so the per-scenario cost is the event loop alone.
+//!
+//! Scenarios with a [`seed`](Scenario::with_seed) are bitwise
+//! reproducible regardless of worker count or scheduling: the seed pins
+//! every channel's noise stream via
+//! [`Simulator::reseed_noise`]. Unseeded scenarios on noisy circuits
+//! draw from whatever stream state their worker's simulator has reached,
+//! which depends on the worker count — seed your scenarios when you need
+//! determinism.
+
+use std::thread;
+
+use ivl_core::{PulseStats, Signal};
+
+use crate::error::SimError;
+use crate::graph::Circuit;
+use crate::sim::{SimResult, Simulator};
+
+/// One entry of a sweep: a label, input assignments, and an optional
+/// noise seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    label: String,
+    inputs: Vec<(String, Signal)>,
+    seed: Option<u64>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario (all inputs zero, no reseeding).
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Scenario {
+            label: label.into(),
+            inputs: Vec::new(),
+            seed: None,
+        }
+    }
+
+    /// Assigns `signal` to the input port `port`. Ports not assigned in
+    /// a scenario are driven with the zero signal — assignments never
+    /// leak between scenarios.
+    #[must_use]
+    pub fn with_input(mut self, port: impl Into<String>, signal: Signal) -> Self {
+        self.inputs.push((port.into(), signal));
+        self
+    }
+
+    /// Pins every noise channel's RNG stream to `seed` for this scenario
+    /// (mixed per edge), making the run reproducible independent of
+    /// worker count.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The scenario's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The scenario's noise seed, if any.
+    #[must_use]
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+}
+
+/// The outcome of one scenario within a sweep.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    label: String,
+    result: Result<SimResult, SimError>,
+}
+
+impl ScenarioOutcome {
+    /// The label of the scenario that produced this outcome.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The run result (a [`SimResult`] or the simulation error).
+    pub fn result(&self) -> &Result<SimResult, SimError> {
+        &self.result
+    }
+}
+
+/// Aggregate pulse statistics over the *output ports* of every
+/// successful scenario in a sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepStats {
+    /// Number of scenarios swept.
+    pub scenarios: usize,
+    /// Scenarios that ended in a [`SimError`].
+    pub failures: usize,
+    /// Total events delivered across all successful runs.
+    pub processed_events: u64,
+    /// Total events scheduled across all successful runs.
+    pub scheduled_events: u64,
+    /// Total transitions observed on output ports.
+    pub output_transitions: u64,
+    /// Narrowest output pulse (up-time) seen anywhere in the sweep.
+    pub min_pulse_width: Option<f64>,
+    /// Widest output pulse seen anywhere in the sweep.
+    pub max_pulse_width: Option<f64>,
+    /// Smallest pulse period seen on any output port.
+    pub min_period: Option<f64>,
+}
+
+impl SweepStats {
+    fn absorb_signal(&mut self, signal: &Signal) {
+        self.output_transitions += signal.len() as u64;
+        let stats = PulseStats::of(signal);
+        for w in stats.up_times() {
+            self.min_pulse_width = Some(self.min_pulse_width.map_or(w, |m| m.min(w)));
+            self.max_pulse_width = Some(self.max_pulse_width.map_or(w, |m| m.max(w)));
+        }
+        if let Some(p) = stats.min_period() {
+            self.min_period = Some(self.min_period.map_or(p, |m| m.min(p)));
+        }
+    }
+}
+
+/// The outcomes and aggregate statistics of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    outcomes: Vec<ScenarioOutcome>,
+    stats: SweepStats,
+}
+
+impl SweepResult {
+    /// Per-scenario outcomes, in the order the scenarios were given.
+    #[must_use]
+    pub fn outcomes(&self) -> &[ScenarioOutcome] {
+        &self.outcomes
+    }
+
+    /// Aggregate pulse statistics over all successful scenarios.
+    #[must_use]
+    pub fn stats(&self) -> &SweepStats {
+        &self.stats
+    }
+
+    /// Number of scenarios swept.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// `true` if the sweep contained no scenarios.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+/// Fans scenarios across `std::thread` workers, each simulating its own
+/// clone of the circuit.
+///
+/// ```
+/// use ivl_circuit::{CircuitBuilder, GateKind, Scenario, ScenarioRunner, Simulator};
+/// use ivl_core::channel::PureDelay;
+/// use ivl_core::{Bit, Signal};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new();
+/// let a = b.input("a");
+/// let inv = b.gate("inv", GateKind::Not, Bit::One);
+/// let y = b.output("y");
+/// b.connect_direct(a, inv, 0)?;
+/// b.connect(inv, y, 0, PureDelay::new(1.0)?)?;
+///
+/// let runner = ScenarioRunner::new(b.build()?, 100.0).with_workers(2);
+/// let scenarios: Vec<Scenario> = (1..=8)
+///     .map(|w| {
+///         Scenario::new(format!("w{w}"))
+///             .with_input("a", Signal::pulse(0.0, w as f64).unwrap())
+///     })
+///     .collect();
+/// let sweep = runner.run(&scenarios);
+/// assert_eq!(sweep.len(), 8);
+/// assert_eq!(sweep.stats().failures, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ScenarioRunner {
+    circuit: Circuit,
+    horizon: f64,
+    max_events: usize,
+    workers: usize,
+}
+
+impl ScenarioRunner {
+    /// Creates a runner sweeping `circuit` to `horizon`, with as many
+    /// workers as the machine advertises.
+    #[must_use]
+    pub fn new(circuit: Circuit, horizon: f64) -> Self {
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        ScenarioRunner {
+            circuit,
+            horizon,
+            max_events: 10_000_000,
+            workers,
+        }
+    }
+
+    /// Sets the number of worker threads (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Caps scheduled events per scenario run (see
+    /// [`Simulator::with_max_events`]).
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: usize) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// The template circuit scenarios are swept over.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Sweeps `scenarios`, returning outcomes in input order plus
+    /// aggregate pulse statistics over the circuit's output ports.
+    ///
+    /// Scenario `i` is handled by worker `i % workers`; each worker
+    /// reuses one simulator (and its event pool) for all of its
+    /// scenarios. Simulation failures are recorded per scenario, they do
+    /// not abort the sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (i.e. a bug in the simulator
+    /// itself, not a simulation error).
+    #[must_use]
+    pub fn run(&self, scenarios: &[Scenario]) -> SweepResult {
+        let n = scenarios.len();
+        let mut slots: Vec<Option<Result<SimResult, SimError>>> = Vec::new();
+        slots.resize_with(n, || None);
+        if n > 0 {
+            let workers = self.workers.min(n);
+            let horizon = self.horizon;
+            // clone the template serially: each worker gets an
+            // independent circuit (and channel noise state)
+            let sims: Vec<Simulator> = (0..workers)
+                .map(|_| Simulator::new(self.circuit.clone()).with_max_events(self.max_events))
+                .collect();
+            thread::scope(|scope| {
+                let handles: Vec<_> = sims
+                    .into_iter()
+                    .enumerate()
+                    .map(|(w, mut sim)| {
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            let mut idx = w;
+                            while idx < n {
+                                out.push((idx, run_scenario(&mut sim, &scenarios[idx], horizon)));
+                                idx += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (idx, res) in h.join().expect("scenario worker panicked") {
+                        slots[idx] = Some(res);
+                    }
+                }
+            });
+        }
+
+        let outcomes: Vec<ScenarioOutcome> = slots
+            .into_iter()
+            .zip(scenarios)
+            .map(|(slot, sc)| ScenarioOutcome {
+                label: sc.label.clone(),
+                result: slot.expect("every scenario index is assigned to a worker"),
+            })
+            .collect();
+
+        let output_names: Vec<&str> = self.circuit.output_names();
+        let mut stats = SweepStats {
+            scenarios: n,
+            ..SweepStats::default()
+        };
+        for outcome in &outcomes {
+            match &outcome.result {
+                Ok(run) => {
+                    stats.processed_events += run.processed_events() as u64;
+                    stats.scheduled_events += run.scheduled_events() as u64;
+                    for name in &output_names {
+                        if let Ok(signal) = run.signal(name) {
+                            stats.absorb_signal(signal);
+                        }
+                    }
+                }
+                Err(_) => stats.failures += 1,
+            }
+        }
+
+        SweepResult { outcomes, stats }
+    }
+}
+
+fn run_scenario(
+    sim: &mut Simulator,
+    scenario: &Scenario,
+    horizon: f64,
+) -> Result<SimResult, SimError> {
+    sim.reset_inputs();
+    if let Some(seed) = scenario.seed {
+        sim.reseed_noise(seed);
+    }
+    for (port, signal) in &scenario.inputs {
+        sim.set_input(port, signal.clone())?;
+    }
+    sim.run(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+    use crate::graph::CircuitBuilder;
+    use ivl_core::channel::{EtaInvolutionChannel, PureDelay};
+    use ivl_core::delay::ExpChannel;
+    use ivl_core::noise::{EtaBounds, UniformNoise};
+    use ivl_core::Bit;
+
+    fn inverter_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let inv = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        b.connect_direct(a, inv, 0).unwrap();
+        b.connect(inv, y, 0, PureDelay::new(1.0).unwrap()).unwrap();
+        b.build().unwrap()
+    }
+
+    fn noisy_circuit() -> Circuit {
+        let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let bounds = EtaBounds::new(0.02, 0.02).unwrap();
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let buf = b.gate("buf", GateKind::Buf, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(a, buf, 0).unwrap();
+        b.connect(
+            buf,
+            y,
+            0,
+            EtaInvolutionChannel::new(d, bounds, UniformNoise::new(0)),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    fn pulse_scenarios(n: usize) -> Vec<Scenario> {
+        (0..n)
+            .map(|k| {
+                Scenario::new(format!("s{k}"))
+                    .with_input("a", Signal::pulse(0.0, 2.0 + k as f64).unwrap())
+                    .with_seed(k as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_preserves_scenario_order_and_labels() {
+        let runner = ScenarioRunner::new(inverter_circuit(), 100.0).with_workers(3);
+        let scenarios = pulse_scenarios(7);
+        let sweep = runner.run(&scenarios);
+        assert_eq!(sweep.len(), 7);
+        assert!(!sweep.is_empty());
+        for (k, outcome) in sweep.outcomes().iter().enumerate() {
+            assert_eq!(outcome.label(), format!("s{k}"));
+            let run = outcome.result().as_ref().unwrap();
+            // inverted pulse of width 2 + k, delayed by 1
+            let y = run.signal("y").unwrap();
+            assert_eq!(y.len(), 2);
+            let down = y.transitions()[1].time - y.transitions()[0].time;
+            assert!((down - (2.0 + k as f64)).abs() < 1e-9);
+        }
+        assert_eq!(sweep.stats().scenarios, 7);
+        assert_eq!(sweep.stats().failures, 0);
+        assert!(sweep.stats().processed_events > 0);
+    }
+
+    #[test]
+    fn seeded_sweeps_are_deterministic_across_worker_counts() {
+        let scenarios: Vec<Scenario> = (0..12)
+            .map(|k| {
+                Scenario::new(format!("n{k}"))
+                    .with_input("a", Signal::pulse(0.0, 3.0).unwrap())
+                    .with_seed(1000 + k as u64)
+            })
+            .collect();
+        let reference = ScenarioRunner::new(noisy_circuit(), 200.0)
+            .with_workers(1)
+            .run(&scenarios);
+        for workers in [2, 4, 7] {
+            let sweep = ScenarioRunner::new(noisy_circuit(), 200.0)
+                .with_workers(workers)
+                .run(&scenarios);
+            for (a, b) in reference.outcomes().iter().zip(sweep.outcomes()) {
+                assert_eq!(
+                    a.result().as_ref().unwrap().signal("y").unwrap(),
+                    b.result().as_ref().unwrap().signal("y").unwrap(),
+                    "workers={workers} label={}",
+                    a.label()
+                );
+            }
+            assert_eq!(reference.stats(), sweep.stats(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_draw_distinct_noise() {
+        let mk = |seed| {
+            Scenario::new("x")
+                .with_input("a", Signal::pulse(0.0, 3.0).unwrap())
+                .with_seed(seed)
+        };
+        let runner = ScenarioRunner::new(noisy_circuit(), 200.0).with_workers(1);
+        let sweep = runner.run(&[mk(1), mk(2)]);
+        let a = sweep.outcomes()[0].result().as_ref().unwrap();
+        let b = sweep.outcomes()[1].result().as_ref().unwrap();
+        assert_ne!(a.signal("y").unwrap(), b.signal("y").unwrap());
+    }
+
+    #[test]
+    fn inputs_do_not_leak_between_scenarios() {
+        // one worker runs both scenarios on the same simulator; the
+        // second scenario assigns nothing and must see the zero input
+        let runner = ScenarioRunner::new(inverter_circuit(), 100.0).with_workers(1);
+        let scenarios = vec![
+            Scenario::new("driven").with_input("a", Signal::pulse(0.0, 2.0).unwrap()),
+            Scenario::new("quiet"),
+        ];
+        let sweep = runner.run(&scenarios);
+        let quiet = sweep.outcomes()[1].result().as_ref().unwrap();
+        assert!(quiet.signal("a").unwrap().is_zero());
+        // constant input ⇒ the inverter output never leaves its initial 1
+        assert_eq!(quiet.signal("y").unwrap().len(), 0);
+        assert_eq!(quiet.signal("y").unwrap().final_value(), Bit::One);
+    }
+
+    #[test]
+    fn per_scenario_failures_do_not_abort_the_sweep() {
+        let runner = ScenarioRunner::new(inverter_circuit(), 100.0).with_workers(2);
+        let scenarios = vec![
+            Scenario::new("ok").with_input("a", Signal::pulse(0.0, 1.0).unwrap()),
+            Scenario::new("bad-port").with_input("nope", Signal::pulse(0.0, 1.0).unwrap()),
+            Scenario::new("also-ok").with_input("a", Signal::pulse(0.0, 2.0).unwrap()),
+        ];
+        let sweep = runner.run(&scenarios);
+        assert!(sweep.outcomes()[0].result().is_ok());
+        assert!(matches!(
+            sweep.outcomes()[1].result(),
+            Err(SimError::UnknownPort { .. })
+        ));
+        assert!(sweep.outcomes()[2].result().is_ok());
+        assert_eq!(sweep.stats().failures, 1);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let runner = ScenarioRunner::new(inverter_circuit(), 100.0);
+        let sweep = runner.run(&[]);
+        assert!(sweep.is_empty());
+        assert_eq!(sweep.stats(), &SweepStats::default());
+    }
+
+    #[test]
+    fn aggregate_pulse_stats_cover_outputs() {
+        let runner = ScenarioRunner::new(inverter_circuit(), 100.0).with_workers(2);
+        let sweep = runner.run(&pulse_scenarios(4));
+        let stats = sweep.stats();
+        // output is an inverted pulse: one down-pulse → no up-pulse on y
+        // until it returns high; widths 2..5 appear as down-times, the
+        // signal starts high so up-times exist after recovery? The
+        // inverted pulse gives y: 1→0 at 1, 0→1 at 3+k: no complete
+        // up-pulse, so pulse widths may be absent — but transitions count.
+        assert_eq!(stats.output_transitions, 4 * 2);
+        assert_eq!(stats.scheduled_events, stats.processed_events);
+    }
+
+    #[test]
+    fn scenario_accessors() {
+        let s = Scenario::new("lbl")
+            .with_input("a", Signal::zero())
+            .with_seed(9);
+        assert_eq!(s.label(), "lbl");
+        assert_eq!(s.seed(), Some(9));
+        let d = format!("{s:?}");
+        assert!(d.contains("lbl"));
+    }
+}

@@ -1,8 +1,24 @@
 //! The event-driven simulator.
+//!
+//! # Architecture
+//!
+//! Pending output transitions live in a slab [`EventPool`]: a slot vector
+//! plus a free list. Every event handle is a generation-stamped
+//! [`EventId`], so cancelling (the channels' pairwise non-FIFO rule)
+//! invalidates exactly the intended event — a stale handle (delivered,
+//! cancelled, or reused slot) is detected by generation mismatch instead
+//! of silently corrupting the waveform.
+//!
+//! All per-run working memory (pin values, recorders, the pool, the heap,
+//! the dirty set) is owned by a [`SimState`] that the [`Simulator`]
+//! reuses across [`run`](Simulator::run) calls: after the first run the
+//! hot loop performs no pool/recorder allocations — only the returned
+//! [`SimResult`]'s signals are freshly allocated.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use ivl_core::channel::FeedEffect;
 use ivl_core::{Bit, Signal, SignalBuilder, Transition};
@@ -10,12 +26,100 @@ use ivl_core::{Bit, Signal, SignalBuilder, Transition};
 use crate::error::SimError;
 use crate::graph::{Circuit, Connection, EdgeId, NodeId, NodeKind};
 
-/// Heap key ordering events by time, then by creation sequence (so causes
+/// Generation-stamped handle to a slot in the [`EventPool`].
+///
+/// The generation makes dangling references detectable: once a slot is
+/// released (its event delivered or cancelled) its generation is bumped,
+/// and any heap key or pending-queue entry still holding the old
+/// generation no longer resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    gen: u32,
+    live: bool,
+    time: f64,
+    value: Bit,
+    edge: u32,
+}
+
+/// Slab event pool with a free list. Slots are recycled, so a run's
+/// memory high-water mark is the maximum number of *simultaneously
+/// pending* events, not the total event count.
+#[derive(Debug, Default)]
+struct EventPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+}
+
+impl EventPool {
+    fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+    }
+
+    fn alloc(&mut self, time: f64, edge: usize, value: Bit) -> EventId {
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.live = true;
+            s.time = time;
+            s.value = value;
+            s.edge = edge as u32;
+            EventId { slot, gen: s.gen }
+        } else {
+            let slot = u32::try_from(self.slots.len()).expect("event pool exceeds u32 slots");
+            self.slots.push(Slot {
+                gen: 0,
+                live: true,
+                time,
+                value,
+                edge: edge as u32,
+            });
+            EventId { slot, gen: 0 }
+        }
+    }
+
+    /// The slot for `id`, or `None` if the id is stale (its event was
+    /// delivered or cancelled, and the slot possibly reused).
+    fn get(&self, id: EventId) -> Option<&Slot> {
+        self.slots
+            .get(id.slot as usize)
+            .filter(|s| s.live && s.gen == id.gen)
+    }
+
+    /// Returns the slot to the free list and bumps its generation, so
+    /// every outstanding handle to this event becomes stale.
+    fn release(&mut self, id: EventId) {
+        let s = &mut self.slots[id.slot as usize];
+        debug_assert!(s.live && s.gen == id.gen, "double release of {id:?}");
+        s.live = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot);
+    }
+
+    /// Number of slots ever allocated (the pool's high-water mark).
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Heap key ordering events by time, then by schedule sequence (so causes
 /// precede effects at equal times and runs are deterministic).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 struct HeapKey {
     time: f64,
-    seq: usize,
+    seq: u64,
+    id: EventId,
+}
+
+impl PartialEq for HeapKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
 }
 
 impl Eq for HeapKey {}
@@ -34,25 +138,199 @@ impl Ord for HeapKey {
     }
 }
 
-struct Event {
-    time: f64,
-    edge: usize,
-    value: Bit,
-    valid: bool,
-    delivered: bool,
+/// Per-run working memory, reused across [`Simulator::run`] calls.
+///
+/// `prepare` resizes and resets every buffer in place (keeping
+/// capacity), so after a warmup run repeated simulations of the same
+/// circuit allocate nothing here.
+#[derive(Debug, Default)]
+struct SimState {
+    node_initial: Vec<Bit>,
+    pins: Vec<Vec<Bit>>,
+    out_value: Vec<Bit>,
+    node_rec: Vec<SignalBuilder>,
+    edge_rec: Vec<SignalBuilder>,
+    pool: EventPool,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    edge_pending: Vec<VecDeque<EventId>>,
+    dirty: Vec<usize>,
+    dirty_scratch: Vec<usize>,
+    dirty_flag: Vec<bool>,
+}
+
+impl SimState {
+    fn prepare(&mut self, circuit: &Circuit, inputs: &[Signal]) {
+        let n_nodes = circuit.node_count();
+        let n_edges = circuit.edge_count();
+
+        self.node_initial.clear();
+        self.node_initial
+            .extend((0..n_nodes).map(|i| match circuit.node_kind(NodeId(i)) {
+                NodeKind::Input => inputs[i].initial(),
+                NodeKind::Gate { initial, .. } => *initial,
+                // output ports inherit their (unique) driver's initial
+                NodeKind::Output => Bit::Zero, // fixed up below
+            }));
+
+        // pin values: driver's initial value propagated (channels keep
+        // the initial value)
+        self.pins.resize_with(n_nodes, Vec::new);
+        for i in 0..n_nodes {
+            let arity = match circuit.node_kind(NodeId(i)) {
+                NodeKind::Gate { arity, .. } => *arity,
+                NodeKind::Output => 1,
+                NodeKind::Input => 0,
+            };
+            self.pins[i].clear();
+            self.pins[i].resize(arity, Bit::Zero);
+        }
+        for e in &circuit.edges {
+            self.pins[e.to.index()][e.pin] = self.node_initial[e.from.index()];
+        }
+        for i in 0..n_nodes {
+            if matches!(circuit.node_kind(NodeId(i)), NodeKind::Output) {
+                self.node_initial[i] = self.pins[i][0];
+            }
+        }
+
+        self.out_value.clear();
+        self.out_value.extend_from_slice(&self.node_initial);
+
+        self.node_rec
+            .resize_with(n_nodes, || SignalBuilder::new(Bit::Zero));
+        for (rec, &init) in self.node_rec.iter_mut().zip(&self.node_initial) {
+            rec.reset(init);
+        }
+        self.edge_rec
+            .resize_with(n_edges, || SignalBuilder::new(Bit::Zero));
+        for (rec, e) in self.edge_rec.iter_mut().zip(&circuit.edges) {
+            rec.reset(self.node_initial[e.from.index()]);
+        }
+
+        self.pool.clear();
+        self.heap.clear();
+        self.edge_pending.resize_with(n_edges, VecDeque::new);
+        for q in &mut self.edge_pending {
+            q.clear();
+        }
+
+        self.dirty.clear();
+        self.dirty_scratch.clear();
+        self.dirty_flag.clear();
+        self.dirty_flag.resize(n_nodes, false);
+        for i in 0..n_nodes {
+            if matches!(circuit.node_kind(NodeId(i)), NodeKind::Gate { .. }) {
+                self.dirty.push(i);
+                self.dirty_flag[i] = true;
+            }
+        }
+    }
+}
+
+/// Scheduling front-end over the pool/heap/pending queues; split out of
+/// `run` so the borrow checker sees disjoint state.
+struct Queue<'a> {
+    pool: &'a mut EventPool,
+    heap: &'a mut BinaryHeap<Reverse<HeapKey>>,
+    edge_pending: &'a mut [VecDeque<EventId>],
+    seq: u64,
+    scheduled: usize,
+    max_events: usize,
+}
+
+impl Queue<'_> {
+    /// Schedules a transition on `edge`, charging it against the event
+    /// budget — cancel-heavy churn is bounded even if nothing is ever
+    /// delivered.
+    fn schedule(&mut self, edge: usize, tr: Transition) -> Result<(), SimError> {
+        self.scheduled += 1;
+        if self.scheduled > self.max_events {
+            return Err(SimError::MaxEventsExceeded {
+                budget: self.max_events,
+                time: tr.time,
+            });
+        }
+        let id = self.pool.alloc(tr.time, edge, tr.value);
+        self.heap.push(Reverse(HeapKey {
+            time: tr.time,
+            seq: self.seq,
+            id,
+        }));
+        self.seq += 1;
+        self.edge_pending[edge].push_back(id);
+        Ok(())
+    }
+
+    /// Applies a channel feed effect for `edge`; `now` is the current
+    /// simulation time (`None` during pre-scheduling of input-port
+    /// signals, when causality cannot be violated).
+    fn apply(&mut self, edge: usize, effect: FeedEffect, now: Option<f64>) -> Result<(), SimError> {
+        match effect {
+            FeedEffect::Scheduled(tr) => {
+                if let Some(now) = now {
+                    if tr.time <= now {
+                        return Err(SimError::CausalityViolation { time: now, edge });
+                    }
+                }
+                self.schedule(edge, tr)
+            }
+            FeedEffect::CancelledPair { cancelled } => {
+                let Some(id) = self.edge_pending[edge].pop_back() else {
+                    return Err(SimError::CancellationMismatch {
+                        edge,
+                        pending: None,
+                        cancelled: cancelled.time,
+                    });
+                };
+                // generation mismatch ⇒ the event was already delivered
+                // (or cancelled): refusing here is what keeps a
+                // misbehaving channel from corrupting the waveform.
+                let Some(slot) = self.pool.get(id) else {
+                    return Err(SimError::CancellationMismatch {
+                        edge,
+                        pending: None,
+                        cancelled: cancelled.time,
+                    });
+                };
+                if slot.time != cancelled.time || slot.value != cancelled.value {
+                    return Err(SimError::CancellationMismatch {
+                        edge,
+                        pending: Some(slot.time),
+                        cancelled: cancelled.time,
+                    });
+                }
+                self.pool.release(id);
+                Ok(())
+            }
+            FeedEffect::Dropped => Ok(()),
+        }
+    }
 }
 
 /// Event-driven simulator over a [`Circuit`].
 ///
 /// Owns the circuit (and hence the channels' adversary/noise state).
 /// Typical use: [`set_input`](Simulator::set_input) for every input port,
-/// then [`run`](Simulator::run). Re-running resets channel history but
-/// deliberately *not* noise RNG streams, so repeated runs explore fresh
-/// adversary choices.
+/// then [`run`](Simulator::run).
+///
+/// # Run lifecycle and state reuse
+///
+/// Each `run` resets channel single-history state and rebuilds the
+/// per-run working memory *in place* (the internal `SimState`: event
+/// pool, scheduling heap, pin values, recorders). After a warmup run,
+/// repeated runs of the same circuit perform no further pool/recorder
+/// allocations; only the returned [`SimResult`] is freshly allocated.
+///
+/// Noise RNG streams are deliberately *not* reset between runs, so
+/// repeated runs explore fresh adversary choices. For reproducible
+/// sweeps, [`reseed_noise`](Simulator::reseed_noise) pins every
+/// channel's stream to a scenario seed (this is what
+/// [`ScenarioRunner`](crate::ScenarioRunner) does per scenario).
 pub struct Simulator {
     circuit: Circuit,
     inputs: Vec<Signal>,
     max_events: usize,
+    state: SimState,
 }
 
 impl Simulator {
@@ -64,11 +342,16 @@ impl Simulator {
             circuit,
             inputs,
             max_events: 10_000_000,
+            state: SimState::default(),
         }
     }
 
-    /// Caps the number of processed events per run (guards against
+    /// Caps the number of *scheduled* events per run (guards against
     /// unbounded oscillation; default 10 million).
+    ///
+    /// Scheduling is charged, not delivery, so a pathological
+    /// schedule-then-cancel loop trips the guard even though it never
+    /// delivers anything.
     #[must_use]
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
@@ -105,6 +388,39 @@ impl Simulator {
         Ok(())
     }
 
+    /// Resets every input port back to the zero signal (scenario sweeps
+    /// call this between scenarios so stale stimuli don't leak through).
+    pub fn reset_inputs(&mut self) {
+        for s in &mut self.inputs {
+            *s = Signal::zero();
+        }
+    }
+
+    /// Reseeds every channel's noise stream from `seed`, mixed with the
+    /// edge index so distinct channels draw decorrelated streams.
+    /// Deterministic channels are unaffected.
+    ///
+    /// Two simulators over clones of the same circuit produce bitwise
+    /// identical runs after `reseed_noise` with the same seed.
+    pub fn reseed_noise(&mut self, seed: u64) {
+        for (i, e) in self.circuit.edges.iter_mut().enumerate() {
+            if let Connection::Channel(ch) = &mut e.conn {
+                ch.reseed(split_mix64(
+                    seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ));
+            }
+        }
+    }
+
+    /// High-water mark of the internal event pool: the largest number of
+    /// simultaneously pending events any run has needed so far. Stable
+    /// across repeated runs of the same workload — the pool recycles
+    /// slots instead of growing.
+    #[must_use]
+    pub fn event_pool_capacity(&self) -> usize {
+        self.state.pool.capacity()
+    }
+
     /// Runs the simulation up to and including time `horizon`.
     ///
     /// Events scheduled after the horizon are discarded; an oscillating
@@ -114,154 +430,67 @@ impl Simulator {
     ///
     /// Returns [`SimError::CausalityViolation`] if a channel's output
     /// would land in the simulation's past (adversary bounds too large
-    /// for event-driven evaluation) and [`SimError::MaxEventsExceeded`]
-    /// if the event budget runs out before the horizon.
+    /// for event-driven evaluation),
+    /// [`SimError::CancellationMismatch`] if a channel cancels a
+    /// transition that does not match the pending event on its edge, and
+    /// [`SimError::MaxEventsExceeded`] if the scheduled-event budget runs
+    /// out before the horizon.
     pub fn run(&mut self, horizon: f64) -> Result<SimResult, SimError> {
-        let n_nodes = self.circuit.node_count();
-        let n_edges = self.circuit.edge_count();
+        let circuit = &mut self.circuit;
+        let inputs = &self.inputs;
+        let state = &mut self.state;
+        state.prepare(circuit, inputs);
 
         // reset channel history
-        for e in &mut self.circuit.edges {
+        for e in &mut circuit.edges {
             if let Connection::Channel(ch) = &mut e.conn {
                 ch.reset();
             }
         }
 
-        // node state
-        let mut node_initial: Vec<Bit> = (0..n_nodes)
-            .map(|i| match self.circuit.node_kind(NodeId(i)) {
-                NodeKind::Input => self.inputs[i].initial(),
-                NodeKind::Gate { initial, .. } => *initial,
-                // output ports inherit their (unique) driver's initial
-                NodeKind::Output => Bit::Zero, // fixed up below
-            })
-            .collect();
-        // pin values: driver's initial value propagated (channels keep
-        // the initial value)
-        let mut pins: Vec<Vec<Bit>> = (0..n_nodes)
-            .map(|i| match self.circuit.node_kind(NodeId(i)) {
-                NodeKind::Gate { arity, .. } => vec![Bit::Zero; *arity],
-                NodeKind::Output => vec![Bit::Zero; 1],
-                NodeKind::Input => Vec::new(),
-            })
-            .collect();
-        for e in &self.circuit.edges {
-            pins[e.to.index()][e.pin] = node_initial[e.from.index()];
-        }
-        for i in 0..n_nodes {
-            if matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Output) {
-                node_initial[i] = pins[i][0];
-            }
-        }
-
-        let mut out_value = node_initial.clone();
-        let mut node_rec: Vec<SignalBuilder> = node_initial
-            .iter()
-            .map(|&v| SignalBuilder::new(v))
-            .collect();
-        let mut edge_rec: Vec<SignalBuilder> = self
-            .circuit
-            .edges
-            .iter()
-            .map(|e| SignalBuilder::new(node_initial[e.from.index()]))
-            .collect();
-
-        // event machinery
-        let mut events: Vec<Event> = Vec::new();
-        let mut heap: BinaryHeap<Reverse<HeapKey>> = BinaryHeap::new();
-        let mut edge_pending: Vec<VecDeque<usize>> = vec![VecDeque::new(); n_edges];
-
-        // `schedule` and `feed_edge` as closures over the state would
-        // fight the borrow checker; use small fns taking explicit state.
-        struct Queue<'a> {
-            events: &'a mut Vec<Event>,
-            heap: &'a mut BinaryHeap<Reverse<HeapKey>>,
-            edge_pending: &'a mut Vec<VecDeque<usize>>,
-        }
-        impl Queue<'_> {
-            fn schedule(&mut self, edge: usize, tr: Transition) {
-                let id = self.events.len();
-                self.events.push(Event {
-                    time: tr.time,
-                    edge,
-                    value: tr.value,
-                    valid: true,
-                    delivered: false,
-                });
-                self.heap.push(Reverse(HeapKey {
-                    time: tr.time,
-                    seq: id,
-                }));
-                self.edge_pending[edge].push_back(id);
-            }
-
-            /// Applies a channel feed effect for `edge`; `now` is the
-            /// current simulation time (`None` during pre-scheduling of
-            /// input-port signals, when causality cannot be violated).
-            fn apply(
-                &mut self,
-                edge: usize,
-                effect: FeedEffect,
-                now: Option<f64>,
-            ) -> Result<(), SimError> {
-                match effect {
-                    FeedEffect::Scheduled(tr) => {
-                        if let Some(now) = now {
-                            if tr.time <= now {
-                                return Err(SimError::CausalityViolation { time: now, edge });
-                            }
-                        }
-                        self.schedule(edge, tr);
-                        Ok(())
-                    }
-                    FeedEffect::CancelledPair { cancelled } => {
-                        let id = self.edge_pending[edge].pop_back().ok_or(
-                            SimError::CausalityViolation {
-                                time: now.unwrap_or(cancelled.time),
-                                edge,
-                            },
-                        )?;
-                        let ev = &mut self.events[id];
-                        debug_assert_eq!(ev.time, cancelled.time);
-                        if ev.delivered {
-                            return Err(SimError::CausalityViolation {
-                                time: now.unwrap_or(cancelled.time),
-                                edge,
-                            });
-                        }
-                        ev.valid = false;
-                        Ok(())
-                    }
-                    FeedEffect::Dropped => Ok(()),
-                }
-            }
-        }
+        let SimState {
+            node_initial: _,
+            pins,
+            out_value,
+            node_rec,
+            edge_rec,
+            pool,
+            heap,
+            edge_pending,
+            dirty,
+            dirty_scratch,
+            dirty_flag,
+        } = state;
 
         let mut queue = Queue {
-            events: &mut events,
-            heap: &mut heap,
-            edge_pending: &mut edge_pending,
+            pool,
+            heap,
+            edge_pending: edge_pending.as_mut_slice(),
+            seq: 0,
+            scheduled: 0,
+            max_events: self.max_events,
         };
 
         // Pre-schedule all input-port signals. A channel driven by an
         // input port sees exactly that port's transitions, so feeding
         // them all upfront is equivalent to feeding them in global time
         // order.
-        for (i, rec) in node_rec.iter_mut().enumerate() {
-            if !matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Input) {
+        for i in 0..circuit.node_count() {
+            if !matches!(circuit.node_kind(NodeId(i)), NodeKind::Input) {
                 continue;
             }
-            let signal = self.inputs[i].clone();
-            for eid in self.circuit.outgoing[i].clone() {
-                let edge = &mut self.circuit.edges[eid.index()];
+            let signal = &inputs[i];
+            for k in 0..circuit.outgoing[i].len() {
+                let eid = circuit.outgoing[i][k];
+                let edge = &mut circuit.edges[eid.index()];
                 match &mut edge.conn {
                     Connection::Direct => {
-                        for tr in &signal {
-                            queue.schedule(eid.index(), *tr);
+                        for tr in signal {
+                            queue.schedule(eid.index(), *tr)?;
                         }
                     }
                     Connection::Channel(ch) => {
-                        for tr in &signal {
+                        for tr in signal {
                             let effect = ch.feed(*tr);
                             queue.apply(eid.index(), effect, None)?;
                         }
@@ -269,54 +498,40 @@ impl Simulator {
                 }
             }
             // record the input signal itself
-            for tr in &signal {
-                rec.push(*tr).expect("input signal is already validated");
+            for tr in signal {
+                node_rec[i]
+                    .push(*tr)
+                    .expect("input signal is already validated");
             }
         }
 
         // main loop: process batches of equal-time events, then evaluate
         // affected gates, then feed their output transitions onward.
         let mut processed = 0usize;
-        let mut dirty: Vec<usize> = (0..n_nodes)
-            .filter(|&i| matches!(self.circuit.node_kind(NodeId(i)), NodeKind::Gate { .. }))
-            .collect();
-        let mut dirty_flag = vec![false; n_nodes];
-        for &i in &dirty {
-            dirty_flag[i] = true;
-        }
         // the initial batch runs at t = 0 to surface inconsistent gate
         // initial values (the paper lets a gate's declared initial value
         // disagree with its function; the mismatch appears at time 0)
         let mut batch_time = 0.0_f64;
 
         loop {
-            // deliver every valid event at batch_time
+            // deliver every still-live event at batch_time
             while let Some(&Reverse(key)) = queue.heap.peek() {
                 if key.time > batch_time {
                     break;
                 }
                 queue.heap.pop();
-                let ev = &mut queue.events[key.seq];
-                if !ev.valid || ev.delivered {
-                    continue;
+                // stale key ⇒ the event was cancelled after this key was
+                // pushed; the generation mismatch filters it out
+                let (time, value, edge_idx) = match queue.pool.get(key.id) {
+                    Some(s) => (s.time, s.value, s.edge as usize),
+                    None => continue,
+                };
+                if queue.edge_pending[edge_idx].front() == Some(&key.id) {
+                    queue.edge_pending[edge_idx].pop_front();
                 }
-                ev.delivered = true;
+                queue.pool.release(key.id);
                 processed += 1;
-                if processed > self.max_events {
-                    return Err(SimError::MaxEventsExceeded {
-                        budget: self.max_events,
-                        time: batch_time,
-                    });
-                }
-                let edge_idx = ev.edge;
-                let (value, time) = (ev.value, ev.time);
-                // maintain the edge pending queue and channel bookkeeping
-                if let Some(&front) = queue.edge_pending[edge_idx].front() {
-                    if front == key.seq {
-                        queue.edge_pending[edge_idx].pop_front();
-                    }
-                }
-                let edge = &mut self.circuit.edges[edge_idx];
+                let edge = &mut circuit.edges[edge_idx];
                 if let Connection::Channel(ch) = &mut edge.conn {
                     ch.discard_delivered(time);
                 }
@@ -326,7 +541,7 @@ impl Simulator {
                 let to = edge.to.index();
                 let pin = edge.pin;
                 pins[to][pin] = value;
-                match self.circuit.node_kind(NodeId(to)) {
+                match circuit.node_kind(NodeId(to)) {
                     NodeKind::Gate { .. } => {
                         if !dirty_flag[to] {
                             dirty_flag[to] = true;
@@ -346,12 +561,12 @@ impl Simulator {
             }
 
             // evaluate dirty gates and feed their transitions
-            let batch_dirty = std::mem::take(&mut dirty);
-            for i in &batch_dirty {
-                dirty_flag[*i] = false;
+            std::mem::swap(dirty, dirty_scratch);
+            for &i in dirty_scratch.iter() {
+                dirty_flag[i] = false;
             }
-            for i in batch_dirty {
-                let NodeKind::Gate { kind, .. } = self.circuit.node_kind(NodeId(i)) else {
+            for &i in dirty_scratch.iter() {
+                let NodeKind::Gate { kind, .. } = circuit.node_kind(NodeId(i)) else {
                     continue;
                 };
                 let new_value = kind.eval(&pins[i]);
@@ -363,10 +578,11 @@ impl Simulator {
                 node_rec[i]
                     .push(tr)
                     .expect("gate output changes strictly after its previous change");
-                for eid in self.circuit.outgoing[i].clone() {
-                    let edge = &mut self.circuit.edges[eid.index()];
+                for k in 0..circuit.outgoing[i].len() {
+                    let eid = circuit.outgoing[i][k];
+                    let edge = &mut circuit.edges[eid.index()];
                     match &mut edge.conn {
-                        Connection::Direct => queue.schedule(eid.index(), tr),
+                        Connection::Direct => queue.schedule(eid.index(), tr)?,
                         Connection::Channel(ch) => {
                             let effect = ch.feed(tr);
                             queue.apply(eid.index(), effect, Some(batch_time))?;
@@ -374,13 +590,14 @@ impl Simulator {
                     }
                 }
             }
+            dirty_scratch.clear();
 
-            // next batch: earliest remaining valid event
+            // next batch: earliest remaining live event
             let next = loop {
                 match queue.heap.peek() {
                     None => break None,
                     Some(&Reverse(key)) => {
-                        if queue.events[key.seq].valid && !queue.events[key.seq].delivered {
+                        if queue.pool.get(key.id).is_some() {
                             break Some(key.time);
                         }
                         queue.heap.pop();
@@ -399,15 +616,30 @@ impl Simulator {
             }
         }
 
-        let node_signals: Vec<Signal> = node_rec.into_iter().map(SignalBuilder::finish).collect();
-        let edge_signals: Vec<Signal> = edge_rec.into_iter().map(SignalBuilder::finish).collect();
+        let scheduled_events = queue.scheduled;
+        let node_signals: Vec<Signal> = node_rec.iter().map(SignalBuilder::snapshot).collect();
+        let edge_signals: Vec<Signal> = edge_rec.iter().map(SignalBuilder::snapshot).collect();
         Ok(SimResult {
-            names: self.circuit.names.clone(),
+            names: Arc::clone(&circuit.names),
             node_signals,
             edge_signals,
             horizon,
             processed_events: processed,
+            scheduled_events,
         })
+    }
+}
+
+impl Clone for Simulator {
+    /// Clones the circuit (deep-copying channel state) and inputs; the
+    /// clone starts with fresh, empty per-run state.
+    fn clone(&self) -> Self {
+        Simulator {
+            circuit: self.circuit.clone(),
+            inputs: self.inputs.clone(),
+            max_events: self.max_events,
+            state: SimState::default(),
+        }
     }
 }
 
@@ -420,14 +652,23 @@ impl fmt::Debug for Simulator {
     }
 }
 
+/// `SplitMix64` — used to derive decorrelated per-edge noise seeds.
+fn split_mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// The recorded signals of a completed run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
-    names: HashMap<String, NodeId>,
+    names: Arc<HashMap<String, NodeId>>,
     node_signals: Vec<Signal>,
     edge_signals: Vec<Signal>,
     horizon: f64,
     processed_events: usize,
+    scheduled_events: usize,
 }
 
 impl SimResult {
@@ -464,10 +705,17 @@ impl SimResult {
         self.horizon
     }
 
-    /// Number of events processed.
+    /// Number of events delivered.
     #[must_use]
     pub fn processed_events(&self) -> usize {
         self.processed_events
+    }
+
+    /// Number of events scheduled (delivered + cancelled + beyond the
+    /// horizon); this is what [`Simulator::with_max_events`] budgets.
+    #[must_use]
+    pub fn scheduled_events(&self) -> usize {
+        self.scheduled_events
     }
 }
 
@@ -476,7 +724,7 @@ mod tests {
     use super::*;
     use crate::gate::GateKind;
     use crate::graph::CircuitBuilder;
-    use ivl_core::channel::{Channel, InvolutionChannel, PureDelay};
+    use ivl_core::channel::{Channel, InertialDelay, InvolutionChannel, PureDelay};
     use ivl_core::delay::ExpChannel;
 
     fn pure(d: f64) -> PureDelay {
@@ -496,6 +744,7 @@ mod tests {
         assert_eq!(run.signal("y").unwrap(), &s);
         assert_eq!(run.signal("a").unwrap(), &s);
         assert_eq!(run.processed_events(), 2);
+        assert_eq!(run.scheduled_events(), 2);
     }
 
     #[test]
@@ -663,6 +912,49 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_churn_counts_against_budget() {
+        // 200 pulses, every one of them rejected by the inertial window:
+        // each pulse schedules an output transition and then cancels it,
+        // so *nothing is ever delivered*. A budget that only counted
+        // delivered events would never trip on this workload.
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let g = b.gate("buf", GateKind::Buf, Bit::Zero);
+        let y = b.output("y");
+        b.connect(i, g, 0, InertialDelay::new(1.0, 10.0).unwrap())
+            .unwrap();
+        b.connect(g, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).with_max_events(50);
+        let input = Signal::pulse_train((0..200).map(|k| (k as f64 * 20.0, 0.5))).unwrap();
+        sim.set_input("i", input.clone()).unwrap();
+        assert!(matches!(
+            sim.run(1e9),
+            Err(SimError::MaxEventsExceeded { .. })
+        ));
+
+        // with a budget large enough the same run completes, delivering
+        // nothing: pure scheduled-then-cancelled churn
+        let mut sim = Simulator::new(
+            {
+                let mut b = CircuitBuilder::new();
+                let i = b.input("i");
+                let g = b.gate("buf", GateKind::Buf, Bit::Zero);
+                let y = b.output("y");
+                b.connect(i, g, 0, InertialDelay::new(1.0, 10.0).unwrap())
+                    .unwrap();
+                b.connect(g, y, 0, pure(0.5)).unwrap();
+                b.build().unwrap()
+            },
+            // default budget
+        );
+        sim.set_input("i", input).unwrap();
+        let run = sim.run(1e9).unwrap();
+        assert_eq!(run.processed_events(), 0);
+        assert_eq!(run.scheduled_events(), 200);
+        assert!(run.signal("y").unwrap().is_zero());
+    }
+
+    #[test]
     fn multi_input_gate_and_fanout() {
         // y = a AND b, z = NOT(a AND b), both fed from one AND gate
         let mut b = CircuitBuilder::new();
@@ -750,6 +1042,103 @@ mod tests {
             .signal("y")
             .unwrap()
             .approx_eq(&first.signal("y").unwrap().shifted(1.0), 1e-9));
+    }
+
+    #[test]
+    fn reused_state_matches_fresh_simulator() {
+        // the SimState is rebuilt in place between runs; a reused
+        // simulator must agree bitwise with a freshly constructed one
+        let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let build = || {
+            let mut b = CircuitBuilder::new();
+            let a = b.input("a");
+            let g1 = b.gate("inv1", GateKind::Not, Bit::One);
+            let g2 = b.gate("inv2", GateKind::Not, Bit::Zero);
+            let y = b.output("y");
+            b.connect_direct(a, g1, 0).unwrap();
+            b.connect(g1, g2, 0, InvolutionChannel::new(d.clone()))
+                .unwrap();
+            b.connect(g2, y, 0, InvolutionChannel::new(d.clone()))
+                .unwrap();
+            b.build().unwrap()
+        };
+        let input = Signal::pulse_train([(0.0, 2.0), (5.0, 0.8)]).unwrap();
+
+        let mut reused = Simulator::new(build());
+        reused.set_input("a", input.clone()).unwrap();
+        let warmup = reused.run(100.0).unwrap();
+        let second = reused.run(100.0).unwrap();
+
+        let mut fresh = Simulator::new(build());
+        fresh.set_input("a", input).unwrap();
+        let reference = fresh.run(100.0).unwrap();
+
+        for name in ["a", "inv1", "inv2", "y"] {
+            assert_eq!(
+                warmup.signal(name).unwrap(),
+                reference.signal(name).unwrap()
+            );
+            assert_eq!(
+                second.signal(name).unwrap(),
+                reference.signal(name).unwrap()
+            );
+        }
+        assert_eq!(warmup.processed_events(), reference.processed_events());
+        assert_eq!(second.processed_events(), reference.processed_events());
+    }
+
+    #[test]
+    fn event_pool_capacity_is_stable_across_runs() {
+        // the pool recycles slots: repeated identical runs must not grow
+        // the slab
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, pure(2.0)).unwrap();
+        b.connect(or, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("i", Signal::pulse(0.0, 0.5).unwrap())
+            .unwrap();
+        sim.run(200.5).unwrap();
+        let after_warmup = sim.event_pool_capacity();
+        assert!(after_warmup > 0);
+        for _ in 0..3 {
+            sim.run(200.5).unwrap();
+            assert_eq!(sim.event_pool_capacity(), after_warmup);
+        }
+    }
+
+    #[test]
+    fn reset_inputs_restores_zero_signals() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(1.0, 2.0).unwrap())
+            .unwrap();
+        sim.reset_inputs();
+        let run = sim.run(10.0).unwrap();
+        assert!(run.signal("y").unwrap().is_zero());
+    }
+
+    #[test]
+    fn cloned_simulator_runs_independently() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("inv", GateKind::Not, Bit::One);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        b.connect(g, y, 0, pure(1.0)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        sim.set_input("a", Signal::pulse(0.0, 2.0).unwrap())
+            .unwrap();
+        let mut clone = sim.clone();
+        let original = sim.run(10.0).unwrap();
+        let cloned = clone.run(10.0).unwrap();
+        assert_eq!(original.signal("y").unwrap(), cloned.signal("y").unwrap());
     }
 
     #[test]

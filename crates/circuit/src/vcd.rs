@@ -14,6 +14,14 @@ use crate::sim::SimResult;
 /// shortest pulse. The `timescale` text (e.g. `"1ps"`) is emitted
 /// verbatim.
 ///
+/// Whitespace in names is replaced by `_`; if two sanitized names
+/// collide (e.g. `"a b"` and `"a_b"`), later ones get a numeric suffix
+/// so every `$var` stays distinct. A pulse shorter than half a tick
+/// rounds both edges to the same tick; such same-tick runs are collapsed
+/// to their final value (and dropped entirely if that equals the value
+/// already dumped), so readers never see contradictory changes at one
+/// `#tick`.
+///
 /// ```
 /// use ivl_circuit::vcd::write_vcd;
 /// use ivl_core::Signal;
@@ -48,11 +56,18 @@ pub fn write_vcd(
     let mut out = String::new();
     let _ = writeln!(out, "$timescale {timescale} $end");
     let _ = writeln!(out, "$scope module faithful $end");
+    let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
     for (i, (name, _)) in signals.iter().enumerate() {
-        let sanitized: String = name
+        let base: String = name
             .chars()
             .map(|c| if c.is_whitespace() { '_' } else { c })
             .collect();
+        let mut sanitized = base.clone();
+        let mut suffix = 1usize;
+        while !used.insert(sanitized.clone()) {
+            sanitized = format!("{base}_{suffix}");
+            suffix += 1;
+        }
         let _ = writeln!(out, "$var wire 1 {} {sanitized} $end", ident(i));
     }
     let _ = writeln!(out, "$upscope $end");
@@ -63,17 +78,33 @@ pub fn write_vcd(
     }
     let _ = writeln!(out, "$end");
 
-    // merge all transitions in time order
-    let mut events: Vec<(i64, usize, u8)> = Vec::new();
+    // merge all transitions in time order; the per-signal sequence
+    // number keeps equal-tick changes of one signal in emission order so
+    // collapsing below keeps the *final* value
+    let mut events: Vec<(i64, usize, usize, u8)> = Vec::new();
     for (i, (_, s)) in signals.iter().enumerate() {
-        for tr in s.transitions() {
+        for (k, tr) in s.transitions().iter().enumerate() {
             let tick = (tr.time / time_scale).round() as i64;
-            events.push((tick, i, tr.value.as_u8()));
+            events.push((tick, i, k, tr.value.as_u8()));
         }
     }
     events.sort_unstable();
+    let mut last_value: Vec<u8> = signals.iter().map(|(_, s)| s.initial().as_u8()).collect();
     let mut last_tick = None;
-    for (tick, i, v) in events {
+    let mut idx = 0;
+    while idx < events.len() {
+        let (tick, i, _, mut v) = events[idx];
+        idx += 1;
+        // a pulse shorter than time_scale/2 rounds both edges onto this
+        // tick: collapse the run to its final value
+        while idx < events.len() && events[idx].0 == tick && events[idx].1 == i {
+            v = events[idx].3;
+            idx += 1;
+        }
+        if v == last_value[i] {
+            continue; // collapsed run ended where it started: no change
+        }
+        last_value[i] = v;
         if last_tick != Some(tick) {
             let _ = writeln!(out, "#{tick}");
             last_tick = Some(tick);
@@ -235,6 +266,59 @@ mod tests {
         assert!(write_vcd(&[("s", &s)], "1ps", -1.0).is_err());
         let many: Vec<(&str, &Signal)> = (0..95).map(|_| ("x", &s)).collect();
         assert!(write_vcd(&many, "1ps", 1.0).is_err());
+    }
+
+    #[test]
+    fn colliding_sanitized_names_are_deduplicated() {
+        // "a b" sanitizes to "a_b" — it must not shadow the real "a_b"
+        let s1 = Signal::pulse(1.0, 1.0).unwrap();
+        let s2 = Signal::pulse(2.0, 1.0).unwrap();
+        let doc = write_vcd(&[("a b", &s1), ("a_b", &s2)], "1ps", 1.0).unwrap();
+        assert!(doc.contains("$var wire 1 ! a_b $end"));
+        assert!(doc.contains("$var wire 1 \" a_b_1 $end"));
+        // both remain readable and distinct
+        let parsed = read_vcd(&doc, 1.0).unwrap();
+        assert_eq!(parsed[0].0, "a_b");
+        assert_eq!(parsed[1].0, "a_b_1");
+        assert!(parsed[0].1.approx_eq(&s1, 1e-9));
+        assert!(parsed[1].1.approx_eq(&s2, 1e-9));
+        // a triple collision keeps counting
+        let doc = write_vcd(&[("x y", &s1), ("x_y", &s1), ("x_y_1", &s1)], "1ps", 1.0).unwrap();
+        assert!(doc.contains(" x_y $end"));
+        assert!(doc.contains(" x_y_1 $end"));
+        assert!(doc.contains(" x_y_1_1 $end"));
+    }
+
+    #[test]
+    fn sub_tick_pulse_collapses_to_final_value() {
+        // a 0.2-wide pulse at t = 1 rounds both edges to tick 1: the two
+        // changes must collapse (final value == initial ⇒ nothing emitted)
+        let s = Signal::pulse_train([(1.0, 0.2), (3.0, 2.0)]).unwrap();
+        let doc = write_vcd(&[("s", &s)], "1ps", 1.0).unwrap();
+        assert!(!doc.contains("#1\n"), "collapsed pulse leaked: {doc}");
+        assert!(doc.contains("#3\n1!"));
+        assert!(doc.contains("#5\n0!"));
+        // the document stays parseable (no same-tick contradictions)
+        let parsed = read_vcd(&doc, 1.0).unwrap();
+        assert!(parsed[0]
+            .1
+            .approx_eq(&Signal::pulse(3.0, 2.0).unwrap(), 1e-9));
+    }
+
+    #[test]
+    fn same_tick_run_keeps_final_value_when_it_differs() {
+        // three transitions all rounding to tick 1: 0→1→0→1 ends at 1
+        let s = Signal::from_times(Bit::Zero, &[0.9, 1.0, 1.1]).unwrap();
+        let doc = write_vcd(&[("s", &s)], "1ps", 1.0).unwrap();
+        assert_eq!(doc.matches("#1\n").count(), 1);
+        assert!(doc.contains("#1\n1!"));
+        // after the dumpvars header, the intermediate 0 must not appear
+        let changes = doc.rsplit("$end\n").next().unwrap();
+        assert!(!changes.contains("0!"), "intermediate value leaked: {doc}");
+        let parsed = read_vcd(&doc, 1.0).unwrap();
+        assert!(parsed[0]
+            .1
+            .approx_eq(&Signal::from_times(Bit::Zero, &[1.0]).unwrap(), 1e-9));
     }
 
     #[test]

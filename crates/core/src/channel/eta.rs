@@ -144,6 +144,10 @@ impl<D: DelayPair, N: NoiseSource> OnlineChannel for EtaInvolutionChannel<D, N> 
     fn discard_delivered(&mut self, before: f64) {
         self.engine.discard_delivered(before);
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.noise.reseed(seed);
+    }
 }
 
 #[cfg(test)]

@@ -82,6 +82,14 @@ pub trait OnlineChannel {
     fn discard_delivered(&mut self, before: f64) {
         let _ = before;
     }
+
+    /// Reseeds any internal noise/RNG streams from `seed` and restarts
+    /// them. Deterministic channels ignore this (the default). Scenario
+    /// sweeps use it to give every scenario an independent, reproducible
+    /// adversary regardless of which worker thread runs it.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
 }
 
 impl<C: OnlineChannel + ?Sized> OnlineChannel for Box<C> {
@@ -93,6 +101,36 @@ impl<C: OnlineChannel + ?Sized> OnlineChannel for Box<C> {
     }
     fn discard_delivered(&mut self, before: f64) {
         (**self).discard_delivered(before);
+    }
+    fn reseed(&mut self, seed: u64) {
+        (**self).reseed(seed);
+    }
+}
+
+/// An [`OnlineChannel`] that can live inside a [`Circuit`] and be fanned
+/// out across simulator worker threads: cloneable (so circuits can be
+/// duplicated per worker) and `Send` (so circuits can move between
+/// threads).
+///
+/// Implemented automatically for every `OnlineChannel + Clone + Send +
+/// 'static` type — all channels shipped by this crate qualify; custom
+/// channels only need `#[derive(Clone)]`.
+///
+/// [`Circuit`]: https://docs.rs/ivl_circuit
+pub trait SimChannel: OnlineChannel + Send {
+    /// Clones the channel behind a fresh box (object-safe `Clone`).
+    fn clone_box(&self) -> Box<dyn SimChannel>;
+}
+
+impl<C: OnlineChannel + Clone + Send + 'static> SimChannel for C {
+    fn clone_box(&self) -> Box<dyn SimChannel> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn SimChannel> {
+    fn clone(&self) -> Self {
+        (**self).clone_box()
     }
 }
 

@@ -96,6 +96,11 @@ impl NoiseSource for FlickerNoise {
         self.counter = 0;
         self.rng = rng;
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
 }
 
 #[cfg(test)]

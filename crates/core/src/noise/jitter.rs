@@ -142,6 +142,11 @@ impl NoiseSource for BurstNoise {
         self.state_high = false;
         self.rng = StdRng::seed_from_u64(self.seed);
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
 }
 
 #[cfg(test)]

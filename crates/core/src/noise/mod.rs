@@ -159,6 +159,13 @@ pub trait NoiseSource {
 
     /// Resets any internal state (RNG streams are *not* reseeded).
     fn reset(&mut self) {}
+
+    /// Replaces the seed of any internal RNG stream with `seed` and
+    /// restarts the stream. Deterministic sources ignore this (the
+    /// default). Used by scenario sweeps to decorrelate runs.
+    fn reseed(&mut self, seed: u64) {
+        let _ = seed;
+    }
 }
 
 impl<N: NoiseSource + ?Sized> NoiseSource for Box<N> {
@@ -168,6 +175,9 @@ impl<N: NoiseSource + ?Sized> NoiseSource for Box<N> {
     fn reset(&mut self) {
         (**self).reset();
     }
+    fn reseed(&mut self, seed: u64) {
+        (**self).reseed(seed);
+    }
 }
 
 impl<N: NoiseSource + ?Sized> NoiseSource for &mut N {
@@ -176,6 +186,9 @@ impl<N: NoiseSource + ?Sized> NoiseSource for &mut N {
     }
     fn reset(&mut self) {
         (**self).reset();
+    }
+    fn reseed(&mut self, seed: u64) {
+        (**self).reseed(seed);
     }
 }
 
@@ -231,6 +244,11 @@ impl NoiseSource for UniformNoise {
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
+    }
 }
 
 /// Zero-mean Gaussian jitter with standard deviation `sigma`, truncated
@@ -281,6 +299,11 @@ impl NoiseSource for TruncatedGaussian {
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.seed = seed;
+        self.reset();
     }
 }
 

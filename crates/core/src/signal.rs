@@ -508,6 +508,27 @@ impl SignalBuilder {
             transitions: self.transitions,
         }
     }
+
+    /// Produces the signal built so far without consuming the builder.
+    ///
+    /// The transition list is copied; the builder keeps recording. Event
+    /// loops that reuse one builder across runs pair this with
+    /// [`reset`](SignalBuilder::reset).
+    #[must_use]
+    pub fn snapshot(&self) -> Signal {
+        Signal {
+            initial: self.initial,
+            transitions: self.transitions.clone(),
+        }
+    }
+
+    /// Clears the builder for a new signal starting at `initial`,
+    /// retaining the transition buffer's capacity.
+    pub fn reset(&mut self, initial: Bit) {
+        self.initial = initial;
+        self.next_value = !initial;
+        self.transitions.clear();
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,54 @@ proptest! {
     }
 
     #[test]
+    fn reused_sim_state_matches_fresh_simulator(
+        input in arb_signal(),
+        d in arb_exp(),
+        stages in 1usize..5,
+    ) {
+        // the simulator rebuilds its per-run state in place; a second and
+        // third run on warm buffers must agree *bitwise* with the first
+        // run of a freshly constructed simulator
+        let horizon = 1e6;
+        let build = |stages: usize, d: &ExpChannel, input: &Signal| {
+            let mut b = CircuitBuilder::new();
+            let a = b.input("a");
+            let y = b.output("y");
+            let mut prev = a;
+            let mut prev_initial = input.initial();
+            for i in 0..stages {
+                let initial = !prev_initial;
+                let g = b.gate(&format!("inv{i}"), GateKind::Not, initial);
+                if i == 0 {
+                    b.connect_direct(prev, g, 0).unwrap();
+                } else {
+                    b.connect(prev, g, 0, InvolutionChannel::new(d.clone())).unwrap();
+                }
+                prev = g;
+                prev_initial = initial;
+            }
+            b.connect(prev, y, 0, InvolutionChannel::new(d.clone())).unwrap();
+            let mut sim = Simulator::new(b.build().unwrap());
+            sim.set_input("a", input.clone()).unwrap();
+            sim
+        };
+        let mut fresh = build(stages, &d, &input);
+        let reference = fresh.run(horizon).unwrap();
+
+        let mut reused = build(stages, &d, &input);
+        for round in 0..3 {
+            let run = reused.run(horizon).unwrap();
+            prop_assert_eq!(
+                run.signal("y").unwrap(),
+                reference.signal("y").unwrap(),
+                "round {} diverged", round
+            );
+            prop_assert_eq!(run.processed_events(), reference.processed_events());
+            prop_assert_eq!(run.scheduled_events(), reference.scheduled_events());
+        }
+    }
+
+    #[test]
     fn eta_channel_in_circuit_matches_batch_with_same_choices(
         input in arb_signal(),
         d in arb_exp(),

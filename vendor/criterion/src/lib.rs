@@ -106,6 +106,9 @@ pub enum BatchSize {
 struct Config {
     sample_size: usize,
     measurement_time: Duration,
+    /// `--test` mode (as in real criterion): run every benchmark exactly
+    /// once to prove it executes, skip measurement entirely.
+    test_mode: bool,
 }
 
 impl Default for Config {
@@ -114,6 +117,7 @@ impl Default for Config {
             // Far smaller than real criterion: keep `cargo bench` fast.
             sample_size: 12,
             measurement_time: Duration::from_millis(300),
+            test_mode: false,
         }
     }
 }
@@ -132,6 +136,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
         elapsed: Duration::ZERO,
     };
     f(&mut b);
+    if cfg.test_mode {
+        println!("{id:<48} test: one iteration ok");
+        return;
+    }
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let budget = cfg.measurement_time / cfg.sample_size as u32;
     let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
@@ -182,10 +190,15 @@ pub struct Criterion {
 }
 
 impl Criterion {
-    /// Accepts (and ignores) command-line configuration, for parity with
-    /// the real crate's `criterion_group!` expansion.
+    /// Picks up command-line configuration, for parity with the real
+    /// crate's `criterion_group!` expansion. Only `--test` is honoured
+    /// (compile-and-run-once mode, used by CI); everything else is
+    /// ignored.
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.cfg.test_mode = true;
+        }
         self
     }
 
