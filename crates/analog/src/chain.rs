@@ -1,8 +1,10 @@
 //! The 7-stage inverter chain of the paper's validation ASIC (Fig. 6).
 
+use ivl_core::{Bit, Edge, Signal, SignalBuilder};
+
 use crate::error::Error;
 use crate::inverter::Inverter;
-use crate::ode::rk4;
+use crate::ode::{rk45, rk4_with, Rk45Options, Rk45Stats};
 use crate::stimulus::Pulse;
 use crate::supply::{GroundSource, VddSource};
 use crate::waveform::Waveform;
@@ -55,6 +57,67 @@ impl ChainRun {
         } else {
             &self.nodes[i - 1]
         }
+    }
+}
+
+/// The threshold-crossing events of one chain simulation, already
+/// digitized: the crossings-only output of the adaptive fast path
+/// ([`InverterChain::simulate_crossings`]). No dense waveforms are ever
+/// materialized — every [`Signal`] is built directly from event
+/// detection on the integrator's dense output (nodes) or from the
+/// analytic trapezoid crossings (input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainCrossings {
+    threshold: f64,
+    input: Signal,
+    nodes: Vec<Signal>,
+    stats: Rk45Stats,
+}
+
+impl ChainCrossings {
+    /// The digitization threshold the events were detected at.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The digitized input stimulus.
+    #[must_use]
+    pub fn input(&self) -> &Signal {
+        &self.input
+    }
+
+    /// Digitized output of stage `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node(&self, i: usize) -> &Signal {
+        &self.nodes[i]
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn stage_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The digitized input of stage `i`: the stimulus for stage 0, the
+    /// previous stage's output otherwise.
+    #[must_use]
+    pub fn stage_input(&self, i: usize) -> &Signal {
+        if i == 0 {
+            &self.input
+        } else {
+            &self.nodes[i - 1]
+        }
+    }
+
+    /// Integrator step statistics of the underlying run.
+    #[must_use]
+    pub fn stats(&self) -> Rk45Stats {
+        self.stats
     }
 }
 
@@ -145,54 +208,313 @@ impl InverterChain {
         t_end: f64,
         dt: f64,
     ) -> Result<ChainRun, Error> {
-        if !(dt.is_finite() && dt > 0.0) {
-            return Err(Error::InvalidParameter {
-                name: "dt",
-                value: dt,
-                constraint: "must be finite and > 0",
-            });
+        validate_grid(t_end, dt)?;
+        let n = self.stages.len();
+        let y0 = self.dc_initial_state(stimulus, vdd);
+        let steps = (t_end / dt).ceil() as usize;
+        // One flat row-major state buffer plus the input samples, both
+        // filled by the recorder in a single pass: the stimulus is
+        // evaluated exactly once per accepted step for recording (the
+        // RHS memoizes its own per-stage-time evaluation separately).
+        let mut flat = Vec::with_capacity((steps + 1) * n);
+        let mut samples_in = Vec::with_capacity(steps + 1);
+        rk4_with(
+            0.0,
+            &y0,
+            dt,
+            steps,
+            self.rhs(stimulus, vdd, gnd),
+            |_k, t, y| {
+                samples_in.push(stimulus.value_at(t));
+                flat.extend_from_slice(y);
+            },
+        );
+        let input = Waveform::new(0.0, dt, samples_in)?;
+        let nodes = (0..n)
+            .map(|i| Waveform::from_strided(0.0, dt, &flat, i, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ChainRun { input, nodes })
+    }
+
+    /// Like [`simulate`](InverterChain::simulate) but with the adaptive
+    /// Dormand–Prince RK45 integrator: integration restarts at the
+    /// stimulus corner times (so no step straddles a slope
+    /// discontinuity) and the returned waveforms are sampled from the
+    /// cubic-Hermite dense output on a uniform `out_dt` grid — the
+    /// expensive right-hand side only runs where the error controller
+    /// demands it.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate`](InverterChain::simulate), plus
+    /// [`Error::Integration`] if the step controller fails.
+    pub fn simulate_adaptive(
+        &self,
+        stimulus: &Pulse,
+        vdd: &VddSource,
+        t_end: f64,
+        out_dt: f64,
+        opts: &Rk45Options,
+    ) -> Result<ChainRun, Error> {
+        self.simulate_adaptive_with_ground(
+            stimulus,
+            vdd,
+            &GroundSource::ideal(),
+            t_end,
+            out_dt,
+            opts,
+        )
+    }
+
+    /// [`simulate_adaptive`](InverterChain::simulate_adaptive) with a
+    /// bouncing ground rail.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_adaptive`](InverterChain::simulate_adaptive).
+    pub fn simulate_adaptive_with_ground(
+        &self,
+        stimulus: &Pulse,
+        vdd: &VddSource,
+        gnd: &GroundSource,
+        t_end: f64,
+        out_dt: f64,
+        opts: &Rk45Options,
+    ) -> Result<ChainRun, Error> {
+        validate_grid(t_end, out_dt)?;
+        let n = self.stages.len();
+        let y0 = self.dc_initial_state(stimulus, vdd);
+        // the same output grid the RK4 path would produce
+        let steps = (t_end / out_dt).ceil() as usize;
+        let t_final = steps as f64 * out_dt;
+        let mut flat = Vec::with_capacity((steps + 1) * n);
+        let mut samples_in = Vec::with_capacity(steps + 1);
+        flat.extend_from_slice(&y0);
+        samples_in.push(stimulus.value_at(0.0));
+        let mut next_k = 1usize;
+        let mut rhs = self.rhs(stimulus, vdd, gnd);
+        let mut y = y0;
+        for (a, b) in segments(stimulus, t_final) {
+            let (y_end, _) = rk45(a, b, &y, opts, &mut rhs, |step| {
+                while next_k <= steps {
+                    let t_k = next_k as f64 * out_dt;
+                    if t_k > step.t1 + 1e-9 * out_dt {
+                        break;
+                    }
+                    let row_start = flat.len();
+                    flat.resize(row_start + n, 0.0);
+                    step.eval_into(t_k, &mut flat[row_start..]);
+                    samples_in.push(stimulus.value_at(t_k));
+                    next_k += 1;
+                }
+            })?;
+            y = y_end;
         }
-        if !(t_end.is_finite() && t_end > dt) {
+        // a grid point can fall on t_final itself and be missed by a
+        // hair of floating-point noise — it holds the final state
+        while next_k <= steps {
+            flat.extend_from_slice(&y);
+            samples_in.push(stimulus.value_at(next_k as f64 * out_dt));
+            next_k += 1;
+        }
+        let input = Waveform::new(0.0, out_dt, samples_in)?;
+        let nodes = (0..n)
+            .map(|i| Waveform::from_strided(0.0, out_dt, &flat, i, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ChainRun { input, nodes })
+    }
+
+    /// The crossings-only fast path: adaptively integrates the chain
+    /// and detects `threshold` crossings of every node by root-finding
+    /// on the dense interpolant, without ever materializing a sampled
+    /// [`Waveform`]. The input signal's crossings are computed
+    /// analytically from the trapezoid.
+    ///
+    /// This is what makes characterization sweeps interactive: a run
+    /// that RK4 resolves with ~10⁴ fixed steps typically needs a few
+    /// hundred adaptive steps, and the crossing times still agree to
+    /// ≈ 1e-6 ps at the default tolerances.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_adaptive`](InverterChain::simulate_adaptive);
+    /// [`Error::Core`] if the detected crossings do not form a valid
+    /// signal.
+    pub fn simulate_crossings(
+        &self,
+        stimulus: &Pulse,
+        vdd: &VddSource,
+        t_end: f64,
+        threshold: f64,
+        opts: &Rk45Options,
+    ) -> Result<ChainCrossings, Error> {
+        self.simulate_crossings_with_ground(
+            stimulus,
+            vdd,
+            &GroundSource::ideal(),
+            t_end,
+            threshold,
+            opts,
+        )
+    }
+
+    /// [`simulate_crossings`](InverterChain::simulate_crossings) with a
+    /// bouncing ground rail.
+    ///
+    /// # Errors
+    ///
+    /// As [`simulate_crossings`](InverterChain::simulate_crossings).
+    pub fn simulate_crossings_with_ground(
+        &self,
+        stimulus: &Pulse,
+        vdd: &VddSource,
+        gnd: &GroundSource,
+        t_end: f64,
+        threshold: f64,
+        opts: &Rk45Options,
+    ) -> Result<ChainCrossings, Error> {
+        if !(t_end.is_finite() && t_end > 0.0) {
             return Err(Error::InvalidParameter {
                 name: "t_end",
                 value: t_end,
-                constraint: "must be finite and > dt",
+                constraint: "must be finite and > 0",
             });
         }
-        let n = self.stages.len();
+        if !threshold.is_finite() {
+            return Err(Error::InvalidParameter {
+                name: "threshold",
+                value: threshold,
+                constraint: "must be finite",
+            });
+        }
+        let y0 = self.dc_initial_state(stimulus, vdd);
+        let mut builders: Vec<SignalBuilder> = y0
+            .iter()
+            .map(|&v| SignalBuilder::new(Bit::from(v >= threshold)))
+            .collect();
+        let mut rhs = self.rhs(stimulus, vdd, gnd);
+        let mut y = y0;
+        let mut stats = Rk45Stats::default();
+        let mut push_err: Option<ivl_core::Error> = None;
+        for (a, b) in segments(stimulus, t_end) {
+            let (y_end, seg_stats) = rk45(a, b, &y, opts, &mut rhs, |step| {
+                for (i, builder) in builders.iter_mut().enumerate() {
+                    // harvest *all* alternating crossings inside the
+                    // step: a marginal glitch can cross the threshold
+                    // and return within one accepted step, and missing
+                    // its second edge would invert the signal's parity
+                    // for the rest of the run
+                    let mut from = step.t0;
+                    loop {
+                        let rising = builder.current_value() == Bit::Zero;
+                        let Some(t) = step.find_crossing_after(i, threshold, rising, from) else {
+                            break;
+                        };
+                        if t <= from && from > step.t0 {
+                            break; // no sub-resolution progress
+                        }
+                        if let Err(e) = builder.push_time(t) {
+                            push_err.get_or_insert(e);
+                            break;
+                        }
+                        from = t;
+                    }
+                }
+            })?;
+            y = y_end;
+            stats.accepted += seg_stats.accepted;
+            stats.rejected += seg_stats.rejected;
+            stats.rhs_evals += seg_stats.rhs_evals;
+        }
+        if let Some(e) = push_err {
+            return Err(Error::Core(e));
+        }
+        let mut input = SignalBuilder::new(Bit::from(stimulus.value_at(0.0) >= threshold));
+        for (t, edge) in stimulus.crossings(threshold) {
+            let flips = match edge {
+                Edge::Rising => input.current_value() == Bit::Zero,
+                Edge::Falling => input.current_value() == Bit::One,
+            };
+            if t > 0.0 && t <= t_end && flips {
+                input.push_time(t).map_err(Error::Core)?;
+            }
+        }
+        Ok(ChainCrossings {
+            threshold,
+            input: input.finish(),
+            nodes: builders.into_iter().map(SignalBuilder::finish).collect(),
+            stats,
+        })
+    }
+
+    /// DC initial condition: alternating rails from the stimulus value
+    /// at `t = 0`.
+    fn dc_initial_state(&self, stimulus: &Pulse, vdd: &VddSource) -> Vec<f64> {
         let vdd0 = vdd.value_at(0.0);
-        // DC initial condition: alternating rails
-        let mut y0 = vec![0.0; n];
+        let mut y0 = vec![0.0; self.stages.len()];
         let mut v = stimulus.value_at(0.0);
         for y in y0.iter_mut() {
             v = if v > vdd0 / 2.0 { 0.0 } else { vdd0 };
             *y = v;
         }
-        let steps = (t_end / dt).ceil() as usize;
-        let trace = rk4(0.0, &y0, dt, steps, |t, y, dy| {
+        y0
+    }
+
+    /// The chain's right-hand side `dy/dt = f(t, y)`. The stimulus is
+    /// memoized per evaluation time, so integrator stages sharing a
+    /// stage time (RK4's two midpoint stages) evaluate it once.
+    fn rhs<'a>(
+        &'a self,
+        stimulus: &'a Pulse,
+        vdd: &'a VddSource,
+        gnd: &'a GroundSource,
+    ) -> impl FnMut(f64, &[f64], &mut [f64]) + 'a {
+        let n = self.stages.len();
+        let mut memo = (f64::NAN, 0.0);
+        move |t, y: &[f64], dy: &mut [f64]| {
+            if memo.0 != t {
+                memo = (t, stimulus.value_at(t));
+            }
+            let v_stim = memo.1;
             let vdd_t = vdd.value_at(t);
             let vss_t = gnd.value_at(t);
             for i in 0..n {
-                let v_in = if i == 0 {
-                    stimulus.value_at(t)
-                } else {
-                    y[i - 1]
-                };
+                let v_in = if i == 0 { v_stim } else { y[i - 1] };
                 dy[i] = self.stages[i].dv_out_rails(v_in, y[i], vdd_t, vss_t);
             }
-        });
-        let samples_in = (0..trace.len())
-            .map(|k| stimulus.value_at(k as f64 * dt))
-            .collect();
-        let input = Waveform::new(0.0, dt, samples_in)?;
-        let nodes = (0..n)
-            .map(|i| {
-                let samples = trace.iter().map(|s| s[i]).collect();
-                Waveform::new(0.0, dt, samples)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(ChainRun { input, nodes })
+        }
     }
+}
+
+/// Splits `[0, t_end]` at the stimulus corner times so adaptive
+/// integration never steps across a slope discontinuity of the input.
+fn segments(stimulus: &Pulse, t_end: f64) -> Vec<(f64, f64)> {
+    let mut cuts = vec![0.0];
+    for c in stimulus.corner_times() {
+        if c > 0.0 && c < t_end && c > cuts[cuts.len() - 1] {
+            cuts.push(c);
+        }
+    }
+    cuts.push(t_end);
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+fn validate_grid(t_end: f64, dt: f64) -> Result<(), Error> {
+    if !(dt.is_finite() && dt > 0.0) {
+        return Err(Error::InvalidParameter {
+            name: "dt",
+            value: dt,
+            constraint: "must be finite and > 0",
+        });
+    }
+    if !(t_end.is_finite() && t_end > dt) {
+        return Err(Error::InvalidParameter {
+            name: "t_end",
+            value: t_end,
+            constraint: "must be finite and > dt",
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -368,6 +690,134 @@ mod tests {
             .unwrap();
         let b = c.simulate(&pulse(100.0), &vdd, 200.0, 0.1).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_dense_run_matches_rk4() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let vdd = VddSource::dc(1.0);
+        let stim = pulse(80.0);
+        let rk4_run = c.simulate(&stim, &vdd, 400.0, 0.1).unwrap();
+        let ad_run = c
+            .simulate_adaptive(&stim, &vdd, 400.0, 0.1, &Rk45Options::default())
+            .unwrap();
+        assert_eq!(ad_run.stage_count(), rk4_run.stage_count());
+        for i in 0..7 {
+            assert_eq!(
+                ad_run.node(i).samples().len(),
+                rk4_run.node(i).samples().len()
+            );
+            let rms = ad_run.node(i).rms_difference(rk4_run.node(i));
+            assert!(rms < 1e-3, "node {i} rms {rms}");
+        }
+        // the sampled input stimulus is identical (same grid, same pulse)
+        assert_eq!(ad_run.input(), rk4_run.input());
+    }
+
+    #[test]
+    fn crossings_fast_path_matches_digitized_rk4() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let vdd = VddSource::dc(1.0);
+        let stim = pulse(80.0);
+        let rk4_run = c.simulate(&stim, &vdd, 400.0, 0.05).unwrap();
+        let x = c
+            .simulate_crossings(&stim, &vdd, 400.0, 0.5, &Rk45Options::default())
+            .unwrap();
+        assert_eq!(x.threshold(), 0.5);
+        assert_eq!(x.stage_count(), 7);
+        assert!(x.stats().accepted > 0);
+        for i in 0..7 {
+            let dense = rk4_run.node(i).digitize(0.5).unwrap();
+            let fast = x.node(i);
+            assert_eq!(fast.initial(), dense.initial(), "node {i}");
+            assert_eq!(fast.len(), dense.len(), "node {i}");
+            for (a, b) in fast.transitions().iter().zip(dense.transitions()) {
+                assert_eq!(a.value, b.value);
+                // RK4 @ 0.05 + linear interpolation carries ~1e-3 ps of
+                // its own crossing error; the paths must agree to that
+                assert!((a.time - b.time).abs() < 5e-3, "node {i}: {a:?} vs {b:?}");
+            }
+        }
+        // the analytic input crossings match the digitized trapezoid
+        let dense_in = rk4_run.input().digitize(0.5).unwrap();
+        assert_eq!(x.input().len(), dense_in.len());
+        for (a, b) in x.input().transitions().iter().zip(dense_in.transitions()) {
+            assert!((a.time - b.time).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+        // stage_input stitches input and nodes together
+        assert_eq!(x.stage_input(0), x.input());
+        assert_eq!(x.stage_input(1), x.node(0));
+    }
+
+    #[test]
+    fn adaptive_needs_far_fewer_steps_than_rk4() {
+        let c = InverterChain::umc90_like(7).unwrap();
+        let x = c
+            .simulate_crossings(
+                &pulse(80.0),
+                &VddSource::dc(1.0),
+                400.0,
+                0.5,
+                &Rk45Options::default(),
+            )
+            .unwrap();
+        let rk4_steps = (400.0 / 0.05) as usize;
+        let adaptive = x.stats().accepted + x.stats().rejected;
+        assert!(
+            adaptive * 10 < rk4_steps,
+            "adaptive used {adaptive} steps vs RK4's {rk4_steps}"
+        );
+    }
+
+    #[test]
+    fn adaptive_ground_bounce_matches_rk4_qualitatively() {
+        let c = InverterChain::umc90_like(3).unwrap();
+        let vdd = VddSource::dc(1.0);
+        let gnd = GroundSource::with_sine(0.05, 80.0, 90.0).unwrap();
+        let a = c
+            .simulate_with_ground(&pulse(100.0), &vdd, &gnd, 400.0, 0.1)
+            .unwrap();
+        let b = c
+            .simulate_adaptive_with_ground(
+                &pulse(100.0),
+                &vdd,
+                &gnd,
+                400.0,
+                0.1,
+                &Rk45Options::default(),
+            )
+            .unwrap();
+        let ta = a.node(2).falling_crossings(0.5)[0];
+        let tb = b.node(2).falling_crossings(0.5)[0];
+        assert!((ta - tb).abs() < 0.01, "{ta} vs {tb}");
+    }
+
+    #[test]
+    fn adaptive_validates() {
+        let c = InverterChain::umc90_like(1).unwrap();
+        let vdd = VddSource::dc(1.0);
+        let opts = Rk45Options::default();
+        assert!(c
+            .simulate_adaptive(&pulse(50.0), &vdd, 0.0, 0.1, &opts)
+            .is_err());
+        assert!(c
+            .simulate_adaptive(&pulse(50.0), &vdd, 100.0, 0.0, &opts)
+            .is_err());
+        assert!(c
+            .simulate_crossings(&pulse(50.0), &vdd, -1.0, 0.5, &opts)
+            .is_err());
+        assert!(c
+            .simulate_crossings(&pulse(50.0), &vdd, 100.0, f64::NAN, &opts)
+            .is_err());
+        // an impossible step budget surfaces as an integration error
+        let starved = Rk45Options {
+            max_steps: 1,
+            ..Rk45Options::default()
+        };
+        assert!(matches!(
+            c.simulate_crossings(&pulse(50.0), &vdd, 100.0, 0.5, &starved),
+            Err(Error::Integration { .. })
+        ));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use ivl_core::{Edge, Signal};
 
 use crate::chain::InverterChain;
 use crate::error::Error;
+use crate::ode::Rk45Options;
 use crate::stimulus::Pulse;
 use crate::supply::VddSource;
 
@@ -42,6 +43,23 @@ pub struct DeviationSample {
     pub edge: Edge,
 }
 
+/// Which integrator drives the per-pulse chain simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Integrator {
+    /// Fixed-step RK4 over dense [`Waveform`](crate::Waveform)s at the
+    /// configured `dt` — the original (slow) reference pipeline.
+    Rk4,
+    /// Adaptive Dormand–Prince RK45 with crossings-only event
+    /// detection: no dense waveform is ever built. The default.
+    Rk45(Rk45Options),
+}
+
+impl Default for Integrator {
+    fn default() -> Self {
+        Integrator::Rk45(Rk45Options::default())
+    }
+}
+
 /// Sweep configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
@@ -51,18 +69,23 @@ pub struct SweepConfig {
     pub settle: f64,
     /// Simulation time after the last edge (ps).
     pub tail: f64,
-    /// RK4 step (ps).
+    /// RK4 step (ps); only used when `integrator` is
+    /// [`Integrator::Rk4`].
     pub dt: f64,
     /// Input slew (ps).
     pub slew: f64,
     /// Which inverter stage to measure, 0-based.
     pub stage: usize,
+    /// The integrator driving each pulse simulation.
+    pub integrator: Integrator,
 }
 
 impl Default for SweepConfig {
-    /// 24 widths from 12 to 132 ps, 60 ps settle, 250 ps tail, 0.05 ps
-    /// step, 10 ps slew, measuring stage 3 of the chain (realistic
-    /// interior slews, as in the paper's setup).
+    /// 24 widths from 12 to 132 ps, 60 ps settle, 250 ps tail, 10 ps
+    /// slew, measuring stage 3 of the chain (realistic interior slews,
+    /// as in the paper's setup), integrated adaptively (RK45 at
+    /// `rtol = 1e-6`, `atol = 1e-9`; the `dt = 0.05` step only applies
+    /// after switching to [`Integrator::Rk4`]).
     fn default() -> Self {
         SweepConfig {
             widths: (0..24).map(|i| 12.0 + 5.2 * i as f64).collect(),
@@ -71,6 +94,7 @@ impl Default for SweepConfig {
             dt: 0.05,
             slew: 10.0,
             stage: 3,
+            integrator: Integrator::default(),
         }
     }
 }
@@ -109,7 +133,11 @@ pub fn pair_transitions(input: &Signal, output: &Signal) -> Result<Vec<DelaySamp
 /// Runs one pulse through the chain and extracts the measured stage's
 /// digitized input/output signals at the switching threshold
 /// `V_DD/2` (nominal).
-fn run_one(
+///
+/// With [`Integrator::Rk45`] this never builds a dense waveform: the
+/// crossings-only fast path digitizes straight from event detection on
+/// the integrator's dense output.
+pub(crate) fn run_one(
     chain: &InverterChain,
     vdd: &VddSource,
     config: &SweepConfig,
@@ -122,11 +150,22 @@ fn run_one(
         Pulse::new(config.settle, width, config.slew, vdd.nominal())?
     };
     let t_end = config.settle + width + config.tail;
-    let run = chain.simulate(&stim, vdd, t_end, config.dt)?;
     let threshold = vdd.nominal() / 2.0;
-    let input = run.stage_input(config.stage).digitize(threshold)?;
-    let output = run.node(config.stage).digitize(threshold)?;
-    Ok((input, output))
+    match &config.integrator {
+        Integrator::Rk4 => {
+            let run = chain.simulate(&stim, vdd, t_end, config.dt)?;
+            let input = run.stage_input(config.stage).digitize(threshold)?;
+            let output = run.node(config.stage).digitize(threshold)?;
+            Ok((input, output))
+        }
+        Integrator::Rk45(opts) => {
+            let run = chain.simulate_crossings(&stim, vdd, t_end, threshold, opts)?;
+            Ok((
+                run.stage_input(config.stage).clone(),
+                run.node(config.stage).clone(),
+            ))
+        }
+    }
 }
 
 /// Sweeps pulse widths and collects `(T, δ)` samples for the measured
@@ -144,9 +183,26 @@ pub fn sweep_samples(
     config: &SweepConfig,
     inverted: bool,
 ) -> Result<Vec<DelaySample>, Error> {
+    let runs = config
+        .widths
+        .iter()
+        .map(|&w| run_one(chain, vdd, config, w, inverted))
+        .collect();
+    collect_samples(runs, config)
+}
+
+/// Folds per-width run results into samples — the single definition of
+/// the sweep's error semantics, shared by the serial entry points and
+/// [`SweepRunner`](crate::SweepRunner): swallowed pulses
+/// ([`Error::Core`] / [`Error::DegenerateWaveform`]) are skipped, other
+/// errors propagate, an empty sweep is a [`Error::MissingCrossing`].
+pub(crate) fn collect_samples(
+    runs: Vec<Result<(Signal, Signal), Error>>,
+    config: &SweepConfig,
+) -> Result<Vec<DelaySample>, Error> {
     let mut all = Vec::new();
-    for &w in &config.widths {
-        match run_one(chain, vdd, config, w, inverted) {
+    for run in runs {
+        match run {
             Ok((input, output)) => {
                 if let Ok(samples) = pair_transitions(&input, &output) {
                     // keep only the T-dependent samples (n ≥ 1)
@@ -166,6 +222,41 @@ pub fn sweep_samples(
     Ok(all)
 }
 
+/// Splits samples by output edge into `(δ↑, δ↓)`, each sorted by
+/// offset (shared by the serial and parallel pipelines).
+pub(crate) fn partition_by_edge(
+    samples: impl IntoIterator<Item = DelaySample>,
+) -> (Vec<DelaySample>, Vec<DelaySample>) {
+    let mut up = Vec::new();
+    let mut down = Vec::new();
+    for s in samples {
+        match s.edge {
+            Edge::Rising => up.push(s),
+            Edge::Falling => down.push(s),
+        }
+    }
+    let by_offset = |a: &DelaySample, b: &DelaySample| a.offset.total_cmp(&b.offset);
+    up.sort_by(by_offset);
+    down.sort_by(by_offset);
+    (up, down)
+}
+
+/// Turns measured samples into deviations against a reference model
+/// (shared by the serial and parallel pipelines).
+pub(crate) fn apply_reference<D: DelayPair + ?Sized>(
+    samples: &[DelaySample],
+    reference: &D,
+) -> Vec<DeviationSample> {
+    samples
+        .iter()
+        .map(|s| DeviationSample {
+            offset: s.offset,
+            deviation: s.delay - reference.delta(s.edge, s.offset),
+            edge: s.edge,
+        })
+        .collect()
+}
+
 /// Characterizes both delay functions of the measured stage: returns
 /// `(δ↑ samples, δ↓ samples)` sorted by offset.
 ///
@@ -177,20 +268,11 @@ pub fn characterize(
     vdd: &VddSource,
     config: &SweepConfig,
 ) -> Result<(Vec<DelaySample>, Vec<DelaySample>), Error> {
-    let mut up = Vec::new();
-    let mut down = Vec::new();
+    let mut all = Vec::new();
     for inverted in [false, true] {
-        for s in sweep_samples(chain, vdd, config, inverted)? {
-            match s.edge {
-                Edge::Rising => up.push(s),
-                Edge::Falling => down.push(s),
-            }
-        }
+        all.extend(sweep_samples(chain, vdd, config, inverted)?);
     }
-    let by_offset = |a: &DelaySample, b: &DelaySample| a.offset.total_cmp(&b.offset);
-    up.sort_by(by_offset);
-    down.sort_by(by_offset);
-    Ok((up, down))
+    Ok(partition_by_edge(all))
 }
 
 /// Sorts measured samples by offset and drops points violating strict
@@ -265,14 +347,7 @@ pub fn measure_deviations<D: DelayPair + ?Sized>(
     inverted: bool,
 ) -> Result<Vec<DeviationSample>, Error> {
     let samples = sweep_samples(chain, vdd, config, inverted)?;
-    Ok(samples
-        .iter()
-        .map(|s| DeviationSample {
-            offset: s.offset,
-            deviation: s.delay - reference.delta(s.edge, s.offset),
-            edge: s.edge,
-        })
-        .collect())
+    Ok(apply_reference(&samples, reference))
 }
 
 #[cfg(test)]

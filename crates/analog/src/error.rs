@@ -25,6 +25,14 @@ pub enum Error {
         /// The pulse width (ps) being characterized.
         pulse_width: f64,
     },
+    /// The adaptive integrator failed to advance (step-size underflow
+    /// or step budget exhausted).
+    Integration {
+        /// What went wrong.
+        what: &'static str,
+        /// Simulation time (ps) at which the integrator gave up.
+        t: f64,
+    },
     /// Propagated core error (e.g. invalid extracted signal).
     Core(ivl_core::Error),
 }
@@ -42,6 +50,9 @@ impl fmt::Display for Error {
                 f,
                 "missing {what} crossing while characterizing a {pulse_width} ps pulse"
             ),
+            Error::Integration { what, t } => {
+                write!(f, "adaptive integration failed at t = {t} ps: {what}")
+            }
             Error::Core(e) => write!(f, "{e}"),
         }
     }
@@ -78,6 +89,10 @@ mod tests {
             Error::MissingCrossing {
                 what: "output rise",
                 pulse_width: 10.0,
+            },
+            Error::Integration {
+                what: "step size underflow",
+                t: 12.5,
             },
             Error::Core(ivl_core::Error::SolverFailed { what: "x" }),
         ];

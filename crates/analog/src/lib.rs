@@ -11,7 +11,8 @@
 //!
 //! * [`mosfet`] — the alpha-power-law (Sakurai–Newton) MOSFET model;
 //! * [`inverter`] / [`chain`] — CMOS inverters and the 7-stage chain of
-//!   Fig. 6, integrated with classic RK4 ([`ode`]);
+//!   Fig. 6, integrated with classic RK4 or adaptive Dormand–Prince
+//!   RK45 with dense output and crossing events ([`ode`]);
 //! * [`supply`] — DC and sine-modulated supplies (the ±1 % VDD
 //!   experiment of Fig. 8a);
 //! * [`senseamp`] — the on-chip sense-amplifier model (gain 0.15,
@@ -19,7 +20,9 @@
 //! * [`waveform`] — sampled waveforms with interpolated threshold
 //!   crossings and digitization to `ivl-core` [`Signal`]s;
 //! * [`characterize`] — pulse-width sweeps extracting `(T, δ)` delay
-//!   samples and model-vs-analog deviations `D(T)`.
+//!   samples and model-vs-analog deviations `D(T)`;
+//! * [`sweep`] — a [`SweepRunner`] fanning characterization sweeps
+//!   across worker threads with deterministic result assembly.
 //!
 //! Units: time in **ps**, voltage in **V**, current in **mA**,
 //! capacitance in **fF** (so `I = C·dV/dt` is consistent without
@@ -54,7 +57,9 @@ pub mod ode;
 pub mod senseamp;
 pub mod stimulus;
 pub mod supply;
+pub mod sweep;
 pub mod waveform;
 
 pub use error::Error;
+pub use sweep::SweepRunner;
 pub use waveform::Waveform;

@@ -1,5 +1,7 @@
 //! Input voltage stimuli (trapezoid pulses).
 
+use ivl_core::Edge;
+
 use crate::error::Error;
 
 /// A trapezoidal voltage pulse: low until `start`, linear rise over
@@ -90,6 +92,58 @@ impl Pulse {
         self.width
     }
 
+    /// The voltage before the pulse (`t → −∞`): `low` for a positive
+    /// pulse, `high` for an inverted one.
+    #[must_use]
+    pub fn initial_value(&self) -> f64 {
+        if self.inverted {
+            self.high
+        } else {
+            self.low
+        }
+    }
+
+    /// The four corner times of the trapezoid, in increasing order:
+    /// ramp starts and ends of the leading and trailing edges. The
+    /// pulse is piecewise-linear between (and constant outside of)
+    /// these times — adaptive integrators restart at them so no step
+    /// straddles a slope discontinuity.
+    #[must_use]
+    pub fn corner_times(&self) -> [f64; 4] {
+        let half = self.slew / 2.0;
+        [
+            self.start - half,
+            self.start + half,
+            self.start + self.width - half,
+            self.start + self.width + half,
+        ]
+    }
+
+    /// Exact threshold-crossing times of the trapezoid, each tagged
+    /// with its direction. Empty if `threshold` is outside the pulse's
+    /// voltage range. A positive pulse yields `[Rising, Falling]`, an
+    /// inverted one `[Falling, Rising]`.
+    #[must_use]
+    pub fn crossings(&self, threshold: f64) -> Vec<(f64, Edge)> {
+        if threshold <= self.low || threshold >= self.high {
+            return Vec::new();
+        }
+        // fraction of the underlying (non-inverted) ramp at which the
+        // stimulus passes `threshold`
+        let x = if self.inverted {
+            (self.high - threshold - self.low) / (self.high - self.low)
+        } else {
+            (threshold - self.low) / (self.high - self.low)
+        };
+        let t_lead = self.start - self.slew / 2.0 + self.slew * x;
+        let t_trail = self.start + self.width - self.slew / 2.0 + self.slew * (1.0 - x);
+        if self.inverted {
+            vec![(t_lead, Edge::Falling), (t_trail, Edge::Rising)]
+        } else {
+            vec![(t_lead, Edge::Rising), (t_trail, Edge::Falling)]
+        }
+    }
+
     /// The voltage at time `t`.
     #[must_use]
     pub fn value_at(&self, t: f64) -> f64 {
@@ -141,6 +195,55 @@ mod tests {
         assert!((p.value_at(10.0) - 0.5).abs() < 1e-12);
         assert_eq!(p.value_at(20.0), 0.0);
         assert_eq!(p.value_at(40.0), 1.0);
+    }
+
+    #[test]
+    fn analytic_crossings_match_value_at() {
+        for (p, edges) in [
+            (
+                Pulse::new(10.0, 20.0, 4.0, 1.0).unwrap(),
+                [Edge::Rising, Edge::Falling],
+            ),
+            (
+                Pulse::inverted(10.0, 20.0, 4.0, 1.0).unwrap(),
+                [Edge::Falling, Edge::Rising],
+            ),
+        ] {
+            for thr in [0.25, 0.5, 0.8] {
+                let xs = p.crossings(thr);
+                assert_eq!(xs.len(), 2);
+                assert_eq!(xs[0].1, edges[0]);
+                assert_eq!(xs[1].1, edges[1]);
+                for (t, _) in xs {
+                    assert!((p.value_at(t) - thr).abs() < 1e-12, "thr {thr} at {t}");
+                }
+            }
+            // thresholds outside the swing never cross
+            assert!(p.crossings(0.0).is_empty());
+            assert!(p.crossings(1.0).is_empty());
+        }
+        // the 50 % crossings sit exactly at start and start + width
+        let p = Pulse::new(10.0, 20.0, 4.0, 1.0).unwrap();
+        let xs = p.crossings(0.5);
+        assert!((xs[0].0 - 10.0).abs() < 1e-12);
+        assert!((xs[1].0 - 30.0).abs() < 1e-12);
+        assert_eq!(p.initial_value(), 0.0);
+        assert_eq!(
+            Pulse::inverted(10.0, 20.0, 4.0, 1.0)
+                .unwrap()
+                .initial_value(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn corner_times_bracket_the_ramps() {
+        let p = Pulse::new(10.0, 20.0, 4.0, 1.0).unwrap();
+        assert_eq!(p.corner_times(), [8.0, 12.0, 28.0, 32.0]);
+        // constant outside, mid-ramp inside
+        assert_eq!(p.value_at(8.0), 0.0);
+        assert_eq!(p.value_at(12.0), 1.0);
+        assert!(p.value_at(10.0) > 0.0 && p.value_at(10.0) < 1.0);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Parallel characterization sweeps: fan pulse widths over worker
+//! threads (the analog twin of `ivl_circuit`'s `ScenarioRunner`).
+//!
+//! Every pulse width of a [`SweepConfig`] is an independent chain
+//! simulation, so a sweep parallelizes embarrassingly: worker `w`
+//! handles widths `w, w + workers, …` and the results are assembled
+//! back in width order. Because the simulations are pure (no RNG), a
+//! sweep's output is **bitwise identical for every worker count** —
+//! unlike `ScenarioRunner`, no seeds are needed for determinism.
+
+use std::thread;
+
+use ivl_core::delay::DelayPair;
+use ivl_core::Signal;
+
+use crate::chain::InverterChain;
+use crate::characterize::{
+    apply_reference, collect_samples, partition_by_edge, run_one, DelaySample, DeviationSample,
+    SweepConfig,
+};
+use crate::error::Error;
+use crate::supply::VddSource;
+
+/// Fans the pulse widths of characterization sweeps across worker
+/// threads, with deterministic, order-independent result assembly.
+///
+/// ```
+/// use ivl_analog::chain::InverterChain;
+/// use ivl_analog::characterize::SweepConfig;
+/// use ivl_analog::supply::VddSource;
+/// use ivl_analog::sweep::SweepRunner;
+/// # fn main() -> Result<(), ivl_analog::Error> {
+/// let chain = InverterChain::umc90_like(7)?;
+/// let vdd = VddSource::dc(1.0);
+/// let cfg = SweepConfig {
+///     widths: vec![40.0, 70.0, 100.0],
+///     ..SweepConfig::default()
+/// };
+/// let samples = SweepRunner::new()
+///     .with_workers(2)
+///     .sweep_samples(&chain, &vdd, &cfg, false)?;
+/// assert!(!samples.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    workers: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        SweepRunner::new()
+    }
+}
+
+impl SweepRunner {
+    /// Creates a runner with as many workers as the machine advertises.
+    #[must_use]
+    pub fn new() -> Self {
+        let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        SweepRunner { workers }
+    }
+
+    /// Sets the number of worker threads (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Parallel [`sweep_samples`](crate::characterize::sweep_samples):
+    /// identical output, widths fanned across workers.
+    ///
+    /// # Errors
+    ///
+    /// As [`sweep_samples`](crate::characterize::sweep_samples).
+    pub fn sweep_samples(
+        &self,
+        chain: &InverterChain,
+        vdd: &VddSource,
+        config: &SweepConfig,
+        inverted: bool,
+    ) -> Result<Vec<DelaySample>, Error> {
+        let runs = self.run_widths(chain, vdd, config, inverted);
+        collect_samples(runs, config)
+    }
+
+    /// Parallel [`characterize`](crate::characterize::characterize):
+    /// both orientations of every width run concurrently, returning
+    /// `(δ↑ samples, δ↓ samples)` sorted by offset.
+    ///
+    /// # Errors
+    ///
+    /// As [`characterize`](crate::characterize::characterize).
+    pub fn characterize(
+        &self,
+        chain: &InverterChain,
+        vdd: &VddSource,
+        config: &SweepConfig,
+    ) -> Result<(Vec<DelaySample>, Vec<DelaySample>), Error> {
+        let w = config.widths.len();
+        let results = self.run_jobs(2 * w, |j| {
+            let inverted = j >= w;
+            run_one(chain, vdd, config, config.widths[j % w], inverted)
+        });
+        let mut results = results.into_iter();
+        let mut all = Vec::new();
+        for _inverted in [false, true] {
+            let orientation: Vec<_> = results.by_ref().take(w).collect();
+            all.extend(collect_samples(orientation, config)?);
+        }
+        Ok(partition_by_edge(all))
+    }
+
+    /// Parallel
+    /// [`measure_deviations`](crate::characterize::measure_deviations):
+    /// the sweep fans out, the reference model is applied serially to
+    /// the assembled samples.
+    ///
+    /// # Errors
+    ///
+    /// As [`measure_deviations`](crate::characterize::measure_deviations).
+    pub fn measure_deviations<D: DelayPair + ?Sized>(
+        &self,
+        chain: &InverterChain,
+        vdd: &VddSource,
+        config: &SweepConfig,
+        reference: &D,
+        inverted: bool,
+    ) -> Result<Vec<DeviationSample>, Error> {
+        let samples = self.sweep_samples(chain, vdd, config, inverted)?;
+        Ok(apply_reference(&samples, reference))
+    }
+
+    /// Runs one orientation of every width, in width order.
+    fn run_widths(
+        &self,
+        chain: &InverterChain,
+        vdd: &VddSource,
+        config: &SweepConfig,
+        inverted: bool,
+    ) -> Vec<Result<(Signal, Signal), Error>> {
+        self.run_jobs(config.widths.len(), |j| {
+            run_one(chain, vdd, config, config.widths[j], inverted)
+        })
+    }
+
+    /// Index-striped fan-out: worker `w` computes jobs `w, w + workers,
+    /// …`; results are returned in job order regardless of scheduling.
+    fn run_jobs<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers.min(jobs.max(1));
+        if workers <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(jobs, || None);
+        thread::scope(|scope| {
+            let job = &job;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut idx = w;
+                        while idx < jobs {
+                            out.push((idx, job(idx)));
+                            idx += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (idx, res) in h.join().expect("sweep worker panicked") {
+                    slots[idx] = Some(res);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job index is assigned to a worker"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{characterize, measure_deviations, sweep_samples, to_piecewise};
+
+    fn chain() -> InverterChain {
+        InverterChain::umc90_like(7).unwrap()
+    }
+
+    fn cfg() -> SweepConfig {
+        SweepConfig {
+            widths: (0..7).map(|i| 24.0 + 12.0 * i as f64).collect(),
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bitwise() {
+        let vdd = VddSource::dc(1.0);
+        let serial = sweep_samples(&chain(), &vdd, &cfg(), false).unwrap();
+        for workers in [1, 2, 4] {
+            let par = SweepRunner::new()
+                .with_workers(workers)
+                .sweep_samples(&chain(), &vdd, &cfg(), false)
+                .unwrap();
+            assert_eq!(serial, par, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_characterize_matches_serial_bitwise() {
+        let vdd = VddSource::dc(1.0);
+        let (up_s, down_s) = characterize(&chain(), &vdd, &cfg()).unwrap();
+        let (up_p, down_p) = SweepRunner::new()
+            .with_workers(3)
+            .characterize(&chain(), &vdd, &cfg())
+            .unwrap();
+        assert_eq!(up_s, up_p);
+        assert_eq!(down_s, down_p);
+    }
+
+    #[test]
+    fn parallel_deviations_match_serial_bitwise() {
+        let c = chain();
+        let vdd = VddSource::dc(1.0);
+        let config = cfg();
+        let (up, _) = characterize(&c, &vdd, &config).unwrap();
+        let pair = to_piecewise(&up).unwrap();
+        let serial = measure_deviations(&c, &vdd, &config, &pair, true).unwrap();
+        let par = SweepRunner::new()
+            .with_workers(4)
+            .measure_deviations(&c, &vdd, &config, &pair, true)
+            .unwrap();
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn empty_width_list_reports_missing_crossing() {
+        let vdd = VddSource::dc(1.0);
+        let config = SweepConfig {
+            widths: vec![],
+            ..SweepConfig::default()
+        };
+        let err = SweepRunner::new()
+            .sweep_samples(&chain(), &vdd, &config, false)
+            .unwrap_err();
+        assert!(matches!(err, Error::MissingCrossing { .. }));
+    }
+
+    #[test]
+    fn accessors_and_clamping() {
+        let r = SweepRunner::new().with_workers(0);
+        assert_eq!(r.workers(), 1);
+        assert!(SweepRunner::default().workers() >= 1);
+    }
+}

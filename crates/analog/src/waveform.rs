@@ -44,6 +44,34 @@ impl Waveform {
         Ok(Waveform { t0, dt, samples })
     }
 
+    /// Extracts one state component from a flat row-major state buffer
+    /// (`rows` of `stride` values each, as produced by
+    /// [`rk4_flat`](crate::ode::rk4_flat)): sample `k` is
+    /// `flat[k * stride + offset]`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Waveform::new`]; additionally requires `offset < stride`
+    /// and a buffer length that is a multiple of `stride`.
+    pub fn from_strided(
+        t0: f64,
+        dt: f64,
+        flat: &[f64],
+        offset: usize,
+        stride: usize,
+    ) -> Result<Self, Error> {
+        if stride == 0 || offset >= stride || !flat.len().is_multiple_of(stride) {
+            return Err(Error::DegenerateWaveform {
+                reason: "flat buffer shape does not match stride/offset",
+            });
+        }
+        Waveform::new(
+            t0,
+            dt,
+            flat.iter().skip(offset).step_by(stride).copied().collect(),
+        )
+    }
+
     /// Samples `f` at `n` points spaced `dt` from `t0`.
     ///
     /// # Panics
@@ -257,6 +285,19 @@ mod tests {
         let shifted = w.map(|v| v + 1.0);
         assert!((w.rms_difference(&shifted) - 1.0).abs() < 1e-9);
         assert!(w.rms_difference(&w.clone()) < 1e-12);
+    }
+
+    #[test]
+    fn from_strided_extracts_columns() {
+        // two interleaved states: [a0 b0 a1 b1 a2 b2]
+        let flat = [0.0, 10.0, 1.0, 11.0, 2.0, 12.0];
+        let a = Waveform::from_strided(0.0, 0.5, &flat, 0, 2).unwrap();
+        let b = Waveform::from_strided(0.0, 0.5, &flat, 1, 2).unwrap();
+        assert_eq!(a.samples(), &[0.0, 1.0, 2.0]);
+        assert_eq!(b.samples(), &[10.0, 11.0, 12.0]);
+        assert!(Waveform::from_strided(0.0, 0.5, &flat, 2, 2).is_err());
+        assert!(Waveform::from_strided(0.0, 0.5, &flat[..5], 0, 2).is_err());
+        assert!(Waveform::from_strided(0.0, 0.5, &flat, 0, 0).is_err());
     }
 
     #[test]

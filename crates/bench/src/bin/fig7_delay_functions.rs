@@ -7,8 +7,9 @@
 //! Run with `cargo run --release -p ivl_bench --bin fig7_delay_functions`.
 
 use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{sweep_samples, SweepConfig};
+use ivl_analog::characterize::SweepConfig;
 use ivl_analog::supply::VddSource;
+use ivl_analog::SweepRunner;
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "δ↓(T) per V_DD — curves saturate in T and shift up as V_DD drops",
     );
     let chain = InverterChain::umc90_like(7)?;
+    let runner = SweepRunner::new();
     let vdds: [f64; 6] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5];
     let mut series = Vec::new();
     for &v in &vdds {
@@ -27,14 +29,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             widths: (0..16).map(|i| (18.0 + 8.0 * i as f64) * f).collect(),
             settle: 60.0 * f,
             tail: 300.0 * f,
-            dt: 0.05 * f,
             slew: 10.0 * f.min(3.0),
             stage: 3,
+            // adaptive RK45 via the crossings-only fast path (default
+            // integrator): the step controller absorbs the slower
+            // low-V_DD dynamics that used to require scaling `dt`
+            ..SweepConfig::default()
         };
         let vdd = VddSource::dc(v);
         // `inverted = false` yields the falling output edge at stage 3,
         // i.e. δ↓ samples
-        let samples = sweep_samples(&chain, &vdd, &cfg, false)?;
+        let samples = runner.sweep_samples(&chain, &vdd, &cfg, false)?;
         let points: Vec<(f64, f64)> = samples.iter().map(|s| (s.offset, s.delay)).collect();
         println!(
             "V_DD = {v:.1} V: {} samples, δ↓ ∈ [{:.1}, {:.1}] ps over T ∈ [{:.1}, {:.1}] ps",

@@ -7,11 +7,15 @@
 //! the edge whose driving transistor is closing).
 //!
 //! Run with `cargo run --release -p ivl_bench --bin fig8a_supply_variation`.
+//! Set `IVL_FAST_FIGS=1` for a reduced sweep (fewer widths and phases)
+//! that exercises the whole parallel pipeline in a couple of seconds —
+//! CI runs it on every push.
 
 use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{characterize, measure_deviations, to_empirical, SweepConfig};
+use ivl_analog::characterize::{to_empirical, SweepConfig};
 use ivl_analog::supply::VddSource;
-use ivl_bench::{ascii_plot, banner, write_csv, Series};
+use ivl_analog::SweepRunner;
+use ivl_bench::{ascii_plot, banner, fast_figs, write_csv, Series};
 use ivl_core::delay::fit::fit_exp_channel;
 use ivl_core::noise::EtaBounds;
 use rand::rngs::StdRng;
@@ -24,9 +28,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let chain = InverterChain::umc90_like(7)?;
     let nominal = VddSource::dc(1.0);
-    let cfg = SweepConfig::default();
+    let fast = fast_figs();
+    let mut cfg = if fast {
+        println!("IVL_FAST_FIGS=1: reduced sweep (12 widths, 3 phases)");
+        SweepConfig {
+            widths: (0..12).map(|i| 14.0 + 10.0 * i as f64).collect(),
+            ..SweepConfig::default()
+        }
+    } else {
+        SweepConfig::default()
+    };
+    // A/B escape hatch for perf regression runs: IVL_FORCE_RK4=1 pins
+    // the original dense fixed-step pipeline
+    if ivl_bench::env_flag("IVL_FORCE_RK4") {
+        println!("IVL_FORCE_RK4=1: dense fixed-step RK4 pipeline");
+        cfg.integrator = ivl_analog::characterize::Integrator::Rk4;
+    }
+    let phases = if fast { 3 } else { 6 };
+    let runner = SweepRunner::new();
 
-    let (up, down) = characterize(&chain, &nominal, &cfg)?;
+    let (up, down) = runner.characterize(&chain, &nominal, &cfg)?;
     let reference = to_empirical(&up, &down)?;
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
@@ -45,11 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // below it the polyline extrapolates and D measures nothing physical
     let (up_lo, _) = reference.up_range();
     let (down_lo, _) = reference.down_range();
-    for _ in 0..6 {
+    for _ in 0..phases {
         let phase = rng.gen_range(0.0..360.0);
         let vdd = VddSource::with_sine(1.0, 0.01, 120.0, phase)?;
         for inverted in [false, true] {
-            for s in measure_deviations(&chain, &vdd, &cfg, &reference, inverted)? {
+            for s in runner.measure_deviations(&chain, &vdd, &cfg, &reference, inverted)? {
                 match s.edge {
                     ivl_core::Edge::Rising if s.offset >= up_lo => {
                         d_up.push((s.offset, s.deviation));

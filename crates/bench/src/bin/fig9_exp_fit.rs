@@ -9,8 +9,9 @@
 //! Run with `cargo run --release -p ivl_bench --bin fig9_exp_fit`.
 
 use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{characterize, measure_deviations, SweepConfig};
+use ivl_analog::characterize::SweepConfig;
 use ivl_analog::supply::VddSource;
+use ivl_analog::SweepRunner;
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 use ivl_core::delay::fit::fit_exp_channel;
 use ivl_core::delay::DelayPair;
@@ -22,6 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let chain = InverterChain::umc90_like(7)?;
     let vdd = VddSource::dc(1.0);
+    let runner = SweepRunner::new();
     // extend the sweep so the large-T misfit becomes visible
     let cfg = SweepConfig {
         widths: (0..28).map(|i| 12.0 + 9.0 * i as f64).collect(),
@@ -29,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..SweepConfig::default()
     };
 
-    let (up, down) = characterize(&chain, &vdd, &cfg)?;
+    let (up, down) = runner.characterize(&chain, &vdd, &cfg)?;
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
     let fit = fit_exp_channel(&ups, &downs, None)?;
@@ -50,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut d_up = Vec::new();
     let mut d_down = Vec::new();
     for inverted in [false, true] {
-        for s in measure_deviations(&chain, &vdd, &cfg, &fit.channel, inverted)? {
+        for s in runner.measure_deviations(&chain, &vdd, &cfg, &fit.channel, inverted)? {
             match s.edge {
                 ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
                 ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),

@@ -132,6 +132,21 @@ pub fn ascii_plot(series: &[Series], width: usize, height: usize) -> String {
     out
 }
 
+/// `true` when the environment variable `name` is set to a non-empty
+/// value other than `0` (the truthiness rule shared by all figure-bin
+/// knobs).
+#[must_use]
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// `true` when `IVL_FAST_FIGS` is on — figure bins then shrink their
+/// sweeps so CI can exercise the full pipeline on every push.
+#[must_use]
+pub fn fast_figs() -> bool {
+    env_flag("IVL_FAST_FIGS")
+}
+
 /// Prints a standard figure banner.
 pub fn banner(figure: &str, caption: &str) {
     println!("==========================================================");

@@ -2,13 +2,16 @@
 
 use crate::{ascii_plot, write_csv, Series};
 use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{characterize, measure_deviations, to_empirical, SweepConfig};
+use ivl_analog::characterize::{to_empirical, SweepConfig};
 use ivl_analog::supply::VddSource;
+use ivl_analog::SweepRunner;
 use ivl_core::delay::fit::fit_exp_channel;
 use ivl_core::noise::EtaBounds;
 
 /// Characterizes the nominal chain, measures `D(T)` on a width-scaled
 /// copy, plots/writes the figure, and asserts the paper's one-sidedness.
+/// Both sweeps run on the adaptive crossings-only pipeline, fanned over
+/// worker threads by a [`SweepRunner`].
 pub fn run_width_experiment(
     name: &str,
     factor: f64,
@@ -17,8 +20,9 @@ pub fn run_width_experiment(
     let chain = InverterChain::umc90_like(7)?;
     let vdd = VddSource::dc(1.0);
     let cfg = SweepConfig::default();
+    let runner = SweepRunner::new();
 
-    let (up, down) = characterize(&chain, &vdd, &cfg)?;
+    let (up, down) = runner.characterize(&chain, &vdd, &cfg)?;
     let reference = to_empirical(&up, &down)?;
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
@@ -33,7 +37,7 @@ pub fn run_width_experiment(
     let mut d_up = Vec::new();
     let mut d_down = Vec::new();
     for inverted in [false, true] {
-        for s in measure_deviations(&varied, &vdd, &cfg, &reference, inverted)? {
+        for s in runner.measure_deviations(&varied, &vdd, &cfg, &reference, inverted)? {
             match s.edge {
                 ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
                 ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),
