@@ -45,6 +45,7 @@ pub struct DeviationSample {
 
 /// Which integrator drives the per-pulse chain simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum Integrator {
     /// Fixed-step RK4 over dense [`Waveform`](crate::Waveform)s at the
     /// configured `dt` — the original (slow) reference pipeline.
@@ -57,6 +58,17 @@ pub enum Integrator {
 impl Default for Integrator {
     fn default() -> Self {
         Integrator::Rk45(Rk45Options::default())
+    }
+}
+
+impl std::fmt::Display for Integrator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Integrator::Rk4 => write!(f, "rk4"),
+            Integrator::Rk45(opts) => {
+                write!(f, "rk45(rtol = {:e}, atol = {:e})", opts.rtol, opts.atol)
+            }
+        }
     }
 }
 
@@ -177,6 +189,11 @@ pub(crate) fn run_one(
 ///
 /// Propagates simulation errors; sweep points whose pulses are swallowed
 /// analogly are skipped.
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `SweepRunner::sweep_samples` (parallel, bit-identical) and the \
+            `faithful::Experiment` facade; this serial path remains as a compat wrapper"
+)]
 pub fn sweep_samples(
     chain: &InverterChain,
     vdd: &VddSource,
@@ -263,6 +280,12 @@ pub(crate) fn apply_reference<D: DelayPair + ?Sized>(
 /// # Errors
 ///
 /// As [`sweep_samples`].
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `SweepRunner::characterize` (parallel, bit-identical) and the \
+            `faithful::Experiment` facade; this serial path remains as a compat wrapper"
+)]
+#[allow(deprecated)]
 pub fn characterize(
     chain: &InverterChain,
     vdd: &VddSource,
@@ -339,6 +362,12 @@ pub fn to_empirical(
 /// # Errors
 ///
 /// As [`sweep_samples`].
+#[deprecated(
+    since = "0.1.0",
+    note = "superseded by `SweepRunner::measure_deviations` (parallel, bit-identical) and the \
+            `faithful::Experiment` facade; this serial path remains as a compat wrapper"
+)]
+#[allow(deprecated)]
 pub fn measure_deviations<D: DelayPair + ?Sized>(
     chain: &InverterChain,
     vdd: &VddSource,
@@ -351,6 +380,7 @@ pub fn measure_deviations<D: DelayPair + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the serial compat wrappers are tested on purpose
 mod tests {
     use super::*;
     use ivl_core::Bit;

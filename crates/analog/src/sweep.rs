@@ -194,6 +194,7 @@ impl SweepRunner {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // serial-vs-parallel equivalence deliberately uses the compat wrappers
 mod tests {
     use super::*;
     use crate::characterize::{characterize, measure_deviations, sweep_samples, to_piecewise};

@@ -11,7 +11,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{sweep_samples, Integrator, SweepConfig};
+#[allow(deprecated)] // the serial compat wrapper stays benchmarked as the baseline
+use ivl_analog::characterize::sweep_samples;
+use ivl_analog::characterize::{Integrator, SweepConfig};
 use ivl_analog::ode::Rk45Options;
 use ivl_analog::stimulus::Pulse;
 use ivl_analog::supply::VddSource;
@@ -78,6 +80,7 @@ fn bench_characterization(c: &mut Criterion) {
         ..SweepConfig::default()
     };
     group.bench_function("three_point_sweep", |b| {
+        #[allow(deprecated)] // serial baseline for the parallel runner numbers
         b.iter(|| sweep_samples(&chain, &vdd, &cfg, false).unwrap());
     });
     let full = characterize_config(Integrator::default());

@@ -9,11 +9,12 @@
 //!
 //! Run with `cargo run --release -p ivl_bench --bin ablation_buffer`.
 
+use faithful::{Experiment, SpfSpec};
 use ivl_bench::{banner, write_csv, Series};
 use ivl_core::delay::ExpChannel;
 use ivl_core::noise::{EtaBounds, WorstCaseAdversary};
 use ivl_core::Signal;
-use ivl_spf::SpfCircuit;
+use ivl_spf::{dimension_buffer, SpfCircuit};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner(
@@ -22,14 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
     let bounds = EtaBounds::new(0.02, 0.02)?;
-    let reference = SpfCircuit::dimensioned(delay.clone(), bounds)?;
-    let th = reference.theory()?;
+    // the reference theory comes from the facade's spf workload; the
+    // threshold sweep below needs custom buffers, which stay on the
+    // underlying SpfCircuit::new
+    let th = Experiment::spf(SpfSpec::exp(1.0, 0.5, 0.5, 0.02, 0.02))
+        .run()?
+        .spf()
+        .expect("spf workload")
+        .theory;
+    let auto_buffer = dimension_buffer(&th);
     println!(
         "γ = {:.4}, P = {:.4}; auto-dimensioned buffer: V_th = {:.3}, τ = {:.2}",
         th.gamma,
         th.period,
-        reference.buffer().v_th(),
-        reference.buffer().tau()
+        auto_buffer.v_th(),
+        auto_buffer.tau()
     );
 
     // drive the loop into a long metastable train

@@ -14,12 +14,11 @@
 //!
 //! Run with `cargo run --release -p ivl_bench --bin ablation_constraint_c`.
 
+use faithful::{ChannelSpec, Experiment, NoiseSpec, SignalSpec, SpfSpec};
 use ivl_bench::{banner, write_csv, Series};
-use ivl_core::channel::{Channel, EtaInvolutionChannel};
 use ivl_core::delay::{DelayPair, ExpChannel};
-use ivl_core::noise::{EtaBounds, ExtendingAdversary};
-use ivl_core::{PulseStats, Signal};
-use ivl_spf::theory::SpfTheory;
+use ivl_core::noise::EtaBounds;
+use ivl_core::PulseStats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner(
@@ -40,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("symmetric (C) boundary: η_C ≈ {eta_c:.4}   (δ_min = {dmin:.4})");
 
-    // 1) theory: SpfTheory must exist below, and be rejected above
+    // 1) theory: the facade's spf/theory workload must exist below,
+    //    and be rejected above
     println!(
         "\n{:>8} | {:>10} | {:>10} | {:>10}",
         "η", "theory", "γ", "∆"
@@ -48,8 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gamma_series = Vec::new();
     for i in 0..14 {
         let eta = eta_c * (0.2 + 0.1 * i as f64);
-        let bounds = EtaBounds::new(eta, eta)?;
-        match SpfTheory::compute(&delay, bounds) {
+        match Experiment::spf(SpfSpec::exp(1.0, 0.5, 0.5, eta, eta))
+            .run()
+            .map(|r| r.spf().expect("spf workload").theory)
+        {
             Ok(th) => {
                 println!(
                     "{eta:>8.4} | {:>10} | {:>10.4} | {:>10.4}",
@@ -73,13 +75,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // measure the output duty cycle as η grows past the boundary.
     println!("\nextending adversary on a fast train (period 1.2, width 0.55):");
     println!("{:>8} | {:>12} | {:>12}", "η", "out pulses", "max duty");
-    let input = Signal::pulse_train((0..200).map(|i| (i as f64 * 1.2, 0.55)))?;
+    let input = SignalSpec::train((0..200).map(|i| (i as f64 * 1.2, 0.55)));
     let mut duty_series = Vec::new();
     for mult in [0.25, 0.5, 0.75, 1.0, 1.5, 2.5, 4.0] {
         let eta = eta_c * mult;
-        let bounds = EtaBounds::new(eta, eta)?;
-        let mut ch = EtaInvolutionChannel::new(delay.clone(), bounds, ExtendingAdversary);
-        let out = ch.apply(&input);
+        let channel = ChannelSpec::eta_exp(1.0, 0.5, 0.5, eta, eta, NoiseSpec::Extending);
+        let result = Experiment::channel(channel, input.clone()).run()?;
+        let out = result.channel().expect("channel workload").output.clone();
         let stats = PulseStats::of(&out);
         // beyond (C) the adversary fuses the train into one giant pulse
         // covering (almost) the whole stimulus: report duty cycle 1

@@ -4,12 +4,13 @@
 //! Paper shape: every curve increases and saturates in `T`; lowering
 //! `V_DD` shifts the whole curve up (dramatically near threshold).
 //!
+//! Each supply point is one declarative [`Experiment`] over the
+//! `analog` workload; only the supply voltage and the scaled sweep
+//! fields differ between specs.
+//!
 //! Run with `cargo run --release -p ivl_bench --bin fig7_delay_functions`.
 
-use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::SweepConfig;
-use ivl_analog::supply::VddSource;
-use ivl_analog::SweepRunner;
+use faithful::{AnalogSpec, AnalogTask, Experiment, SupplySpec, SweepSpec};
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,15 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Fig. 7",
         "δ↓(T) per V_DD — curves saturate in T and shift up as V_DD drops",
     );
-    let chain = InverterChain::umc90_like(7)?;
-    let runner = SweepRunner::new();
     let vdds: [f64; 6] = [1.0, 0.9, 0.8, 0.7, 0.6, 0.5];
     let mut series = Vec::new();
     for &v in &vdds {
         // switching slows roughly like the inverse drive current; scale
         // the sweep so each supply probes a comparable T range
         let f = ((1.0 - 0.29) / (v - 0.29)).powf(1.3_f64);
-        let cfg = SweepConfig {
+        let sweep = SweepSpec {
             widths: (0..16).map(|i| (18.0 + 8.0 * i as f64) * f).collect(),
             settle: 60.0 * f,
             tail: 300.0 * f,
@@ -34,12 +33,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // adaptive RK45 via the crossings-only fast path (default
             // integrator): the step controller absorbs the slower
             // low-V_DD dynamics that used to require scaling `dt`
-            ..SweepConfig::default()
+            ..SweepSpec::default()
         };
-        let vdd = VddSource::dc(v);
         // `inverted = false` yields the falling output edge at stage 3,
         // i.e. δ↓ samples
-        let samples = runner.sweep_samples(&chain, &vdd, &cfg, false)?;
+        let spec = AnalogSpec::new(7, AnalogTask::Samples { inverted: false })
+            .with_supply(SupplySpec::Dc { volts: v })
+            .with_sweep(sweep);
+        let result = Experiment::analog(spec).run()?;
+        let samples = result
+            .analog()
+            .expect("analog workload")
+            .samples()
+            .expect("samples task")
+            .to_vec();
         let points: Vec<(f64, f64)> = samples.iter().map(|s| (s.offset, s.delay)).collect();
         println!(
             "V_DD = {v:.1} V: {} samples, δ↓ ∈ [{:.1}, {:.1}] ps over T ∈ [{:.1}, {:.1}] ps",

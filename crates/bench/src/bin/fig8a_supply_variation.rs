@@ -6,15 +6,19 @@
 //! small-`T` region; δ↑ is flatter than δ↓ (the supply barely affects
 //! the edge whose driving transistor is closing).
 //!
+//! The characterization and every per-phase deviation sweep are
+//! declarative [`Experiment`]s; the per-phase specs differ only in the
+//! supply's phase field, so the whole figure is a list of specs.
+//!
 //! Run with `cargo run --release -p ivl_bench --bin fig8a_supply_variation`.
 //! Set `IVL_FAST_FIGS=1` for a reduced sweep (fewer widths and phases)
 //! that exercises the whole parallel pipeline in a couple of seconds —
 //! CI runs it on every push.
 
-use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{to_empirical, SweepConfig};
-use ivl_analog::supply::VddSource;
-use ivl_analog::SweepRunner;
+use faithful::{
+    AnalogSpec, AnalogTask, Experiment, IntegratorSpec, Orientation, ReferenceSpec, SupplySpec,
+    SweepSpec,
+};
 use ivl_bench::{ascii_plot, banner, fast_figs, write_csv, Series};
 use ivl_core::delay::fit::fit_exp_channel;
 use ivl_core::noise::EtaBounds;
@@ -26,29 +30,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Fig. 8a",
         "D(T) under ±1 % V_DD sine (random phase) with the η-band",
     );
-    let chain = InverterChain::umc90_like(7)?;
-    let nominal = VddSource::dc(1.0);
     let fast = fast_figs();
-    let mut cfg = if fast {
+    let mut sweep = if fast {
         println!("IVL_FAST_FIGS=1: reduced sweep (12 widths, 3 phases)");
-        SweepConfig {
-            widths: (0..12).map(|i| 14.0 + 10.0 * i as f64).collect(),
-            ..SweepConfig::default()
-        }
+        SweepSpec::default().with_widths((0..12).map(|i| 14.0 + 10.0 * f64::from(i)))
     } else {
-        SweepConfig::default()
+        SweepSpec::default()
     };
     // A/B escape hatch for perf regression runs: IVL_FORCE_RK4=1 pins
     // the original dense fixed-step pipeline
     if ivl_bench::env_flag("IVL_FORCE_RK4") {
         println!("IVL_FORCE_RK4=1: dense fixed-step RK4 pipeline");
-        cfg.integrator = ivl_analog::characterize::Integrator::Rk4;
+        sweep.integrator = IntegratorSpec::Rk4;
     }
     let phases = if fast { 3 } else { 6 };
-    let runner = SweepRunner::new();
 
-    let (up, down) = runner.characterize(&chain, &nominal, &cfg)?;
-    let reference = to_empirical(&up, &down)?;
+    let result =
+        Experiment::analog(AnalogSpec::new(7, AnalogTask::Characterize).with_sweep(sweep.clone()))
+            .run()?;
+    let (up, down) = result
+        .analog()
+        .expect("analog workload")
+        .characterization()
+        .expect("characterize task");
+    let reference = ivl_analog::characterize::to_empirical(up, down)?;
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
     let fitted = fit_exp_channel(&ups, &downs, None)?.channel;
@@ -68,18 +73,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (down_lo, _) = reference.down_range();
     for _ in 0..phases {
         let phase = rng.gen_range(0.0..360.0);
-        let vdd = VddSource::with_sine(1.0, 0.01, 120.0, phase)?;
-        for inverted in [false, true] {
-            for s in runner.measure_deviations(&chain, &vdd, &cfg, &reference, inverted)? {
-                match s.edge {
-                    ivl_core::Edge::Rising if s.offset >= up_lo => {
-                        d_up.push((s.offset, s.deviation));
-                    }
-                    ivl_core::Edge::Falling if s.offset >= down_lo => {
-                        d_down.push((s.offset, s.deviation));
-                    }
-                    _ => {}
+        let spec = AnalogSpec::new(
+            7,
+            AnalogTask::Deviations {
+                // the one characterization above, embedded as data —
+                // every per-phase spec reuses it instead of re-measuring
+                reference: ReferenceSpec::empirical(up, down),
+                orientation: Orientation::Both,
+            },
+        )
+        .with_supply(SupplySpec::Sine {
+            nominal: 1.0,
+            amplitude: 0.01,
+            period: 120.0,
+            phase,
+        })
+        .with_sweep(sweep.clone());
+        let result = Experiment::analog(spec).run()?;
+        for s in result
+            .analog()
+            .expect("analog workload")
+            .deviations()
+            .expect("deviations task")
+        {
+            match s.edge {
+                ivl_core::Edge::Rising if s.offset >= up_lo => {
+                    d_up.push((s.offset, s.deviation));
                 }
+                ivl_core::Edge::Falling if s.offset >= down_lo => {
+                    d_down.push((s.offset, s.deviation));
+                }
+                _ => {}
             }
         }
     }

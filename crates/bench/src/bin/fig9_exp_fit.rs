@@ -6,12 +6,14 @@
 //! setup) for large `T` — harmless for faithfulness, which only concerns
 //! `T ∈ [−δ_min, 0]`.
 //!
+//! Two declarative [`Experiment`]s: a `characterize` spec to measure
+//! the samples, then a `deviations` spec whose reference is the fitted
+//! exp-channel's parameters ([`ReferenceSpec::Exp`]) — the fitted model
+//! itself travels inside the spec.
+//!
 //! Run with `cargo run --release -p ivl_bench --bin fig9_exp_fit`.
 
-use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::SweepConfig;
-use ivl_analog::supply::VddSource;
-use ivl_analog::SweepRunner;
+use faithful::{AnalogSpec, AnalogTask, Experiment, Orientation, ReferenceSpec, SweepSpec};
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 use ivl_core::delay::fit::fit_exp_channel;
 use ivl_core::delay::DelayPair;
@@ -21,17 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Fig. 9",
         "exp-channel fitted to measured data — D(T) small near T≈0, growing with T",
     );
-    let chain = InverterChain::umc90_like(7)?;
-    let vdd = VddSource::dc(1.0);
-    let runner = SweepRunner::new();
     // extend the sweep so the large-T misfit becomes visible
-    let cfg = SweepConfig {
+    let sweep = SweepSpec {
         widths: (0..28).map(|i| 12.0 + 9.0 * i as f64).collect(),
         tail: 350.0,
-        ..SweepConfig::default()
+        ..SweepSpec::default()
     };
 
-    let (up, down) = runner.characterize(&chain, &vdd, &cfg)?;
+    let result =
+        Experiment::analog(AnalogSpec::new(7, AnalogTask::Characterize).with_sweep(sweep.clone()))
+            .run()?;
+    let (up, down) = result
+        .analog()
+        .expect("analog workload")
+        .characterization()
+        .expect("characterize task");
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
     let fit = fit_exp_channel(&ups, &downs, None)?;
@@ -49,14 +55,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fit.channel.delta_min()
     );
 
+    let spec = AnalogSpec::new(
+        7,
+        AnalogTask::Deviations {
+            reference: ReferenceSpec::Exp {
+                tau: fit.channel.tau(),
+                t_p: fit.channel.t_p(),
+                v_th: fit.channel.v_th(),
+            },
+            orientation: Orientation::Both,
+        },
+    )
+    .with_sweep(sweep);
+    let result = Experiment::analog(spec).run()?;
     let mut d_up = Vec::new();
     let mut d_down = Vec::new();
-    for inverted in [false, true] {
-        for s in runner.measure_deviations(&chain, &vdd, &cfg, &fit.channel, inverted)? {
-            match s.edge {
-                ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
-                ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),
-            }
+    for s in result
+        .analog()
+        .expect("analog workload")
+        .deviations()
+        .expect("deviations task")
+    {
+        match s.edge {
+            ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
+            ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),
         }
     }
     let series = vec![

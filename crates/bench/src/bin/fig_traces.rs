@@ -2,13 +2,13 @@
 //! pulse attenuation, cancellation, and the adversary's freedom to
 //! shift, extend and de-cancel pulses.
 //!
+//! Every trace is one declarative `channel` [`Experiment`]: the same
+//! stimulus run through channels that differ only in their spec.
+//!
 //! Run with `cargo run --release -p ivl_bench --bin fig_traces`.
 
+use faithful::{ChannelSpec, Experiment, NoiseSpec, Signal, SignalSpec};
 use ivl_bench::{banner, write_csv, Series};
-use ivl_core::channel::{Channel, EtaInvolutionChannel, InvolutionChannel};
-use ivl_core::delay::ExpChannel;
-use ivl_core::noise::{EtaBounds, ExtendingAdversary, WorstCaseAdversary, ZeroNoise};
-use ivl_core::Signal;
 
 fn series_of(label: &str, s: &Signal) -> Series {
     // encode a trace as a step series for plotting tools
@@ -30,31 +30,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Figs. 1–4",
         "single-history semantics: attenuation, cancellation, adversarial shifts",
     );
-    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    let (tau, t_p, v_th) = (1.0, 0.5, 0.5);
     // Fig. 1/2 input: a healthy pulse followed by a short one that the
     // deterministic channel cancels
-    let input = Signal::pulse_train([(0.0, 4.0), (7.0, 0.62)])?;
+    let input = SignalSpec::train([(0.0, 4.0), (7.0, 0.62)]);
     let t1 = 12.0;
-    show("input", &input, t1);
+    show("input", &input.build()?, t1);
 
-    let mut det = InvolutionChannel::new(delay.clone());
-    let out_det = det.apply(&input);
+    let run = |channel: ChannelSpec| -> Result<Signal, faithful::Error> {
+        Ok(Experiment::channel(channel, input.clone())
+            .run()?
+            .channel()
+            .expect("channel workload")
+            .output
+            .clone())
+    };
+
+    let out_det = run(ChannelSpec::involution_exp(tau, t_p, v_th))?;
     show("involution", &out_det, t1);
     assert_eq!(out_det.len(), 2, "second pulse must cancel (Fig. 2)");
 
     // Fig. 3/4: the η adversary can move transitions within [−η⁻, η⁺];
     // different choices yield different feasible output traces
-    let bounds = EtaBounds::new(0.06, 0.06)?;
-    let mut zero = EtaInvolutionChannel::new(delay.clone(), bounds, ZeroNoise);
-    let out1 = zero.apply(&input);
+    let eta = |noise| ChannelSpec::eta_exp(tau, t_p, v_th, 0.06, 0.06, noise);
+    let out1 = run(eta(NoiseSpec::Zero))?;
     show("η = 0", &out1, t1);
 
-    let mut late = EtaInvolutionChannel::new(delay.clone(), bounds, WorstCaseAdversary);
-    let out2 = late.apply(&input);
+    let out2 = run(eta(NoiseSpec::WorstCase))?;
     show("η shrinking", &out2, t1);
 
-    let mut extend = EtaInvolutionChannel::new(delay, bounds, ExtendingAdversary);
-    let out3 = extend.apply(&input);
+    let out3 = run(eta(NoiseSpec::Extending))?;
     show("η de-cancel", &out3, t1);
     assert!(
         out3.len() > out_det.len(),
@@ -66,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "t",
         "level",
         &[
-            series_of("input", &input),
+            series_of("input", &input.build()?),
             series_of("involution", &out_det),
             series_of("eta_zero", &out1),
             series_of("eta_shrinking", &out2),

@@ -2,19 +2,23 @@
 //! as functions of the adversary power `η`, up to the constraint-(C)
 //! boundary.
 //!
+//! Each η point is one declarative `spf`/`theory` [`Experiment`]; the
+//! specs differ only in their bound fields.
+//!
 //! Run with `cargo run --release -p ivl_bench --bin lemma5_bounds`.
 
+use faithful::{Experiment, SpfSpec};
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 use ivl_core::delay::{DelayPair, ExpChannel};
 use ivl_core::noise::EtaBounds;
-use ivl_spf::SpfTheory;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner(
         "Lem. 5/6",
         "worst-case ∆, P = τ, γ vs symmetric adversary power η under (C)",
     );
-    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
+    let (tau_c, t_p, v_th) = (1.0, 0.5, 0.5);
+    let delay = ExpChannel::new(tau_c, t_p, v_th)?;
     println!(
         "channel: δ_min = {:.4}, δ↑∞ = δ↓∞ = {:.4}",
         delay.delta_min(),
@@ -43,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 20;
     for i in 0..n {
         let eta = eta_max * i as f64 / n as f64;
-        let bounds = EtaBounds::new(eta, eta)?;
-        let th = SpfTheory::compute(&delay, bounds)?;
+        let result = Experiment::spf(SpfSpec::exp(tau_c, t_p, v_th, eta, eta)).run()?;
+        let th = result.spf().expect("spf workload").theory;
         assert!(th.satisfies_lemma5_inequalities(&delay), "η = {eta}");
         assert!(th.gamma < 1.0);
         let window = th.lock_bound - th.filter_bound;

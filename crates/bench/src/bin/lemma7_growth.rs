@@ -4,11 +4,11 @@
 //!
 //! Run with `cargo run --release -p ivl_bench --bin lemma7_growth`.
 
+use faithful::{Experiment, NoiseSpec, SignalSpec, SpfSpec, SpfTask};
 use ivl_bench::{ascii_plot, banner, write_csv, Series};
 use ivl_core::delay::ExpChannel;
-use ivl_core::noise::{EtaBounds, WorstCaseAdversary};
-use ivl_core::Signal;
-use ivl_spf::{LoopOutcome, SpfCircuit, WorstCaseRecurrence};
+use ivl_core::noise::EtaBounds;
+use ivl_spf::{LoopOutcome, WorstCaseRecurrence};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner(
@@ -17,9 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
     let bounds = EtaBounds::new(0.02, 0.02)?;
-    let rec = WorstCaseRecurrence::new(delay.clone(), bounds);
-    let spf = SpfCircuit::dimensioned(delay, bounds)?;
-    let th = spf.theory()?;
+    let rec = WorstCaseRecurrence::new(delay, bounds);
+    // theory and every simulated gap point run through the facade's
+    // `spf` workload; only the input pulse width differs between specs
+    let spf_spec = SpfSpec::exp(1.0, 0.5, 0.5, 0.02, 0.02);
+    let th = Experiment::spf(spf_spec.clone())
+        .run()?
+        .spf()
+        .expect("spf workload")
+        .theory;
     // Lemma 7's a = 1 + δ′↑(0) is a *lower bound* on the growth rate; the
     // actual rate at the fixed point is f′(∆), estimated numerically.
     let h = 1e-7;
@@ -49,7 +55,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ivl_spf::PulseTrainFate::Locks { pulses } => pulses as f64,
             other => panic!("expected lock for gap {gap}: {other:?}"),
         };
-        let run = spf.simulate(WorstCaseAdversary, &Signal::pulse(0.0, d0)?, 5000.0)?;
+        let result = Experiment::spf(spf_spec.clone().with_task(SpfTask::Simulate {
+            noise: NoiseSpec::WorstCase,
+            input: SignalSpec::pulse(0.0, d0),
+            horizon: 5000.0,
+        }))
+        .run()?;
+        let run = result
+            .spf()
+            .expect("spf workload")
+            .run
+            .clone()
+            .expect("simulation requested");
         let sim_pulses = match LoopOutcome::classify(&run.or_signal, 5000.0, 50.0) {
             LoopOutcome::Latched { pulses, .. } => pulses as f64,
             other => panic!("expected latch for gap {gap}: {other:?}"),

@@ -4,11 +4,28 @@
 //!
 //! Run with `cargo run --release -p ivl_bench --bin thm9_regimes`.
 
+use faithful::spf::SpfRun;
+use faithful::{Experiment, NoiseSpec, SignalSpec, SpfSpec, SpfTask};
 use ivl_bench::{banner, write_csv, Series};
 use ivl_core::delay::ExpChannel;
-use ivl_core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
-use ivl_core::Signal;
-use ivl_spf::{LoopOutcome, PulseTrainFate, SpfCircuit, WorstCaseRecurrence};
+use ivl_core::noise::EtaBounds;
+use ivl_spf::{LoopOutcome, PulseTrainFate, WorstCaseRecurrence};
+
+/// One facade run of the Fig. 5 circuit on a `d0`-wide pulse.
+fn simulate(noise: NoiseSpec, d0: f64, horizon: f64) -> Result<SpfRun, faithful::Error> {
+    let spec = SpfSpec::exp(1.0, 0.5, 0.5, 0.02, 0.02).with_task(SpfTask::Simulate {
+        noise,
+        input: SignalSpec::pulse(0.0, d0),
+        horizon,
+    });
+    Ok(Experiment::spf(spec)
+        .run()?
+        .spf()
+        .expect("spf workload")
+        .run
+        .clone()
+        .expect("simulation requested"))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner(
@@ -17,8 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
     let bounds = EtaBounds::new(0.02, 0.02)?;
-    let spf = SpfCircuit::dimensioned(delay.clone(), bounds)?;
-    let th = spf.theory()?;
+    let th = Experiment::spf(SpfSpec::exp(1.0, 0.5, 0.5, 0.02, 0.02))
+        .run()?
+        .spf()
+        .expect("spf workload")
+        .theory;
     let rec = WorstCaseRecurrence::new(delay, bounds);
     println!(
         "boundaries: filter ≤ {:.4}   ∆̃₀ = {:.4}   lock ≥ {:.4}",
@@ -38,11 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for i in 0..n {
         let d0 = lo + (hi - lo) * i as f64 / (n - 1) as f64;
-        let input = Signal::pulse(0.0, d0)?;
         let fate = rec.fate(d0, 5000);
-        let wc = spf.simulate(WorstCaseAdversary, &input, horizon)?;
+        let wc = simulate(NoiseSpec::WorstCase, d0, horizon)?;
         let wc_out = LoopOutcome::classify(&wc.or_signal, horizon, 20.0);
-        let rnd = spf.simulate(UniformNoise::new(7), &input, horizon)?;
+        let rnd = simulate(NoiseSpec::Uniform { seed: 7 }, d0, horizon)?;
         let rnd_out = LoopOutcome::classify(&rnd.or_signal, horizon, 20.0);
         let code = |o: &LoopOutcome| match o {
             LoopOutcome::Filtered { .. } => 0.0,

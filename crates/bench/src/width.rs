@@ -1,29 +1,28 @@
 //! Shared driver for the Fig. 8b/8c transistor-width experiments.
 
 use crate::{ascii_plot, write_csv, Series};
-use ivl_analog::chain::InverterChain;
-use ivl_analog::characterize::{to_empirical, SweepConfig};
-use ivl_analog::supply::VddSource;
-use ivl_analog::SweepRunner;
+use faithful::{AnalogSpec, AnalogTask, ChainSpec, Experiment, Orientation, ReferenceSpec};
 use ivl_core::delay::fit::fit_exp_channel;
 use ivl_core::noise::EtaBounds;
 
 /// Characterizes the nominal chain, measures `D(T)` on a width-scaled
 /// copy, plots/writes the figure, and asserts the paper's one-sidedness.
-/// Both sweeps run on the adaptive crossings-only pipeline, fanned over
-/// worker threads by a [`SweepRunner`].
+/// Both steps are declarative [`Experiment`]s: the characterization is
+/// an `analog`/`characterize` spec, the deviation run an
+/// `analog`/`deviations` spec that embeds the measured reference
+/// samples ([`ReferenceSpec::empirical`]), so the nominal chain is
+/// characterized exactly once.
 pub fn run_width_experiment(
     name: &str,
     factor: f64,
     expect_negative: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let chain = InverterChain::umc90_like(7)?;
-    let vdd = VddSource::dc(1.0);
-    let cfg = SweepConfig::default();
-    let runner = SweepRunner::new();
-
-    let (up, down) = runner.characterize(&chain, &vdd, &cfg)?;
-    let reference = to_empirical(&up, &down)?;
+    let result = Experiment::analog(AnalogSpec::new(7, AnalogTask::Characterize)).run()?;
+    let (up, down) = result
+        .analog()
+        .expect("analog workload")
+        .characterization()
+        .expect("characterize task");
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
     let fitted = fit_exp_channel(&ups, &downs, None)?.channel;
@@ -33,15 +32,26 @@ pub fn run_width_experiment(
         * 0.999;
     println!("η-band from constraint (C): [−{eta_minus:.3}, +{eta_plus:.3}] ps");
 
-    let varied = chain.scaled_width(factor)?;
+    let spec = AnalogSpec::new(
+        7,
+        AnalogTask::Deviations {
+            reference: ReferenceSpec::empirical(up, down),
+            orientation: Orientation::Both,
+        },
+    )
+    .with_chain(ChainSpec::umc90(7).with_width_scale(factor));
+    let result = Experiment::analog(spec).run()?;
+    let deviations = result
+        .analog()
+        .expect("analog workload")
+        .deviations()
+        .expect("deviations task");
     let mut d_up = Vec::new();
     let mut d_down = Vec::new();
-    for inverted in [false, true] {
-        for s in runner.measure_deviations(&varied, &vdd, &cfg, &reference, inverted)? {
-            match s.edge {
-                ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
-                ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),
-            }
+    for s in deviations {
+        match s.edge {
+            ivl_core::Edge::Rising => d_up.push((s.offset, s.deviation)),
+            ivl_core::Edge::Falling => d_down.push((s.offset, s.deviation)),
         }
     }
     let t_max = d_up

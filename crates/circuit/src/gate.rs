@@ -83,6 +83,22 @@ pub enum GateKind {
     Table(TruthTable),
 }
 
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateKind::Buf => write!(f, "buf"),
+            GateKind::Not => write!(f, "not"),
+            GateKind::And => write!(f, "and"),
+            GateKind::Or => write!(f, "or"),
+            GateKind::Nand => write!(f, "nand"),
+            GateKind::Nor => write!(f, "nor"),
+            GateKind::Xor => write!(f, "xor"),
+            GateKind::Xnor => write!(f, "xnor"),
+            GateKind::Table(t) => write!(f, "table/{}", t.inputs()),
+        }
+    }
+}
+
 impl GateKind {
     /// Default arity for the kind: 1 for `Buf`/`Not`, the table's arity
     /// for `Table`, 2 otherwise.

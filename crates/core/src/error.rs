@@ -57,6 +57,18 @@ pub enum Error {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// No [`ChannelFactory`](crate::factory::ChannelFactory) is
+    /// registered for the requested kind.
+    UnknownChannelKind {
+        /// The kind string that failed to resolve.
+        kind: String,
+    },
+    /// A by-name channel description had missing, mistyped or otherwise
+    /// unusable parameters.
+    InvalidChannelParams {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -93,6 +105,12 @@ impl fmt::Display for Error {
             Error::InvalidSampleData { reason } => {
                 write!(f, "invalid delay sample data: {reason}")
             }
+            Error::UnknownChannelKind { kind } => {
+                write!(f, "no channel factory registered for kind {kind:?}")
+            }
+            Error::InvalidChannelParams { reason } => {
+                write!(f, "invalid channel parameters: {reason}")
+            }
         }
     }
 }
@@ -123,6 +141,10 @@ mod tests {
                 plus: 0.2,
             },
             Error::SolverFailed { what: "delta_min" },
+            Error::UnknownChannelKind { kind: "x".into() },
+            Error::InvalidChannelParams {
+                reason: "missing tau".into(),
+            },
             Error::CausalityViolation { time: 1.0 },
             Error::InvalidSampleData {
                 reason: "fewer than two points",

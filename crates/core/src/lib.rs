@@ -47,6 +47,7 @@ pub mod bit;
 pub mod channel;
 pub mod delay;
 mod error;
+pub mod factory;
 pub mod noise;
 pub mod pulse;
 pub mod signal;

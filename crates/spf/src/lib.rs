@@ -50,7 +50,7 @@ pub mod recurrence;
 pub mod theory;
 pub mod verify;
 
-pub use circuit::{SpfCircuit, SpfRun};
+pub use circuit::{dimension_buffer, SpfCircuit, SpfRun};
 pub use error::Error;
 pub use recurrence::{PulseTrainFate, WorstCaseRecurrence};
 pub use theory::SpfTheory;

@@ -4,31 +4,31 @@
 //! Characterizes the nominal chain, computes the faithfulness-limited
 //! η-band (η⁻ from constraint (C) given a chosen η⁺), measures the
 //! deviation D(T) under a ±1 % V_DD sine with random phase, and reports
-//! which samples the η-involution model can cover.
+//! which samples the η-involution model can cover. Every sweep is a
+//! declarative [`Experiment`] — the per-phase deviation runs embed the
+//! measured reference samples and differ only in the supply's phase
+//! field.
 //!
 //! Run with `cargo run --release --example adversary_coverage`.
 
-use faithful::analog::chain::InverterChain;
-use faithful::analog::characterize::{characterize, measure_deviations, to_empirical, SweepConfig};
-use faithful::analog::supply::VddSource;
 use faithful::core::delay::fit::fit_exp_channel;
 use faithful::core::delay::DelayPair;
 use faithful::core::noise::EtaBounds;
+use faithful::{AnalogSpec, AnalogTask, Experiment, Orientation, ReferenceSpec, SupplySpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let chain = InverterChain::umc90_like(7)?;
-    let nominal = VddSource::dc(1.0);
-    let cfg = SweepConfig::default();
-
     println!("Characterizing the nominal chain …");
-    let (up, down) = characterize(&chain, &nominal, &cfg)?;
-    // Predictions use the measured per-edge polylines; the η-band needs
-    // δ↓ near T ≈ −η⁺ and δ_min, which lie below the sampled range, so
-    // compute it on the exp-channel fitted to the same data (the paper's
-    // question (c) calibration).
-    let reference = to_empirical(&up, &down)?;
+    let result = Experiment::analog(AnalogSpec::new(7, AnalogTask::Characterize)).run()?;
+    let (up, down) = result
+        .analog()
+        .expect("analog workload")
+        .characterization()
+        .expect("characterize task");
+    // The η-band needs δ↓ near T ≈ −η⁺ and δ_min, which lie below the
+    // sampled range, so compute it on the exp-channel fitted to the same
+    // data (the paper's question (c) calibration).
     let ups: Vec<(f64, f64)> = up.iter().map(|s| (s.offset, s.delay)).collect();
     let downs: Vec<(f64, f64)> = down.iter().map(|s| (s.offset, s.delay)).collect();
     let fitted = fit_exp_channel(&ups, &downs, None)?.channel;
@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fitted.delta_min()
     );
 
-    // ±1 % V_DD sine, random phase per pulse — the paper's stimulus.
+    // ±1 % V_DD sine, random phase per round — the paper's stimulus.
+    // The deviation experiments embed the measured samples of the one
+    // characterization above as their reference, so nothing is
+    // re-measured per phase.
     let mut rng = StdRng::seed_from_u64(2018);
     let mut covered = 0usize;
     let mut total = 0usize;
@@ -56,28 +59,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for _round in 0..4 {
         let phase = rng.gen_range(0.0..360.0);
-        let vdd = VddSource::with_sine(1.0, 0.01, 120.0, phase)?;
-        for inverted in [false, true] {
-            let devs = measure_deviations(&chain, &vdd, &cfg, &reference, inverted)?;
-            for d in devs {
-                total += 1;
-                // The model may shift each output transition later by
-                // η ∈ [−η⁻, η⁺]; it matches the analog crossing iff
-                // η = D, i.e. D ∈ [−η⁻, η⁺].
-                let ok = bounds.contains(d.deviation);
-                if ok {
-                    covered += 1;
-                }
-                if total.is_multiple_of(9) {
-                    println!(
-                        "{:>10.2} | {:>+9.3} | [−{:.3}, +{:.3}] | {}",
-                        d.offset,
-                        d.deviation,
-                        bounds.minus(),
-                        bounds.plus(),
-                        if ok { "yes" } else { "NO" }
-                    );
-                }
+        let spec = AnalogSpec::new(
+            7,
+            AnalogTask::Deviations {
+                reference: ReferenceSpec::empirical(up, down),
+                orientation: Orientation::Both,
+            },
+        )
+        .with_supply(SupplySpec::Sine {
+            nominal: 1.0,
+            amplitude: 0.01,
+            period: 120.0,
+            phase,
+        });
+        let result = Experiment::analog(spec).run()?;
+        let devs = result
+            .analog()
+            .expect("analog workload")
+            .deviations()
+            .expect("deviation task");
+        for d in devs {
+            total += 1;
+            // The model may shift each output transition later by
+            // η ∈ [−η⁻, η⁺]; it matches the analog crossing iff
+            // η = D, i.e. D ∈ [−η⁻, η⁺].
+            let ok = bounds.contains(d.deviation);
+            if ok {
+                covered += 1;
+            }
+            if total.is_multiple_of(9) {
+                println!(
+                    "{:>10.2} | {:>+9.3} | [−{:.3}, +{:.3}] | {}",
+                    d.offset,
+                    d.deviation,
+                    bounds.minus(),
+                    bounds.plus(),
+                    if ok { "yes" } else { "NO" }
+                );
             }
         }
     }

@@ -2,15 +2,13 @@
 //! propagate a fast glitch train — the scenario of Figs. 1–4 of the
 //! paper and the regime where non-faithful models go wrong.
 //!
+//! Every model is described *by name* through the channel registry and
+//! run through the [`Experiment`] facade — the whole comparison is a
+//! list of specs.
+//!
 //! Run with `cargo run --example glitch_propagation`.
 
-use faithful::core::channel::{
-    Channel, DdmEdgeParams, DegradationDelay, EtaInvolutionChannel, InertialDelay,
-    InvolutionChannel, PureDelay,
-};
-use faithful::core::delay::ExpChannel;
-use faithful::core::noise::{EtaBounds, ExtendingAdversary, WorstCaseAdversary};
-use faithful::{PulseStats, Signal};
+use faithful::{ChannelSpec, Experiment, NoiseSpec, PulseStats, Signal, SignalSpec};
 
 fn describe(label: &str, s: &Signal, t0: f64, t1: f64) {
     let stats = PulseStats::of(s);
@@ -31,39 +29,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pulses.push((t, w));
         t += w * 2.2;
     }
-    let input = Signal::pulse_train(pulses)?;
+    let input = SignalSpec::train(pulses);
     let (t0, t1) = (-0.5, t + 3.0);
-    describe("input", &input, t0, t1);
+    describe("input", &input.build()?, t0, t1);
     println!();
 
-    // Pure delay: every glitch survives untouched — no attenuation at
-    // all, physically impossible for fast trains.
-    let mut pure = PureDelay::new(1.2)?;
-    describe("pure", &pure.apply(&input), t0, t1);
+    // One (label, channel-by-name) pair per model family. `pure`,
+    // `inertial`, `ddm`, `involution` and `eta` are the registry's
+    // built-in kinds.
+    let models: Vec<(&str, ChannelSpec)> = vec![
+        // Pure delay: every glitch survives untouched — no attenuation
+        // at all, physically impossible for fast trains.
+        ("pure", ChannelSpec::pure(1.2)),
+        // Inertial delay: glitches below the window vanish entirely,
+        // wider ones pass unchanged — all-or-nothing.
+        ("inertial", ChannelSpec::inertial(1.2, 1.0)),
+        // DDM: gradual attenuation, but a *bounded* delay function —
+        // the class proven unfaithful in [IEEE TC 2016].
+        ("DDM", ChannelSpec::ddm(1.2, 0.2, 1.0)),
+        // Involution: gradual attenuation with the involution property
+        // — the faithful model.
+        ("involution", ChannelSpec::involution_exp(1.0, 0.5, 0.5)),
+        // η-involution under both extreme adversaries: the envelope of
+        // feasible behaviours of the noisy physical channel.
+        (
+            "η worst-case",
+            ChannelSpec::eta_exp(1.0, 0.5, 0.5, 0.05, 0.05, NoiseSpec::WorstCase),
+        ),
+        (
+            "η extending",
+            ChannelSpec::eta_exp(1.0, 0.5, 0.5, 0.05, 0.05, NoiseSpec::Extending),
+        ),
+    ];
 
-    // Inertial delay: glitches below the window vanish entirely, wider
-    // ones pass unchanged — a discontinuous all-or-nothing response.
-    let mut inertial = InertialDelay::new(1.2, 1.0)?;
-    describe("inertial", &inertial.apply(&input), t0, t1);
-
-    // DDM: gradual attenuation, but a *bounded* delay function — the
-    // class proven unfaithful in [IEEE TC 2016].
-    let mut ddm = DegradationDelay::symmetric(DdmEdgeParams::new(1.2, 0.2, 1.0)?);
-    describe("DDM", &ddm.apply(&input), t0, t1);
-
-    // Involution: gradual attenuation with the involution property —
-    // the faithful model.
-    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
-    let mut invol = InvolutionChannel::new(delay.clone());
-    describe("involution", &invol.apply(&input), t0, t1);
-
-    // η-involution under both extreme adversaries: the envelope of
-    // feasible behaviours of the noisy physical channel.
-    let bounds = EtaBounds::new(0.05, 0.05)?;
-    let mut shrink = EtaInvolutionChannel::new(delay.clone(), bounds, WorstCaseAdversary);
-    describe("η worst-case", &shrink.apply(&input), t0, t1);
-    let mut extend = EtaInvolutionChannel::new(delay, bounds, ExtendingAdversary);
-    describe("η extending", &extend.apply(&input), t0, t1);
+    for (label, channel) in models {
+        let result = Experiment::channel(channel, input.clone()).run()?;
+        describe(
+            label,
+            &result.channel().expect("channel workload").output,
+            t0,
+            t1,
+        );
+    }
 
     println!(
         "\nNote how the adversary can de-cancel pulses near the attenuation\n\

@@ -6,12 +6,13 @@
 //! Run with `cargo run --release --example inverter_chain`.
 
 use faithful::analog::chain::InverterChain;
-use faithful::analog::characterize::{characterize, to_empirical, SweepConfig};
+use faithful::analog::characterize::to_empirical;
 use faithful::analog::senseamp::SenseAmp;
 use faithful::analog::stimulus::Pulse;
 use faithful::analog::supply::VddSource;
 use faithful::core::channel::{Channel, InvolutionChannel};
 use faithful::core::delay::fit::fit_exp_channel;
+use faithful::{AnalogSpec, AnalogTask, Experiment};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chain = InverterChain::umc90_like(7)?;
@@ -58,9 +59,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .fold(f64::INFINITY, f64::min)
     );
 
-    // Characterize stage 3's delay functions from pulse sweeps.
-    let cfg = SweepConfig::default();
-    let (up, down) = characterize(&chain, &vdd, &cfg)?;
+    // Characterize stage 3's delay functions from pulse sweeps — one
+    // declarative experiment dispatched through the facade.
+    let characterization =
+        Experiment::analog(AnalogSpec::new(7, AnalogTask::Characterize)).run()?;
+    let (up, down) = characterization
+        .analog()
+        .expect("analog workload")
+        .characterization()
+        .expect("characterize task");
+    let (up, down) = (up.to_vec(), down.to_vec());
     println!("\nMeasured δ↑ samples (stage 3): {} points", up.len());
     println!("Measured δ↓ samples (stage 3): {} points", down.len());
     let pair = to_empirical(&up, &down)?;

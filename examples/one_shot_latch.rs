@@ -8,12 +8,17 @@ use faithful::circuit::vcd::write_vcd;
 use faithful::core::delay::ExpChannel;
 use faithful::core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary, ZeroNoise};
 use faithful::spf::latch::OneShotLatch;
-use faithful::Signal;
+use faithful::{Experiment, Signal, SpfSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let latch =
         OneShotLatch::dimensioned(ExpChannel::new(1.0, 0.5, 0.5)?, EtaBounds::new(0.02, 0.02)?)?;
-    let th = latch.theory()?;
+    // SPF and one-shot latches are mutually reducible, so the latch's
+    // storage-loop theory is exactly the facade's `spf` workload over
+    // the same delay pair and bounds.
+    let facade = Experiment::spf(SpfSpec::exp(1.0, 0.5, 0.5, 0.02, 0.02)).run()?;
+    let th = facade.spf().expect("spf workload").theory;
+    assert_eq!(th, latch.theory()?, "latch theory == SPF facade theory");
     let en = Signal::pulse(5.0, 10.0)?;
 
     println!("One-shot latch: enable window [5, 15), storage-loop theory:");

@@ -1,12 +1,11 @@
-//! Quickstart: build an η-involution channel and watch it attenuate,
-//! cancel, and adversarially shift glitches.
+//! Quickstart: drive the η-involution model through the spec-driven
+//! [`Experiment`] facade — describe a channel as data, run it, and
+//! watch it attenuate, cancel, and adversarially shift glitches.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use faithful::core::channel::{Channel, EtaInvolutionChannel, InvolutionChannel};
 use faithful::core::delay::{DelayPair, ExpChannel};
-use faithful::core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
-use faithful::Signal;
+use faithful::{ChannelSpec, Experiment, NoiseSpec, Signal, SignalSpec};
 
 fn show(label: &str, s: &Signal, t0: f64, t1: f64) {
     println!("{label:>12}: {}  {}", s.render_ascii(t0, t1, 64), s);
@@ -24,26 +23,77 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A glitch train: one comfortable pulse, one marginal, one hopeless.
-    let input = Signal::pulse_train([(0.0, 3.0), (6.0, 1.0), (9.0, 0.3)])?;
-    show("input", &input, -0.5, 14.0);
+    let input = SignalSpec::train([(0.0, 3.0), (6.0, 1.0), (9.0, 0.3)]);
+    show("input", &input.build()?, -0.5, 14.0);
+
+    // One facade call per model: the channel is described by name and
+    // parameters, so the same description could be stored or queued.
+    let run = |channel: ChannelSpec| -> Result<Signal, faithful::Error> {
+        Ok(Experiment::channel(channel, input.clone())
+            .run()?
+            .channel()
+            .expect("channel workload")
+            .output
+            .clone())
+    };
 
     // The deterministic involution channel (DATE'15).
-    let mut det = InvolutionChannel::new(delay.clone());
-    show("involution", &det.apply(&input), -0.5, 14.0);
+    show(
+        "involution",
+        &run(ChannelSpec::involution_exp(1.0, 0.5, 0.5))?,
+        -0.5,
+        14.0,
+    );
 
     // Adversarial bounds satisfying constraint (C) — faithfulness holds.
-    let bounds = EtaBounds::new(0.05, 0.05)?;
-    assert!(bounds.satisfies_constraint_c(&delay));
+    let eta = faithful::core::noise::EtaBounds::new(0.05, 0.05)?;
+    assert!(eta.satisfies_constraint_c(&delay));
 
     // Worst-case adversary: rising maximally late, falling maximally
     // early — pulses shrink.
-    let mut worst = EtaInvolutionChannel::new(delay.clone(), bounds, WorstCaseAdversary);
-    show("worst-case", &worst.apply(&input), -0.5, 14.0);
+    show(
+        "worst-case",
+        &run(ChannelSpec::eta_exp(
+            1.0,
+            0.5,
+            0.5,
+            0.05,
+            0.05,
+            NoiseSpec::WorstCase,
+        ))?,
+        -0.5,
+        14.0,
+    );
 
-    // Random bounded jitter: a different trace every run of the stream.
-    let mut noisy = EtaInvolutionChannel::new(delay, bounds, UniformNoise::new(42));
-    show("uniform η", &noisy.apply(&input), -0.5, 14.0);
-    show("uniform η", &noisy.apply(&input), -0.5, 14.0);
+    // Random bounded jitter, reproducible from the seed in the spec.
+    show(
+        "uniform η",
+        &run(ChannelSpec::eta_exp(
+            1.0,
+            0.5,
+            0.5,
+            0.05,
+            0.05,
+            NoiseSpec::Uniform { seed: 42 },
+        ))?,
+        -0.5,
+        14.0,
+    );
+
+    // The full experiment serializes: store it, diff it, ship it.
+    let spec = Experiment::channel(
+        ChannelSpec::eta_exp(1.0, 0.5, 0.5, 0.05, 0.05, NoiseSpec::Uniform { seed: 42 }),
+        input,
+    );
+    let text = spec.spec().to_string();
+    println!("\nThis experiment as a spec:\n{text}");
+    let replayed = Experiment::parse(&text)?.run()?;
+    assert_eq!(
+        replayed.channel().expect("channel workload").output,
+        spec.run()?.channel().expect("channel workload").output,
+        "replaying the stored spec is bit-identical"
+    );
+    println!("replayed from text: bit-identical ✓");
 
     Ok(())
 }

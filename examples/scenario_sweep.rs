@@ -1,69 +1,41 @@
-//! Monte-Carlo scenario sweep: fan hundreds of η-noise adversary draws
-//! over a small inverter chain with a `ScenarioRunner`, and watch how
-//! the noise ensemble spreads the output pulse width — the event-driven
-//! counterpart of the paper's Section V noise experiments.
+//! Monte-Carlo scenario sweep through the [`Experiment`] facade: one
+//! declarative spec describes the noisy inverter chain, 256 seeded
+//! adversary draws, the worker fan-out and the output selection — the
+//! event-driven counterpart of the paper's Section V noise experiments.
 //!
 //! Run with `cargo run --release --example scenario_sweep`.
 
-use faithful::circuit::{CircuitBuilder, GateKind, Scenario, ScenarioRunner};
-use faithful::core::channel::EtaInvolutionChannel;
-use faithful::core::delay::ExpChannel;
-use faithful::core::noise::{EtaBounds, UniformNoise};
-use faithful::{Bit, Signal};
-
-fn build_chain(stages: usize) -> Result<faithful::circuit::Circuit, Box<dyn std::error::Error>> {
-    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
-    let bounds = EtaBounds::new(0.02, 0.02)?;
-    assert!(bounds.satisfies_constraint_c(&delay), "need constraint (C)");
-    let mut b = CircuitBuilder::new();
-    let a = b.input("a");
-    let y = b.output("y");
-    let mut prev = a;
-    for i in 0..stages {
-        let init = if i % 2 == 0 { Bit::One } else { Bit::Zero };
-        let g = b.gate(&format!("inv{i}"), GateKind::Not, init);
-        if i == 0 {
-            b.connect_direct(prev, g, 0)?;
-        } else {
-            b.connect(
-                prev,
-                g,
-                0,
-                // the seed here is a placeholder: every scenario reseeds
-                EtaInvolutionChannel::new(delay.clone(), bounds, UniformNoise::new(0)),
-            )?;
-        }
-        prev = g;
-    }
-    b.connect(
-        prev,
-        y,
-        0,
-        EtaInvolutionChannel::new(delay.clone(), bounds, UniformNoise::new(0)),
-    )?;
-    Ok(b.build()?)
-}
+use faithful::{
+    ChannelSpec, DigitalSpec, Experiment, NoiseSpec, ScenarioSpec, SignalSpec, TopologySpec,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stages = 8;
     let pulse_width = 6.0;
-    let scenarios: Vec<Scenario> = (0..256u64)
-        .map(|seed| {
-            Scenario::new(format!("draw{seed}"))
-                .with_input("a", Signal::pulse(1.0, pulse_width).unwrap())
+
+    // η-involution channels between stages; every scenario reseeds the
+    // noise streams, so the seed parameter here is a placeholder.
+    let channel = ChannelSpec::eta_exp(1.0, 0.5, 0.5, 0.02, 0.02, NoiseSpec::Uniform { seed: 0 });
+
+    let mut spec = DigitalSpec::new(TopologySpec::InverterChain { stages, channel }, 100.0);
+    for seed in 0..256u64 {
+        spec = spec.with_scenario(
+            ScenarioSpec::new(format!("draw{seed}"))
                 .with_seed(seed)
-        })
-        .collect();
+                .with_input("a", SignalSpec::pulse(1.0, pulse_width)),
+        );
+    }
 
-    let runner = ScenarioRunner::new(build_chain(stages)?, 100.0);
+    let experiment = Experiment::digital(spec);
     let start = std::time::Instant::now();
-    let sweep = runner.run(&scenarios);
+    let result = experiment.run()?;
     let elapsed = start.elapsed();
+    let sweep = result.digital().expect("digital workload");
 
-    let stats = sweep.stats();
+    let stats = sweep.stats.as_ref().expect("stats selected by default");
     println!(
         "{} scenarios over a {stages}-stage noisy inverter chain in {elapsed:?}",
-        sweep.len()
+        sweep.outcomes.len()
     );
     println!(
         "  events: {} delivered / {} scheduled, failures: {}",
@@ -72,11 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ensemble spread of the output pulse width around the input width
     let mut widths: Vec<f64> = sweep
-        .outcomes()
+        .outcomes
         .iter()
-        .filter_map(|o| o.result().as_ref().ok())
-        .filter_map(|run| {
-            let tr = run.signal("y").ok()?.transitions();
+        .filter_map(|o| {
+            let tr = o.signal("y")?.transitions();
             (tr.len() == 2).then(|| tr[1].time - tr[0].time)
         })
         .collect();
@@ -86,9 +57,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  output pulse width: min {min:.4}  median {median:.4}  max {max:.4}");
     println!("  (input width {pulse_width}; η ∈ [−0.02, 0.02] per stage)");
 
-    // seeded sweeps are reproducible: same seeds ⇒ bitwise-equal stats
-    let again = runner.run(&scenarios);
-    assert_eq!(sweep.stats(), again.stats());
-    println!("  re-sweep with identical seeds is bitwise identical ✓");
+    // seeded sweeps are reproducible: same spec ⇒ bitwise-equal stats
+    let again = experiment.run()?;
+    assert_eq!(
+        sweep.stats,
+        again.digital().expect("digital workload").stats
+    );
+    println!("  re-running the same spec is bitwise identical ✓");
     Ok(())
 }

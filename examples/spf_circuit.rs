@@ -1,19 +1,39 @@
 //! The SPF circuit of Fig. 5: sweep the input pulse width across the
 //! three regimes of Theorem 9 and show an adversarially sustained
-//! metastable oscillation.
+//! metastable oscillation — every run dispatched as a declarative
+//! [`Experiment`] over the `spf` workload.
 //!
 //! Run with `cargo run --example spf_circuit`.
 
 use faithful::core::delay::ExpChannel;
-use faithful::core::noise::{EtaBounds, UniformNoise, WorstCaseAdversary};
-use faithful::spf::{LoopOutcome, SpfCircuit, WorstCaseRecurrence};
-use faithful::Signal;
+use faithful::core::noise::EtaBounds;
+use faithful::spf::{LoopOutcome, SpfRun, WorstCaseRecurrence};
+use faithful::{Experiment, NoiseSpec, SignalSpec, SpfSpec, SpfTask};
+
+const TAU: f64 = 1.0;
+const T_P: f64 = 0.5;
+const V_TH: f64 = 0.5;
+const ETA: f64 = 0.02;
+
+/// Runs the Fig. 5 circuit on a `d0`-wide input pulse via the facade.
+fn simulate(noise: NoiseSpec, d0: f64, horizon: f64) -> Result<SpfRun, faithful::Error> {
+    let spec = SpfSpec::exp(TAU, T_P, V_TH, ETA, ETA).with_task(SpfTask::Simulate {
+        noise,
+        input: SignalSpec::pulse(0.0, d0),
+        horizon,
+    });
+    Ok(Experiment::spf(spec)
+        .run()?
+        .spf()
+        .expect("spf workload")
+        .run
+        .clone()
+        .expect("simulation requested"))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let delay = ExpChannel::new(1.0, 0.5, 0.5)?;
-    let bounds = EtaBounds::new(0.02, 0.02)?;
-    let spf = SpfCircuit::dimensioned(delay.clone(), bounds)?;
-    let th = spf.theory()?;
+    let theory_run = Experiment::spf(SpfSpec::exp(TAU, T_P, V_TH, ETA, ETA)).run()?;
+    let th = theory_run.spf().expect("spf workload").theory;
 
     println!("Theory (Lemmas 1–8):");
     println!("  δ_min        = {:.4}", th.delta_min);
@@ -40,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for frac in [0.5, 0.9, 0.99, 1.0, 1.001, 1.01, 1.2, 2.0] {
         let d0 = th.delta0_tilde * frac;
-        let run = spf.simulate(WorstCaseAdversary, &Signal::pulse(0.0, d0)?, horizon)?;
+        let run = simulate(NoiseSpec::WorstCase, d0, horizon)?;
         let outcome = LoopOutcome::classify(&run.or_signal, horizon, 10.0);
         let (kind, pulses) = match outcome {
             LoopOutcome::Filtered { pulses } => ("filtered", pulses),
@@ -56,10 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nWorst-case recurrence (Eq. 2) vs simulation near ∆̃₀:");
+    let delay = ExpChannel::new(TAU, T_P, V_TH)?;
+    let bounds = EtaBounds::new(ETA, ETA)?;
     let rec = WorstCaseRecurrence::new(delay, bounds);
     let d0 = th.delta0_tilde + 0.01;
     let predicted = rec.trajectory(d0, 8);
-    let run = spf.simulate(WorstCaseAdversary, &Signal::pulse(0.0, d0)?, horizon)?;
+    let run = simulate(NoiseSpec::WorstCase, d0, horizon)?;
     let simulated = faithful::PulseStats::of(&run.or_signal).up_times();
     println!(
         "{:>4} | {:>12} | {:>12}",
@@ -74,11 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nRandom adversaries resolve metastability in either direction:");
     for seed in 0..6 {
-        let run = spf.simulate(
-            UniformNoise::new(seed),
-            &Signal::pulse(0.0, th.delta0_tilde)?,
-            horizon,
-        )?;
+        let run = simulate(NoiseSpec::Uniform { seed }, th.delta0_tilde, horizon)?;
         let outcome = LoopOutcome::classify(&run.or_signal, horizon, 10.0);
         println!("  seed {seed}: {outcome:?}");
     }

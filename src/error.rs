@@ -1,0 +1,133 @@
+//! The unified error type of the `faithful` facade.
+
+use std::fmt;
+
+/// An error while parsing or validating an [`ExperimentSpec`]
+/// serialization.
+///
+/// [`ExperimentSpec`]: crate::ExperimentSpec
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    /// Creates a spec error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable message.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Everything that can go wrong running an experiment through the
+/// facade, in one matchable type.
+///
+/// Every layer's error converts in via `From`, and
+/// [`source`](std::error::Error::source) exposes the wrapped error, so
+/// callers can either match on the layer or walk the chain:
+///
+/// ```
+/// use faithful::{Error, Experiment, ExperimentSpec};
+///
+/// let err = "faithful/1 channel { channel = warp {}; input = zero }"
+///     .parse::<ExperimentSpec>()
+///     .map(|spec| Experiment::new(spec).run())
+///     .unwrap()
+///     .unwrap_err();
+/// assert!(matches!(err, Error::Core(_)));
+/// assert!(std::error::Error::source(&err).is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A core-model error (signals, delay functions, channel factories).
+    Core(ivl_core::Error),
+    /// A circuit construction error.
+    Circuit(ivl_circuit::CircuitError),
+    /// A digital simulation error.
+    Sim(ivl_circuit::SimError),
+    /// An analog-substrate error.
+    Analog(ivl_analog::Error),
+    /// An SPF theory or circuit error.
+    Spf(ivl_spf::Error),
+    /// A spec parse/validation error.
+    Spec(SpecError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Core(e) => write!(f, "core: {e}"),
+            Error::Circuit(e) => write!(f, "circuit: {e}"),
+            Error::Sim(e) => write!(f, "simulation: {e}"),
+            Error::Analog(e) => write!(f, "analog: {e}"),
+            Error::Spf(e) => write!(f, "spf: {e}"),
+            Error::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Core(e) => Some(e),
+            Error::Circuit(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Analog(e) => Some(e),
+            Error::Spf(e) => Some(e),
+            Error::Spec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ivl_core::Error> for Error {
+    fn from(e: ivl_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+impl From<ivl_circuit::CircuitError> for Error {
+    fn from(e: ivl_circuit::CircuitError) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<ivl_circuit::SimError> for Error {
+    fn from(e: ivl_circuit::SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<ivl_analog::Error> for Error {
+    fn from(e: ivl_analog::Error) -> Self {
+        Error::Analog(e)
+    }
+}
+
+impl From<ivl_spf::Error> for Error {
+    fn from(e: ivl_spf::Error) -> Self {
+        Error::Spf(e)
+    }
+}
+
+impl From<SpecError> for Error {
+    fn from(e: SpecError) -> Self {
+        Error::Spec(e)
+    }
+}

@@ -1,0 +1,644 @@
+//! The spec-driven [`Experiment`] facade: one entry point that
+//! dispatches declarative [`ExperimentSpec`]s to the channel algebra,
+//! the event-driven digital simulator, the analog characterization
+//! pipeline or the SPF theory/circuit layer, behind one typed
+//! [`ExperimentResult`].
+
+use ivl_analog::chain::InverterChain;
+use ivl_analog::characterize::{
+    to_empirical, DelaySample, DeviationSample, Integrator, SweepConfig,
+};
+use ivl_analog::ode::Rk45Options;
+use ivl_analog::supply::VddSource;
+use ivl_analog::SweepRunner;
+use ivl_circuit::vcd::write_vcd;
+use ivl_circuit::{
+    Circuit, CircuitBuilder, GateKind, Scenario, ScenarioRunner, SimError, SweepStats, TruthTable,
+};
+use ivl_core::channel::apply_online;
+use ivl_core::delay::{DelayPair, ExpChannel, RationalPair};
+use ivl_core::factory::ChannelRegistry;
+use ivl_core::noise::{
+    ConstantShift, EtaBounds, ExtendingAdversary, TruncatedGaussian, UniformNoise,
+    WorstCaseAdversary, ZeroNoise,
+};
+use ivl_core::{Bit, Edge, Signal};
+use ivl_spf::{SpfCircuit, SpfRun, SpfTheory};
+
+use crate::error::{Error, SpecError};
+use crate::spec::{
+    AnalogSpec, AnalogTask, ChannelSpec, DelaySpec, DigitalSpec, ExperimentSpec, GateKindSpec,
+    IntegratorSpec, NodeSpec, NoiseSpec, Orientation, ReferenceSpec, SpfSpec, SpfTask,
+    TopologySpec, WorkloadSpec,
+};
+
+/// A ready-to-run experiment: a spec plus the channel registry used to
+/// resolve by-name channels.
+///
+/// ```
+/// use faithful::{ChannelSpec, Experiment, ExperimentSpec, SignalSpec};
+///
+/// # fn main() -> Result<(), faithful::Error> {
+/// let spec = ExperimentSpec::channel(
+///     ChannelSpec::involution_exp(1.0, 0.5, 0.5),
+///     SignalSpec::pulse(0.0, 3.0),
+/// );
+/// let result = Experiment::new(spec).run()?;
+/// let output = &result.channel().expect("channel workload").output;
+/// assert_eq!(output.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Experiment {
+    spec: ExperimentSpec,
+    registry: ChannelRegistry,
+}
+
+impl Experiment {
+    /// Wraps a spec with the built-in channel registry.
+    #[must_use]
+    pub fn new(spec: ExperimentSpec) -> Self {
+        Experiment {
+            spec,
+            registry: ChannelRegistry::with_builtins(),
+        }
+    }
+
+    /// Parses a serialized spec and wraps it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Spec`] on parse failure.
+    pub fn parse(text: &str) -> Result<Self, Error> {
+        Ok(Experiment::new(text.parse::<ExperimentSpec>()?))
+    }
+
+    /// Convenience: a channel-application experiment.
+    #[must_use]
+    pub fn channel(channel: ChannelSpec, input: crate::spec::SignalSpec) -> Self {
+        Experiment::new(ExperimentSpec::channel(channel, input))
+    }
+
+    /// Convenience: a digital sweep experiment.
+    #[must_use]
+    pub fn digital(spec: DigitalSpec) -> Self {
+        Experiment::new(ExperimentSpec::digital(spec))
+    }
+
+    /// Convenience: an analog experiment.
+    #[must_use]
+    pub fn analog(spec: AnalogSpec) -> Self {
+        Experiment::new(ExperimentSpec::analog(spec))
+    }
+
+    /// Convenience: an SPF experiment.
+    #[must_use]
+    pub fn spf(spec: SpfSpec) -> Self {
+        Experiment::new(ExperimentSpec::spf(spec))
+    }
+
+    /// Replaces the channel registry (to resolve custom channel kinds).
+    #[must_use]
+    pub fn with_registry(mut self, registry: ChannelRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// The wrapped spec.
+    #[must_use]
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Runs the experiment, dispatching on the workload kind.
+    ///
+    /// # Errors
+    ///
+    /// Construction, validation and simulation errors of the selected
+    /// layer, unified into [`Error`].
+    pub fn run(&self) -> Result<ExperimentResult, Error> {
+        match &self.spec.workload {
+            WorkloadSpec::Channel(c) => {
+                let mut channel = self.registry.build(&c.channel.kind, &c.channel.params)?;
+                let input = c.input.build()?;
+                let output = apply_online(&mut *channel, &input);
+                Ok(ExperimentResult::Channel(ChannelResult { output }))
+            }
+            WorkloadSpec::Digital(d) => self.run_digital(d),
+            WorkloadSpec::Analog(a) => Ok(ExperimentResult::Analog(self.run_analog(a)?)),
+            WorkloadSpec::Spf(s) => Ok(ExperimentResult::Spf(run_spf_spec(s)?)),
+        }
+    }
+
+    /// Builds the circuit described by a digital spec's topology
+    /// (useful for inspecting a spec without running it).
+    ///
+    /// # Errors
+    ///
+    /// Channel factory and circuit construction errors.
+    pub fn build_circuit(&self, topology: &TopologySpec) -> Result<Circuit, Error> {
+        match topology {
+            TopologySpec::Netlist(n) => {
+                let mut b = CircuitBuilder::new();
+                let mut ids = std::collections::HashMap::new();
+                for node in &n.nodes {
+                    match node {
+                        NodeSpec::Input { name } => {
+                            ids.insert(name.clone(), b.input(name));
+                        }
+                        NodeSpec::Output { name } => {
+                            ids.insert(name.clone(), b.output(name));
+                        }
+                        NodeSpec::Gate {
+                            name,
+                            kind,
+                            arity,
+                            init,
+                        } => {
+                            let kind = build_gate_kind(kind)?;
+                            let init = if *init { Bit::One } else { Bit::Zero };
+                            let id = match arity {
+                                Some(a) => b.gate_with_arity(name, kind, init, *a as usize),
+                                None => b.gate(name, kind, init),
+                            };
+                            ids.insert(name.clone(), id);
+                        }
+                    }
+                }
+                for edge in &n.edges {
+                    let from = *ids.get(&edge.from).ok_or_else(|| {
+                        SpecError::new(format!("edge references unknown node {:?}", edge.from))
+                    })?;
+                    let to = *ids.get(&edge.to).ok_or_else(|| {
+                        SpecError::new(format!("edge references unknown node {:?}", edge.to))
+                    })?;
+                    match &edge.channel {
+                        None => {
+                            b.connect_direct(from, to, edge.pin as usize)?;
+                        }
+                        Some(c) => {
+                            let channel = self.registry.build(&c.kind, &c.params)?;
+                            b.connect(from, to, edge.pin as usize, channel)?;
+                        }
+                    }
+                }
+                Ok(b.build()?)
+            }
+            TopologySpec::InverterChain { stages, channel } => {
+                let mut b = CircuitBuilder::new();
+                let a = b.input("a");
+                let y = b.output("y");
+                let mut prev = a;
+                for i in 0..*stages {
+                    let init = if i % 2 == 0 { Bit::One } else { Bit::Zero };
+                    let g = b.gate(&format!("inv{i}"), GateKind::Not, init);
+                    if i == 0 {
+                        b.connect_direct(prev, g, 0)?;
+                    } else {
+                        let ch = self.registry.build(&channel.kind, &channel.params)?;
+                        b.connect(prev, g, 0, ch)?;
+                    }
+                    prev = g;
+                }
+                let ch = self.registry.build(&channel.kind, &channel.params)?;
+                b.connect(prev, y, 0, ch)?;
+                Ok(b.build()?)
+            }
+        }
+    }
+
+    fn run_digital(&self, d: &DigitalSpec) -> Result<ExperimentResult, Error> {
+        let circuit = self.build_circuit(&d.topology)?;
+        let output_names: Vec<String> = circuit
+            .output_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        let mut runner = ScenarioRunner::new(circuit, d.horizon);
+        if let Some(w) = d.workers {
+            runner = runner.with_workers(w as usize);
+        }
+        if let Some(m) = d.max_events {
+            runner = runner.with_max_events(usize::try_from(m).unwrap_or(usize::MAX));
+        }
+        let mut scenarios = Vec::with_capacity(d.scenarios.len());
+        for s in &d.scenarios {
+            let mut sc = Scenario::new(s.label.clone());
+            if let Some(seed) = s.seed {
+                sc = sc.with_seed(seed);
+            }
+            for (port, sig) in &s.inputs {
+                sc = sc.with_input(port.clone(), sig.build()?);
+            }
+            scenarios.push(sc);
+        }
+        let sweep = runner.run(&scenarios);
+        let mut outcomes = Vec::with_capacity(sweep.len());
+        for outcome in sweep.outcomes() {
+            match outcome.result() {
+                Ok(run) => {
+                    let mut signals = Vec::new();
+                    if d.outputs.signals || d.outputs.vcd {
+                        for name in &output_names {
+                            signals.push((name.clone(), run.signal(name)?.clone()));
+                        }
+                    }
+                    let vcd = if d.outputs.vcd {
+                        let pairs: Vec<(&str, &Signal)> =
+                            signals.iter().map(|(n, s)| (n.as_str(), s)).collect();
+                        Some(write_vcd(&pairs, "1ps", 0.001).map_err(SpecError::new)?)
+                    } else {
+                        None
+                    };
+                    if !d.outputs.signals {
+                        signals.clear();
+                    }
+                    outcomes.push(DigitalOutcome {
+                        label: outcome.label().to_owned(),
+                        signals,
+                        vcd,
+                        error: None,
+                    });
+                }
+                Err(e) => outcomes.push(DigitalOutcome {
+                    label: outcome.label().to_owned(),
+                    signals: Vec::new(),
+                    vcd: None,
+                    error: Some(e.clone()),
+                }),
+            }
+        }
+        let stats = d.outputs.stats.then(|| sweep.stats().clone());
+        Ok(ExperimentResult::Digital(DigitalResult { outcomes, stats }))
+    }
+
+    fn run_analog(&self, a: &AnalogSpec) -> Result<AnalogResult, Error> {
+        let chain = build_chain(a.chain.stages, a.chain.width_scale)?;
+        let vdd = build_supply(&a.supply)?;
+        let cfg = build_sweep_config(&a.sweep);
+        let mut runner = SweepRunner::new();
+        if let Some(w) = a.workers {
+            runner = runner.with_workers(w as usize);
+        }
+        match &a.task {
+            AnalogTask::Samples { inverted } => Ok(AnalogResult::Samples(
+                runner.sweep_samples(&chain, &vdd, &cfg, *inverted)?,
+            )),
+            AnalogTask::Characterize => {
+                let (up, down) = runner.characterize(&chain, &vdd, &cfg)?;
+                Ok(AnalogResult::Characterization { up, down })
+            }
+            AnalogTask::Deviations {
+                reference,
+                orientation,
+            } => {
+                let deviations = match reference {
+                    ReferenceSpec::Exp { tau, t_p, v_th } => self.measure(
+                        &runner,
+                        &chain,
+                        &vdd,
+                        &cfg,
+                        &ExpChannel::new(*tau, *t_p, *v_th)?,
+                        *orientation,
+                    )?,
+                    ReferenceSpec::Rational { a, b, c } => self.measure(
+                        &runner,
+                        &chain,
+                        &vdd,
+                        &cfg,
+                        &RationalPair::new(*a, *b, *c)?,
+                        *orientation,
+                    )?,
+                    ReferenceSpec::SelfEmpirical => {
+                        let nominal_chain = build_chain(a.chain.stages, 1.0)?;
+                        let nominal_vdd = VddSource::dc(a.supply.nominal());
+                        let (up, down) = runner.characterize(&nominal_chain, &nominal_vdd, &cfg)?;
+                        let pair = to_empirical(&up, &down)?;
+                        self.measure(&runner, &chain, &vdd, &cfg, &pair, *orientation)?
+                    }
+                    ReferenceSpec::Empirical { up, down } => {
+                        let pair = to_empirical(
+                            &raw_samples(up, Edge::Rising),
+                            &raw_samples(down, Edge::Falling),
+                        )?;
+                        self.measure(&runner, &chain, &vdd, &cfg, &pair, *orientation)?
+                    }
+                };
+                Ok(AnalogResult::Deviations(deviations))
+            }
+        }
+    }
+
+    fn measure<D: DelayPair + ?Sized>(
+        &self,
+        runner: &SweepRunner,
+        chain: &InverterChain,
+        vdd: &VddSource,
+        cfg: &SweepConfig,
+        reference: &D,
+        orientation: Orientation,
+    ) -> Result<Vec<DeviationSample>, Error> {
+        let orientations: &[bool] = match orientation {
+            Orientation::Both => &[false, true],
+            Orientation::Normal => &[false],
+            Orientation::Inverted => &[true],
+        };
+        let mut all = Vec::new();
+        for &inverted in orientations {
+            all.extend(runner.measure_deviations(chain, vdd, cfg, reference, inverted)?);
+        }
+        Ok(all)
+    }
+}
+
+fn build_gate_kind(kind: &GateKindSpec) -> Result<GateKind, Error> {
+    Ok(match kind {
+        GateKindSpec::Buf => GateKind::Buf,
+        GateKindSpec::Not => GateKind::Not,
+        GateKindSpec::And => GateKind::And,
+        GateKindSpec::Or => GateKind::Or,
+        GateKindSpec::Nand => GateKind::Nand,
+        GateKindSpec::Nor => GateKind::Nor,
+        GateKindSpec::Xor => GateKind::Xor,
+        GateKindSpec::Xnor => GateKind::Xnor,
+        GateKindSpec::Table { inputs, rows } => {
+            let bits: Vec<Bit> = rows
+                .iter()
+                .map(|b| if *b { Bit::One } else { Bit::Zero })
+                .collect();
+            let table = TruthTable::new(*inputs as usize, bits).ok_or_else(|| {
+                SpecError::new(format!(
+                    "truth table needs 2^{inputs} rows, got {}",
+                    rows.len()
+                ))
+            })?;
+            GateKind::Table(table)
+        }
+    })
+}
+
+fn build_chain(stages: u32, width_scale: f64) -> Result<InverterChain, Error> {
+    let chain = InverterChain::umc90_like(stages as usize)?;
+    if width_scale == 1.0 {
+        Ok(chain)
+    } else {
+        Ok(chain.scaled_width(width_scale)?)
+    }
+}
+
+fn build_supply(s: &crate::spec::SupplySpec) -> Result<VddSource, Error> {
+    Ok(match s {
+        crate::spec::SupplySpec::Dc { volts } => VddSource::dc(*volts),
+        crate::spec::SupplySpec::Sine {
+            nominal,
+            amplitude,
+            period,
+            phase,
+        } => VddSource::with_sine(*nominal, *amplitude, *period, *phase)?,
+    })
+}
+
+fn build_sweep_config(s: &crate::spec::SweepSpec) -> SweepConfig {
+    SweepConfig {
+        widths: s.widths.clone(),
+        settle: s.settle,
+        tail: s.tail,
+        dt: s.dt,
+        slew: s.slew,
+        stage: s.stage as usize,
+        integrator: match s.integrator {
+            IntegratorSpec::Rk4 => Integrator::Rk4,
+            IntegratorSpec::Rk45 { rtol, atol } => {
+                Integrator::Rk45(Rk45Options::with_tolerances(rtol, atol))
+            }
+        },
+    }
+}
+
+fn run_spf_spec(s: &SpfSpec) -> Result<SpfResult, Error> {
+    let bounds = EtaBounds::new(s.eta_minus, s.eta_plus)?;
+    match s.delay {
+        DelaySpec::Exp { tau, t_p, v_th } => {
+            run_spf(ExpChannel::new(tau, t_p, v_th)?, bounds, &s.task)
+        }
+        DelaySpec::Rational { a, b, c } => run_spf(RationalPair::new(a, b, c)?, bounds, &s.task),
+    }
+}
+
+fn run_spf<D: DelayPair + Clone + Send + 'static>(
+    delay: D,
+    bounds: EtaBounds,
+    task: &SpfTask,
+) -> Result<SpfResult, Error> {
+    let circuit = SpfCircuit::dimensioned(delay, bounds)?;
+    let theory = circuit.theory()?;
+    let run = match task {
+        SpfTask::Theory => None,
+        SpfTask::Simulate {
+            noise,
+            input,
+            horizon,
+        } => {
+            let input = input.build()?;
+            Some(simulate_spf(&circuit, *noise, &input, *horizon)?)
+        }
+    };
+    Ok(SpfResult { theory, run })
+}
+
+fn simulate_spf<D: DelayPair + Clone + Send + 'static>(
+    circuit: &SpfCircuit<D>,
+    noise: NoiseSpec,
+    input: &Signal,
+    horizon: f64,
+) -> Result<SpfRun, Error> {
+    Ok(match noise {
+        NoiseSpec::Zero => circuit.simulate(ZeroNoise, input, horizon)?,
+        NoiseSpec::WorstCase => circuit.simulate(WorstCaseAdversary, input, horizon)?,
+        NoiseSpec::Extending => circuit.simulate(ExtendingAdversary, input, horizon)?,
+        NoiseSpec::Uniform { seed } => circuit.simulate(UniformNoise::new(seed), input, horizon)?,
+        NoiseSpec::Gaussian { sigma, seed } => {
+            circuit.simulate(TruncatedGaussian::new(sigma, seed)?, input, horizon)?
+        }
+        NoiseSpec::Constant { shift } => circuit.simulate(ConstantShift(shift), input, horizon)?,
+    })
+}
+
+/// Rebuilds [`DelaySample`]s from spec-embedded `(offset, delay)`
+/// pairs ([`ReferenceSpec::Empirical`]); the edge tags what the samples
+/// measured.
+fn raw_samples(samples: &[(f64, f64)], edge: Edge) -> Vec<DelaySample> {
+    samples
+        .iter()
+        .map(|&(offset, delay)| DelaySample {
+            offset,
+            delay,
+            edge,
+        })
+        .collect()
+}
+
+// ======================================================================
+// Results
+// ======================================================================
+
+/// The typed result of one experiment, one variant per workload kind.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ExperimentResult {
+    /// Result of a channel application.
+    Channel(ChannelResult),
+    /// Result of a digital sweep.
+    Digital(DigitalResult),
+    /// Result of an analog experiment.
+    Analog(AnalogResult),
+    /// Result of an SPF experiment.
+    Spf(SpfResult),
+}
+
+impl ExperimentResult {
+    /// The channel result, if this was a channel workload.
+    #[must_use]
+    pub fn channel(&self) -> Option<&ChannelResult> {
+        match self {
+            ExperimentResult::Channel(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The digital result, if this was a digital workload.
+    #[must_use]
+    pub fn digital(&self) -> Option<&DigitalResult> {
+        match self {
+            ExperimentResult::Digital(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The analog result, if this was an analog workload.
+    #[must_use]
+    pub fn analog(&self) -> Option<&AnalogResult> {
+        match self {
+            ExperimentResult::Analog(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The SPF result, if this was an SPF workload.
+    #[must_use]
+    pub fn spf(&self) -> Option<&SpfResult> {
+        match self {
+            ExperimentResult::Spf(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// The output signal of a channel application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelResult {
+    /// The channel's output signal.
+    pub output: Signal,
+}
+
+/// The outcome of a digital sweep: per-scenario outcomes in input
+/// order, plus aggregate statistics when selected.
+#[derive(Debug, Clone)]
+pub struct DigitalResult {
+    /// Per-scenario outcomes, in spec order.
+    pub outcomes: Vec<DigitalOutcome>,
+    /// Aggregate sweep statistics (when selected).
+    pub stats: Option<SweepStats>,
+}
+
+impl DigitalResult {
+    /// The outcome labelled `label`, if any.
+    #[must_use]
+    pub fn outcome(&self, label: &str) -> Option<&DigitalOutcome> {
+        self.outcomes.iter().find(|o| o.label == label)
+    }
+}
+
+/// One scenario's outcome within a digital sweep.
+#[derive(Debug, Clone)]
+pub struct DigitalOutcome {
+    /// The scenario's label.
+    pub label: String,
+    /// Output-port signals (when selected and the run succeeded).
+    pub signals: Vec<(String, Signal)>,
+    /// VCD dump of the output ports (when selected).
+    pub vcd: Option<String>,
+    /// The simulation error, if the scenario failed.
+    pub error: Option<SimError>,
+}
+
+impl DigitalOutcome {
+    /// The signal recorded on output port `name`, if present.
+    #[must_use]
+    pub fn signal(&self, name: &str) -> Option<&Signal> {
+        self.signals.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// `true` if the scenario simulated successfully.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// The output of an analog experiment, shaped by the task.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum AnalogResult {
+    /// `(T, δ)` samples of one orientation.
+    Samples(Vec<DelaySample>),
+    /// Full characterization, split by output edge.
+    Characterization {
+        /// `δ↑` samples, sorted by offset.
+        up: Vec<DelaySample>,
+        /// `δ↓` samples, sorted by offset.
+        down: Vec<DelaySample>,
+    },
+    /// Deviations against the reference model.
+    Deviations(Vec<DeviationSample>),
+}
+
+impl AnalogResult {
+    /// The samples, if this was a `Samples` task.
+    #[must_use]
+    pub fn samples(&self) -> Option<&[DelaySample]> {
+        match self {
+            AnalogResult::Samples(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The `(δ↑, δ↓)` sample sets, if this was a characterization.
+    #[must_use]
+    pub fn characterization(&self) -> Option<(&[DelaySample], &[DelaySample])> {
+        match self {
+            AnalogResult::Characterization { up, down } => Some((up, down)),
+            _ => None,
+        }
+    }
+
+    /// The deviations, if this was a deviation task.
+    #[must_use]
+    pub fn deviations(&self) -> Option<&[DeviationSample]> {
+        match self {
+            AnalogResult::Deviations(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// The output of an SPF experiment: the theory bundle, plus the circuit
+/// run when simulation was requested.
+#[derive(Debug, Clone)]
+pub struct SpfResult {
+    /// The Section IV theory quantities.
+    pub theory: SpfTheory,
+    /// The Fig. 5 circuit run (for [`SpfTask::Simulate`]).
+    pub run: Option<SpfRun>,
+}

@@ -1,0 +1,2030 @@
+//! Declarative experiment descriptions.
+//!
+//! An [`ExperimentSpec`] describes a complete workload — what channel,
+//! circuit, analog chain or SPF instance to build, what stimuli to
+//! apply, how to integrate/simulate, how many workers to fan over, and
+//! which outputs to keep — as plain data. Specs serialize to a
+//! versioned text form via [`Display`](std::fmt::Display) /
+//! [`FromStr`](std::str::FromStr) with a round-trip guarantee for every
+//! finite spec, so experiments can be stored, diffed, queued and
+//! shipped to workers. [`Experiment`](crate::Experiment) executes them.
+//!
+//! ```
+//! use faithful::{ExperimentSpec, SignalSpec, ChannelSpec, WorkloadSpec, ChannelRunSpec};
+//!
+//! let spec = ExperimentSpec::channel(
+//!     ChannelSpec::involution_exp(1.0, 0.5, 0.5),
+//!     SignalSpec::pulse(0.0, 3.0),
+//! );
+//! let text = spec.to_string();
+//! let back: ExperimentSpec = text.parse().unwrap();
+//! assert_eq!(spec, back);
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use ivl_core::factory::{ChannelParams, ParamValue};
+
+use crate::error::SpecError;
+use crate::value::{parse_document, render_document, Value};
+
+/// A complete, serializable description of one experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+}
+
+/// What kind of workload an experiment runs — one variant per layer of
+/// the model stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadSpec {
+    /// Apply a single channel to a stimulus signal (`ivl_core`).
+    Channel(ChannelRunSpec),
+    /// Sweep scenarios over a digital circuit (`ivl_circuit`).
+    Digital(DigitalSpec),
+    /// Characterize / probe the analog substrate (`ivl_analog`).
+    Analog(AnalogSpec),
+    /// Short-Pulse-Filtration theory and simulation (`ivl_spf`).
+    Spf(SpfSpec),
+}
+
+/// A channel constructible by name through a
+/// [`ChannelRegistry`](ivl_core::factory::ChannelRegistry): a kind
+/// string plus flat parameters.
+///
+/// Kind strings and parameter names must be identifiers
+/// (`[A-Za-z_][A-Za-z0-9_]*`) for the text form to round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelSpec {
+    /// The registered factory kind (`pure`, `inertial`, `ddm`,
+    /// `involution`, `eta`, or a custom registration).
+    pub kind: String,
+    /// The factory parameters.
+    pub params: ChannelParams,
+}
+
+impl ChannelSpec {
+    /// A channel spec with no parameters yet.
+    #[must_use]
+    pub fn new(kind: impl Into<String>) -> Self {
+        ChannelSpec {
+            kind: kind.into(),
+            params: ChannelParams::new(),
+        }
+    }
+
+    /// Appends a real-valued parameter.
+    #[must_use]
+    pub fn with_num(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.params = self.params.with_num(name, value);
+        self
+    }
+
+    /// Appends an integer parameter.
+    #[must_use]
+    pub fn with_int(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.params = self.params.with_int(name, value);
+        self
+    }
+
+    /// Appends a textual parameter.
+    #[must_use]
+    pub fn with_text(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.params = self.params.with_text(name, value);
+        self
+    }
+
+    /// A `pure` constant-delay channel.
+    #[must_use]
+    pub fn pure(delay: f64) -> Self {
+        ChannelSpec::new("pure").with_num("delay", delay)
+    }
+
+    /// An `inertial` delay channel.
+    #[must_use]
+    pub fn inertial(delay: f64, window: f64) -> Self {
+        ChannelSpec::new("inertial")
+            .with_num("delay", delay)
+            .with_num("window", window)
+    }
+
+    /// A symmetric `ddm` channel.
+    #[must_use]
+    pub fn ddm(t_p0: f64, t_0: f64, tau: f64) -> Self {
+        ChannelSpec::new("ddm")
+            .with_num("t_p0", t_p0)
+            .with_num("t_0", t_0)
+            .with_num("tau", tau)
+    }
+
+    /// A deterministic involution channel over an exp delay pair.
+    #[must_use]
+    pub fn involution_exp(tau: f64, t_p: f64, v_th: f64) -> Self {
+        ChannelSpec::new("involution")
+            .with_text("delay", "exp")
+            .with_num("tau", tau)
+            .with_num("t_p", t_p)
+            .with_num("v_th", v_th)
+    }
+
+    /// An η-involution channel over an exp delay pair with the given
+    /// bounds and noise source.
+    #[must_use]
+    pub fn eta_exp(tau: f64, t_p: f64, v_th: f64, minus: f64, plus: f64, noise: NoiseSpec) -> Self {
+        let spec = ChannelSpec::new("eta")
+            .with_text("delay", "exp")
+            .with_num("tau", tau)
+            .with_num("t_p", t_p)
+            .with_num("v_th", v_th)
+            .with_num("minus", minus)
+            .with_num("plus", plus);
+        spec.with_noise(noise)
+    }
+
+    /// Appends the parameters describing `noise` (an `eta`-kind
+    /// convenience mirroring the built-in factory's vocabulary).
+    #[must_use]
+    pub fn with_noise(self, noise: NoiseSpec) -> Self {
+        match noise {
+            NoiseSpec::Zero => self.with_text("noise", "zero"),
+            NoiseSpec::WorstCase => self.with_text("noise", "worst_case"),
+            NoiseSpec::Extending => self.with_text("noise", "extending"),
+            NoiseSpec::Uniform { seed } => {
+                self.with_text("noise", "uniform").with_int("seed", seed)
+            }
+            NoiseSpec::Gaussian { sigma, seed } => self
+                .with_text("noise", "gaussian")
+                .with_num("sigma", sigma)
+                .with_int("seed", seed),
+            NoiseSpec::Constant { shift } => {
+                self.with_text("noise", "constant").with_num("shift", shift)
+            }
+        }
+    }
+}
+
+/// Apply one channel to one input signal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelRunSpec {
+    /// The channel, by name.
+    pub channel: ChannelSpec,
+    /// The stimulus.
+    pub input: SignalSpec,
+}
+
+/// A binary stimulus signal as data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SignalSpec {
+    /// The constant-zero signal.
+    Zero,
+    /// A single pulse `[at, at + width)`.
+    Pulse {
+        /// Rising-edge time.
+        at: f64,
+        /// Pulse width.
+        width: f64,
+    },
+    /// A train of pulses given as `(start, width)` pairs.
+    Train {
+        /// The pulses, in increasing start order.
+        pulses: Vec<(f64, f64)>,
+    },
+    /// An explicit transition list from an initial value.
+    Times {
+        /// Value "until time 0".
+        initial: bool,
+        /// Strictly increasing transition times.
+        times: Vec<f64>,
+    },
+}
+
+impl SignalSpec {
+    /// A single pulse.
+    #[must_use]
+    pub fn pulse(at: f64, width: f64) -> Self {
+        SignalSpec::Pulse { at, width }
+    }
+
+    /// A pulse train from `(start, width)` pairs.
+    #[must_use]
+    pub fn train(pulses: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        SignalSpec::Train {
+            pulses: pulses.into_iter().collect(),
+        }
+    }
+
+    /// An explicit transition list.
+    #[must_use]
+    pub fn times(initial: bool, times: impl IntoIterator<Item = f64>) -> Self {
+        SignalSpec::Times {
+            initial,
+            times: times.into_iter().collect(),
+        }
+    }
+
+    /// Builds the concrete [`Signal`](ivl_core::Signal).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the signal constructor's validation errors.
+    pub fn build(&self) -> Result<ivl_core::Signal, ivl_core::Error> {
+        use ivl_core::{Bit, Signal};
+        match self {
+            SignalSpec::Zero => Ok(Signal::zero()),
+            SignalSpec::Pulse { at, width } => Signal::pulse(*at, *width),
+            SignalSpec::Train { pulses } => Signal::pulse_train(pulses.iter().copied()),
+            SignalSpec::Times { initial, times } => {
+                Signal::from_times(if *initial { Bit::One } else { Bit::Zero }, times)
+            }
+        }
+    }
+}
+
+/// A digital scenario sweep: topology, stimuli, runner knobs, output
+/// selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DigitalSpec {
+    /// The circuit to build.
+    pub topology: TopologySpec,
+    /// Simulation horizon per scenario.
+    pub horizon: f64,
+    /// Scheduled-event budget per scenario (`None` = runner default).
+    pub max_events: Option<u64>,
+    /// Worker threads (`None` = machine default).
+    pub workers: Option<u32>,
+    /// The scenarios to sweep (one scenario = one run).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Which outputs to materialize in the result.
+    pub outputs: OutputSelect,
+}
+
+impl DigitalSpec {
+    /// A sweep of `topology` to `horizon` with default knobs and no
+    /// scenarios yet.
+    #[must_use]
+    pub fn new(topology: TopologySpec, horizon: f64) -> Self {
+        DigitalSpec {
+            topology,
+            horizon,
+            max_events: None,
+            workers: None,
+            scenarios: Vec::new(),
+            outputs: OutputSelect::default(),
+        }
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the per-scenario event budget.
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = Some(max_events);
+        self
+    }
+
+    /// Appends a scenario.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ScenarioSpec) -> Self {
+        self.scenarios.push(scenario);
+        self
+    }
+
+    /// Appends many scenarios.
+    #[must_use]
+    pub fn with_scenarios(mut self, scenarios: impl IntoIterator<Item = ScenarioSpec>) -> Self {
+        self.scenarios.extend(scenarios);
+        self
+    }
+
+    /// Sets the output selection.
+    #[must_use]
+    pub fn with_outputs(mut self, outputs: OutputSelect) -> Self {
+        self.outputs = outputs;
+        self
+    }
+}
+
+/// How to obtain the circuit of a digital experiment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// An explicit netlist (the general form).
+    Netlist(NetlistSpec),
+    /// Generator: an `n`-stage inverter chain `a → inv0 → … → y` with
+    /// the given channel between consecutive stages and before the
+    /// output port (stage initial values alternate starting at 1).
+    InverterChain {
+        /// Number of inverter stages.
+        stages: u32,
+        /// The inter-stage channel.
+        channel: ChannelSpec,
+    },
+}
+
+/// A circuit as data: the declarative mirror of
+/// [`CircuitBuilder`](ivl_circuit::CircuitBuilder).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NetlistSpec {
+    /// The circuit's nodes, in creation order.
+    pub nodes: Vec<NodeSpec>,
+    /// The circuit's connections.
+    pub edges: Vec<EdgeSpec>,
+}
+
+impl NetlistSpec {
+    /// An empty netlist.
+    #[must_use]
+    pub fn new() -> Self {
+        NetlistSpec::default()
+    }
+
+    /// Adds an input port.
+    #[must_use]
+    pub fn input(mut self, name: impl Into<String>) -> Self {
+        self.nodes.push(NodeSpec::Input { name: name.into() });
+        self
+    }
+
+    /// Adds an output port.
+    #[must_use]
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.nodes.push(NodeSpec::Output { name: name.into() });
+        self
+    }
+
+    /// Adds a gate with the kind's default arity.
+    #[must_use]
+    pub fn gate(mut self, name: impl Into<String>, kind: GateKindSpec, init: bool) -> Self {
+        self.nodes.push(NodeSpec::Gate {
+            name: name.into(),
+            kind,
+            arity: None,
+            init,
+        });
+        self
+    }
+
+    /// Adds a zero-delay connection from `from` to pin `pin` of `to`.
+    #[must_use]
+    pub fn wire(mut self, from: impl Into<String>, to: impl Into<String>, pin: u32) -> Self {
+        self.edges.push(EdgeSpec {
+            from: from.into(),
+            to: to.into(),
+            pin,
+            channel: None,
+        });
+        self
+    }
+
+    /// Adds a channel connection from `from` to pin `pin` of `to`.
+    #[must_use]
+    pub fn channel(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        pin: u32,
+        channel: ChannelSpec,
+    ) -> Self {
+        self.edges.push(EdgeSpec {
+            from: from.into(),
+            to: to.into(),
+            pin,
+            channel: Some(channel),
+        });
+        self
+    }
+}
+
+/// One node of a [`NetlistSpec`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NodeSpec {
+    /// An input port.
+    Input {
+        /// Port name.
+        name: String,
+    },
+    /// An output port.
+    Output {
+        /// Port name.
+        name: String,
+    },
+    /// A Boolean gate.
+    Gate {
+        /// Gate name.
+        name: String,
+        /// The Boolean function.
+        kind: GateKindSpec,
+        /// Input count (`None` = the kind's default arity).
+        arity: Option<u32>,
+        /// Output value until time 0.
+        init: bool,
+    },
+}
+
+/// A gate function as data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GateKindSpec {
+    /// Identity.
+    Buf,
+    /// Negation.
+    Not,
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Negated conjunction.
+    Nand,
+    /// Negated disjunction.
+    Nor,
+    /// Parity.
+    Xor,
+    /// Negated parity.
+    Xnor,
+    /// Arbitrary lookup table: `rows[i]` is the output for the input
+    /// combination with bit pattern `i` (pin 0 = LSB).
+    Table {
+        /// Number of inputs.
+        inputs: u32,
+        /// `2^inputs` output bits.
+        rows: Vec<bool>,
+    },
+}
+
+/// One connection of a [`NetlistSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeSpec {
+    /// Source node name.
+    pub from: String,
+    /// Target node name.
+    pub to: String,
+    /// Target pin.
+    pub pin: u32,
+    /// The channel on the edge (`None` = zero-delay port connection).
+    pub channel: Option<ChannelSpec>,
+}
+
+/// One scenario of a digital sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario label (reported back in the result).
+    pub label: String,
+    /// Noise seed pinning every channel's RNG stream (`None` = leave
+    /// streams as the worker finds them).
+    pub seed: Option<u64>,
+    /// Input-port assignments; unassigned ports read zero.
+    pub inputs: Vec<(String, SignalSpec)>,
+}
+
+impl ScenarioSpec {
+    /// An empty scenario.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        ScenarioSpec {
+            label: label.into(),
+            seed: None,
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Pins the noise seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Assigns a signal to an input port.
+    #[must_use]
+    pub fn with_input(mut self, port: impl Into<String>, signal: SignalSpec) -> Self {
+        self.inputs.push((port.into(), signal));
+        self
+    }
+}
+
+/// Which outputs a digital experiment materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputSelect {
+    /// Keep each scenario's output-port signals (the crossings).
+    pub signals: bool,
+    /// Keep the aggregate sweep statistics.
+    pub stats: bool,
+    /// Render a VCD dump of each scenario's output ports (timescale
+    /// 1 ps, one tick per 0.001 time units).
+    pub vcd: bool,
+}
+
+impl Default for OutputSelect {
+    /// Signals and stats on, VCD off.
+    fn default() -> Self {
+        OutputSelect {
+            signals: true,
+            stats: true,
+            vcd: false,
+        }
+    }
+}
+
+impl OutputSelect {
+    /// Enables the VCD dump.
+    #[must_use]
+    pub fn with_vcd(mut self) -> Self {
+        self.vcd = true;
+        self
+    }
+}
+
+/// An analog-substrate experiment: chain, supply, sweep configuration
+/// and task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalogSpec {
+    /// The inverter chain to simulate.
+    pub chain: ChainSpec,
+    /// The supply driving it.
+    pub supply: SupplySpec,
+    /// The characterization sweep configuration.
+    pub sweep: SweepSpec,
+    /// What to compute.
+    pub task: AnalogTask,
+    /// Worker threads (`None` = machine default).
+    pub workers: Option<u32>,
+}
+
+impl AnalogSpec {
+    /// An experiment on an `n`-stage UMC-90-like chain at DC 1 V with
+    /// the default sweep, performing `task`.
+    #[must_use]
+    pub fn new(stages: u32, task: AnalogTask) -> Self {
+        AnalogSpec {
+            chain: ChainSpec::umc90(stages),
+            supply: SupplySpec::Dc { volts: 1.0 },
+            sweep: SweepSpec::default(),
+            task,
+            workers: None,
+        }
+    }
+
+    /// Replaces the chain.
+    #[must_use]
+    pub fn with_chain(mut self, chain: ChainSpec) -> Self {
+        self.chain = chain;
+        self
+    }
+
+    /// Replaces the supply.
+    #[must_use]
+    pub fn with_supply(mut self, supply: SupplySpec) -> Self {
+        self.supply = supply;
+        self
+    }
+
+    /// Replaces the sweep configuration.
+    #[must_use]
+    pub fn with_sweep(mut self, sweep: SweepSpec) -> Self {
+        self.sweep = sweep;
+        self
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+}
+
+/// The analog chain as data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainSpec {
+    /// Number of inverter stages.
+    pub stages: u32,
+    /// Transistor-width scaling factor (1 = nominal).
+    pub width_scale: f64,
+}
+
+impl ChainSpec {
+    /// A nominal UMC-90-like chain.
+    #[must_use]
+    pub fn umc90(stages: u32) -> Self {
+        ChainSpec {
+            stages,
+            width_scale: 1.0,
+        }
+    }
+
+    /// Scales every transistor width.
+    #[must_use]
+    pub fn with_width_scale(mut self, width_scale: f64) -> Self {
+        self.width_scale = width_scale;
+        self
+    }
+}
+
+/// The supply source as data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SupplySpec {
+    /// An ideal DC supply.
+    Dc {
+        /// Supply voltage.
+        volts: f64,
+    },
+    /// A DC supply with a superimposed sine.
+    Sine {
+        /// Nominal voltage.
+        nominal: f64,
+        /// Relative sine amplitude (e.g. `0.01` for ±1 %).
+        amplitude: f64,
+        /// Sine period (ps).
+        period: f64,
+        /// Phase (degrees).
+        phase: f64,
+    },
+}
+
+impl SupplySpec {
+    /// The nominal voltage of the supply.
+    #[must_use]
+    pub fn nominal(&self) -> f64 {
+        match self {
+            SupplySpec::Dc { volts } => *volts,
+            SupplySpec::Sine { nominal, .. } => *nominal,
+        }
+    }
+}
+
+/// The characterization sweep configuration as data (mirror of
+/// [`SweepConfig`](ivl_analog::characterize::SweepConfig)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Pulse widths to apply (ps).
+    pub widths: Vec<f64>,
+    /// Quiet time before the first edge (ps).
+    pub settle: f64,
+    /// Simulation time after the last edge (ps).
+    pub tail: f64,
+    /// RK4 step (ps); only used with [`IntegratorSpec::Rk4`].
+    pub dt: f64,
+    /// Input slew (ps).
+    pub slew: f64,
+    /// Which inverter stage to measure, 0-based.
+    pub stage: u32,
+    /// The integrator.
+    pub integrator: IntegratorSpec,
+}
+
+impl Default for SweepSpec {
+    /// Mirrors `SweepConfig::default()`.
+    fn default() -> Self {
+        let cfg = ivl_analog::characterize::SweepConfig::default();
+        SweepSpec {
+            widths: cfg.widths,
+            settle: cfg.settle,
+            tail: cfg.tail,
+            dt: cfg.dt,
+            slew: cfg.slew,
+            stage: u32::try_from(cfg.stage).unwrap_or(u32::MAX),
+            integrator: IntegratorSpec::default(),
+        }
+    }
+}
+
+impl SweepSpec {
+    /// Replaces the width list.
+    #[must_use]
+    pub fn with_widths(mut self, widths: impl IntoIterator<Item = f64>) -> Self {
+        self.widths = widths.into_iter().collect();
+        self
+    }
+}
+
+/// The integrator selection as data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum IntegratorSpec {
+    /// Fixed-step RK4 at the sweep's `dt`.
+    Rk4,
+    /// Adaptive Dormand–Prince RK45 with the given tolerances.
+    Rk45 {
+        /// Relative tolerance.
+        rtol: f64,
+        /// Absolute tolerance.
+        atol: f64,
+    },
+}
+
+impl Default for IntegratorSpec {
+    /// RK45 at the default tolerances.
+    fn default() -> Self {
+        let opts = ivl_analog::ode::Rk45Options::default();
+        IntegratorSpec::Rk45 {
+            rtol: opts.rtol,
+            atol: opts.atol,
+        }
+    }
+}
+
+/// What an analog experiment computes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogTask {
+    /// `(T, δ)` samples of one stimulus orientation.
+    Samples {
+        /// Apply the inverted stimulus.
+        inverted: bool,
+    },
+    /// Full characterization: `(δ↑, δ↓)` sample sets.
+    Characterize,
+    /// Deviations `D(T)` of the measured crossings against a reference
+    /// delay model.
+    Deviations {
+        /// The reference model.
+        reference: ReferenceSpec,
+        /// Which stimulus orientations to measure.
+        orientation: Orientation,
+    },
+}
+
+/// The reference delay model of a deviation experiment.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ReferenceSpec {
+    /// A closed-form exp-channel.
+    Exp {
+        /// RC time constant.
+        tau: f64,
+        /// Pure delay.
+        t_p: f64,
+        /// Switching threshold.
+        v_th: f64,
+    },
+    /// A closed-form rational pair.
+    Rational {
+        /// Asymptote parameter.
+        a: f64,
+        /// Shift parameter.
+        b: f64,
+        /// Shape parameter.
+        c: f64,
+    },
+    /// Characterize the *nominal* configuration (width scale 1, DC
+    /// supply at the nominal voltage) first and use the empirical pair
+    /// built from its samples — the paper's Figs. 8a–c procedure as a
+    /// single self-contained spec. Each run re-measures the reference;
+    /// when several deviation specs share one reference (e.g. the
+    /// per-phase sweeps of Fig. 8a), characterize once and embed the
+    /// samples via [`ReferenceSpec::Empirical`] instead.
+    SelfEmpirical,
+    /// An empirical pair built from previously measured `(T, δ)`
+    /// samples (as returned by a `characterize` experiment) — the
+    /// measured reference travels inside the spec, so one
+    /// characterization can feed many deviation experiments.
+    Empirical {
+        /// Measured `(offset, delay)` samples of the rising output
+        /// edge (`δ↑`).
+        up: Vec<(f64, f64)>,
+        /// Measured `(offset, delay)` samples of the falling output
+        /// edge (`δ↓`).
+        down: Vec<(f64, f64)>,
+    },
+}
+
+impl ReferenceSpec {
+    /// Builds an [`Empirical`](ReferenceSpec::Empirical) reference from
+    /// characterization samples (the `(up, down)` sets of an
+    /// [`AnalogTask::Characterize`] result).
+    #[must_use]
+    pub fn empirical(
+        up: &[ivl_analog::characterize::DelaySample],
+        down: &[ivl_analog::characterize::DelaySample],
+    ) -> Self {
+        ReferenceSpec::Empirical {
+            up: up.iter().map(|s| (s.offset, s.delay)).collect(),
+            down: down.iter().map(|s| (s.offset, s.delay)).collect(),
+        }
+    }
+}
+
+/// Which stimulus orientations a deviation experiment sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Orientation {
+    /// Both orientations, normal first (the Figs. 8/9 setting).
+    Both,
+    /// Only the normal stimulus.
+    Normal,
+    /// Only the inverted stimulus.
+    Inverted,
+}
+
+/// An SPF experiment: the feedback delay pair, the adversary bounds and
+/// a task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpfSpec {
+    /// The feedback channel's delay pair.
+    pub delay: DelaySpec,
+    /// Adversary bound `η⁻`.
+    pub eta_minus: f64,
+    /// Adversary bound `η⁺`.
+    pub eta_plus: f64,
+    /// What to compute.
+    pub task: SpfTask,
+}
+
+impl SpfSpec {
+    /// An SPF instance over an exp delay pair, computing the theory
+    /// bundle.
+    #[must_use]
+    pub fn exp(tau: f64, t_p: f64, v_th: f64, eta_minus: f64, eta_plus: f64) -> Self {
+        SpfSpec {
+            delay: DelaySpec::Exp { tau, t_p, v_th },
+            eta_minus,
+            eta_plus,
+            task: SpfTask::Theory,
+        }
+    }
+
+    /// Replaces the task.
+    #[must_use]
+    pub fn with_task(mut self, task: SpfTask) -> Self {
+        self.task = task;
+        self
+    }
+}
+
+/// A closed-form delay pair as data.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DelaySpec {
+    /// First-order RC switching delays.
+    Exp {
+        /// RC time constant.
+        tau: f64,
+        /// Pure delay.
+        t_p: f64,
+        /// Switching threshold.
+        v_th: f64,
+    },
+    /// The algebraic involution family.
+    Rational {
+        /// Asymptote parameter.
+        a: f64,
+        /// Shift parameter.
+        b: f64,
+        /// Shape parameter.
+        c: f64,
+    },
+}
+
+/// What an SPF experiment computes.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpfTask {
+    /// The Section IV theory bundle only.
+    Theory,
+    /// Theory plus an event-driven run of the Fig. 5 circuit.
+    Simulate {
+        /// The adversary / noise source on the feedback channel.
+        noise: NoiseSpec,
+        /// The input signal.
+        input: SignalSpec,
+        /// Simulation horizon.
+        horizon: f64,
+    },
+}
+
+/// A noise source / adversary as data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum NoiseSpec {
+    /// Always `η = 0`.
+    Zero,
+    /// Rising maximally late, falling maximally early (shrinks pulses).
+    WorstCase,
+    /// The pulse-extending adversary.
+    Extending,
+    /// Uniform draws over the bounds.
+    Uniform {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Truncated Gaussian draws.
+    Gaussian {
+        /// Standard deviation before truncation.
+        sigma: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A constant shift.
+    Constant {
+        /// The shift applied to every transition.
+        shift: f64,
+    },
+}
+
+// ======================================================================
+// Spec construction conveniences
+// ======================================================================
+
+impl ExperimentSpec {
+    /// Wraps a workload.
+    #[must_use]
+    pub fn new(workload: WorkloadSpec) -> Self {
+        ExperimentSpec { workload }
+    }
+
+    /// A channel-application experiment.
+    #[must_use]
+    pub fn channel(channel: ChannelSpec, input: SignalSpec) -> Self {
+        ExperimentSpec::new(WorkloadSpec::Channel(ChannelRunSpec { channel, input }))
+    }
+
+    /// A digital sweep experiment.
+    #[must_use]
+    pub fn digital(spec: DigitalSpec) -> Self {
+        ExperimentSpec::new(WorkloadSpec::Digital(spec))
+    }
+
+    /// An analog experiment.
+    #[must_use]
+    pub fn analog(spec: AnalogSpec) -> Self {
+        ExperimentSpec::new(WorkloadSpec::Analog(spec))
+    }
+
+    /// An SPF experiment.
+    #[must_use]
+    pub fn spf(spec: SpfSpec) -> Self {
+        ExperimentSpec::new(WorkloadSpec::Spf(spec))
+    }
+}
+
+// ======================================================================
+// Value conversion: spec -> tree
+// ======================================================================
+
+fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
+fn int(v: u64) -> Value {
+    Value::Int(v)
+}
+
+fn text(s: &str) -> Value {
+    Value::Str(s.to_owned())
+}
+
+fn node(tag: &str, fields: Vec<(String, Value)>) -> Value {
+    Value::Node(tag.to_owned(), fields)
+}
+
+fn field(name: &str, value: Value) -> (String, Value) {
+    (name.to_owned(), value)
+}
+
+impl ExperimentSpec {
+    pub(crate) fn to_value(&self) -> Value {
+        match &self.workload {
+            WorkloadSpec::Channel(c) => node(
+                "channel",
+                vec![
+                    field("channel", channel_to_value(&c.channel)),
+                    field("input", signal_to_value(&c.input)),
+                ],
+            ),
+            WorkloadSpec::Digital(d) => digital_to_value(d),
+            WorkloadSpec::Analog(a) => analog_to_value(a),
+            WorkloadSpec::Spf(s) => spf_to_value(s),
+        }
+    }
+}
+
+fn channel_to_value(c: &ChannelSpec) -> Value {
+    let fields = c
+        .params
+        .entries()
+        .iter()
+        .map(|(name, value)| {
+            let v = match value {
+                ParamValue::Num(v) => num(*v),
+                ParamValue::Int(v) => int(*v),
+                ParamValue::Text(v) => {
+                    if is_word(v) {
+                        Value::word(v.clone())
+                    } else {
+                        Value::Str(v.clone())
+                    }
+                }
+                // future ParamValue variants degrade to their display form
+                other => Value::Str(other.to_string()),
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    Value::Node(c.kind.clone(), fields)
+}
+
+fn is_word(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s != "true"
+        && s != "false"
+}
+
+fn signal_to_value(s: &SignalSpec) -> Value {
+    match s {
+        SignalSpec::Zero => Value::word("zero"),
+        SignalSpec::Pulse { at, width } => node(
+            "pulse",
+            vec![field("at", num(*at)), field("width", num(*width))],
+        ),
+        SignalSpec::Train { pulses } => node(
+            "train",
+            vec![field(
+                "pulses",
+                Value::List(
+                    pulses
+                        .iter()
+                        .map(|(t, w)| Value::List(vec![num(*t), num(*w)]))
+                        .collect(),
+                ),
+            )],
+        ),
+        SignalSpec::Times { initial, times } => node(
+            "times",
+            vec![
+                field("initial", Value::bool(*initial)),
+                field("at", Value::List(times.iter().map(|t| num(*t)).collect())),
+            ],
+        ),
+    }
+}
+
+fn digital_to_value(d: &DigitalSpec) -> Value {
+    let mut fields = vec![
+        field("topology", topology_to_value(&d.topology)),
+        field("horizon", num(d.horizon)),
+    ];
+    if let Some(m) = d.max_events {
+        fields.push(field("max_events", int(m)));
+    }
+    if let Some(w) = d.workers {
+        fields.push(field("workers", int(u64::from(w))));
+    }
+    fields.push(field(
+        "scenarios",
+        Value::List(d.scenarios.iter().map(scenario_to_value).collect()),
+    ));
+    fields.push(field(
+        "outputs",
+        node(
+            "outputs",
+            vec![
+                field("signals", Value::bool(d.outputs.signals)),
+                field("stats", Value::bool(d.outputs.stats)),
+                field("vcd", Value::bool(d.outputs.vcd)),
+            ],
+        ),
+    ));
+    node("digital", fields)
+}
+
+fn topology_to_value(t: &TopologySpec) -> Value {
+    match t {
+        TopologySpec::Netlist(n) => node(
+            "netlist",
+            vec![
+                field(
+                    "nodes",
+                    Value::List(n.nodes.iter().map(node_to_value).collect()),
+                ),
+                field(
+                    "edges",
+                    Value::List(n.edges.iter().map(edge_to_value).collect()),
+                ),
+            ],
+        ),
+        TopologySpec::InverterChain { stages, channel } => node(
+            "chain",
+            vec![
+                field("stages", int(u64::from(*stages))),
+                field("channel", channel_to_value(channel)),
+            ],
+        ),
+    }
+}
+
+fn node_to_value(n: &NodeSpec) -> Value {
+    match n {
+        NodeSpec::Input { name } => node("input", vec![field("name", text(name))]),
+        NodeSpec::Output { name } => node("output", vec![field("name", text(name))]),
+        NodeSpec::Gate {
+            name,
+            kind,
+            arity,
+            init,
+        } => {
+            let mut fields = vec![
+                field("name", text(name)),
+                field("kind", gate_kind_to_value(kind)),
+            ];
+            if let Some(a) = arity {
+                fields.push(field("arity", int(u64::from(*a))));
+            }
+            fields.push(field("init", Value::bool(*init)));
+            node("gate", fields)
+        }
+    }
+}
+
+fn gate_kind_to_value(k: &GateKindSpec) -> Value {
+    match k {
+        GateKindSpec::Buf => Value::word("buf"),
+        GateKindSpec::Not => Value::word("not"),
+        GateKindSpec::And => Value::word("and"),
+        GateKindSpec::Or => Value::word("or"),
+        GateKindSpec::Nand => Value::word("nand"),
+        GateKindSpec::Nor => Value::word("nor"),
+        GateKindSpec::Xor => Value::word("xor"),
+        GateKindSpec::Xnor => Value::word("xnor"),
+        GateKindSpec::Table { inputs, rows } => node(
+            "table",
+            vec![
+                field("inputs", int(u64::from(*inputs))),
+                field(
+                    "rows",
+                    Value::List(rows.iter().map(|b| int(u64::from(*b))).collect()),
+                ),
+            ],
+        ),
+    }
+}
+
+fn edge_to_value(e: &EdgeSpec) -> Value {
+    let mut fields = vec![
+        field("from", text(&e.from)),
+        field("to", text(&e.to)),
+        field("pin", int(u64::from(e.pin))),
+    ];
+    if let Some(c) = &e.channel {
+        fields.push(field("channel", channel_to_value(c)));
+    }
+    node("edge", fields)
+}
+
+fn scenario_to_value(s: &ScenarioSpec) -> Value {
+    let mut fields = vec![field("label", text(&s.label))];
+    if let Some(seed) = s.seed {
+        fields.push(field("seed", int(seed)));
+    }
+    fields.push(field(
+        "inputs",
+        Value::List(
+            s.inputs
+                .iter()
+                .map(|(port, sig)| {
+                    node(
+                        "drive",
+                        vec![
+                            field("port", text(port)),
+                            field("signal", signal_to_value(sig)),
+                        ],
+                    )
+                })
+                .collect(),
+        ),
+    ));
+    node("scenario", fields)
+}
+
+fn analog_to_value(a: &AnalogSpec) -> Value {
+    let mut fields = vec![
+        field(
+            "chain",
+            node(
+                "chain",
+                vec![
+                    field("stages", int(u64::from(a.chain.stages))),
+                    field("width_scale", num(a.chain.width_scale)),
+                ],
+            ),
+        ),
+        field(
+            "supply",
+            match &a.supply {
+                SupplySpec::Dc { volts } => node("dc", vec![field("volts", num(*volts))]),
+                SupplySpec::Sine {
+                    nominal,
+                    amplitude,
+                    period,
+                    phase,
+                } => node(
+                    "sine",
+                    vec![
+                        field("nominal", num(*nominal)),
+                        field("amplitude", num(*amplitude)),
+                        field("period", num(*period)),
+                        field("phase", num(*phase)),
+                    ],
+                ),
+            },
+        ),
+        field(
+            "sweep",
+            node(
+                "sweep",
+                vec![
+                    field(
+                        "widths",
+                        Value::List(a.sweep.widths.iter().map(|w| num(*w)).collect()),
+                    ),
+                    field("settle", num(a.sweep.settle)),
+                    field("tail", num(a.sweep.tail)),
+                    field("dt", num(a.sweep.dt)),
+                    field("slew", num(a.sweep.slew)),
+                    field("stage", int(u64::from(a.sweep.stage))),
+                    field(
+                        "integrator",
+                        match a.sweep.integrator {
+                            IntegratorSpec::Rk4 => Value::word("rk4"),
+                            IntegratorSpec::Rk45 { rtol, atol } => node(
+                                "rk45",
+                                vec![field("rtol", num(rtol)), field("atol", num(atol))],
+                            ),
+                        },
+                    ),
+                ],
+            ),
+        ),
+        field(
+            "task",
+            match &a.task {
+                AnalogTask::Samples { inverted } => {
+                    node("samples", vec![field("inverted", Value::bool(*inverted))])
+                }
+                AnalogTask::Characterize => Value::word("characterize"),
+                AnalogTask::Deviations {
+                    reference,
+                    orientation,
+                } => node(
+                    "deviations",
+                    vec![
+                        field("reference", reference_to_value(reference)),
+                        field(
+                            "orientation",
+                            Value::word(match orientation {
+                                Orientation::Both => "both",
+                                Orientation::Normal => "normal",
+                                Orientation::Inverted => "inverted",
+                            }),
+                        ),
+                    ],
+                ),
+            },
+        ),
+    ];
+    if let Some(w) = a.workers {
+        fields.push(field("workers", int(u64::from(w))));
+    }
+    node("analog", fields)
+}
+
+fn reference_to_value(r: &ReferenceSpec) -> Value {
+    match r {
+        ReferenceSpec::Exp { tau, t_p, v_th } => delay_exp_to_value(*tau, *t_p, *v_th),
+        ReferenceSpec::Rational { a, b, c } => delay_rational_to_value(*a, *b, *c),
+        ReferenceSpec::SelfEmpirical => Value::word("self_empirical"),
+        ReferenceSpec::Empirical { up, down } => node(
+            "empirical",
+            vec![
+                field("up", samples_to_value(up)),
+                field("down", samples_to_value(down)),
+            ],
+        ),
+    }
+}
+
+fn samples_to_value(samples: &[(f64, f64)]) -> Value {
+    Value::List(
+        samples
+            .iter()
+            .map(|(t, d)| Value::List(vec![num(*t), num(*d)]))
+            .collect(),
+    )
+}
+
+fn delay_exp_to_value(tau: f64, t_p: f64, v_th: f64) -> Value {
+    node(
+        "exp",
+        vec![
+            field("tau", num(tau)),
+            field("t_p", num(t_p)),
+            field("v_th", num(v_th)),
+        ],
+    )
+}
+
+fn delay_rational_to_value(a: f64, b: f64, c: f64) -> Value {
+    node(
+        "rational",
+        vec![field("a", num(a)), field("b", num(b)), field("c", num(c))],
+    )
+}
+
+fn spf_to_value(s: &SpfSpec) -> Value {
+    node(
+        "spf",
+        vec![
+            field(
+                "delay",
+                match s.delay {
+                    DelaySpec::Exp { tau, t_p, v_th } => delay_exp_to_value(tau, t_p, v_th),
+                    DelaySpec::Rational { a, b, c } => delay_rational_to_value(a, b, c),
+                },
+            ),
+            field("eta_minus", num(s.eta_minus)),
+            field("eta_plus", num(s.eta_plus)),
+            field(
+                "task",
+                match &s.task {
+                    SpfTask::Theory => Value::word("theory"),
+                    SpfTask::Simulate {
+                        noise,
+                        input,
+                        horizon,
+                    } => node(
+                        "simulate",
+                        vec![
+                            field("noise", noise_to_value(*noise)),
+                            field("input", signal_to_value(input)),
+                            field("horizon", num(*horizon)),
+                        ],
+                    ),
+                },
+            ),
+        ],
+    )
+}
+
+fn noise_to_value(n: NoiseSpec) -> Value {
+    match n {
+        NoiseSpec::Zero => Value::word("zero"),
+        NoiseSpec::WorstCase => Value::word("worst_case"),
+        NoiseSpec::Extending => Value::word("extending"),
+        NoiseSpec::Uniform { seed } => node("uniform", vec![field("seed", int(seed))]),
+        NoiseSpec::Gaussian { sigma, seed } => node(
+            "gaussian",
+            vec![field("sigma", num(sigma)), field("seed", int(seed))],
+        ),
+        NoiseSpec::Constant { shift } => node("constant", vec![field("shift", num(shift))]),
+    }
+}
+
+// ======================================================================
+// Value conversion: tree -> spec
+// ======================================================================
+
+/// A consuming reader over one node's fields with contextual errors.
+struct Fields {
+    tag: String,
+    fields: Vec<(String, Option<Value>)>,
+}
+
+impl Fields {
+    fn of(value: Value, context: &str) -> Result<Fields, SpecError> {
+        match value {
+            Value::Node(tag, fields) => Ok(Fields {
+                tag,
+                fields: fields.into_iter().map(|(n, v)| (n, Some(v))).collect(),
+            }),
+            Value::Word(tag) => Ok(Fields {
+                tag,
+                fields: Vec::new(),
+            }),
+            other => Err(SpecError::new(format!(
+                "{context}: expected a tagged node, found {other}"
+            ))),
+        }
+    }
+
+    fn expect_tag(&self, expected: &[&str]) -> Result<(), SpecError> {
+        if expected.contains(&self.tag.as_str()) {
+            Ok(())
+        } else {
+            Err(SpecError::new(format!(
+                "unexpected tag {:?} (expected one of {expected:?})",
+                self.tag
+            )))
+        }
+    }
+
+    fn take(&mut self, name: &str) -> Option<Value> {
+        self.fields
+            .iter_mut()
+            .find(|(n, v)| n == name && v.is_some())
+            .and_then(|(_, v)| v.take())
+    }
+
+    fn req(&mut self, name: &str) -> Result<Value, SpecError> {
+        self.take(name)
+            .ok_or_else(|| SpecError::new(format!("{}: missing field {name:?}", self.tag)))
+    }
+
+    fn f64(&mut self, name: &str) -> Result<f64, SpecError> {
+        as_f64(&self.req(name)?, &self.tag, name)
+    }
+
+    fn u64(&mut self, name: &str) -> Result<u64, SpecError> {
+        as_u64(&self.req(name)?, &self.tag, name)
+    }
+
+    fn u32(&mut self, name: &str) -> Result<u32, SpecError> {
+        let v = self.u64(name)?;
+        u32::try_from(v)
+            .map_err(|_| SpecError::new(format!("{}: field {name:?} out of range", self.tag)))
+    }
+
+    fn bool(&mut self, name: &str) -> Result<bool, SpecError> {
+        as_bool(&self.req(name)?, &self.tag, name)
+    }
+
+    fn string(&mut self, name: &str) -> Result<String, SpecError> {
+        as_text(&self.req(name)?, &self.tag, name)
+    }
+
+    fn list(&mut self, name: &str) -> Result<Vec<Value>, SpecError> {
+        match self.req(name)? {
+            Value::List(items) => Ok(items),
+            other => Err(SpecError::new(format!(
+                "{}: field {name:?} must be a list, found {other}",
+                self.tag
+            ))),
+        }
+    }
+
+    fn finish(self) -> Result<(), SpecError> {
+        if let Some((name, _)) = self.fields.iter().find(|(_, v)| v.is_some()) {
+            return Err(SpecError::new(format!(
+                "{}: unknown field {name:?}",
+                self.tag
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn as_f64(v: &Value, tag: &str, name: &str) -> Result<f64, SpecError> {
+    match v {
+        Value::Num(x) => Ok(*x),
+        #[allow(clippy::cast_precision_loss)]
+        Value::Int(x) => Ok(*x as f64),
+        other => Err(SpecError::new(format!(
+            "{tag}: field {name:?} must be a number, found {other}"
+        ))),
+    }
+}
+
+fn as_u64(v: &Value, tag: &str, name: &str) -> Result<u64, SpecError> {
+    match v {
+        Value::Int(x) => Ok(*x),
+        other => Err(SpecError::new(format!(
+            "{tag}: field {name:?} must be an integer, found {other}"
+        ))),
+    }
+}
+
+fn as_bool(v: &Value, tag: &str, name: &str) -> Result<bool, SpecError> {
+    match v {
+        Value::Word(w) if w == "true" => Ok(true),
+        Value::Word(w) if w == "false" => Ok(false),
+        other => Err(SpecError::new(format!(
+            "{tag}: field {name:?} must be true or false, found {other}"
+        ))),
+    }
+}
+
+fn as_text(v: &Value, tag: &str, name: &str) -> Result<String, SpecError> {
+    match v {
+        Value::Str(s) => Ok(s.clone()),
+        Value::Word(w) => Ok(w.clone()),
+        other => Err(SpecError::new(format!(
+            "{tag}: field {name:?} must be a string, found {other}"
+        ))),
+    }
+}
+
+impl ExperimentSpec {
+    pub(crate) fn from_value(value: Value) -> Result<Self, SpecError> {
+        let mut f = Fields::of(value, "workload")?;
+        let workload = match f.tag.as_str() {
+            "channel" => {
+                let channel = channel_from_value(f.req("channel")?)?;
+                let input = signal_from_value(f.req("input")?)?;
+                WorkloadSpec::Channel(ChannelRunSpec { channel, input })
+            }
+            "digital" => WorkloadSpec::Digital(digital_from_fields(&mut f)?),
+            "analog" => WorkloadSpec::Analog(analog_from_fields(&mut f)?),
+            "spf" => WorkloadSpec::Spf(spf_from_fields(&mut f)?),
+            other => {
+                return Err(SpecError::new(format!(
+                    "unknown workload kind {other:?} (expected channel, digital, analog or spf)"
+                )))
+            }
+        };
+        f.finish()?;
+        Ok(ExperimentSpec { workload })
+    }
+}
+
+fn channel_from_value(value: Value) -> Result<ChannelSpec, SpecError> {
+    let f = Fields::of(value, "channel")?;
+    let mut params = ChannelParams::new();
+    for (name, v) in &f.fields {
+        let v = v.as_ref().expect("freshly constructed fields are present");
+        params = match v {
+            Value::Num(x) => params.with_num(name.clone(), *x),
+            Value::Int(x) => params.with_int(name.clone(), *x),
+            Value::Word(w) => params.with_text(name.clone(), w.clone()),
+            Value::Str(s) => params.with_text(name.clone(), s.clone()),
+            other => {
+                return Err(SpecError::new(format!(
+                    "{}: channel parameter {name:?} must be scalar, found {other}",
+                    f.tag
+                )))
+            }
+        };
+    }
+    Ok(ChannelSpec {
+        kind: f.tag,
+        params,
+    })
+}
+
+fn signal_from_value(value: Value) -> Result<SignalSpec, SpecError> {
+    let mut f = Fields::of(value, "signal")?;
+    let spec = match f.tag.as_str() {
+        "zero" => SignalSpec::Zero,
+        "pulse" => SignalSpec::Pulse {
+            at: f.f64("at")?,
+            width: f.f64("width")?,
+        },
+        "train" => {
+            let mut pulses = Vec::new();
+            for item in f.list("pulses")? {
+                match item {
+                    Value::List(pair) if pair.len() == 2 => {
+                        pulses.push((
+                            as_f64(&pair[0], "train", "start")?,
+                            as_f64(&pair[1], "train", "width")?,
+                        ));
+                    }
+                    other => {
+                        return Err(SpecError::new(format!(
+                            "train: each pulse must be a [start, width] pair, found {other}"
+                        )))
+                    }
+                }
+            }
+            SignalSpec::Train { pulses }
+        }
+        "times" => {
+            let initial = f.bool("initial")?;
+            let times = f
+                .list("at")?
+                .iter()
+                .map(|v| as_f64(v, "times", "at"))
+                .collect::<Result<Vec<_>, _>>()?;
+            SignalSpec::Times { initial, times }
+        }
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown signal kind {other:?} (expected zero, pulse, train or times)"
+            )))
+        }
+    };
+    f.finish()?;
+    Ok(spec)
+}
+
+fn digital_from_fields(f: &mut Fields) -> Result<DigitalSpec, SpecError> {
+    let topology = topology_from_value(f.req("topology")?)?;
+    let horizon = f.f64("horizon")?;
+    let max_events = f
+        .take("max_events")
+        .map(|v| as_u64(&v, "digital", "max_events"))
+        .transpose()?;
+    let workers = take_workers(f)?;
+    let scenarios = f
+        .list("scenarios")?
+        .into_iter()
+        .map(scenario_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let outputs = match f.take("outputs") {
+        None => OutputSelect::default(),
+        Some(v) => {
+            let mut of = Fields::of(v, "outputs")?;
+            of.expect_tag(&["outputs"])?;
+            let sel = OutputSelect {
+                signals: of.bool("signals")?,
+                stats: of.bool("stats")?,
+                vcd: of.bool("vcd")?,
+            };
+            of.finish()?;
+            sel
+        }
+    };
+    Ok(DigitalSpec {
+        topology,
+        horizon,
+        max_events,
+        workers,
+        scenarios,
+        outputs,
+    })
+}
+
+fn take_workers(f: &mut Fields) -> Result<Option<u32>, SpecError> {
+    f.take("workers")
+        .map(|v| {
+            let w = as_u64(&v, &f.tag, "workers")?;
+            u32::try_from(w)
+                .map_err(|_| SpecError::new(format!("{}: field \"workers\" out of range", f.tag)))
+        })
+        .transpose()
+}
+
+fn topology_from_value(value: Value) -> Result<TopologySpec, SpecError> {
+    let mut f = Fields::of(value, "topology")?;
+    let t = match f.tag.as_str() {
+        "netlist" => {
+            let nodes = f
+                .list("nodes")?
+                .into_iter()
+                .map(node_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            let edges = f
+                .list("edges")?
+                .into_iter()
+                .map(edge_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            TopologySpec::Netlist(NetlistSpec { nodes, edges })
+        }
+        "chain" => TopologySpec::InverterChain {
+            stages: f.u32("stages")?,
+            channel: channel_from_value(f.req("channel")?)?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown topology kind {other:?} (expected netlist or chain)"
+            )))
+        }
+    };
+    f.finish()?;
+    Ok(t)
+}
+
+fn node_from_value(value: Value) -> Result<NodeSpec, SpecError> {
+    let mut f = Fields::of(value, "node")?;
+    let n = match f.tag.as_str() {
+        "input" => NodeSpec::Input {
+            name: f.string("name")?,
+        },
+        "output" => NodeSpec::Output {
+            name: f.string("name")?,
+        },
+        "gate" => NodeSpec::Gate {
+            name: f.string("name")?,
+            kind: gate_kind_from_value(f.req("kind")?)?,
+            arity: f
+                .take("arity")
+                .map(|v| {
+                    let a = as_u64(&v, "gate", "arity")?;
+                    u32::try_from(a)
+                        .map_err(|_| SpecError::new("gate: field \"arity\" out of range"))
+                })
+                .transpose()?,
+            init: f.bool("init")?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown node kind {other:?} (expected input, output or gate)"
+            )))
+        }
+    };
+    f.finish()?;
+    Ok(n)
+}
+
+fn gate_kind_from_value(value: Value) -> Result<GateKindSpec, SpecError> {
+    let mut f = Fields::of(value, "gate kind")?;
+    let k = match f.tag.as_str() {
+        "buf" => GateKindSpec::Buf,
+        "not" => GateKindSpec::Not,
+        "and" => GateKindSpec::And,
+        "or" => GateKindSpec::Or,
+        "nand" => GateKindSpec::Nand,
+        "nor" => GateKindSpec::Nor,
+        "xor" => GateKindSpec::Xor,
+        "xnor" => GateKindSpec::Xnor,
+        "table" => {
+            let inputs = f.u32("inputs")?;
+            let rows = f
+                .list("rows")?
+                .iter()
+                .map(|v| Ok(as_u64(v, "table", "rows")? != 0))
+                .collect::<Result<Vec<_>, SpecError>>()?;
+            GateKindSpec::Table { inputs, rows }
+        }
+        other => return Err(SpecError::new(format!("unknown gate kind {other:?}"))),
+    };
+    f.finish()?;
+    Ok(k)
+}
+
+fn edge_from_value(value: Value) -> Result<EdgeSpec, SpecError> {
+    let mut f = Fields::of(value, "edge")?;
+    f.expect_tag(&["edge"])?;
+    let e = EdgeSpec {
+        from: f.string("from")?,
+        to: f.string("to")?,
+        pin: f.u32("pin")?,
+        channel: f.take("channel").map(channel_from_value).transpose()?,
+    };
+    f.finish()?;
+    Ok(e)
+}
+
+fn scenario_from_value(value: Value) -> Result<ScenarioSpec, SpecError> {
+    let mut f = Fields::of(value, "scenario")?;
+    f.expect_tag(&["scenario"])?;
+    let label = f.string("label")?;
+    let seed = f
+        .take("seed")
+        .map(|v| as_u64(&v, "scenario", "seed"))
+        .transpose()?;
+    let mut inputs = Vec::new();
+    for item in f.list("inputs")? {
+        let mut df = Fields::of(item, "drive")?;
+        df.expect_tag(&["drive"])?;
+        let port = df.string("port")?;
+        let signal = signal_from_value(df.req("signal")?)?;
+        df.finish()?;
+        inputs.push((port, signal));
+    }
+    f.finish()?;
+    Ok(ScenarioSpec {
+        label,
+        seed,
+        inputs,
+    })
+}
+
+fn analog_from_fields(f: &mut Fields) -> Result<AnalogSpec, SpecError> {
+    let mut cf = Fields::of(f.req("chain")?, "chain")?;
+    cf.expect_tag(&["chain"])?;
+    let chain = ChainSpec {
+        stages: cf.u32("stages")?,
+        width_scale: cf.f64("width_scale")?,
+    };
+    cf.finish()?;
+
+    let mut sf = Fields::of(f.req("supply")?, "supply")?;
+    let supply = match sf.tag.as_str() {
+        "dc" => SupplySpec::Dc {
+            volts: sf.f64("volts")?,
+        },
+        "sine" => SupplySpec::Sine {
+            nominal: sf.f64("nominal")?,
+            amplitude: sf.f64("amplitude")?,
+            period: sf.f64("period")?,
+            phase: sf.f64("phase")?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown supply kind {other:?} (expected dc or sine)"
+            )))
+        }
+    };
+    sf.finish()?;
+
+    let mut wf = Fields::of(f.req("sweep")?, "sweep")?;
+    wf.expect_tag(&["sweep"])?;
+    let widths = wf
+        .list("widths")?
+        .iter()
+        .map(|v| as_f64(v, "sweep", "widths"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut sweep = SweepSpec {
+        widths,
+        settle: wf.f64("settle")?,
+        tail: wf.f64("tail")?,
+        dt: wf.f64("dt")?,
+        slew: wf.f64("slew")?,
+        stage: wf.u32("stage")?,
+        integrator: IntegratorSpec::default(),
+    };
+    let mut intf = Fields::of(wf.req("integrator")?, "integrator")?;
+    sweep.integrator = match intf.tag.as_str() {
+        "rk4" => IntegratorSpec::Rk4,
+        "rk45" => IntegratorSpec::Rk45 {
+            rtol: intf.f64("rtol")?,
+            atol: intf.f64("atol")?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown integrator {other:?} (expected rk4 or rk45)"
+            )))
+        }
+    };
+    intf.finish()?;
+    wf.finish()?;
+
+    let mut tf = Fields::of(f.req("task")?, "task")?;
+    let task = match tf.tag.as_str() {
+        "samples" => AnalogTask::Samples {
+            inverted: tf.bool("inverted")?,
+        },
+        "characterize" => AnalogTask::Characterize,
+        "deviations" => {
+            let reference = reference_from_value(tf.req("reference")?)?;
+            let orientation = match tf.string("orientation")?.as_str() {
+                "both" => Orientation::Both,
+                "normal" => Orientation::Normal,
+                "inverted" => Orientation::Inverted,
+                other => {
+                    return Err(SpecError::new(format!(
+                        "unknown orientation {other:?} (expected both, normal or inverted)"
+                    )))
+                }
+            };
+            AnalogTask::Deviations {
+                reference,
+                orientation,
+            }
+        }
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown analog task {other:?} (expected samples, characterize or deviations)"
+            )))
+        }
+    };
+    tf.finish()?;
+
+    let workers = take_workers(f)?;
+    Ok(AnalogSpec {
+        chain,
+        supply,
+        sweep,
+        task,
+        workers,
+    })
+}
+
+fn reference_from_value(value: Value) -> Result<ReferenceSpec, SpecError> {
+    let mut f = Fields::of(value, "reference")?;
+    let r = match f.tag.as_str() {
+        "exp" => ReferenceSpec::Exp {
+            tau: f.f64("tau")?,
+            t_p: f.f64("t_p")?,
+            v_th: f.f64("v_th")?,
+        },
+        "rational" => ReferenceSpec::Rational {
+            a: f.f64("a")?,
+            b: f.f64("b")?,
+            c: f.f64("c")?,
+        },
+        "self_empirical" => ReferenceSpec::SelfEmpirical,
+        "empirical" => ReferenceSpec::Empirical {
+            up: samples_from_value(f.req("up")?)?,
+            down: samples_from_value(f.req("down")?)?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown reference {other:?} (expected exp, rational, empirical or self_empirical)"
+            )))
+        }
+    };
+    f.finish()?;
+    Ok(r)
+}
+
+fn samples_from_value(value: Value) -> Result<Vec<(f64, f64)>, SpecError> {
+    let Value::List(items) = value else {
+        return Err(SpecError::new(format!(
+            "empirical: samples must be a list, found {value}"
+        )));
+    };
+    items
+        .into_iter()
+        .map(|item| match item {
+            Value::List(pair) if pair.len() == 2 => Ok((
+                as_f64(&pair[0], "empirical", "offset")?,
+                as_f64(&pair[1], "empirical", "delay")?,
+            )),
+            other => Err(SpecError::new(format!(
+                "empirical: each sample must be an [offset, delay] pair, found {other}"
+            ))),
+        })
+        .collect()
+}
+
+fn spf_from_fields(f: &mut Fields) -> Result<SpfSpec, SpecError> {
+    let mut df = Fields::of(f.req("delay")?, "delay")?;
+    let delay = match df.tag.as_str() {
+        "exp" => DelaySpec::Exp {
+            tau: df.f64("tau")?,
+            t_p: df.f64("t_p")?,
+            v_th: df.f64("v_th")?,
+        },
+        "rational" => DelaySpec::Rational {
+            a: df.f64("a")?,
+            b: df.f64("b")?,
+            c: df.f64("c")?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown delay family {other:?} (expected exp or rational)"
+            )))
+        }
+    };
+    df.finish()?;
+    let eta_minus = f.f64("eta_minus")?;
+    let eta_plus = f.f64("eta_plus")?;
+    let mut tf = Fields::of(f.req("task")?, "task")?;
+    let task = match tf.tag.as_str() {
+        "theory" => SpfTask::Theory,
+        "simulate" => SpfTask::Simulate {
+            noise: noise_from_value(tf.req("noise")?)?,
+            input: signal_from_value(tf.req("input")?)?,
+            horizon: tf.f64("horizon")?,
+        },
+        other => {
+            return Err(SpecError::new(format!(
+                "unknown spf task {other:?} (expected theory or simulate)"
+            )))
+        }
+    };
+    tf.finish()?;
+    Ok(SpfSpec {
+        delay,
+        eta_minus,
+        eta_plus,
+        task,
+    })
+}
+
+fn noise_from_value(value: Value) -> Result<NoiseSpec, SpecError> {
+    let mut f = Fields::of(value, "noise")?;
+    let n = match f.tag.as_str() {
+        "zero" => NoiseSpec::Zero,
+        "worst_case" => NoiseSpec::WorstCase,
+        "extending" => NoiseSpec::Extending,
+        "uniform" => NoiseSpec::Uniform {
+            seed: f.u64("seed")?,
+        },
+        "gaussian" => NoiseSpec::Gaussian {
+            sigma: f.f64("sigma")?,
+            seed: f.u64("seed")?,
+        },
+        "constant" => NoiseSpec::Constant {
+            shift: f.f64("shift")?,
+        },
+        other => return Err(SpecError::new(format!("unknown noise kind {other:?}"))),
+    };
+    f.finish()?;
+    Ok(n)
+}
+
+// ======================================================================
+// Display / FromStr
+// ======================================================================
+
+impl fmt::Display for ExperimentSpec {
+    /// The versioned text serialization. Round-trips exactly through
+    /// [`FromStr`] for every spec whose numbers are finite and whose
+    /// channel kinds/parameter names are identifiers.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render_document(&self.to_value()))
+    }
+}
+
+impl FromStr for ExperimentSpec {
+    type Err = SpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ExperimentSpec::from_value(parse_document(s)?)
+    }
+}

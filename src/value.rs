@@ -1,0 +1,494 @@
+//! The generic text tree behind the spec serialization.
+//!
+//! [`ExperimentSpec`](crate::ExperimentSpec) serializes through a small
+//! self-describing tree of tagged nodes, fields, scalars and lists —
+//! whitespace-insensitive, versioned at the document level, with no
+//! external dependencies. Grammar:
+//!
+//! ```text
+//! document := "faithful" "/" INT value
+//! value    := NUMBER | WORD | STRING | list | node
+//! node     := WORD "{" (field ";")* "}"
+//! field    := WORD "=" value
+//! list     := "[" (value ("," value)*)? "]"
+//! ```
+//!
+//! Numbers print via `{:?}` for reals (which round-trips every finite
+//! `f64` exactly) and `{}` for integers, so the reader can tell `2`
+//! (integer) from `2.0` (real) and 64-bit seeds survive unharmed.
+//! Non-finite reals are not representable; specs are finite by
+//! construction.
+
+use std::fmt;
+
+use crate::error::SpecError;
+
+/// Version tag emitted and accepted by this build.
+pub const SPEC_VERSION: u32 = 1;
+
+/// One node of the serialization tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A real number (printed with a decimal point or exponent).
+    Num(f64),
+    /// A non-negative integer.
+    Int(u64),
+    /// A bare identifier-like word (enum tags, booleans).
+    Word(String),
+    /// A quoted string (labels, port names).
+    Str(String),
+    /// An ordered list.
+    List(Vec<Value>),
+    /// A tagged node with named fields.
+    Node(String, Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience: a `Word` from a `&str`.
+    pub fn word(w: impl Into<String>) -> Value {
+        Value::Word(w.into())
+    }
+
+    /// Convenience: a boolean as the words `true`/`false`.
+    pub fn bool(b: bool) -> Value {
+        Value::word(if b { "true" } else { "false" })
+    }
+
+    fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            Value::Num(_) | Value::Int(_) | Value::Word(_) | Value::Str(_)
+        )
+    }
+
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        match self {
+            Value::Num(v) => write!(f, "{v:?}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Word(w) => write!(f, "{w}"),
+            Value::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\t' => f.write_str("\\t")?,
+                        '\r' => f.write_str("\\r")?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Value::List(items) => {
+                if items.iter().all(Value::is_scalar) {
+                    f.write_str("[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        item.write(f, indent)?;
+                    }
+                    f.write_str("]")
+                } else {
+                    f.write_str("[")?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        writeln!(f)?;
+                        write!(f, "{:1$}", "", indent + 2)?;
+                        item.write(f, indent + 2)?;
+                    }
+                    writeln!(f)?;
+                    write!(f, "{:1$}]", "", indent)
+                }
+            }
+            Value::Node(tag, fields) => {
+                if fields.is_empty() {
+                    return write!(f, "{tag}");
+                }
+                writeln!(f, "{tag} {{")?;
+                for (name, value) in fields {
+                    write!(f, "{:1$}{name} = ", "", indent + 2)?;
+                    value.write(f, indent + 2)?;
+                    writeln!(f, ";")?;
+                }
+                write!(f, "{:1$}}}", "", indent)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, 0)
+    }
+}
+
+/// Renders a complete, versioned spec document around a workload value.
+pub fn render_document(workload: &Value) -> String {
+    format!("faithful/{SPEC_VERSION} {workload}\n")
+}
+
+/// Parses a complete, versioned spec document.
+///
+/// # Errors
+///
+/// [`SpecError`] on lexical or syntactic problems, unsupported
+/// versions, or trailing garbage.
+pub fn parse_document(text: &str) -> Result<Value, SpecError> {
+    let mut p = Parser::new(text);
+    p.expect_word("faithful")?;
+    p.expect_punct('/')?;
+    let version = match p.next_token()? {
+        Token::Int(v) => v,
+        t => return Err(p.err(format!("expected version number, found {t}"))),
+    };
+    if version != u64::from(SPEC_VERSION) {
+        return Err(p.err(format!(
+            "unsupported spec version {version} (this build reads version {SPEC_VERSION})"
+        )));
+    }
+    let value = p.parse_value()?;
+    p.expect_end()?;
+    Ok(value)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Int(u64),
+    Word(String),
+    Str(String),
+    Punct(char),
+    End,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Num(v) => write!(f, "number {v:?}"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Word(w) => write!(f, "word {w:?}"),
+            Token::Str(s) => write!(f, "string {s:?}"),
+            Token::Punct(c) => write!(f, "{c:?}"),
+            Token::End => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    /// Byte offset of the most recently lexed token, for error messages.
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            text,
+            chars: text.char_indices().peekable(),
+            at: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> SpecError {
+        let line = self.text[..self.at.min(self.text.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1;
+        SpecError::new(format!("line {line}: {}", message.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&(_, c)) = self.chars.peek() {
+            if c.is_whitespace() {
+                self.chars.next();
+            } else if c == '#' {
+                // comment to end of line
+                for (_, c) in self.chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, SpecError> {
+        self.skip_ws();
+        let Some(&(pos, c)) = self.chars.peek() else {
+            self.at = self.text.len();
+            return Ok(Token::End);
+        };
+        self.at = pos;
+        if c == '"' {
+            self.chars.next();
+            let mut s = String::new();
+            loop {
+                match self.chars.next() {
+                    Some((_, '"')) => return Ok(Token::Str(s)),
+                    Some((_, '\\')) => match self.chars.next() {
+                        Some((_, '"')) => s.push('"'),
+                        Some((_, '\\')) => s.push('\\'),
+                        Some((_, 'n')) => s.push('\n'),
+                        Some((_, 't')) => s.push('\t'),
+                        Some((_, 'r')) => s.push('\r'),
+                        Some((_, other)) => {
+                            return Err(self.err(format!("unknown escape \\{other}")))
+                        }
+                        None => return Err(self.err("unterminated string")),
+                    },
+                    Some((_, c)) => s.push(c),
+                    None => return Err(self.err("unterminated string")),
+                }
+            }
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut w = String::new();
+            while let Some(&(_, c)) = self.chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    w.push(c);
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Token::Word(w));
+        }
+        if c.is_ascii_digit() || c == '-' || c == '+' {
+            let mut n = String::new();
+            n.push(c);
+            self.chars.next();
+            let mut real = false;
+            while let Some(&(_, c)) = self.chars.peek() {
+                match c {
+                    '0'..='9' => n.push(c),
+                    '.' | 'e' | 'E' => {
+                        real = true;
+                        n.push(c);
+                    }
+                    // exponent signs: only valid right after e/E, let
+                    // f64::from_str be the judge
+                    '-' | '+' if n.ends_with(['e', 'E']) => n.push(c),
+                    _ => break,
+                }
+                self.chars.next();
+            }
+            if !real && !n.starts_with(['-', '+']) {
+                if let Ok(v) = n.parse::<u64>() {
+                    return Ok(Token::Int(v));
+                }
+            }
+            return n
+                .parse::<f64>()
+                .map(Token::Num)
+                .map_err(|_| self.err(format!("bad number {n:?}")));
+        }
+        if "{}[]=;,/".contains(c) {
+            self.chars.next();
+            return Ok(Token::Punct(c));
+        }
+        Err(self.err(format!("unexpected character {c:?}")))
+    }
+
+    fn peek_token(&mut self) -> Result<Token, SpecError> {
+        let save = self.chars.clone();
+        let save_at = self.at;
+        let t = self.next_token()?;
+        self.chars = save;
+        self.at = save_at;
+        Ok(t)
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), SpecError> {
+        match self.next_token()? {
+            Token::Word(w) if w == word => Ok(()),
+            t => Err(self.err(format!("expected {word:?}, found {t}"))),
+        }
+    }
+
+    fn expect_punct(&mut self, p: char) -> Result<(), SpecError> {
+        match self.next_token()? {
+            Token::Punct(c) if c == p => Ok(()),
+            t => Err(self.err(format!("expected {p:?}, found {t}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), SpecError> {
+        match self.next_token()? {
+            Token::End => Ok(()),
+            t => Err(self.err(format!("trailing input: {t}"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, SpecError> {
+        match self.next_token()? {
+            Token::Num(v) => Ok(Value::Num(v)),
+            Token::Int(v) => Ok(Value::Int(v)),
+            Token::Str(s) => Ok(Value::Str(s)),
+            Token::Word(tag) => {
+                if matches!(self.peek_token()?, Token::Punct('{')) {
+                    self.next_token()?;
+                    let mut fields = Vec::new();
+                    loop {
+                        match self.next_token()? {
+                            Token::Punct('}') => break,
+                            Token::Word(name) => {
+                                self.expect_punct('=')?;
+                                let value = self.parse_value()?;
+                                fields.push((name, value));
+                                match self.next_token()? {
+                                    Token::Punct(';') => {}
+                                    Token::Punct('}') => break,
+                                    t => {
+                                        return Err(
+                                            self.err(format!("expected ';' or '}}', found {t}"))
+                                        )
+                                    }
+                                }
+                            }
+                            t => {
+                                return Err(
+                                    self.err(format!("expected field name or '}}', found {t}"))
+                                )
+                            }
+                        }
+                    }
+                    Ok(Value::Node(tag, fields))
+                } else {
+                    Ok(Value::Word(tag))
+                }
+            }
+            Token::Punct('[') => {
+                let mut items = Vec::new();
+                if matches!(self.peek_token()?, Token::Punct(']')) {
+                    self.next_token()?;
+                    return Ok(Value::List(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.next_token()? {
+                        Token::Punct(',') => {
+                            // allow a trailing comma before ']'
+                            if matches!(self.peek_token()?, Token::Punct(']')) {
+                                self.next_token()?;
+                                break;
+                            }
+                        }
+                        Token::Punct(']') => break,
+                        t => return Err(self.err(format!("expected ',' or ']', found {t}"))),
+                    }
+                }
+                Ok(Value::List(items))
+            }
+            t => Err(self.err(format!("expected a value, found {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let doc = render_document(v);
+        let parsed = parse_document(&doc).unwrap_or_else(|e| panic!("{e}\n---\n{doc}"));
+        assert_eq!(&parsed, v, "---\n{doc}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Value::Num(1.5));
+        roundtrip(&Value::Num(-0.25));
+        roundtrip(&Value::Num(1e300));
+        roundtrip(&Value::Num(5e-324));
+        roundtrip(&Value::Num(f64::MAX));
+        roundtrip(&Value::Int(0));
+        roundtrip(&Value::Int(u64::MAX));
+        roundtrip(&Value::word("zero"));
+        roundtrip(&Value::Str("a b\"c\\d\n\te".into()));
+        roundtrip(&Value::Str(String::new()));
+    }
+
+    #[test]
+    fn structures_roundtrip() {
+        roundtrip(&Value::List(vec![]));
+        roundtrip(&Value::List(vec![Value::Num(1.0), Value::Int(2)]));
+        roundtrip(&Value::Node(
+            "pulse".into(),
+            vec![
+                ("at".into(), Value::Num(0.0)),
+                ("width".into(), Value::Num(2.5)),
+                ("tags".into(), Value::List(vec![Value::word("x")])),
+                (
+                    "nested".into(),
+                    Value::Node("inner".into(), vec![("k".into(), Value::Str("v".into()))]),
+                ),
+                (
+                    "nodes".into(),
+                    Value::List(vec![
+                        Value::Node("n".into(), vec![("i".into(), Value::Int(1))]),
+                        Value::word("bare"),
+                    ]),
+                ),
+            ],
+        ));
+    }
+
+    #[test]
+    fn integer_vs_real_distinction_survives() {
+        let doc = render_document(&Value::List(vec![Value::Num(2.0), Value::Int(2)]));
+        let Value::List(items) = parse_document(&doc).unwrap() else {
+            panic!()
+        };
+        assert_eq!(items[0], Value::Num(2.0));
+        assert_eq!(items[1], Value::Int(2));
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        let v = parse_document(
+            "faithful/1 # header comment\n  pulse {\n  at = 1.0; # mid comment\n width=2.0 }",
+        )
+        .unwrap();
+        assert_eq!(
+            v,
+            Value::Node(
+                "pulse".into(),
+                vec![
+                    ("at".into(), Value::Num(1.0)),
+                    ("width".into(), Value::Num(2.0)),
+                ]
+            )
+        );
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse_document("faithful/1 pulse {\n at = ?? }").unwrap_err();
+        assert!(err.message().contains("line 2"), "{err}");
+        assert!(parse_document("faithful/2 zero").is_err());
+        assert!(parse_document("faithful/1 zero zero").is_err());
+        assert!(parse_document("faithful/1 \"open").is_err());
+        assert!(parse_document("faithful/1 [1, 2").is_err());
+        assert!(parse_document("faithful/1 node { a 1 }").is_err());
+        assert!(parse_document("nope/1 zero").is_err());
+        assert!(parse_document("faithful/1 \"bad\\q\"").is_err());
+    }
+
+    #[test]
+    fn bare_word_is_empty_node() {
+        assert_eq!(
+            Value::Node("zero".into(), vec![]).to_string(),
+            Value::word("zero").to_string()
+        );
+        assert_eq!(Value::bool(true), Value::word("true"));
+        assert_eq!(Value::bool(false), Value::word("false"));
+    }
+}

@@ -1,3 +1,8 @@
+// The legacy serial entry points are exercised on purpose: this suite
+// pins the compat wrappers' behaviour (see tests/experiment_facade.rs
+// for the facade equivalents).
+#![allow(deprecated)]
+
 //! Integration of the analog substrate with the delay-model layer: the
 //! Section V pipeline (characterize → model → deviations under
 //! variations) reproduced end to end at test scale.

@@ -4,7 +4,7 @@
 //! match bisection-refined RK4 traces to better than 1e-6 ps.
 
 use faithful::analog::chain::InverterChain;
-use faithful::analog::characterize::{characterize, Integrator, SweepConfig};
+use faithful::analog::characterize::{Integrator, SweepConfig};
 use faithful::analog::ode::{rk4, rk45, Rk45Options};
 use faithful::analog::stimulus::Pulse;
 use faithful::analog::supply::VddSource;
@@ -187,8 +187,9 @@ fn characterize_agrees_between_rk4_and_rk45_pipelines() {
         widths,
         ..SweepConfig::default()
     };
-    let (up4, down4) = characterize(&chain, &vdd, &cfg_rk4).unwrap();
-    let (up5, down5) = characterize(&chain, &vdd, &cfg_rk45).unwrap();
+    let runner = SweepRunner::new();
+    let (up4, down4) = runner.characterize(&chain, &vdd, &cfg_rk4).unwrap();
+    let (up5, down5) = runner.characterize(&chain, &vdd, &cfg_rk45).unwrap();
     assert_eq!(up4.len(), up5.len());
     assert_eq!(down4.len(), down5.len());
     for (a, b) in up4.iter().zip(&up5).chain(down4.iter().zip(&down5)) {

@@ -1,0 +1,459 @@
+//! Property tests for the `ExperimentSpec` text serialization: for any
+//! finite spec, `spec -> String -> spec` is the identity.
+
+use faithful::{
+    AnalogSpec, AnalogTask, ChainSpec, ChannelRunSpec, ChannelSpec, DelaySpec, DigitalSpec,
+    EdgeSpec, ExperimentSpec, GateKindSpec, IntegratorSpec, NetlistSpec, NodeSpec, NoiseSpec,
+    Orientation, OutputSelect, ReferenceSpec, ScenarioSpec, SignalSpec, SpfSpec, SpfTask,
+    SupplySpec, SweepSpec, TopologySpec, WorkloadSpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A finite `f64` drawn from a wide dynamic range, including negative,
+/// integral-valued and subnormal-ish magnitudes — the values a text
+/// serialization is most likely to mangle.
+fn arb_f64(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0..6u32) {
+        0 => rng.gen_range(-10.0..10.0),
+        1 => f64::from(rng.gen_range(-1000i32..1000)), // integral-valued reals
+        2 => rng.gen_range(0.0..1.0) * 10f64.powi(rng.gen_range(-30..30)),
+        3 => -rng.gen_range(0.0..1.0) * 10f64.powi(rng.gen_range(-300..300)),
+        4 => 0.0,
+        _ => rng.gen_range(1e-3..1e3),
+    }
+}
+
+/// Labels and port names exercise quoting: spaces, quotes, backslashes,
+/// newlines and non-ASCII.
+fn arb_name(rng: &mut StdRng) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'B', '0', '_', ' ', '"', '\\', '\n', '\t', '{', '}', '[', ']', ';', ',', '=', 'δ',
+        '↑', '#',
+    ];
+    let len = rng.gen_range(1..8usize);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect()
+}
+
+fn arb_word(rng: &mut StdRng) -> String {
+    const FIRST: &[char] = &['a', 'b', 'z', '_', 'Q'];
+    const REST: &[char] = &['a', '9', '_', 'Z'];
+    let len = rng.gen_range(0..5usize);
+    let mut s = String::new();
+    s.push(FIRST[rng.gen_range(0..FIRST.len())]);
+    for _ in 0..len {
+        s.push(REST[rng.gen_range(0..REST.len())]);
+    }
+    s
+}
+
+fn arb_signal(rng: &mut StdRng) -> SignalSpec {
+    match rng.gen_range(0..4u32) {
+        0 => SignalSpec::Zero,
+        1 => SignalSpec::pulse(arb_f64(rng), arb_f64(rng)),
+        2 => {
+            let n = rng.gen_range(0..4usize);
+            SignalSpec::train((0..n).map(|_| (arb_f64(rng), arb_f64(rng))))
+        }
+        _ => {
+            let n = rng.gen_range(0..5usize);
+            SignalSpec::times(rng.gen_range(0..2u32) == 0, (0..n).map(|_| arb_f64(rng)))
+        }
+    }
+}
+
+fn arb_noise(rng: &mut StdRng) -> NoiseSpec {
+    match rng.gen_range(0..6u32) {
+        0 => NoiseSpec::Zero,
+        1 => NoiseSpec::WorstCase,
+        2 => NoiseSpec::Extending,
+        3 => NoiseSpec::Uniform { seed: rng.gen() },
+        4 => NoiseSpec::Gaussian {
+            sigma: arb_f64(rng),
+            seed: rng.gen(),
+        },
+        _ => NoiseSpec::Constant {
+            shift: arb_f64(rng),
+        },
+    }
+}
+
+fn arb_channel(rng: &mut StdRng) -> ChannelSpec {
+    let mut spec = match rng.gen_range(0..6u32) {
+        0 => ChannelSpec::pure(arb_f64(rng)),
+        1 => ChannelSpec::inertial(arb_f64(rng), arb_f64(rng)),
+        2 => ChannelSpec::ddm(arb_f64(rng), arb_f64(rng), arb_f64(rng)),
+        3 => ChannelSpec::involution_exp(arb_f64(rng), arb_f64(rng), arb_f64(rng)),
+        4 => ChannelSpec::eta_exp(
+            arb_f64(rng),
+            arb_f64(rng),
+            arb_f64(rng),
+            arb_f64(rng),
+            arb_f64(rng),
+            arb_noise(rng),
+        ),
+        // a custom kind with an arbitrary mix of parameter types
+        _ => {
+            let mut c = ChannelSpec::new(arb_word(rng));
+            for _ in 0..rng.gen_range(0..4usize) {
+                let name = arb_word(rng);
+                c = match rng.gen_range(0..4u32) {
+                    0 => c.with_num(name, arb_f64(rng)),
+                    1 => c.with_int(name, rng.gen()),
+                    2 => c.with_text(name, arb_word(rng)),
+                    _ => c.with_text(name, arb_name(rng)),
+                };
+            }
+            c
+        }
+    };
+    if rng.gen_range(0..4u32) == 0 {
+        spec = spec.with_int("seed", rng.gen());
+    }
+    spec
+}
+
+fn arb_gate_kind(rng: &mut StdRng) -> GateKindSpec {
+    match rng.gen_range(0..9u32) {
+        0 => GateKindSpec::Buf,
+        1 => GateKindSpec::Not,
+        2 => GateKindSpec::And,
+        3 => GateKindSpec::Or,
+        4 => GateKindSpec::Nand,
+        5 => GateKindSpec::Nor,
+        6 => GateKindSpec::Xor,
+        7 => GateKindSpec::Xnor,
+        _ => {
+            let inputs = rng.gen_range(1..3u32);
+            GateKindSpec::Table {
+                inputs,
+                rows: (0..(1 << inputs))
+                    .map(|_| rng.gen_range(0..2u32) == 0)
+                    .collect(),
+            }
+        }
+    }
+}
+
+fn arb_topology(rng: &mut StdRng) -> TopologySpec {
+    if rng.gen_range(0..2u32) == 0 {
+        TopologySpec::InverterChain {
+            stages: rng.gen_range(1..12u32),
+            channel: arb_channel(rng),
+        }
+    } else {
+        let mut nodes = Vec::new();
+        for _ in 0..rng.gen_range(1..5usize) {
+            nodes.push(match rng.gen_range(0..3u32) {
+                0 => NodeSpec::Input {
+                    name: arb_name(rng),
+                },
+                1 => NodeSpec::Output {
+                    name: arb_name(rng),
+                },
+                _ => NodeSpec::Gate {
+                    name: arb_name(rng),
+                    kind: arb_gate_kind(rng),
+                    arity: if rng.gen_range(0..2u32) == 0 {
+                        Some(rng.gen_range(1..4u32))
+                    } else {
+                        None
+                    },
+                    init: rng.gen_range(0..2u32) == 0,
+                },
+            });
+        }
+        let mut edges = Vec::new();
+        for _ in 0..rng.gen_range(0..4usize) {
+            edges.push(EdgeSpec {
+                from: arb_name(rng),
+                to: arb_name(rng),
+                pin: rng.gen_range(0..4u32),
+                channel: if rng.gen_range(0..2u32) == 0 {
+                    Some(arb_channel(rng))
+                } else {
+                    None
+                },
+            });
+        }
+        TopologySpec::Netlist(NetlistSpec { nodes, edges })
+    }
+}
+
+fn arb_digital(rng: &mut StdRng) -> DigitalSpec {
+    let mut d = DigitalSpec::new(arb_topology(rng), arb_f64(rng));
+    if rng.gen_range(0..2u32) == 0 {
+        d = d.with_workers(rng.gen_range(1..9u32));
+    }
+    if rng.gen_range(0..2u32) == 0 {
+        d = d.with_max_events(rng.gen());
+    }
+    for _ in 0..rng.gen_range(0..4usize) {
+        let mut s = ScenarioSpec::new(arb_name(rng));
+        if rng.gen_range(0..2u32) == 0 {
+            s = s.with_seed(rng.gen());
+        }
+        for _ in 0..rng.gen_range(0..3usize) {
+            s = s.with_input(arb_name(rng), arb_signal(rng));
+        }
+        d = d.with_scenario(s);
+    }
+    d.with_outputs(OutputSelect {
+        signals: rng.gen_range(0..2u32) == 0,
+        stats: rng.gen_range(0..2u32) == 0,
+        vcd: rng.gen_range(0..2u32) == 0,
+    })
+}
+
+fn arb_analog(rng: &mut StdRng) -> AnalogSpec {
+    let task = match rng.gen_range(0..3u32) {
+        0 => AnalogTask::Samples {
+            inverted: rng.gen_range(0..2u32) == 0,
+        },
+        1 => AnalogTask::Characterize,
+        _ => AnalogTask::Deviations {
+            reference: match rng.gen_range(0..4u32) {
+                0 => ReferenceSpec::Exp {
+                    tau: arb_f64(rng),
+                    t_p: arb_f64(rng),
+                    v_th: arb_f64(rng),
+                },
+                1 => ReferenceSpec::Rational {
+                    a: arb_f64(rng),
+                    b: arb_f64(rng),
+                    c: arb_f64(rng),
+                },
+                2 => ReferenceSpec::Empirical {
+                    up: (0..rng.gen_range(0..5usize))
+                        .map(|_| (arb_f64(rng), arb_f64(rng)))
+                        .collect(),
+                    down: (0..rng.gen_range(0..5usize))
+                        .map(|_| (arb_f64(rng), arb_f64(rng)))
+                        .collect(),
+                },
+                _ => ReferenceSpec::SelfEmpirical,
+            },
+            orientation: match rng.gen_range(0..3u32) {
+                0 => Orientation::Both,
+                1 => Orientation::Normal,
+                _ => Orientation::Inverted,
+            },
+        },
+    };
+    let mut a = AnalogSpec::new(rng.gen_range(1..9u32), task)
+        .with_chain(ChainSpec::umc90(rng.gen_range(1..9u32)).with_width_scale(arb_f64(rng)))
+        .with_sweep(SweepSpec {
+            widths: (0..rng.gen_range(0..6usize))
+                .map(|_| arb_f64(rng))
+                .collect(),
+            settle: arb_f64(rng),
+            tail: arb_f64(rng),
+            dt: arb_f64(rng),
+            slew: arb_f64(rng),
+            stage: rng.gen_range(0..7u32),
+            integrator: if rng.gen_range(0..2u32) == 0 {
+                IntegratorSpec::Rk4
+            } else {
+                IntegratorSpec::Rk45 {
+                    rtol: arb_f64(rng),
+                    atol: arb_f64(rng),
+                }
+            },
+        });
+    if rng.gen_range(0..2u32) == 0 {
+        a = a.with_supply(SupplySpec::Sine {
+            nominal: arb_f64(rng),
+            amplitude: arb_f64(rng),
+            period: arb_f64(rng),
+            phase: arb_f64(rng),
+        });
+    }
+    if rng.gen_range(0..2u32) == 0 {
+        a = a.with_workers(rng.gen_range(1..9u32));
+    }
+    a
+}
+
+fn arb_spf(rng: &mut StdRng) -> SpfSpec {
+    let delay = if rng.gen_range(0..2u32) == 0 {
+        DelaySpec::Exp {
+            tau: arb_f64(rng),
+            t_p: arb_f64(rng),
+            v_th: arb_f64(rng),
+        }
+    } else {
+        DelaySpec::Rational {
+            a: arb_f64(rng),
+            b: arb_f64(rng),
+            c: arb_f64(rng),
+        }
+    };
+    let task = if rng.gen_range(0..2u32) == 0 {
+        SpfTask::Theory
+    } else {
+        SpfTask::Simulate {
+            noise: arb_noise(rng),
+            input: arb_signal(rng),
+            horizon: arb_f64(rng),
+        }
+    };
+    SpfSpec {
+        delay,
+        eta_minus: arb_f64(rng),
+        eta_plus: arb_f64(rng),
+        task,
+    }
+}
+
+fn arb_spec(seed: u64) -> ExperimentSpec {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    match rng.gen_range(0..4u32) {
+        0 => ExperimentSpec::new(WorkloadSpec::Channel(ChannelRunSpec {
+            channel: arb_channel(rng),
+            input: arb_signal(rng),
+        })),
+        1 => ExperimentSpec::digital(arb_digital(rng)),
+        2 => ExperimentSpec::analog(arb_analog(rng)),
+        _ => ExperimentSpec::spf(arb_spf(rng)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn spec_text_roundtrip_is_identity(seed in 0u64..u64::MAX) {
+        let spec = arb_spec(seed);
+        let text = spec.to_string();
+        let back: ExperimentSpec = text
+            .parse()
+            .map_err(|e| TestCaseError::Fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(&spec, &back, "---\n{}", text);
+        // a second render of the reparsed spec is byte-identical:
+        // serialization is canonical
+        prop_assert_eq!(text, back.to_string());
+    }
+}
+
+#[test]
+fn readable_example_document_parses() {
+    let text = r#"
+# A digital sweep and its knobs, hand-written with comments.
+faithful/1 digital {
+  topology = chain {
+    stages = 4;
+    channel = eta {
+      delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5;
+      minus = 0.02; plus = 0.02;
+      noise = uniform; seed = 7;
+    };
+  };
+  horizon = 100;           # integers coerce to reals
+  workers = 2;
+  scenarios = [
+    scenario { label = "w1"; seed = 1; inputs = [
+      drive { port = "a"; signal = pulse { at = 1.0; width = 6.0 } }
+    ] }
+  ];
+}
+"#;
+    let spec: ExperimentSpec = text.parse().unwrap();
+    let WorkloadSpec::Digital(d) = &spec.workload else {
+        panic!("expected digital workload");
+    };
+    assert_eq!(d.horizon, 100.0);
+    assert_eq!(d.workers, Some(2));
+    assert_eq!(d.scenarios.len(), 1);
+    assert_eq!(d.scenarios[0].seed, Some(1));
+    // defaults apply when outputs are omitted
+    assert_eq!(d.outputs, OutputSelect::default());
+    // and the canonical form round-trips
+    let canonical = spec.to_string();
+    assert_eq!(canonical.parse::<ExperimentSpec>().unwrap(), spec);
+}
+
+#[test]
+fn parse_errors_are_informative() {
+    // wrong version
+    let err = "faithful/9 spf {}".parse::<ExperimentSpec>().unwrap_err();
+    assert!(err.message().contains("version"), "{err}");
+    // unknown workload
+    let err = "faithful/1 cooking {}"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(err.message().contains("workload"), "{err}");
+    // missing field
+    let err = "faithful/1 channel { channel = pure { delay = 1.0 } }"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(err.message().contains("input"), "{err}");
+    // unknown field is rejected (catches typos)
+    let err = "faithful/1 channel { channel = pure {}; input = zero; bogus = 1 }"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(err.message().contains("bogus"), "{err}");
+    // type mismatch
+    let err = "faithful/1 spf { delay = exp { tau = \"x\"; t_p = 1.0; v_th = 0.5 }; \
+               eta_minus = 0.0; eta_plus = 0.0; task = theory }"
+        .parse::<ExperimentSpec>()
+        .unwrap_err();
+    assert!(err.message().contains("tau"), "{err}");
+}
+
+#[test]
+fn experiments_md_specs_parse_and_run() {
+    // The two spec documents shown in EXPERIMENTS.md must stay valid.
+    let digital = r#"
+faithful/1 digital {
+  topology = chain {
+    stages = 8;
+    channel = eta {
+      delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5;
+      minus = 0.02; plus = 0.02;
+      noise = uniform; seed = 0;
+    };
+  };
+  horizon = 100.0;
+  workers = 4;
+  scenarios = [
+    scenario { label = "draw0"; seed = 0; inputs = [
+      drive { port = "a"; signal = pulse { at = 1.0; width = 6.0 } }
+    ] },
+    scenario { label = "draw1"; seed = 1; inputs = [
+      drive { port = "a"; signal = pulse { at = 1.0; width = 6.0 } }
+    ] }
+  ];
+  outputs = outputs { signals = true; stats = true; vcd = false };
+}
+"#;
+    let result = faithful::Experiment::parse(digital).unwrap().run().unwrap();
+    let sweep = result.digital().expect("digital workload");
+    assert_eq!(sweep.outcomes.len(), 2);
+    assert_eq!(sweep.stats.as_ref().unwrap().failures, 0);
+    assert!(sweep.outcomes[0].signal("y").is_some());
+
+    let analog = r#"
+faithful/1 analog {
+  chain = chain { stages = 7; width_scale = 1.0 };
+  supply = dc { volts = 1.0 };
+  sweep = sweep {
+    widths = [20.0, 32.0, 44.0, 56.0, 68.0, 80.0, 92.0, 104.0];
+    settle = 60.0; tail = 250.0; dt = 0.05; slew = 10.0; stage = 3;
+    integrator = rk45 { rtol = 1e-6; atol = 1e-9 };
+  };
+  task = characterize;
+  workers = 4;
+}
+"#;
+    let result = faithful::Experiment::parse(analog).unwrap().run().unwrap();
+    let (up, down) = result
+        .analog()
+        .expect("analog workload")
+        .characterization()
+        .expect("characterize task");
+    assert!(!up.is_empty());
+    assert!(!down.is_empty());
+}
