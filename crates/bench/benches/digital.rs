@@ -1,0 +1,524 @@
+//! Digital event-driven simulator cost: calendar queue vs reference
+//! heap on the three canonical workloads (1k-gate chain, fanout grid,
+//! cancel-heavy inertial churn), and the persistent scenario worker
+//! pool vs the old spawn-per-sweep discipline at 1/2/4 workers.
+//!
+//! Besides the criterion groups, the harness emits a machine-readable
+//! `BENCH_digital.json` baseline at the workspace root (override the
+//! directory with `BENCH_DIR`) so the perf trajectory of the digital
+//! pipeline is tracked across PRs. In `--test` mode (CI smoke) every
+//! measurement runs exactly once. With `IVL_BENCH_CHECK=1` the harness
+//! exits non-zero if the calendar queue is slower than the heap on the
+//! 1k-chain case — the CI regression gate.
+//!
+//! Before timing anything the harness *verifies* that both queue
+//! backends and both sweep disciplines produce bit-identical outputs on
+//! the measured workloads — a speedup on wrong answers is worthless.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use faithful::{
+    ChannelSpec, DigitalSpec, Experiment, OutputSelect, ScenarioSpec, SignalSpec, TopologySpec,
+};
+use ivl_circuit::{
+    Circuit, CircuitBuilder, GateKind, QueueBackend, Scenario, ScenarioRunner, SimResult,
+    Simulator, SweepResult,
+};
+use ivl_core::channel::{InertialDelay, InvolutionChannel, PureDelay};
+use ivl_core::delay::ExpChannel;
+use ivl_core::{Bit, Signal};
+
+// ======================================================================
+// Workloads
+// ======================================================================
+
+fn pipeline_circuit(stages: usize) -> Circuit {
+    let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+    let mut b = CircuitBuilder::new();
+    let a = b.input("a");
+    let y = b.output("y");
+    let mut prev = a;
+    for i in 0..stages {
+        let g = b.gate(
+            &format!("inv{i}"),
+            GateKind::Not,
+            if i % 2 == 0 { Bit::One } else { Bit::Zero },
+        );
+        if i == 0 {
+            b.connect_direct(prev, g, 0).unwrap();
+        } else {
+            b.connect(prev, g, 0, InvolutionChannel::new(d.clone()))
+                .unwrap();
+        }
+        prev = g;
+    }
+    b.connect(prev, y, 0, InvolutionChannel::new(d)).unwrap();
+    b.build().unwrap()
+}
+
+fn chain_input() -> Signal {
+    Signal::pulse_train((0..20).map(|i| (f64::from(i) * 40.0, 20.0))).unwrap()
+}
+
+fn fanout_grid_circuit(width: usize, depth: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let a = b.input("a");
+    let root = b.gate("root", GateKind::Buf, Bit::Zero);
+    b.connect_direct(a, root, 0).unwrap();
+    for w in 0..width {
+        let mut prev = root;
+        for d in 0..depth {
+            let g = b.gate(&format!("b{w}_{d}"), GateKind::Buf, Bit::Zero);
+            b.connect(prev, g, 0, PureDelay::new(0.1 + w as f64 * 1e-3).unwrap())
+                .unwrap();
+            prev = g;
+        }
+        let y = b.output(&format!("y{w}"));
+        b.connect(prev, y, 0, PureDelay::new(0.1).unwrap()).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn grid_input() -> Signal {
+    Signal::pulse_train((0..10).map(|i| (f64::from(i) * 10.0, 5.0))).unwrap()
+}
+
+/// Cancel-heavy inertial workload with a *large resident event
+/// population*: one root gate fans out to `width` parallel inertial
+/// buffers whose transport delays put pending events far in the future.
+/// Two thirds of the input pulses are narrower than the rejection
+/// window, so most scheduled events are cancelled before delivery —
+/// the queue discipline (eager discard, O(1) push) dominates run time.
+fn cancel_heavy_circuit(width: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let a = b.input("a");
+    let root = b.gate("root", GateKind::Buf, Bit::Zero);
+    b.connect_direct(a, root, 0).unwrap();
+    for w in 0..width {
+        let g = b.gate(&format!("buf{w}"), GateKind::Buf, Bit::Zero);
+        // long transport delays (spread per edge, as process variation
+        // would) keep tens of thousands of cancelled events resident:
+        // the lazy heap carries them all as stale keys, the calendar
+        // queue discards them eagerly from their buckets
+        b.connect(
+            root,
+            g,
+            0,
+            InertialDelay::new(120.0 + w as f64 * 0.1, 7.0).unwrap(),
+        )
+        .unwrap();
+        let y = b.output(&format!("y{w}"));
+        b.connect(g, y, 0, PureDelay::new(0.5).unwrap()).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn cancel_heavy_input() -> Signal {
+    // width 6 (rejected by the 7-wide window) for fifteen pulses out of
+    // sixteen, width 9 (passes) for the sixteenth: ~15/16 of scheduled
+    // events cancel, the rest flow through to the outputs
+    Signal::pulse_train((0..64).map(|i| {
+        let t = f64::from(i) * 16.0;
+        if i % 16 == 15 {
+            (t, 9.0)
+        } else {
+            (t, 6.0)
+        }
+    }))
+    .unwrap()
+}
+
+fn run_once(circuit: &Circuit, input: &Signal, backend: QueueBackend) -> SimResult {
+    let mut sim = Simulator::new(circuit.clone()).with_queue_backend(backend);
+    sim.set_input("a", input.clone()).unwrap();
+    sim.run(1e9).unwrap()
+}
+
+// ======================================================================
+// Sweep disciplines: persistent pool vs spawn-per-sweep
+// ======================================================================
+
+/// The input signal scenario `k` assigns to port "a" — shared by the
+/// pool scenarios and the spawn reference so both disciplines always
+/// simulate identical workloads.
+fn scenario_signal(k: u64) -> Signal {
+    Signal::pulse_train((0..10).map(|i| (f64::from(i) * 40.0, 15.0 + k as f64 * 0.1))).unwrap()
+}
+
+fn sweep_scenarios(n: usize) -> Vec<Scenario> {
+    (0..n as u64)
+        .map(|k| {
+            Scenario::new(format!("s{k}"))
+                .with_input("a", scenario_signal(k))
+                .with_seed(k)
+        })
+        .collect()
+}
+
+/// The pre-pool discipline, reconstructed on the public API: spawn
+/// fresh threads per sweep, statically assign scenario `i` to worker
+/// `i % workers`, fresh circuit clones every time.
+fn spawn_per_sweep(
+    circuit: &Circuit,
+    scenarios: &[Scenario],
+    horizon: f64,
+    workers: usize,
+) -> Vec<Option<SimResult>> {
+    let n = scenarios.len();
+    let mut slots: Vec<Option<SimResult>> = Vec::new();
+    slots.resize_with(n, || None);
+    let sims: Vec<Simulator> = (0..workers.min(n))
+        .map(|_| Simulator::new(circuit.clone()))
+        .collect();
+    let workers = sims.len();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sims
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut sim)| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut idx = w;
+                    while idx < n {
+                        let sc = &scenarios[idx];
+                        sim.reset_inputs();
+                        if let Some(seed) = sc.seed() {
+                            sim.reseed_noise(seed);
+                        }
+                        // scenarios here assign only port "a"
+                        // (Scenario does not expose its inputs; the
+                        // shared constructor keeps both sides equal)
+                        sim.set_input("a", scenario_signal(idx as u64)).unwrap();
+                        out.push((idx, sim.run(horizon).unwrap()));
+                        idx += workers;
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            for (idx, res) in h.join().expect("spawn worker panicked") {
+                slots[idx] = Some(res);
+            }
+        }
+    });
+    slots
+}
+
+// ======================================================================
+// Criterion groups
+// ======================================================================
+
+fn bench_queue_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(10);
+    let workloads: Vec<(&str, Circuit, Signal)> = vec![
+        ("chain_1k", pipeline_circuit(1024), chain_input()),
+        ("fanout_grid", fanout_grid_circuit(64, 16), grid_input()),
+        (
+            "cancel_heavy_inertial",
+            cancel_heavy_circuit(4096),
+            cancel_heavy_input(),
+        ),
+    ];
+    for (name, circuit, input) in &workloads {
+        let probe = run_once(circuit, input, QueueBackend::Heap);
+        group.throughput(Throughput::Elements(probe.scheduled_events() as u64));
+        for (backend, tag) in [
+            (QueueBackend::Heap, "heap"),
+            (QueueBackend::Calendar, "wheel"),
+        ] {
+            let mut sim = Simulator::new(circuit.clone()).with_queue_backend(backend);
+            sim.set_input("a", input.clone()).unwrap();
+            sim.run(1e9).unwrap(); // warm the pool/recorders
+            group.bench_function(BenchmarkId::new(*name, tag), |b| {
+                b.iter(|| sim.run(1e9).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_scenario_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_pool");
+    group.sample_size(10);
+    let circuit = pipeline_circuit(128);
+    let scenarios = sweep_scenarios(64);
+    group.throughput(Throughput::Elements(scenarios.len() as u64));
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("spawn", workers), &workers, |b, &w| {
+            b.iter(|| spawn_per_sweep(&circuit, &scenarios, 1e9, w));
+        });
+        let runner = ScenarioRunner::new(circuit.clone(), 1e9).with_workers(workers);
+        let _ = runner.run(&scenarios); // spawn + warm the pool
+        group.bench_with_input(BenchmarkId::new("pool", workers), &workers, |b, _| {
+            b.iter(|| {
+                let sweep = runner.run(&scenarios);
+                assert_eq!(sweep.stats().failures, 0);
+                sweep
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_backends, bench_scenario_pool);
+
+// ======================================================================
+// BENCH_digital.json baseline
+// ======================================================================
+
+/// Median wall-clock seconds of `iters` runs of `f` (one run in
+/// `--test` mode).
+fn median_secs<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// Bit-identity gate: both backends must agree on every workload, and
+/// the pool must agree with the spawn reference for every worker count,
+/// before any number is recorded.
+fn verify_bit_identity(
+    workloads: &[(&str, Circuit, Signal)],
+    circuit: &Circuit,
+    scenarios: &[Scenario],
+) {
+    for (name, wl_circuit, input) in workloads {
+        let heap = run_once(wl_circuit, input, QueueBackend::Heap);
+        let calendar = run_once(wl_circuit, input, QueueBackend::Calendar);
+        assert_eq!(
+            heap.processed_events(),
+            calendar.processed_events(),
+            "{name}: processed-event mismatch"
+        );
+        for node in wl_circuit.node_names() {
+            assert_eq!(
+                heap.signal(node).unwrap(),
+                calendar.signal(node).unwrap(),
+                "{name}: node {node} diverges between queue backends"
+            );
+        }
+    }
+    let reference = spawn_per_sweep(circuit, scenarios, 1e9, 1);
+    for workers in [1usize, 2, 4] {
+        let sweep = ScenarioRunner::new(circuit.clone(), 1e9)
+            .with_workers(workers)
+            .run(scenarios);
+        for (slot, outcome) in reference.iter().zip(sweep.outcomes()) {
+            let reference_run = slot.as_ref().unwrap();
+            let pool_run = outcome.result().as_ref().unwrap();
+            assert_eq!(
+                reference_run.signal("y").unwrap(),
+                pool_run.signal("y").unwrap(),
+                "pool (workers={workers}) diverges from spawn reference on {}",
+                outcome.label()
+            );
+        }
+    }
+    println!(
+        "bit-identity verified: heap == wheel on all workloads, pool == spawn at 1/2/4 workers"
+    );
+}
+
+/// A spec-driven digital sweep through the `Experiment` facade — the
+/// facade dispatches to the same `ScenarioRunner`, so it inherits the
+/// calendar queue and the worker pool for free; this entry pins that.
+fn facade_sweep() -> DigitalSpec {
+    DigitalSpec {
+        topology: TopologySpec::InverterChain {
+            stages: 128,
+            channel: ChannelSpec::involution_exp(1.0, 0.5, 0.5),
+        },
+        scenarios: (0..32u64)
+            .map(|k| ScenarioSpec {
+                label: format!("f{k}"),
+                seed: Some(k),
+                inputs: vec![(
+                    "a".to_owned(),
+                    SignalSpec::pulse(0.0, 20.0 + k as f64 * 0.25),
+                )],
+            })
+            .collect(),
+        horizon: 1e9,
+        workers: Some(4),
+        max_events: None,
+        outputs: OutputSelect {
+            signals: false,
+            stats: true,
+            vcd: false,
+        },
+    }
+}
+
+/// Emits the `BENCH_digital.json` perf baseline: heap vs calendar queue
+/// on the three workloads, spawn vs pool at 1/2/4 workers, and the
+/// facade-driven sweep.
+#[allow(clippy::too_many_lines)]
+fn emit_baseline(test_mode: bool) {
+    let iters = if test_mode { 1 } else { 5 };
+    let workloads: Vec<(&str, Circuit, Signal)> = vec![
+        ("chain_1k", pipeline_circuit(1024), chain_input()),
+        ("fanout_grid", fanout_grid_circuit(64, 16), grid_input()),
+        (
+            "cancel_heavy_inertial",
+            cancel_heavy_circuit(4096),
+            cancel_heavy_input(),
+        ),
+    ];
+    let sweep_circuit = pipeline_circuit(128);
+    let scenarios = sweep_scenarios(64);
+    verify_bit_identity(&workloads, &sweep_circuit, &scenarios);
+
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut queue_speedups: Vec<(String, f64)> = Vec::new();
+    for (name, circuit, input) in &workloads {
+        let mut secs = [0.0f64; 2];
+        for (slot, backend, tag) in [
+            (0usize, QueueBackend::Heap, "heap"),
+            (1, QueueBackend::Calendar, "wheel"),
+        ] {
+            let mut sim = Simulator::new(circuit.clone()).with_queue_backend(backend);
+            sim.set_input("a", input.clone()).unwrap();
+            sim.run(1e9).unwrap(); // warm
+            let t = median_secs(iters, || {
+                sim.run(1e9).unwrap();
+            });
+            entries.push((format!("{name}_{tag}"), t));
+            secs[slot] = t;
+        }
+        queue_speedups.push(((*name).to_owned(), secs[0] / secs[1].max(1e-12)));
+    }
+
+    let mut pool_speedups: Vec<(usize, f64)> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let spawn_t = median_secs(iters, || {
+            spawn_per_sweep(&sweep_circuit, &scenarios, 1e9, workers);
+        });
+        entries.push((format!("spawn_sweep_{workers}w"), spawn_t));
+        let runner = ScenarioRunner::new(sweep_circuit.clone(), 1e9).with_workers(workers);
+        let _ = runner.run(&scenarios); // spawn + warm the pool
+        let pool_t = median_secs(iters, || {
+            let sweep: SweepResult = runner.run(&scenarios);
+            assert_eq!(sweep.stats().failures, 0);
+        });
+        entries.push((format!("pool_sweep_{workers}w"), pool_t));
+        pool_speedups.push((workers, spawn_t / pool_t.max(1e-12)));
+    }
+
+    let spec = facade_sweep();
+    let facade_t = median_secs(iters, || {
+        let result = Experiment::digital(spec.clone()).run().unwrap();
+        let stats = result.digital().unwrap().stats.as_ref().unwrap();
+        assert_eq!(stats.failures, 0);
+    });
+    entries.push(("facade_sweep_4w".to_owned(), facade_t));
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"digital\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if test_mode { "test" } else { "full" }
+    ));
+    json.push_str("  \"results\": {\n");
+    for (i, (name, secs)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {secs:.9}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"speedup_wheel_vs_heap\": {\n");
+    for (i, (name, s)) in queue_speedups.iter().enumerate() {
+        let comma = if i + 1 < queue_speedups.len() {
+            ","
+        } else {
+            ""
+        };
+        json.push_str(&format!("    \"{name}\": {s:.2}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"speedup_pool_vs_spawn\": {\n");
+    for (i, (workers, s)) in pool_speedups.iter().enumerate() {
+        let comma = if i + 1 < pool_speedups.len() { "," } else { "" };
+        json.push_str(&format!("    \"{workers}w\": {s:.2}{comma}\n"));
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    let dir = std::env::var_os("BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("workspace root exists")
+                .to_path_buf()
+        });
+    let path = dir.join("BENCH_digital.json");
+    std::fs::write(&path, json).expect("can write bench baseline");
+    println!("baseline written to {}", path.display());
+    for (name, s) in &queue_speedups {
+        println!("speedup wheel vs heap, {name}: {s:.1}x");
+    }
+    for (workers, s) in &pool_speedups {
+        println!("speedup pool vs spawn, {workers}w: {s:.1}x");
+    }
+
+    if std::env::var_os("IVL_BENCH_CHECK").is_some() {
+        // dedicated gate measurement: interleaved medians of 7 (even in
+        // --test mode) so one scheduler hiccup on a shared CI runner
+        // cannot produce a phantom regression, and a 5% noise tolerance
+        // on top — a real queue regression shows up far below 0.95
+        let (name, circuit, input) = &workloads[0];
+        assert_eq!(*name, "chain_1k");
+        let mut sims: Vec<Simulator> = [QueueBackend::Heap, QueueBackend::Calendar]
+            .into_iter()
+            .map(|backend| {
+                let mut sim = Simulator::new(circuit.clone()).with_queue_backend(backend);
+                sim.set_input("a", input.clone()).unwrap();
+                sim.run(1e9).unwrap(); // warm
+                sim
+            })
+            .collect();
+        let mut samples = [Vec::new(), Vec::new()];
+        for _ in 0..7 {
+            for (i, sim) in sims.iter_mut().enumerate() {
+                let t0 = Instant::now();
+                sim.run(1e9).unwrap();
+                samples[i].push(t0.elapsed().as_secs_f64());
+            }
+        }
+        for s in &mut samples {
+            s.sort_by(|a, b| a.total_cmp(b));
+        }
+        let speedup = samples[0][3] / samples[1][3].max(1e-12);
+        assert!(
+            speedup >= 0.95,
+            "regression gate: calendar queue slower than heap on chain_1k ({speedup:.2}x)"
+        );
+        println!("IVL_BENCH_CHECK passed: wheel vs heap on chain_1k = {speedup:.2}x");
+    }
+}
+
+fn main() {
+    benches();
+    // only rewrite the tracked baseline on full, unfiltered runs (or
+    // CI's `--test` smoke); a name-filtered dev invocation should
+    // neither pay for the baseline suite nor clobber its numbers. A
+    // bare argument counts as a filter only when it does not directly
+    // follow a `--option` (which may be consuming it as a value).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filtered = args.iter().enumerate().any(|(i, a)| {
+        let follows_option = i > 0 && args[i - 1].starts_with("--");
+        !a.is_empty() && !a.starts_with("--") && !follows_option
+    });
+    if !filtered {
+        emit_baseline(args.iter().any(|a| a == "--test"));
+    }
+}

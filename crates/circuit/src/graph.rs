@@ -371,6 +371,12 @@ impl Circuit {
         &self.nodes[id.0].kind
     }
 
+    /// Names of every node (ports and gates), in creation order.
+    #[must_use]
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
     /// Names of all input ports, in creation order.
     #[must_use]
     pub fn input_names(&self) -> Vec<&str> {
@@ -400,6 +406,26 @@ impl Circuit {
     pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId, usize) {
         let e = &self.edges[id.0];
         (e.from, e.to, e.pin)
+    }
+
+    /// Replaces the channel on an existing channel edge, keeping the
+    /// topology (endpoints, pin, ids) intact. This is how callers swap
+    /// an adversary/noise source into a prebuilt circuit without
+    /// rebuilding the netlist (e.g. the SPF circuit's per-run noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit or refers to a
+    /// direct (channel-free) connection — a direct edge can never
+    /// legally carry a channel, because gates and channels alternate.
+    pub fn replace_channel(&mut self, id: EdgeId, channel: Box<dyn SimChannel>) {
+        let e = &mut self.edges[id.0];
+        assert!(
+            matches!(e.conn, Connection::Channel(_)),
+            "edge {} is a direct connection, not a channel",
+            id.0
+        );
+        e.conn = Connection::Channel(channel);
     }
 }
 

@@ -49,6 +49,7 @@
 mod error;
 mod gate;
 mod graph;
+mod queue;
 mod runner;
 mod sim;
 pub mod vcd;
@@ -56,5 +57,6 @@ pub mod vcd;
 pub use error::{CircuitError, SimError};
 pub use gate::{GateKind, TruthTable};
 pub use graph::{Circuit, CircuitBuilder, EdgeId, NodeId, NodeKind};
+pub use queue::QueueBackend;
 pub use runner::{Scenario, ScenarioOutcome, ScenarioRunner, SweepResult, SweepStats};
 pub use sim::{SimResult, Simulator};

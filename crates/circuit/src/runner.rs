@@ -1,27 +1,42 @@
-//! Parallel multi-scenario sweeps: fan a batch of stimuli / noise seeds
-//! over worker threads, each simulating its own clone of one circuit.
+//! Parallel multi-scenario sweeps over a **persistent worker pool**:
+//! fan a batch of stimuli / noise seeds over worker threads, each
+//! simulating its own clone of one circuit.
 //!
 //! The paper's Monte-Carlo experiments (adversary batteries, η-noise
 //! sweeps) run the *same* circuit under thousands of slightly different
-//! scenarios. A [`ScenarioRunner`] amortizes setup across the batch:
-//! every worker thread owns a deep clone of the circuit and one
-//! [`Simulator`] whose per-run state is reused scenario after scenario,
-//! so the per-scenario cost is the event loop alone.
+//! scenarios. A [`ScenarioRunner`] amortizes setup across the batch
+//! *and across batches*: worker threads are spawned once (lazily, on
+//! the first [`run`](ScenarioRunner::run)) and live for the runner's
+//! lifetime. Every worker owns a deep clone of the circuit and one
+//! [`Simulator`] whose per-run state stays warm scenario after scenario
+//! and sweep after sweep, so a 10k-scenario sweep performs zero
+//! per-scenario allocation and zero thread spawns.
+//!
+//! Work is distributed dynamically: workers pull fixed-size index
+//! chunks from a shared atomic cursor, so a scenario that simulates 100×
+//! longer than its neighbours no longer stalls a statically assigned
+//! stripe (the old `i % workers` discipline).
 //!
 //! Scenarios with a [`seed`](Scenario::with_seed) are bitwise
-//! reproducible regardless of worker count or scheduling: the seed pins
-//! every channel's noise stream via
-//! [`Simulator::reseed_noise`]. Unseeded scenarios on noisy circuits
-//! draw from whatever stream state their worker's simulator has reached,
-//! which depends on the worker count — seed your scenarios when you need
-//! determinism.
+//! reproducible regardless of worker count, chunk scheduling, or how
+//! many sweeps the runner has executed before: the seed pins every
+//! channel's noise stream via [`Simulator::reseed_noise`]. Unseeded
+//! scenarios on noisy circuits draw from whatever stream state their
+//! worker's simulator has reached — which now also depends on dynamic
+//! chunk assignment — so seed your scenarios when you need determinism.
 
-use std::thread;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 use ivl_core::{PulseStats, Signal};
 
 use crate::error::SimError;
 use crate::graph::Circuit;
+use crate::queue::QueueBackend;
 use crate::sim::{SimResult, Simulator};
 
 /// One entry of a sweep: a label, input assignments, and an optional
@@ -164,8 +179,154 @@ impl SweepResult {
     }
 }
 
-/// Fans scenarios across `std::thread` workers, each simulating its own
-/// clone of the circuit.
+// ======================================================================
+// Persistent worker pool
+// ======================================================================
+
+/// One sweep's shared state: the scenario slice (as a raw pointer whose
+/// lifetime is guarded by `run` blocking until every worker reports
+/// completion), the work-stealing cursor, and one result slot per
+/// scenario.
+struct Job {
+    scenarios: *const Scenario,
+    n: usize,
+    horizon: f64,
+    chunk: usize,
+    cursor: AtomicUsize,
+    slots: Vec<ResultSlot>,
+    completed: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `scenarios` is only dereferenced while the dispatching `run`
+// call is blocked waiting for completion (so the borrow it was created
+// from is alive), and each `slots[i]` is written by exactly one worker
+// (the one that claimed index `i` from `cursor`).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct ResultSlot(UnsafeCell<Option<Result<SimResult, SimError>>>);
+
+impl Job {
+    /// Claims and runs chunks until the cursor is exhausted.
+    fn work(&self, sim: &mut Simulator) {
+        loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                return;
+            }
+            let end = (start + self.chunk).min(self.n);
+            for idx in start..end {
+                // SAFETY: see the `Send`/`Sync` impls above.
+                let scenario = unsafe { &*self.scenarios.add(idx) };
+                let result = run_scenario(sim, scenario, self.horizon);
+                unsafe { *self.slots[idx].0.get() = Some(result) };
+            }
+        }
+    }
+}
+
+/// Increments the job's completion count when dropped — *including*
+/// during unwinding, so a panicking worker cannot leave `run` waiting
+/// forever on the condvar.
+struct CompletionGuard<'a>(&'a Job);
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.panicked.store(true, Ordering::SeqCst);
+        }
+        let mut completed = self
+            .0
+            .completed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *completed += 1;
+        self.0.done.notify_all();
+    }
+}
+
+fn worker_loop(rx: &Receiver<Arc<Job>>, mut sim: Simulator) {
+    while let Ok(job) = rx.recv() {
+        let _guard = CompletionGuard(&job);
+        job.work(&mut sim);
+    }
+}
+
+/// The spawned threads and their job mailboxes. Dropping the pool
+/// disconnects the mailboxes (workers exit their receive loop) and
+/// joins every thread.
+struct WorkerPool {
+    senders: Vec<Sender<Arc<Job>>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads, each owning an independent clone of
+    /// `circuit` (cloned serially here) with fully reusable simulator
+    /// state.
+    fn spawn(circuit: &Circuit, workers: usize, max_events: usize, backend: QueueBackend) -> Self {
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let sim = Simulator::new(circuit.clone())
+                .with_max_events(max_events)
+                .with_queue_backend(backend);
+            let (tx, rx) = mpsc::channel::<Arc<Job>>();
+            senders.push(tx);
+            handles.push(std::thread::spawn(move || worker_loop(&rx, sim)));
+        }
+        WorkerPool { senders, handles }
+    }
+
+    fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Hands the job to every worker and blocks until all of them have
+    /// drained the cursor. Returns `false` if any worker panicked.
+    fn execute(&self, job: &Arc<Job>) -> bool {
+        // a send only fails if the worker already died; waiting counts
+        // only the workers that actually received the job, so the wait
+        // below always terminates
+        let alive = self
+            .senders
+            .iter()
+            .filter(|tx| tx.send(Arc::clone(job)).is_ok())
+            .count();
+        let mut completed = job
+            .completed
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *completed < alive {
+            completed = job
+                .done
+                .wait(completed)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        !job.panicked.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // worker panics were already surfaced by `execute`
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Fans scenarios across a persistent pool of worker threads, each
+/// simulating its own clone of the circuit.
+///
+/// The pool is spawned lazily on the first [`run`](ScenarioRunner::run)
+/// and reused for every subsequent sweep: each worker keeps one warm
+/// [`Simulator`] (event pool, recorders, queue) for the runner's whole
+/// lifetime. Workers claim scenario-index chunks from a shared atomic
+/// cursor, so load imbalance between scenarios is absorbed dynamically.
 ///
 /// ```
 /// use ivl_circuit::{CircuitBuilder, GateKind, Scenario, ScenarioRunner, Simulator};
@@ -192,12 +353,13 @@ impl SweepResult {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct ScenarioRunner {
     circuit: Circuit,
     horizon: f64,
     max_events: usize,
     workers: usize,
+    backend: QueueBackend,
+    pool: Mutex<Option<WorkerPool>>,
 }
 
 impl ScenarioRunner {
@@ -205,27 +367,52 @@ impl ScenarioRunner {
     /// workers as the machine advertises.
     #[must_use]
     pub fn new(circuit: Circuit, horizon: f64) -> Self {
-        let workers = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         ScenarioRunner {
             circuit,
             horizon,
             max_events: 10_000_000,
             workers,
+            backend: QueueBackend::from_env(),
+            pool: Mutex::new(None),
         }
     }
 
-    /// Sets the number of worker threads (clamped to ≥ 1).
+    /// Sets the number of worker threads (clamped to ≥ 1). Discards any
+    /// already-spawned pool.
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        *self
+            .pool
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         self
     }
 
     /// Caps scheduled events per scenario run (see
-    /// [`Simulator::with_max_events`]).
+    /// [`Simulator::with_max_events`]). Discards any already-spawned
+    /// pool.
     #[must_use]
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
+        *self
+            .pool
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        self
+    }
+
+    /// Selects the workers' pending-event queue backend (see
+    /// [`Simulator::with_queue_backend`]). Discards any already-spawned
+    /// pool.
+    #[must_use]
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.backend = backend;
+        *self
+            .pool
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         self
     }
 
@@ -238,50 +425,56 @@ impl ScenarioRunner {
     /// Sweeps `scenarios`, returning outcomes in input order plus
     /// aggregate pulse statistics over the circuit's output ports.
     ///
-    /// Scenario `i` is handled by worker `i % workers`; each worker
-    /// reuses one simulator (and its event pool) for all of its
-    /// scenarios. Simulation failures are recorded per scenario, they do
-    /// not abort the sweep.
+    /// Workers pull scenario-index chunks from a shared cursor; each
+    /// worker reuses one simulator (and its event pool) for all of its
+    /// scenarios, across every `run` call on this runner. Simulation
+    /// failures are recorded per scenario, they do not abort the sweep.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panics (i.e. a bug in the simulator
-    /// itself, not a simulation error).
+    /// itself, not a simulation error). The pool is discarded, so a
+    /// subsequent `run` starts from fresh workers.
     #[must_use]
     pub fn run(&self, scenarios: &[Scenario]) -> SweepResult {
         let n = scenarios.len();
         let mut slots: Vec<Option<Result<SimResult, SimError>>> = Vec::new();
-        slots.resize_with(n, || None);
         if n > 0 {
-            let workers = self.workers.min(n);
-            let horizon = self.horizon;
-            // clone the template serially: each worker gets an
-            // independent circuit (and channel noise state)
-            let sims: Vec<Simulator> = (0..workers)
-                .map(|_| Simulator::new(self.circuit.clone()).with_max_events(self.max_events))
-                .collect();
-            thread::scope(|scope| {
-                let handles: Vec<_> = sims
-                    .into_iter()
-                    .enumerate()
-                    .map(|(w, mut sim)| {
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            let mut idx = w;
-                            while idx < n {
-                                out.push((idx, run_scenario(&mut sim, &scenarios[idx], horizon)));
-                                idx += workers;
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    for (idx, res) in h.join().expect("scenario worker panicked") {
-                        slots[idx] = Some(res);
-                    }
-                }
+            let mut pool_guard = self
+                .pool
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let pool = pool_guard.get_or_insert_with(|| {
+                WorkerPool::spawn(&self.circuit, self.workers, self.max_events, self.backend)
             });
+            // ~4 chunks per worker balances stealing overhead against
+            // load imbalance; a chunk is never empty
+            let chunk = (n / (pool.workers() * 4)).clamp(1, 64);
+            let job = Arc::new(Job {
+                scenarios: scenarios.as_ptr(),
+                n,
+                horizon: self.horizon,
+                chunk,
+                cursor: AtomicUsize::new(0),
+                slots: (0..n).map(|_| ResultSlot(UnsafeCell::new(None))).collect(),
+                completed: Mutex::new(0),
+                done: Condvar::new(),
+                panicked: AtomicBool::new(false),
+            });
+            let ok = pool.execute(&job);
+            if !ok {
+                *pool_guard = None;
+                panic!("scenario worker panicked");
+            }
+            drop(pool_guard);
+            // SAFETY: every worker has reported completion (with the
+            // release/acquire ordering of the completion mutex), so the
+            // slots are no longer aliased.
+            slots = job
+                .slots
+                .iter()
+                .map(|slot| unsafe { (*slot.0.get()).take() })
+                .collect();
         }
 
         let outcomes: Vec<ScenarioOutcome> = slots
@@ -289,7 +482,7 @@ impl ScenarioRunner {
             .zip(scenarios)
             .map(|(slot, sc)| ScenarioOutcome {
                 label: sc.label.clone(),
-                result: slot.expect("every scenario index is assigned to a worker"),
+                result: slot.expect("every scenario index is claimed by a worker"),
             })
             .collect();
 
@@ -314,6 +507,24 @@ impl ScenarioRunner {
         }
 
         SweepResult { outcomes, stats }
+    }
+}
+
+impl fmt::Debug for ScenarioRunner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pool_spawned = self
+            .pool
+            .lock()
+            .map(|guard| guard.is_some())
+            .unwrap_or(false);
+        f.debug_struct("ScenarioRunner")
+            .field("circuit", &self.circuit)
+            .field("horizon", &self.horizon)
+            .field("max_events", &self.max_events)
+            .field("workers", &self.workers)
+            .field("backend", &self.backend)
+            .field("pool_spawned", &pool_spawned)
+            .finish()
     }
 }
 

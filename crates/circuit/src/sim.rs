@@ -9,22 +9,28 @@
 //! cancelled, or reused slot) is detected by generation mismatch instead
 //! of silently corrupting the waveform.
 //!
-//! All per-run working memory (pin values, recorders, the pool, the heap,
-//! the dirty set) is owned by a [`SimState`] that the [`Simulator`]
-//! reuses across [`run`](Simulator::run) calls: after the first run the
-//! hot loop performs no pool/recorder allocations — only the returned
-//! [`SimResult`]'s signals are freshly allocated.
+//! All per-run working memory (pin values, recorders, the pool, the
+//! event queue, the dirty set) is owned by a [`SimState`] that the
+//! [`Simulator`] reuses across [`run`](Simulator::run) calls: after the
+//! first run the hot loop performs no pool/recorder allocations — only
+//! the returned [`SimResult`]'s signals are freshly allocated.
+//!
+//! Pending events are ordered by a pluggable [`QueueBackend`]: a
+//! bucketed calendar queue by default (sized from the channels' delay
+//! hints), or the reference binary heap (`IVL_FORCE_HEAP`). Both deliver
+//! bit-identical `(time, seq)` order; see the [`queue`](crate::queue)
+//! module docs.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
-use ivl_core::channel::FeedEffect;
+use ivl_core::channel::{FeedEffect, OnlineChannel as _, SimChannel};
 use ivl_core::{Bit, Signal, SignalBuilder, Transition};
 
 use crate::error::SimError;
 use crate::graph::{Circuit, Connection, EdgeId, NodeId, NodeKind};
+use crate::queue::{CalendarConfig, EventKey, EventQueue, QueueBackend, QueueImpl};
 
 /// Generation-stamped handle to a slot in the [`EventPool`].
 ///
@@ -33,9 +39,18 @@ use crate::graph::{Circuit, Connection, EdgeId, NodeId, NodeKind};
 /// and any heap key or pending-queue entry still holding the old
 /// generation no longer resolves.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct EventId {
+pub(crate) struct EventId {
     slot: u32,
     gen: u32,
+}
+
+impl EventId {
+    /// A handle that resolves to no slot; used where an [`EventKey`]
+    /// needs a placeholder id (ordering never inspects the id).
+    pub(crate) const TOMBSTONE: EventId = EventId {
+        slot: u32::MAX,
+        gen: u32::MAX,
+    };
 }
 
 #[derive(Debug, Clone)]
@@ -45,6 +60,9 @@ struct Slot {
     time: f64,
     value: Bit,
     edge: u32,
+    /// The schedule sequence number of the resident event — lets a
+    /// cancellation identify the exact queue key to discard eagerly.
+    seq: u64,
 }
 
 /// Slab event pool with a free list. Slots are recycled, so a run's
@@ -62,13 +80,14 @@ impl EventPool {
         self.free.clear();
     }
 
-    fn alloc(&mut self, time: f64, edge: usize, value: Bit) -> EventId {
+    fn alloc(&mut self, time: f64, edge: usize, value: Bit, seq: u64) -> EventId {
         if let Some(slot) = self.free.pop() {
             let s = &mut self.slots[slot as usize];
             s.live = true;
             s.time = time;
             s.value = value;
             s.edge = edge as u32;
+            s.seq = seq;
             EventId { slot, gen: s.gen }
         } else {
             let slot = u32::try_from(self.slots.len()).expect("event pool exceeds u32 slots");
@@ -78,6 +97,7 @@ impl EventPool {
                 time,
                 value,
                 edge: edge as u32,
+                seq,
             });
             EventId { slot, gen: 0 }
         }
@@ -89,6 +109,21 @@ impl EventPool {
         self.slots
             .get(id.slot as usize)
             .filter(|s| s.live && s.gen == id.gen)
+    }
+
+    /// Releases the slot for `id` and returns its payload in one slot
+    /// access, or `None` (no mutation) if the id is stale. The single
+    /// random access matters: on large workloads a pool lookup is a
+    /// cache miss, and `get` + `release` would pay it twice per event.
+    fn take(&mut self, id: EventId) -> Option<(f64, Bit, usize)> {
+        let s = self.slots.get_mut(id.slot as usize)?;
+        if !(s.live && s.gen == id.gen) {
+            return None;
+        }
+        s.live = false;
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        Some((s.time, s.value, s.edge as usize))
     }
 
     /// Returns the slot to the free list and bumps its generation, so
@@ -107,37 +142,6 @@ impl EventPool {
     }
 }
 
-/// Heap key ordering events by time, then by schedule sequence (so causes
-/// precede effects at equal times and runs are deterministic).
-#[derive(Debug, Clone, Copy)]
-struct HeapKey {
-    time: f64,
-    seq: u64,
-    id: EventId,
-}
-
-impl PartialEq for HeapKey {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-
-impl Eq for HeapKey {}
-
-impl PartialOrd for HeapKey {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapKey {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
 /// Per-run working memory, reused across [`Simulator::run`] calls.
 ///
 /// `prepare` resizes and resets every buffer in place (keeping
@@ -151,7 +155,7 @@ struct SimState {
     node_rec: Vec<SignalBuilder>,
     edge_rec: Vec<SignalBuilder>,
     pool: EventPool,
-    heap: BinaryHeap<Reverse<HeapKey>>,
+    queue: QueueImpl,
     edge_pending: Vec<VecDeque<EventId>>,
     dirty: Vec<usize>,
     dirty_scratch: Vec<usize>,
@@ -159,7 +163,13 @@ struct SimState {
 }
 
 impl SimState {
-    fn prepare(&mut self, circuit: &Circuit, inputs: &[Signal]) {
+    fn prepare(
+        &mut self,
+        circuit: &Circuit,
+        inputs: &[Signal],
+        backend: QueueBackend,
+        calendar: CalendarConfig,
+    ) {
         let n_nodes = circuit.node_count();
         let n_edges = circuit.edge_count();
 
@@ -208,7 +218,7 @@ impl SimState {
         }
 
         self.pool.clear();
-        self.heap.clear();
+        self.queue.ensure(backend, calendar);
         self.edge_pending.resize_with(n_edges, VecDeque::new);
         for q in &mut self.edge_pending {
             q.clear();
@@ -227,11 +237,11 @@ impl SimState {
     }
 }
 
-/// Scheduling front-end over the pool/heap/pending queues; split out of
+/// Scheduling front-end over the pool/queue/pending queues; split out of
 /// `run` so the borrow checker sees disjoint state.
 struct Queue<'a> {
     pool: &'a mut EventPool,
-    heap: &'a mut BinaryHeap<Reverse<HeapKey>>,
+    queue: &'a mut QueueImpl,
     edge_pending: &'a mut [VecDeque<EventId>],
     seq: u64,
     scheduled: usize,
@@ -250,12 +260,12 @@ impl Queue<'_> {
                 time: tr.time,
             });
         }
-        let id = self.pool.alloc(tr.time, edge, tr.value);
-        self.heap.push(Reverse(HeapKey {
+        let id = self.pool.alloc(tr.time, edge, tr.value, self.seq);
+        self.queue.push(EventKey {
             time: tr.time,
             seq: self.seq,
             id,
-        }));
+        });
         self.seq += 1;
         self.edge_pending[edge].push_back(id);
         Ok(())
@@ -299,7 +309,11 @@ impl Queue<'_> {
                         cancelled: cancelled.time,
                     });
                 }
+                let (time, seq) = (slot.time, slot.seq);
                 self.pool.release(id);
+                // eager removal from the queue (the calendar backend
+                // does; the heap falls back to lazy stale filtering)
+                self.queue.discard(time, seq);
                 Ok(())
             }
             FeedEffect::Dropped => Ok(()),
@@ -330,20 +344,67 @@ pub struct Simulator {
     circuit: Circuit,
     inputs: Vec<Signal>,
     max_events: usize,
+    backend: QueueBackend,
+    calendar: CalendarConfig,
     state: SimState,
+}
+
+/// Calendar geometry for a circuit: bucket width from the channels'
+/// delay hints (the involution channels' bounded delay ranges put
+/// typical event horizons a small number of buckets ahead).
+fn calendar_config_for(circuit: &Circuit) -> CalendarConfig {
+    CalendarConfig::from_delay_hints(circuit.edges.iter().filter_map(|e| match &e.conn {
+        Connection::Channel(ch) => ch.delay_hint(),
+        Connection::Direct => None,
+    }))
 }
 
 impl Simulator {
     /// Creates a simulator; all inputs default to the zero signal.
+    ///
+    /// The pending-event queue backend defaults to
+    /// [`QueueBackend::from_env`] (the calendar queue unless
+    /// `IVL_FORCE_HEAP` is set).
     #[must_use]
     pub fn new(circuit: Circuit) -> Self {
         let inputs = vec![Signal::zero(); circuit.node_count()];
+        let calendar = calendar_config_for(&circuit);
         Simulator {
             circuit,
             inputs,
             max_events: 10_000_000,
+            backend: QueueBackend::from_env(),
+            calendar,
             state: SimState::default(),
         }
+    }
+
+    /// Selects the pending-event queue backend (overriding the
+    /// `IVL_FORCE_HEAP` default). Both backends produce bitwise
+    /// identical runs; the calendar queue is the fast one.
+    #[must_use]
+    pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The pending-event queue backend in use.
+    #[must_use]
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.backend
+    }
+
+    /// Replaces the channel on `edge` (which must be a channel edge),
+    /// re-deriving the calendar-queue geometry from the new channel set.
+    /// The circuit topology is untouched, so recorded state and node
+    /// ids stay valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range or is a direct connection.
+    pub fn replace_channel(&mut self, edge: EdgeId, channel: Box<dyn SimChannel>) {
+        self.circuit.replace_channel(edge, channel);
+        self.calendar = calendar_config_for(&self.circuit);
     }
 
     /// Caps the number of *scheduled* events per run (guards against
@@ -439,7 +500,7 @@ impl Simulator {
         let circuit = &mut self.circuit;
         let inputs = &self.inputs;
         let state = &mut self.state;
-        state.prepare(circuit, inputs);
+        state.prepare(circuit, inputs, self.backend, self.calendar);
 
         // reset channel history
         for e in &mut circuit.edges {
@@ -455,7 +516,7 @@ impl Simulator {
             node_rec,
             edge_rec,
             pool,
-            heap,
+            queue: event_queue,
             edge_pending,
             dirty,
             dirty_scratch,
@@ -464,25 +525,34 @@ impl Simulator {
 
         let mut queue = Queue {
             pool,
-            heap,
+            queue: event_queue,
             edge_pending: edge_pending.as_mut_slice(),
             seq: 0,
             scheduled: 0,
             max_events: self.max_events,
         };
 
+        // split the circuit into disjoint field borrows so the hot
+        // loops index each vector directly (no repeated nested
+        // `circuit.…[…]` bounds-check chains)
+        let Circuit {
+            nodes,
+            edges,
+            outgoing,
+            names,
+        } = circuit;
+
         // Pre-schedule all input-port signals. A channel driven by an
         // input port sees exactly that port's transitions, so feeding
         // them all upfront is equivalent to feeding them in global time
         // order.
-        for i in 0..circuit.node_count() {
-            if !matches!(circuit.node_kind(NodeId(i)), NodeKind::Input) {
+        for i in 0..nodes.len() {
+            if !matches!(nodes[i].kind, NodeKind::Input) {
                 continue;
             }
             let signal = &inputs[i];
-            for k in 0..circuit.outgoing[i].len() {
-                let eid = circuit.outgoing[i][k];
-                let edge = &mut circuit.edges[eid.index()];
+            for &eid in &outgoing[i] {
+                let edge = &mut edges[eid.index()];
                 match &mut edge.conn {
                     Connection::Direct => {
                         for tr in signal {
@@ -514,24 +584,21 @@ impl Simulator {
         let mut batch_time = 0.0_f64;
 
         loop {
-            // deliver every still-live event at batch_time
-            while let Some(&Reverse(key)) = queue.heap.peek() {
-                if key.time > batch_time {
-                    break;
-                }
-                queue.heap.pop();
+            // deliver every still-live event at batch_time: the whole
+            // same-timestamp batch lands in the dirty set before any
+            // gate is re-evaluated
+            while let Some(key) = queue.queue.pop_at_or_before(batch_time) {
                 // stale key ⇒ the event was cancelled after this key was
-                // pushed; the generation mismatch filters it out
-                let (time, value, edge_idx) = match queue.pool.get(key.id) {
-                    Some(s) => (s.time, s.value, s.edge as usize),
-                    None => continue,
+                // pushed; the generation mismatch filters it out (one
+                // pool access releases the slot and yields the payload)
+                let Some((time, value, edge_idx)) = queue.pool.take(key.id) else {
+                    continue;
                 };
                 if queue.edge_pending[edge_idx].front() == Some(&key.id) {
                     queue.edge_pending[edge_idx].pop_front();
                 }
-                queue.pool.release(key.id);
                 processed += 1;
-                let edge = &mut circuit.edges[edge_idx];
+                let edge = &mut edges[edge_idx];
                 if let Connection::Channel(ch) = &mut edge.conn {
                     ch.discard_delivered(time);
                 }
@@ -541,7 +608,7 @@ impl Simulator {
                 let to = edge.to.index();
                 let pin = edge.pin;
                 pins[to][pin] = value;
-                match circuit.node_kind(NodeId(to)) {
+                match &nodes[to].kind {
                     NodeKind::Gate { .. } => {
                         if !dirty_flag[to] {
                             dirty_flag[to] = true;
@@ -566,7 +633,7 @@ impl Simulator {
                 dirty_flag[i] = false;
             }
             for &i in dirty_scratch.iter() {
-                let NodeKind::Gate { kind, .. } = circuit.node_kind(NodeId(i)) else {
+                let NodeKind::Gate { kind, .. } = &nodes[i].kind else {
                     continue;
                 };
                 let new_value = kind.eval(&pins[i]);
@@ -578,9 +645,8 @@ impl Simulator {
                 node_rec[i]
                     .push(tr)
                     .expect("gate output changes strictly after its previous change");
-                for k in 0..circuit.outgoing[i].len() {
-                    let eid = circuit.outgoing[i][k];
-                    let edge = &mut circuit.edges[eid.index()];
+                for &eid in &outgoing[i] {
+                    let edge = &mut edges[eid.index()];
                     match &mut edge.conn {
                         Connection::Direct => queue.schedule(eid.index(), tr)?,
                         Connection::Channel(ch) => {
@@ -594,13 +660,13 @@ impl Simulator {
 
             // next batch: earliest remaining live event
             let next = loop {
-                match queue.heap.peek() {
+                match queue.queue.peek() {
                     None => break None,
-                    Some(&Reverse(key)) => {
+                    Some(key) => {
                         if queue.pool.get(key.id).is_some() {
                             break Some(key.time);
                         }
-                        queue.heap.pop();
+                        queue.queue.pop();
                     }
                 }
             };
@@ -620,7 +686,7 @@ impl Simulator {
         let node_signals: Vec<Signal> = node_rec.iter().map(SignalBuilder::snapshot).collect();
         let edge_signals: Vec<Signal> = edge_rec.iter().map(SignalBuilder::snapshot).collect();
         Ok(SimResult {
-            names: Arc::clone(&circuit.names),
+            names: Arc::clone(names),
             node_signals,
             edge_signals,
             horizon,
@@ -638,6 +704,8 @@ impl Clone for Simulator {
             circuit: self.circuit.clone(),
             inputs: self.inputs.clone(),
             max_events: self.max_events,
+            backend: self.backend,
+            calendar: self.calendar,
             state: SimState::default(),
         }
     }
@@ -697,6 +765,37 @@ impl SimResult {
     #[must_use]
     pub fn edge_signal(&self, id: EdgeId) -> &Signal {
         &self.edge_signals[id.index()]
+    }
+
+    /// Moves the named signal out of the result (no clone). Subsequent
+    /// reads of the same node see the zero signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if the name does not resolve.
+    pub fn take_signal(&mut self, name: &str) -> Result<Signal, SimError> {
+        let id = self
+            .names
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownNode {
+                name: name.to_owned(),
+            })?;
+        Ok(self.take_node_signal(id))
+    }
+
+    /// Moves a node's signal out of the result (no clone). Subsequent
+    /// reads of the same node see the zero signal.
+    #[must_use]
+    pub fn take_node_signal(&mut self, id: NodeId) -> Signal {
+        std::mem::replace(&mut self.node_signals[id.index()], Signal::zero())
+    }
+
+    /// Moves an edge's delivered signal out of the result (no clone).
+    /// Subsequent reads of the same edge see the zero signal.
+    #[must_use]
+    pub fn take_edge_signal(&mut self, id: EdgeId) -> Signal {
+        std::mem::replace(&mut self.edge_signals[id.index()], Signal::zero())
     }
 
     /// The simulation horizon this run used.

@@ -53,7 +53,10 @@ pub fn write_vcd(
         ));
     }
     let ident = |i: usize| char::from(b'!' + i as u8);
-    let mut out = String::new();
+    // one preallocated output buffer: header (~64 bytes per signal) plus
+    // a conservative ~16 bytes per change line ("#<tick>\n<v><id>\n")
+    let total_transitions: usize = signals.iter().map(|(_, s)| s.len()).sum();
+    let mut out = String::with_capacity(128 + 64 * signals.len() + 16 * total_transitions);
     let _ = writeln!(out, "$timescale {timescale} $end");
     let _ = writeln!(out, "$scope module faithful $end");
     let mut used: std::collections::HashSet<String> = std::collections::HashSet::new();
@@ -78,28 +81,39 @@ pub fn write_vcd(
     }
     let _ = writeln!(out, "$end");
 
-    // merge all transitions in time order; the per-signal sequence
-    // number keeps equal-tick changes of one signal in emission order so
-    // collapsing below keeps the *final* value
-    let mut events: Vec<(i64, usize, usize, u8)> = Vec::new();
-    for (i, (_, s)) in signals.iter().enumerate() {
-        for (k, tr) in s.transitions().iter().enumerate() {
-            let tick = (tr.time / time_scale).round() as i64;
-            events.push((tick, i, k, tr.value.as_u8()));
-        }
-    }
-    events.sort_unstable();
+    // stream all transitions in one merged time-ordered pass: each
+    // signal is already sorted, so a per-signal cursor plus a linear
+    // min-scan (≤ 94 signals) yields ascending (tick, signal) order
+    // without materializing or sorting a global event list. Equal-tick
+    // runs of one signal collapse to their final value, so readers never
+    // see contradictory changes at one `#tick`.
+    #[allow(clippy::cast_possible_truncation)]
+    let tick_of = |time: f64| (time / time_scale).round() as i64;
+    let mut cursor: Vec<usize> = vec![0; signals.len()];
     let mut last_value: Vec<u8> = signals.iter().map(|(_, s)| s.initial().as_u8()).collect();
     let mut last_tick = None;
-    let mut idx = 0;
-    while idx < events.len() {
-        let (tick, i, _, mut v) = events[idx];
-        idx += 1;
+    loop {
+        // earliest (tick, signal) among the cursors; scanning i in
+        // ascending order keeps equal ticks in signal order
+        let mut best: Option<(i64, usize)> = None;
+        for (i, (_, s)) in signals.iter().enumerate() {
+            let trs = s.transitions();
+            if cursor[i] < trs.len() {
+                let tick = tick_of(trs[cursor[i]].time);
+                if best.is_none_or(|(bt, _)| tick < bt) {
+                    best = Some((tick, i));
+                }
+            }
+        }
+        let Some((tick, i)) = best else { break };
+        let trs = signals[i].1.transitions();
         // a pulse shorter than time_scale/2 rounds both edges onto this
         // tick: collapse the run to its final value
-        while idx < events.len() && events[idx].0 == tick && events[idx].1 == i {
-            v = events[idx].3;
-            idx += 1;
+        let mut v = trs[cursor[i]].value.as_u8();
+        cursor[i] += 1;
+        while cursor[i] < trs.len() && tick_of(trs[cursor[i]].time) == tick {
+            v = trs[cursor[i]].value.as_u8();
+            cursor[i] += 1;
         }
         if v == last_value[i] {
             continue; // collapsed run ended where it started: no change
@@ -346,6 +360,39 @@ mod tests {
         assert!(doc.contains("$var wire 1 ! a $end"));
         assert!(doc.contains("$var wire 1 # y $end"));
         assert!(sim_result_to_vcd(&run, &["nope"], "1ps", 1.0).is_err());
+    }
+
+    #[test]
+    fn golden_document_is_byte_identical() {
+        // Pinned output of the streaming writer. This document was
+        // produced by the pre-streaming (sort-based) implementation;
+        // the single-pass merge must reproduce it byte for byte:
+        // ascending ticks, signals in declaration order within a tick,
+        // same-tick runs collapsed to their final value.
+        let a = Signal::pulse_train([(1.0, 2.0), (4.0, 0.2)]).unwrap(); // sub-tick pulse at 4
+        let b = Signal::from_times(Bit::One, &[1.0, 7.5]).unwrap();
+        let c = Signal::constant(Bit::Zero);
+        let doc = write_vcd(&[("a", &a), ("b sig", &b), ("c", &c)], "1ns", 1.0).unwrap();
+        let expected = "$timescale 1ns $end\n\
+                        $scope module faithful $end\n\
+                        $var wire 1 ! a $end\n\
+                        $var wire 1 \" b_sig $end\n\
+                        $var wire 1 # c $end\n\
+                        $upscope $end\n\
+                        $enddefinitions $end\n\
+                        $dumpvars\n\
+                        0!\n\
+                        1\"\n\
+                        0#\n\
+                        $end\n\
+                        #1\n\
+                        1!\n\
+                        0\"\n\
+                        #3\n\
+                        0!\n\
+                        #8\n\
+                        1\"\n";
+        assert_eq!(doc, expected);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! The SPF circuit of Fig. 5: a fed-back OR gate with an η-involution
 //! channel, followed by a high-threshold exp-channel buffer.
 
-use ivl_circuit::{CircuitBuilder, GateKind, Simulator};
+use std::sync::Mutex;
+
+use ivl_circuit::{CircuitBuilder, EdgeId, GateKind, NodeId, Simulator};
 use ivl_core::channel::{EtaInvolutionChannel, InvolutionChannel};
 use ivl_core::delay::{DelayPair, ExpChannel};
-use ivl_core::noise::{EtaBounds, NoiseSource};
+use ivl_core::noise::{EtaBounds, NoiseSource, ZeroNoise};
 use ivl_core::{Bit, Signal};
 
 use crate::error::Error;
@@ -36,11 +38,44 @@ use crate::theory::SpfTheory;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
 pub struct SpfCircuit<D> {
     delay: D,
     bounds: EtaBounds,
     buffer: ExpChannel,
+    /// Lazily built simulator over the Fig. 5 netlist, reused across
+    /// [`simulate`](SpfCircuit::simulate) calls: the netlist, name table
+    /// and per-run state are constructed once; only the feedback
+    /// channel (which carries the per-call adversary) is swapped per
+    /// run. Clones start with an empty cache.
+    cache: Mutex<Option<CachedSim>>,
+}
+
+/// The cached simulator plus the node/edge handles `simulate` reads.
+struct CachedSim {
+    sim: Simulator,
+    or_id: NodeId,
+    feedback: EdgeId,
+}
+
+impl<D: std::fmt::Debug> std::fmt::Debug for SpfCircuit<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpfCircuit")
+            .field("delay", &self.delay)
+            .field("bounds", &self.bounds)
+            .field("buffer", &self.buffer)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<D: Clone> Clone for SpfCircuit<D> {
+    fn clone(&self) -> Self {
+        SpfCircuit {
+            delay: self.delay.clone(),
+            bounds: self.bounds,
+            buffer: self.buffer.clone(),
+            cache: Mutex::new(None),
+        }
+    }
 }
 
 /// The recorded signals of one SPF circuit run.
@@ -65,6 +100,7 @@ impl<D: DelayPair + Clone + Send + 'static> SpfCircuit<D> {
             delay,
             bounds,
             buffer,
+            cache: Mutex::new(None),
         }
     }
 
@@ -110,16 +146,10 @@ impl<D: DelayPair + Clone + Send + 'static> SpfCircuit<D> {
         SpfTheory::compute(&self.delay, self.bounds)
     }
 
-    /// Builds a fresh simulator and runs `input` through the circuit
-    /// under the given adversary until `horizon`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates circuit construction and simulation errors.
-    pub fn simulate<N>(&self, noise: N, input: &Signal, horizon: f64) -> Result<SpfRun, Error>
-    where
-        N: NoiseSource + Clone + Send + 'static,
-    {
+    /// Builds the Fig. 5 netlist with a placeholder (zero-noise)
+    /// feedback channel; `simulate` swaps the real adversary in per
+    /// call.
+    fn build_cached(&self) -> Result<CachedSim, Error> {
         let mut b = CircuitBuilder::new();
         let i = b.input("i");
         let or = b.gate("or", GateKind::Or, Bit::Zero);
@@ -129,18 +159,56 @@ impl<D: DelayPair + Clone + Send + 'static> SpfCircuit<D> {
             or,
             or,
             1,
-            EtaInvolutionChannel::new(self.delay.clone(), self.bounds, noise),
+            EtaInvolutionChannel::new(self.delay.clone(), self.bounds, ZeroNoise),
         )?;
         b.connect(or, o, 0, InvolutionChannel::new(self.buffer.clone()))?;
         let circuit = b.build()?;
         let or_id = circuit.node("or").expect("or gate exists");
-        let mut sim = Simulator::new(circuit);
-        sim.set_input("i", input.clone())?;
-        let run = sim.run(horizon)?;
+        Ok(CachedSim {
+            sim: Simulator::new(circuit),
+            or_id,
+            feedback,
+        })
+    }
+
+    /// Runs `input` through the circuit under the given adversary until
+    /// `horizon`.
+    ///
+    /// The netlist and simulator state are built once per `SpfCircuit`
+    /// and reused across calls (only the feedback channel — which
+    /// carries the per-call adversary — is swapped), and the recorded
+    /// signals are returned by move, so repeated calls in a sweep pay
+    /// for the event loop alone rather than rebuilding and copying.
+    ///
+    /// # Errors
+    ///
+    /// Propagates circuit construction and simulation errors.
+    pub fn simulate<N>(&self, noise: N, input: &Signal, horizon: f64) -> Result<SpfRun, Error>
+    where
+        N: NoiseSource + Clone + Send + 'static,
+    {
+        let mut guard = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let cached = match &mut *guard {
+            Some(cached) => cached,
+            none => none.insert(self.build_cached()?),
+        };
+        cached.sim.replace_channel(
+            cached.feedback,
+            Box::new(EtaInvolutionChannel::new(
+                self.delay.clone(),
+                self.bounds,
+                noise,
+            )),
+        );
+        cached.sim.set_input("i", input.clone())?;
+        let mut run = cached.sim.run(horizon)?;
         Ok(SpfRun {
-            or_signal: run.node_signal(or_id).clone(),
-            feedback_signal: run.edge_signal(feedback).clone(),
-            output: run.signal("o")?.clone(),
+            or_signal: run.take_node_signal(cached.or_id),
+            feedback_signal: run.take_edge_signal(cached.feedback),
+            output: run.take_signal("o")?,
             events: run.processed_events(),
         })
     }
