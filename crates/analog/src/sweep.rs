@@ -2,12 +2,16 @@
 //! threads (the analog twin of `ivl_circuit`'s `ScenarioRunner`).
 //!
 //! Every pulse width of a [`SweepConfig`] is an independent chain
-//! simulation, so a sweep parallelizes embarrassingly: worker `w`
-//! handles widths `w, w + workers, …` and the results are assembled
-//! back in width order. Because the simulations are pure (no RNG), a
+//! simulation, so a sweep parallelizes embarrassingly: workers pull
+//! index chunks from a shared atomic cursor (narrow pulses integrate
+//! faster than wide ones, so static striping left workers idle at the
+//! tail) and the results are assembled back in width order. The chain
+//! itself is only ever *borrowed* — per-worker state is one result
+//! vector, nothing else. Because the simulations are pure (no RNG), a
 //! sweep's output is **bitwise identical for every worker count** —
 //! unlike `ScenarioRunner`, no seeds are needed for determinism.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 
 use ivl_core::delay::DelayPair;
@@ -152,8 +156,10 @@ impl SweepRunner {
         })
     }
 
-    /// Index-striped fan-out: worker `w` computes jobs `w, w + workers,
-    /// …`; results are returned in job order regardless of scheduling.
+    /// Work-stealing fan-out: workers claim fixed-size index chunks
+    /// from a shared atomic cursor (a slow job no longer stalls a
+    /// statically assigned stripe); results are returned in job order
+    /// regardless of scheduling.
     fn run_jobs<T, F>(&self, jobs: usize, job: F) -> Vec<T>
     where
         T: Send,
@@ -163,20 +169,27 @@ impl SweepRunner {
         if workers <= 1 {
             return (0..jobs).map(job).collect();
         }
+        // ~4 chunks per worker balances cursor contention against load
+        // imbalance; a chunk is never empty
+        let chunk = (jobs / (workers * 4)).clamp(1, 16);
+        let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = Vec::new();
         slots.resize_with(jobs, || None);
         thread::scope(|scope| {
-            let job = &job;
+            let (job, cursor) = (&job, &cursor);
             let handles: Vec<_> = (0..workers)
-                .map(|w| {
+                .map(|_| {
                     scope.spawn(move || {
                         let mut out = Vec::new();
-                        let mut idx = w;
-                        while idx < jobs {
-                            out.push((idx, job(idx)));
-                            idx += workers;
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= jobs {
+                                return out;
+                            }
+                            for idx in start..(start + chunk).min(jobs) {
+                                out.push((idx, job(idx)));
+                            }
                         }
-                        out
                     })
                 })
                 .collect();
@@ -188,7 +201,7 @@ impl SweepRunner {
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every job index is assigned to a worker"))
+            .map(|s| s.expect("every job index is claimed by a worker"))
             .collect()
     }
 }

@@ -4,8 +4,12 @@
 //! Besides the criterion groups, the harness emits a machine-readable
 //! `BENCH_analog.json` baseline at the workspace root (override the
 //! directory with `BENCH_DIR`) so the perf trajectory of the analog
-//! pipeline is tracked across PRs. In `--test` mode (CI smoke) every
-//! measurement runs exactly once.
+//! pipeline is tracked across PRs. The parallel tier sweeps a 64-width
+//! grid at 1/2/4/8 workers — the old default-sized sweep finished in
+//! ~2.4 ms and measured thread-spawn overhead, which is how 4 workers
+//! came out *slower* than 1 in earlier baselines. The recorded
+//! `host_cpus` says how many cores the numbers were taken on. In
+//! `--test` mode (CI smoke) every measurement runs exactly once.
 
 use std::time::Instant;
 
@@ -95,13 +99,23 @@ fn bench_characterization(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel tier's workload: a 64-width grid (~8× the default
+/// characterization grid), big enough that integration work — not
+/// thread spawn — dominates the wall time at every worker count.
+fn parallel_sweep_config() -> SweepConfig {
+    SweepConfig {
+        widths: (0..64).map(|i| 16.0 + 2.0 * i as f64).collect(),
+        ..SweepConfig::default()
+    }
+}
+
 fn bench_parallel_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("parallel_sweep");
     group.sample_size(10);
     let chain = InverterChain::umc90_like(7).unwrap();
     let vdd = VddSource::dc(1.0);
-    let cfg = SweepConfig::default();
-    for &workers in &[1usize, 2, 4] {
+    let cfg = parallel_sweep_config();
+    for &workers in &[1usize, 2, 4, 8] {
         group.throughput(Throughput::Elements(cfg.widths.len() as u64));
         group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
             let runner = SweepRunner::new().with_workers(w);
@@ -126,7 +140,7 @@ fn median_secs<F: FnMut()>(iters: usize, mut f: F) -> f64 {
 }
 
 /// Emits the `BENCH_analog.json` perf baseline: the RK4-vs-RK45 hot
-/// paths and the parallel sweep at 1/2/4 workers.
+/// paths and the parallel sweep at 1/2/4/8 workers.
 fn emit_baseline(test_mode: bool) {
     let iters = if test_mode { 1 } else { 5 };
     let stim = Pulse::new(60.0, 80.0, 10.0, 1.0).unwrap();
@@ -169,18 +183,20 @@ fn emit_baseline(test_mode: bool) {
                 .unwrap();
         }),
     ));
-    for workers in [1usize, 2, 4] {
+    let cfg_parallel = parallel_sweep_config();
+    let mut parallel_times: Vec<(usize, f64)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
         let runner = SweepRunner::new().with_workers(workers);
-        entries.push((
-            format!("parallel_sweep_{workers}w"),
-            median_secs(iters, || {
-                runner
-                    .sweep_samples(&chain, &vdd, &cfg_rk45, false)
-                    .unwrap();
-            }),
-        ));
+        let t = median_secs(iters.min(3), || {
+            runner
+                .sweep_samples(&chain, &vdd, &cfg_parallel, false)
+                .unwrap();
+        });
+        entries.push((format!("parallel_sweep_{workers}w"), t));
+        parallel_times.push((workers, t));
     }
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let speedup_sim = entries[0].1 / entries[1].1.max(1e-12);
     let speedup_char = entries[2].1 / entries[3].1.max(1e-12);
     let mut json = String::from("{\n");
@@ -189,6 +205,7 @@ fn emit_baseline(test_mode: bool) {
         "  \"mode\": \"{}\",\n",
         if test_mode { "test" } else { "full" }
     ));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str("  \"results\": {\n");
     for (i, (name, secs)) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -199,8 +216,20 @@ fn emit_baseline(test_mode: bool) {
         "  \"speedup_rk45_vs_rk4_simulate\": {speedup_sim:.2},\n"
     ));
     json.push_str(&format!(
-        "  \"speedup_rk45_vs_rk4_characterize\": {speedup_char:.2}\n"
+        "  \"speedup_rk45_vs_rk4_characterize\": {speedup_char:.2},\n"
     ));
+    json.push_str("  \"parallel_sweep_scaling\": {\n");
+    let base_par = parallel_times[0].1;
+    for (i, (workers, t)) in parallel_times.iter().enumerate() {
+        let comma = if i + 1 < parallel_times.len() {
+            ","
+        } else {
+            ""
+        };
+        let s = base_par / t.max(1e-12);
+        json.push_str(&format!("    \"{workers}w\": {s:.2}{comma}\n"));
+    }
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     let dir = std::env::var_os("BENCH_DIR")
@@ -216,6 +245,12 @@ fn emit_baseline(test_mode: bool) {
     std::fs::write(&path, json).expect("can write bench baseline");
     println!("baseline written to {}", path.display());
     println!("speedup rk45 vs rk4: simulate {speedup_sim:.1}x, characterize {speedup_char:.1}x");
+    for (workers, t) in &parallel_times {
+        println!(
+            "parallel_sweep {workers}w: {t:.3}s ({:.2}x vs 1w)",
+            base_par / t
+        );
+    }
 }
 
 criterion_group!(

@@ -59,20 +59,32 @@ pub(crate) struct Node {
     pub(crate) kind: NodeKind,
 }
 
-#[derive(Clone)]
-pub(crate) enum Connection {
-    /// Zero-delay port connection (the paper's port channels).
-    Direct,
-    /// A single-history channel.
-    Channel(Box<dyn SimChannel>),
-}
-
-#[derive(Clone)]
+/// The immutable endpoints of one edge. The channel (the only mutable
+/// part of an edge) lives outside the shared topology, in
+/// [`Circuit::channels`].
+#[derive(Clone, Copy)]
 pub(crate) struct Edge {
     pub(crate) from: NodeId,
     pub(crate) to: NodeId,
     pub(crate) pin: usize,
-    pub(crate) conn: Connection,
+}
+
+/// The immutable netlist of a [`Circuit`]: node table, edge endpoints,
+/// adjacency and the name index. Shared via `Arc` between every clone
+/// of a circuit (and hence between all scenario-sweep workers), so
+/// cloning a circuit copies only per-edge channel state — never the
+/// topology.
+pub(crate) struct Topology {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) outgoing: Vec<Vec<EdgeId>>,
+    pub(crate) names: Arc<HashMap<String, NodeId>>,
+}
+
+// builder-internal representation before the topology/channel split
+enum Connection {
+    Direct,
+    Channel(Box<dyn SimChannel>),
 }
 
 /// Incremental circuit constructor.
@@ -88,6 +100,7 @@ pub(crate) struct Edge {
 pub struct CircuitBuilder {
     nodes: Vec<Node>,
     edges: Vec<Edge>,
+    conns: Vec<Connection>,
     names: HashMap<String, NodeId>,
     deferred_error: Option<CircuitError>,
 }
@@ -99,6 +112,7 @@ impl CircuitBuilder {
         CircuitBuilder {
             nodes: Vec::new(),
             edges: Vec::new(),
+            conns: Vec::new(),
             names: HashMap::new(),
             deferred_error: None,
         }
@@ -221,12 +235,8 @@ impl CircuitBuilder {
     {
         self.check_endpoints(from, to, pin)?;
         let id = EdgeId(self.edges.len());
-        self.edges.push(Edge {
-            from,
-            to,
-            pin,
-            conn: Connection::Channel(Box::new(channel)),
-        });
+        self.edges.push(Edge { from, to, pin });
+        self.conns.push(Connection::Channel(Box::new(channel)));
         Ok(id)
     }
 
@@ -253,12 +263,8 @@ impl CircuitBuilder {
             });
         }
         let id = EdgeId(self.edges.len());
-        self.edges.push(Edge {
-            from,
-            to,
-            pin,
-            conn: Connection::Direct,
-        });
+        self.edges.push(Edge { from, to, pin });
+        self.conns.push(Connection::Direct);
         Ok(id)
     }
 
@@ -293,11 +299,22 @@ impl CircuitBuilder {
         for (i, e) in self.edges.iter().enumerate() {
             outgoing[e.from.0].push(EdgeId(i));
         }
+        let channels = self
+            .conns
+            .into_iter()
+            .map(|c| match c {
+                Connection::Direct => None,
+                Connection::Channel(ch) => Some(ch),
+            })
+            .collect();
         Ok(Circuit {
-            nodes: self.nodes,
-            edges: self.edges,
-            outgoing,
-            names: Arc::new(self.names),
+            topo: Arc::new(Topology {
+                nodes: self.nodes,
+                edges: self.edges,
+                outgoing,
+                names: Arc::new(self.names),
+            }),
+            channels,
         })
     }
 }
@@ -319,36 +336,48 @@ impl fmt::Debug for CircuitBuilder {
 
 /// A validated circuit, ready to simulate.
 ///
-/// Cloning a circuit deep-copies every channel (including its noise/RNG
-/// state), so clones simulate independently — the basis of the parallel
-/// [`ScenarioRunner`](crate::ScenarioRunner).
-#[derive(Clone)]
+/// A circuit is two layers: an immutable, `Arc`-shared netlist (nodes,
+/// edge endpoints, adjacency, name index) and per-instance channel
+/// state (`Box<dyn SimChannel>` per channel edge, `None` for direct
+/// connections). Cloning deep-copies only the channels — their
+/// single-history and noise/RNG state is what makes clones simulate
+/// independently — while every clone keeps pointing at the *same*
+/// netlist allocation. This is what lets the parallel
+/// [`ScenarioRunner`](crate::ScenarioRunner) hand each worker its own
+/// circuit without duplicating a 100k-gate topology per worker.
 pub struct Circuit {
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) edges: Vec<Edge>,
-    pub(crate) outgoing: Vec<Vec<EdgeId>>,
-    /// Shared with every [`SimResult`](crate::SimResult) so repeated runs
-    /// don't re-allocate the name table.
-    pub(crate) names: Arc<HashMap<String, NodeId>>,
+    pub(crate) topo: Arc<Topology>,
+    /// Mutable per-edge channel state; `None` for direct connections.
+    /// Indexed by [`EdgeId`], in lockstep with `topo.edges`.
+    pub(crate) channels: Vec<Option<Box<dyn SimChannel>>>,
+}
+
+impl Clone for Circuit {
+    fn clone(&self) -> Self {
+        Circuit {
+            topo: Arc::clone(&self.topo),
+            channels: self.channels.clone(),
+        }
+    }
 }
 
 impl Circuit {
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.topo.nodes.len()
     }
 
     /// Number of edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.topo.edges.len()
     }
 
     /// Looks a node up by name.
     #[must_use]
     pub fn node(&self, name: &str) -> Option<NodeId> {
-        self.names.get(name).copied()
+        self.topo.names.get(name).copied()
     }
 
     /// The node's name.
@@ -358,7 +387,7 @@ impl Circuit {
     /// Panics if `id` does not belong to this circuit.
     #[must_use]
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.nodes[id.0].name
+        &self.topo.nodes[id.0].name
     }
 
     /// The node's kind.
@@ -368,19 +397,20 @@ impl Circuit {
     /// Panics if `id` does not belong to this circuit.
     #[must_use]
     pub fn node_kind(&self, id: NodeId) -> &NodeKind {
-        &self.nodes[id.0].kind
+        &self.topo.nodes[id.0].kind
     }
 
     /// Names of every node (ports and gates), in creation order.
     #[must_use]
     pub fn node_names(&self) -> Vec<&str> {
-        self.nodes.iter().map(|n| n.name.as_str()).collect()
+        self.topo.nodes.iter().map(|n| n.name.as_str()).collect()
     }
 
     /// Names of all input ports, in creation order.
     #[must_use]
     pub fn input_names(&self) -> Vec<&str> {
-        self.nodes
+        self.topo
+            .nodes
             .iter()
             .filter(|n| matches!(n.kind, NodeKind::Input))
             .map(|n| n.name.as_str())
@@ -390,7 +420,8 @@ impl Circuit {
     /// Names of all output ports, in creation order.
     #[must_use]
     pub fn output_names(&self) -> Vec<&str> {
-        self.nodes
+        self.topo
+            .nodes
             .iter()
             .filter(|n| matches!(n.kind, NodeKind::Output))
             .map(|n| n.name.as_str())
@@ -404,14 +435,25 @@ impl Circuit {
     /// Panics if `id` does not belong to this circuit.
     #[must_use]
     pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId, usize) {
-        let e = &self.edges[id.0];
+        let e = &self.topo.edges[id.0];
         (e.from, e.to, e.pin)
+    }
+
+    /// `true` if `self` and `other` were cloned from the same build and
+    /// still share one netlist allocation (`Arc` pointer equality on the
+    /// topology). Scenario-sweep workers rely on this: a sweep over any
+    /// number of workers holds exactly one copy of the topology.
+    #[must_use]
+    pub fn shares_topology_with(&self, other: &Circuit) -> bool {
+        Arc::ptr_eq(&self.topo, &other.topo)
     }
 
     /// Replaces the channel on an existing channel edge, keeping the
     /// topology (endpoints, pin, ids) intact. This is how callers swap
     /// an adversary/noise source into a prebuilt circuit without
     /// rebuilding the netlist (e.g. the SPF circuit's per-run noise).
+    /// The channel lives outside the `Arc`-shared netlist, so the swap
+    /// touches one box pointer — no part of the topology is cloned.
     ///
     /// # Panics
     ///
@@ -419,21 +461,21 @@ impl Circuit {
     /// direct (channel-free) connection — a direct edge can never
     /// legally carry a channel, because gates and channels alternate.
     pub fn replace_channel(&mut self, id: EdgeId, channel: Box<dyn SimChannel>) {
-        let e = &mut self.edges[id.0];
+        let slot = &mut self.channels[id.0];
         assert!(
-            matches!(e.conn, Connection::Channel(_)),
+            slot.is_some(),
             "edge {} is a direct connection, not a channel",
             id.0
         );
-        e.conn = Connection::Channel(channel);
+        *slot = Some(channel);
     }
 }
 
 impl fmt::Debug for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Circuit")
-            .field("nodes", &self.nodes.len())
-            .field("edges", &self.edges.len())
+            .field("nodes", &self.topo.nodes.len())
+            .field("edges", &self.topo.edges.len())
             .finish_non_exhaustive()
     }
 }

@@ -21,7 +21,11 @@
 //!
 //! Both backends deliver *exactly* the same `(time, seq)` order, so a
 //! simulation is bitwise identical under either — the
-//! `queue_equivalence` proptest suite holds them to that bar. The
+//! `queue_equivalence` proptest suite holds them to that bar. That
+//! equivalence is what makes [`QueueBackend::Auto`] (the default) safe:
+//! the simulator times both backends on the first runs of a workload and
+//! commits to the faster one, and the choice can never change a result,
+//! only its cost. The
 //! calendar bucket width is sized from the circuit's channels via
 //! [`OnlineChannel::delay_hint`](ivl_core::channel::OnlineChannel::delay_hint):
 //! the involution channels' bounded delay ranges put typical event
@@ -34,28 +38,49 @@ use crate::sim::EventId;
 
 /// Which pending-event queue implementation a simulator uses.
 ///
-/// The default is [`Calendar`](QueueBackend::Calendar) unless the
-/// `IVL_FORCE_HEAP` environment variable is set (to anything but `0` or
-/// the empty string), which forces the reference heap — useful for A/B
-/// perf runs and for bisecting a suspected queue bug.
+/// The default is [`Auto`](QueueBackend::Auto): the simulator probes the
+/// calendar queue and the reference heap on its first runs of a workload
+/// and commits to whichever is faster (both deliver bit-identical
+/// results, so the choice is invisible in the output). A concrete
+/// backend can be forced per simulator with
+/// [`Simulator::with_queue_backend`](crate::Simulator::with_queue_backend)
+/// or process-wide with the `IVL_QUEUE` / `IVL_FORCE_HEAP` environment
+/// variables (see [`from_env`](QueueBackend::from_env)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum QueueBackend {
-    /// Bucketed calendar queue (timing wheel + sorted overflow): the
-    /// fast default.
+    /// Adaptive: probe both backends on the first runs of a workload
+    /// (cancel-heavy runs commit to the wheel immediately) and commit to
+    /// the faster one. Results are bit-identical either way.
     #[default]
+    Auto,
+    /// Bucketed calendar queue (timing wheel + sorted overflow): the
+    /// fast choice on deep pipelines and cancel-heavy churn.
     Calendar,
     /// Global binary heap: the bit-exact reference implementation.
     Heap,
 }
 
 impl QueueBackend {
-    /// The default backend, honouring `IVL_FORCE_HEAP`.
+    /// The default backend, honouring the environment:
+    ///
+    /// * `IVL_FORCE_HEAP` set (to anything but `0` or the empty string)
+    ///   forces [`Heap`](QueueBackend::Heap) — kept for compatibility,
+    ///   and it wins over `IVL_QUEUE`.
+    /// * `IVL_QUEUE=heap`, `IVL_QUEUE=wheel` (or `calendar`) and
+    ///   `IVL_QUEUE=auto` select the matching backend; anything else
+    ///   (including unset) yields [`Auto`](QueueBackend::Auto).
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var("IVL_FORCE_HEAP") {
-            Ok(v) if !v.is_empty() && v != "0" => QueueBackend::Heap,
-            _ => QueueBackend::Calendar,
+        if let Ok(v) = std::env::var("IVL_FORCE_HEAP") {
+            if !v.is_empty() && v != "0" {
+                return QueueBackend::Heap;
+            }
+        }
+        match std::env::var("IVL_QUEUE").as_deref() {
+            Ok("heap") => QueueBackend::Heap,
+            Ok("wheel" | "calendar") => QueueBackend::Calendar,
+            _ => QueueBackend::Auto,
         }
     }
 }
@@ -487,70 +512,112 @@ impl EventQueue for CalendarQueue {
 
 /// Enum dispatch over the two backends (no vtable in the hot loop).
 #[derive(Debug)]
-pub(crate) enum QueueImpl {
+enum BackendQueue {
     Heap(HeapQueue),
     Calendar(CalendarQueue),
 }
 
+/// The simulator's queue slot: the active backend plus the most
+/// recently retired one. Keeping the retired queue alive makes backend
+/// switches allocation-free after each backend has been built once —
+/// the [`QueueBackend::Auto`] probe bounces wheel → heap → winner
+/// across a workload's first runs, and a steady-state run must not pay
+/// a rebuild for that.
+#[derive(Debug)]
+pub(crate) struct QueueImpl {
+    active: BackendQueue,
+    spare: Option<BackendQueue>,
+}
+
 impl QueueImpl {
-    /// Builds (or rebuilds) a queue for `backend`, reusing `self`'s
-    /// allocations when the backend and geometry already match.
+    /// Makes `backend` (which must be concrete — the simulator resolves
+    /// [`QueueBackend::Auto`] before preparing a run) the active,
+    /// emptied queue, reusing existing allocations when the backend and
+    /// geometry already match.
     pub(crate) fn ensure(&mut self, backend: QueueBackend, config: CalendarConfig) {
-        match (backend, &mut *self) {
-            (QueueBackend::Heap, QueueImpl::Heap(q)) => q.clear(),
-            (QueueBackend::Calendar, QueueImpl::Calendar(q)) if q.config() == config => q.clear(),
-            (QueueBackend::Heap, _) => *self = QueueImpl::Heap(HeapQueue::default()),
-            (QueueBackend::Calendar, _) => *self = QueueImpl::Calendar(CalendarQueue::new(config)),
+        let want_heap = match backend {
+            QueueBackend::Heap => true,
+            QueueBackend::Calendar => false,
+            QueueBackend::Auto => unreachable!("Auto is resolved before queue construction"),
+        };
+        if want_heap != matches!(self.active, BackendQueue::Heap(_)) {
+            // retire the active backend instead of dropping it
+            let incoming = self.spare.take().unwrap_or_else(|| {
+                if want_heap {
+                    BackendQueue::Heap(HeapQueue::default())
+                } else {
+                    BackendQueue::Calendar(CalendarQueue::new(config))
+                }
+            });
+            self.spare = Some(std::mem::replace(&mut self.active, incoming));
         }
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.clear(),
+            BackendQueue::Calendar(q) => {
+                if q.config() == config {
+                    q.clear();
+                } else {
+                    self.active = BackendQueue::Calendar(CalendarQueue::new(config));
+                }
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn is_heap(&self) -> bool {
+        matches!(self.active, BackendQueue::Heap(_))
     }
 }
 
 impl Default for QueueImpl {
     fn default() -> Self {
-        QueueImpl::Heap(HeapQueue::default())
+        QueueImpl {
+            active: BackendQueue::Heap(HeapQueue::default()),
+            spare: None,
+        }
     }
 }
 
 impl EventQueue for QueueImpl {
     fn clear(&mut self) {
-        match self {
-            QueueImpl::Heap(q) => q.clear(),
-            QueueImpl::Calendar(q) => q.clear(),
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.clear(),
+            BackendQueue::Calendar(q) => q.clear(),
         }
     }
 
     fn push(&mut self, key: EventKey) {
-        match self {
-            QueueImpl::Heap(q) => q.push(key),
-            QueueImpl::Calendar(q) => q.push(key),
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.push(key),
+            BackendQueue::Calendar(q) => q.push(key),
         }
     }
 
     fn peek(&mut self) -> Option<EventKey> {
-        match self {
-            QueueImpl::Heap(q) => q.peek(),
-            QueueImpl::Calendar(q) => q.peek(),
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.peek(),
+            BackendQueue::Calendar(q) => q.peek(),
         }
     }
 
     fn pop(&mut self) -> Option<EventKey> {
-        match self {
-            QueueImpl::Heap(q) => q.pop(),
-            QueueImpl::Calendar(q) => q.pop(),
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.pop(),
+            BackendQueue::Calendar(q) => q.pop(),
         }
     }
 
     fn pop_at_or_before(&mut self, time: f64) -> Option<EventKey> {
-        match self {
-            QueueImpl::Heap(q) => q.pop_at_or_before(time),
-            QueueImpl::Calendar(q) => q.pop_at_or_before(time),
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.pop_at_or_before(time),
+            BackendQueue::Calendar(q) => q.pop_at_or_before(time),
         }
     }
 
     fn discard(&mut self, time: f64, seq: u64) {
-        match self {
-            QueueImpl::Heap(q) => q.discard(time, seq),
-            QueueImpl::Calendar(q) => q.discard(time, seq),
+        match &mut self.active {
+            BackendQueue::Heap(q) => q.discard(time, seq),
+            BackendQueue::Calendar(q) => q.discard(time, seq),
         }
     }
 }
@@ -746,19 +813,25 @@ mod tests {
         // from_env is read in Simulator::new; exercising the parse here
         // keeps the contract pinned without racing other tests on the
         // process environment.
-        assert_eq!(QueueBackend::default(), QueueBackend::Calendar);
+        assert_eq!(QueueBackend::default(), QueueBackend::Auto);
     }
 
     #[test]
     fn queue_impl_ensure_switches_backends() {
         let mut q = QueueImpl::default();
-        assert!(matches!(q, QueueImpl::Heap(_)));
+        assert!(q.is_heap());
         q.ensure(QueueBackend::Calendar, CalendarConfig::default());
-        assert!(matches!(q, QueueImpl::Calendar(_)));
+        assert!(!q.is_heap());
         q.push(key(1.0, 0));
         q.ensure(QueueBackend::Calendar, CalendarConfig::default());
         assert!(q.pop().is_none(), "ensure clears the queue");
         q.ensure(QueueBackend::Heap, CalendarConfig::default());
-        assert!(matches!(q, QueueImpl::Heap(_)));
+        assert!(q.is_heap());
+        // the retired calendar is kept as the spare: switching back must
+        // reuse it (and still come up empty)
+        q.push(key(2.0, 1));
+        q.ensure(QueueBackend::Calendar, CalendarConfig::default());
+        assert!(!q.is_heap());
+        assert!(q.pop().is_none(), "spare comes back cleared");
     }
 }

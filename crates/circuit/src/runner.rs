@@ -7,10 +7,13 @@
 //! scenarios. A [`ScenarioRunner`] amortizes setup across the batch
 //! *and across batches*: worker threads are spawned once (lazily, on
 //! the first [`run`](ScenarioRunner::run)) and live for the runner's
-//! lifetime. Every worker owns a deep clone of the circuit and one
-//! [`Simulator`] whose per-run state stays warm scenario after scenario
-//! and sweep after sweep, so a 10k-scenario sweep performs zero
-//! per-scenario allocation and zero thread spawns.
+//! lifetime. Every worker's circuit clone `Arc`-shares the immutable
+//! netlist topology with the template — the only per-worker state is
+//! the mutable channel boxes (single-history + noise RNG) and one
+//! [`Simulator`] whose per-run working memory stays warm scenario after
+//! scenario and sweep after sweep. A 10k-scenario sweep therefore
+//! performs zero per-scenario allocation, zero thread spawns, and holds
+//! exactly one copy of the netlist no matter the worker count.
 //!
 //! Work is distributed dynamically: workers pull fixed-size index
 //! chunks from a shared atomic cursor, so a scenario that simulates 100×
@@ -263,9 +266,11 @@ struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads, each owning an independent clone of
-    /// `circuit` (cloned serially here) with fully reusable simulator
-    /// state.
+    /// Spawns `workers` threads, each owning a lean clone of `circuit`
+    /// (topology `Arc`-shared, channel state copied) with fully
+    /// reusable simulator state. Under [`QueueBackend::Auto`] each
+    /// worker's simulator measures its own first chunk of work and
+    /// commits to the faster queue backend independently.
     fn spawn(circuit: &Circuit, workers: usize, max_events: usize, backend: QueueBackend) -> Self {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
@@ -709,6 +714,17 @@ mod tests {
         // up-pulse, so pulse widths may be absent — but transitions count.
         assert_eq!(stats.output_transitions, 4 * 2);
         assert_eq!(stats.scheduled_events, stats.processed_events);
+    }
+
+    #[test]
+    fn worker_clones_share_one_topology() {
+        // the scaling fix: cloning a circuit for a worker must not copy
+        // the netlist — both clones point at the same Arc'd topology
+        let circuit = noisy_circuit();
+        let clone = circuit.clone();
+        assert!(clone.shares_topology_with(&circuit));
+        // while a freshly *built* identical circuit does not
+        assert!(!noisy_circuit().shares_topology_with(&circuit));
     }
 
     #[test]

@@ -16,10 +16,12 @@
 //! the returned [`SimResult`]'s signals are freshly allocated.
 //!
 //! Pending events are ordered by a pluggable [`QueueBackend`]: a
-//! bucketed calendar queue by default (sized from the channels' delay
-//! hints), or the reference binary heap (`IVL_FORCE_HEAP`). Both deliver
-//! bit-identical `(time, seq)` order; see the [`queue`](crate::queue)
-//! module docs.
+//! bucketed calendar queue (sized from the channels' delay hints), the
+//! reference binary heap, or the default [`QueueBackend::Auto`] which
+//! measures both on the first runs of a workload and commits to the
+//! faster one. Both concrete backends deliver bit-identical
+//! `(time, seq)` order — so the Auto choice never changes results —
+//! see the [`queue`](crate::queue) module docs.
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -29,7 +31,7 @@ use ivl_core::channel::{FeedEffect, OnlineChannel as _, SimChannel};
 use ivl_core::{Bit, Signal, SignalBuilder, Transition};
 
 use crate::error::SimError;
-use crate::graph::{Circuit, Connection, EdgeId, NodeId, NodeKind};
+use crate::graph::{Circuit, EdgeId, NodeId, NodeKind, Topology};
 use crate::queue::{CalendarConfig, EventKey, EventQueue, QueueBackend, QueueImpl};
 
 /// Generation-stamped handle to a slot in the [`EventPool`].
@@ -194,7 +196,7 @@ impl SimState {
             self.pins[i].clear();
             self.pins[i].resize(arity, Bit::Zero);
         }
-        for e in &circuit.edges {
+        for e in &circuit.topo.edges {
             self.pins[e.to.index()][e.pin] = self.node_initial[e.from.index()];
         }
         for i in 0..n_nodes {
@@ -213,7 +215,7 @@ impl SimState {
         }
         self.edge_rec
             .resize_with(n_edges, || SignalBuilder::new(Bit::Zero));
-        for (rec, e) in self.edge_rec.iter_mut().zip(&circuit.edges) {
+        for (rec, e) in self.edge_rec.iter_mut().zip(&circuit.topo.edges) {
             rec.reset(self.node_initial[e.from.index()]);
         }
 
@@ -346,6 +348,7 @@ pub struct Simulator {
     max_events: usize,
     backend: QueueBackend,
     calendar: CalendarConfig,
+    probe: AutoProbe,
     state: SimState,
 }
 
@@ -353,18 +356,105 @@ pub struct Simulator {
 /// delay hints (the involution channels' bounded delay ranges put
 /// typical event horizons a small number of buckets ahead).
 fn calendar_config_for(circuit: &Circuit) -> CalendarConfig {
-    CalendarConfig::from_delay_hints(circuit.edges.iter().filter_map(|e| match &e.conn {
-        Connection::Channel(ch) => ch.delay_hint(),
-        Connection::Direct => None,
-    }))
+    CalendarConfig::from_delay_hints(
+        circuit
+            .channels
+            .iter()
+            .flatten()
+            .filter_map(|ch| ch.delay_hint()),
+    )
+}
+
+/// Measure-and-switch state for [`QueueBackend::Auto`].
+///
+/// While unresolved, each run is a probe: the calendar wheel first,
+/// then the reference heap, each timed and normalized per *scheduled*
+/// event. Resolution rules:
+///
+/// - runs scheduling fewer than [`Self::MIN_EVENTS`] events are not
+///   recorded (too noisy to time, and too cheap for the backend to
+///   matter);
+/// - a cancel rate above [`Self::CANCEL_COMMIT_RATE`] on the wheel
+///   probe commits the wheel immediately — its eager `discard` beats
+///   the heap's lazy stale filtering by construction on cancel-heavy
+///   workloads, so the heap probe would be wasted work;
+/// - otherwise, once both probes exist, the wheel wins if it is within
+///   [`Self::WHEEL_MARGIN`] of the heap. The margin is deliberately
+///   tight so a topology where the wheel regresses (wide fanout, many
+///   sparse buckets) falls back to the heap instead of shipping a
+///   slowdown.
+///
+/// Both backends are bit-identical, so however the timing races
+/// resolve, the simulation results are unaffected.
+#[derive(Debug, Clone, Copy, Default)]
+struct AutoProbe {
+    wheel_per_event: Option<f64>,
+    heap_per_event: Option<f64>,
+    resolved: Option<QueueBackend>,
+}
+
+impl AutoProbe {
+    /// Probe runs scheduling fewer events than this are ignored.
+    const MIN_EVENTS: usize = 16;
+    /// Wheel cancel-rate threshold above which the heap probe is
+    /// skipped and the wheel committed outright.
+    const CANCEL_COMMIT_RATE: f64 = 0.25;
+    /// The wheel wins a timed comparison when
+    /// `wheel ≤ heap × WHEEL_MARGIN` (per scheduled event).
+    const WHEEL_MARGIN: f64 = 1.02;
+
+    /// The concrete backend the next run should use: the committed
+    /// winner, or the next probe target (wheel first, then heap).
+    fn backend(&self) -> QueueBackend {
+        self.resolved.unwrap_or(if self.wheel_per_event.is_none() {
+            QueueBackend::Calendar
+        } else {
+            QueueBackend::Heap
+        })
+    }
+
+    fn record(
+        &mut self,
+        backend: QueueBackend,
+        elapsed: std::time::Duration,
+        scheduled: usize,
+        processed: usize,
+    ) {
+        if self.resolved.is_some() || scheduled < Self::MIN_EVENTS {
+            return;
+        }
+        let per_event = elapsed.as_secs_f64() / scheduled as f64;
+        match backend {
+            QueueBackend::Calendar => {
+                self.wheel_per_event = Some(per_event);
+                // processed counts deliveries; the rest of the schedule
+                // budget is cancellations (plus any beyond-horizon
+                // leftovers — close enough for a heuristic)
+                let cancel_rate = 1.0 - processed as f64 / scheduled as f64;
+                if cancel_rate > Self::CANCEL_COMMIT_RATE {
+                    self.resolved = Some(QueueBackend::Calendar);
+                    return;
+                }
+            }
+            QueueBackend::Heap => self.heap_per_event = Some(per_event),
+            QueueBackend::Auto => unreachable!("probe runs use a concrete backend"),
+        }
+        if let (Some(w), Some(h)) = (self.wheel_per_event, self.heap_per_event) {
+            self.resolved = Some(if w <= h * Self::WHEEL_MARGIN {
+                QueueBackend::Calendar
+            } else {
+                QueueBackend::Heap
+            });
+        }
+    }
 }
 
 impl Simulator {
     /// Creates a simulator; all inputs default to the zero signal.
     ///
     /// The pending-event queue backend defaults to
-    /// [`QueueBackend::from_env`] (the calendar queue unless
-    /// `IVL_FORCE_HEAP` is set).
+    /// [`QueueBackend::from_env`]: [`QueueBackend::Auto`] unless
+    /// `IVL_QUEUE` / `IVL_FORCE_HEAP` pin a concrete backend.
     #[must_use]
     pub fn new(circuit: Circuit) -> Self {
         let inputs = vec![Signal::zero(); circuit.node_count()];
@@ -375,23 +465,41 @@ impl Simulator {
             max_events: 10_000_000,
             backend: QueueBackend::from_env(),
             calendar,
+            probe: AutoProbe::default(),
             state: SimState::default(),
         }
     }
 
     /// Selects the pending-event queue backend (overriding the
-    /// `IVL_FORCE_HEAP` default). Both backends produce bitwise
-    /// identical runs; the calendar queue is the fast one.
+    /// environment default). All backends produce bitwise identical
+    /// runs; [`QueueBackend::Auto`] times the first runs and commits to
+    /// the faster concrete backend for the rest of the workload.
     #[must_use]
     pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
         self.backend = backend;
+        self.probe = AutoProbe::default();
         self
     }
 
-    /// The pending-event queue backend in use.
+    /// The configured pending-event queue backend (possibly
+    /// [`QueueBackend::Auto`]; see
+    /// [`effective_backend`](Simulator::effective_backend) for what a
+    /// run actually uses).
     #[must_use]
     pub fn queue_backend(&self) -> QueueBackend {
         self.backend
+    }
+
+    /// The concrete backend the next [`run`](Simulator::run) will use:
+    /// the configured backend, or — under [`QueueBackend::Auto`] — the
+    /// measured winner once the probe has resolved (before that, the
+    /// probe's next measurement target).
+    #[must_use]
+    pub fn effective_backend(&self) -> QueueBackend {
+        match self.backend {
+            QueueBackend::Auto => self.probe.backend(),
+            b => b,
+        }
     }
 
     /// Replaces the channel on `edge` (which must be a channel edge),
@@ -464,8 +572,8 @@ impl Simulator {
     /// Two simulators over clones of the same circuit produce bitwise
     /// identical runs after `reseed_noise` with the same seed.
     pub fn reseed_noise(&mut self, seed: u64) {
-        for (i, e) in self.circuit.edges.iter_mut().enumerate() {
-            if let Connection::Channel(ch) = &mut e.conn {
+        for (i, ch) in self.circuit.channels.iter_mut().enumerate() {
+            if let Some(ch) = ch {
                 ch.reseed(split_mix64(
                     seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 ));
@@ -497,16 +605,20 @@ impl Simulator {
     /// [`SimError::MaxEventsExceeded`] if the scheduled-event budget runs
     /// out before the horizon.
     pub fn run(&mut self, horizon: f64) -> Result<SimResult, SimError> {
+        // resolve Auto to a concrete backend; time the run only while
+        // the probe is still measuring (zero cost otherwise)
+        let backend = self.effective_backend();
+        let probing = self.backend == QueueBackend::Auto && self.probe.resolved.is_none();
+        let probe_start = probing.then(std::time::Instant::now);
+
         let circuit = &mut self.circuit;
         let inputs = &self.inputs;
         let state = &mut self.state;
-        state.prepare(circuit, inputs, self.backend, self.calendar);
+        state.prepare(circuit, inputs, backend, self.calendar);
 
         // reset channel history
-        for e in &mut circuit.edges {
-            if let Connection::Channel(ch) = &mut e.conn {
-                ch.reset();
-            }
+        for ch in circuit.channels.iter_mut().flatten() {
+            ch.reset();
         }
 
         let SimState {
@@ -532,15 +644,18 @@ impl Simulator {
             max_events: self.max_events,
         };
 
-        // split the circuit into disjoint field borrows so the hot
-        // loops index each vector directly (no repeated nested
-        // `circuit.…[…]` bounds-check chains)
-        let Circuit {
+        // split the circuit into disjoint borrows so the hot loops
+        // index each vector directly (no repeated nested
+        // `circuit.…[…]` bounds-check chains): the Arc-shared topology
+        // is read-only, only the channel boxes are mutated
+        let Circuit { topo, channels } = circuit;
+        let Topology {
             nodes,
             edges,
             outgoing,
             names,
-        } = circuit;
+        } = &**topo;
+        let channels = channels.as_mut_slice();
 
         // Pre-schedule all input-port signals. A channel driven by an
         // input port sees exactly that port's transitions, so feeding
@@ -552,14 +667,13 @@ impl Simulator {
             }
             let signal = &inputs[i];
             for &eid in &outgoing[i] {
-                let edge = &mut edges[eid.index()];
-                match &mut edge.conn {
-                    Connection::Direct => {
+                match &mut channels[eid.index()] {
+                    None => {
                         for tr in signal {
                             queue.schedule(eid.index(), *tr)?;
                         }
                     }
-                    Connection::Channel(ch) => {
+                    Some(ch) => {
                         for tr in signal {
                             let effect = ch.feed(*tr);
                             queue.apply(eid.index(), effect, None)?;
@@ -598,8 +712,8 @@ impl Simulator {
                     queue.edge_pending[edge_idx].pop_front();
                 }
                 processed += 1;
-                let edge = &mut edges[edge_idx];
-                if let Connection::Channel(ch) = &mut edge.conn {
+                let edge = &edges[edge_idx];
+                if let Some(ch) = &mut channels[edge_idx] {
                     ch.discard_delivered(time);
                 }
                 edge_rec[edge_idx]
@@ -646,10 +760,9 @@ impl Simulator {
                     .push(tr)
                     .expect("gate output changes strictly after its previous change");
                 for &eid in &outgoing[i] {
-                    let edge = &mut edges[eid.index()];
-                    match &mut edge.conn {
-                        Connection::Direct => queue.schedule(eid.index(), tr)?,
-                        Connection::Channel(ch) => {
+                    match &mut channels[eid.index()] {
+                        None => queue.schedule(eid.index(), tr)?,
+                        Some(ch) => {
                             let effect = ch.feed(tr);
                             queue.apply(eid.index(), effect, Some(batch_time))?;
                         }
@@ -683,6 +796,10 @@ impl Simulator {
         }
 
         let scheduled_events = queue.scheduled;
+        if let Some(start) = probe_start {
+            self.probe
+                .record(backend, start.elapsed(), scheduled_events, processed);
+        }
         let node_signals: Vec<Signal> = node_rec.iter().map(SignalBuilder::snapshot).collect();
         let edge_signals: Vec<Signal> = edge_rec.iter().map(SignalBuilder::snapshot).collect();
         Ok(SimResult {
@@ -697,8 +814,11 @@ impl Simulator {
 }
 
 impl Clone for Simulator {
-    /// Clones the circuit (deep-copying channel state) and inputs; the
-    /// clone starts with fresh, empty per-run state.
+    /// Clones the circuit — `Arc`-sharing the topology and deep-copying
+    /// only the per-edge channel state — and the inputs; the clone
+    /// starts with fresh, empty per-run state and (under
+    /// [`QueueBackend::Auto`]) its own unresolved probe, so each sweep
+    /// worker measures its own workload.
     fn clone(&self) -> Self {
         Simulator {
             circuit: self.circuit.clone(),
@@ -706,6 +826,7 @@ impl Clone for Simulator {
             max_events: self.max_events,
             backend: self.backend,
             calendar: self.calendar,
+            probe: AutoProbe::default(),
             state: SimState::default(),
         }
     }
@@ -1273,6 +1394,86 @@ mod tests {
             sim.run(100.0),
             Err(SimError::CausalityViolation { .. })
         ));
+    }
+
+    #[test]
+    fn replace_channel_is_a_slot_swap_not_a_netlist_clone() {
+        // the SPF circuit swaps a fresh noise channel in per simulate
+        // call; that must not detach the simulator's circuit from the
+        // shared topology (i.e. no netlist re-clone)
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate("buf", GateKind::Buf, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(a, g, 0).unwrap();
+        let e = b.connect(g, y, 0, pure(1.0)).unwrap();
+        let circuit = b.build().unwrap();
+        let template = circuit.clone();
+        let mut sim = Simulator::new(circuit);
+        sim.set_input("a", Signal::pulse(0.0, 1.0).unwrap())
+            .unwrap();
+        let before = sim.run(10.0).unwrap();
+        sim.replace_channel(e, Box::new(pure(2.0)));
+        assert!(sim.circuit().shares_topology_with(&template));
+        let after = sim.run(10.0).unwrap();
+        assert!(before
+            .signal("y")
+            .unwrap()
+            .approx_eq(&Signal::pulse(1.0, 1.0).unwrap(), 1e-12));
+        assert!(after
+            .signal("y")
+            .unwrap()
+            .approx_eq(&Signal::pulse(2.0, 1.0).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn auto_probe_resolves_to_a_concrete_backend() {
+        // Auto must (a) run probes on concrete backends and (b) commit
+        // after at most one wheel + one heap measurement on a workload
+        // big enough to time
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, pure(2.0)).unwrap();
+        b.connect(or, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).with_queue_backend(QueueBackend::Auto);
+        sim.set_input("i", Signal::pulse(0.0, 0.5).unwrap())
+            .unwrap();
+        assert_eq!(sim.queue_backend(), QueueBackend::Auto);
+        assert_eq!(sim.effective_backend(), QueueBackend::Calendar);
+        let first = sim.run(200.5).unwrap();
+        assert_eq!(sim.effective_backend(), QueueBackend::Heap);
+        let second = sim.run(200.5).unwrap();
+        let resolved = sim.effective_backend();
+        assert_ne!(resolved, QueueBackend::Auto);
+        let third = sim.run(200.5).unwrap();
+        assert_eq!(sim.effective_backend(), resolved, "choice is committed");
+        // and the probe phases are invisible in the results
+        for run in [&second, &third] {
+            assert_eq!(first.signal("y").unwrap(), run.signal("y").unwrap());
+            assert_eq!(first.processed_events(), run.processed_events());
+        }
+    }
+
+    #[test]
+    fn auto_probe_commits_wheel_on_cancel_heavy_workloads() {
+        // every pulse is absorbed by the inertial window → ~100% cancel
+        // rate → the wheel is committed after its own probe, without a
+        // heap measurement
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let g = b.gate("buf", GateKind::Buf, Bit::Zero);
+        let y = b.output("y");
+        b.connect(i, g, 0, InertialDelay::new(1.0, 10.0).unwrap())
+            .unwrap();
+        b.connect(g, y, 0, pure(0.5)).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).with_queue_backend(QueueBackend::Auto);
+        let input = Signal::pulse_train((0..100).map(|k| (k as f64 * 20.0, 0.5))).unwrap();
+        sim.set_input("i", input).unwrap();
+        sim.run(1e9).unwrap();
+        assert_eq!(sim.effective_backend(), QueueBackend::Calendar);
     }
 
     #[test]

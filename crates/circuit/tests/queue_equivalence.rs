@@ -3,9 +3,13 @@
 //! the queue differently — involution pipelines (non-FIFO
 //! cancellation), cancel-heavy inertial churn (eager discard + stale
 //! generations), feedback oscillation (far-future pushes + overflow),
-//! and seeded adversarial noise. Plus the persistent worker pool's
-//! determinism bar: identical `SweepResult`s across 1/2/4/7 workers and
-//! across repeated `run()` calls on one runner.
+//! and seeded adversarial noise. [`QueueBackend::Auto`] gets the same
+//! bar: its probe runs (wheel, then heap, then the committed winner)
+//! must be indistinguishable from the reference heap on every workload
+//! class — including wide fanout, the wheel's historical regression
+//! case. Plus the persistent worker pool's determinism bar: identical
+//! `SweepResult`s across 1/2/4/7/8 workers and across repeated `run()`
+//! calls on one runner.
 
 use ivl_circuit::{
     Circuit, CircuitBuilder, GateKind, QueueBackend, Scenario, ScenarioRunner, SimResult, Simulator,
@@ -79,6 +83,24 @@ fn feedback_loop(loop_delay: f64) -> Circuit {
     b.build().unwrap()
 }
 
+/// One driver fanning out to `branches` parallel buffers through
+/// channels with widely spread delays: every batch scatters events over
+/// many sparse calendar buckets (the `fanout_grid` regression shape).
+fn fanout_star(branches: usize) -> Circuit {
+    let mut b = CircuitBuilder::new();
+    let a = b.input("a");
+    let drv = b.gate("drv", GateKind::Buf, Bit::Zero);
+    b.connect_direct(a, drv, 0).unwrap();
+    for i in 0..branches {
+        let g = b.gate(&format!("b{i}"), GateKind::Buf, Bit::Zero);
+        b.connect(drv, g, 0, PureDelay::new(0.3 + 1.7 * i as f64).unwrap())
+            .unwrap();
+        let y = b.output(&format!("y{i}"));
+        b.connect(g, y, 0, PureDelay::new(0.2).unwrap()).unwrap();
+    }
+    b.build().unwrap()
+}
+
 /// η-involution channel with a seeded uniform adversary: noise draws
 /// must line up transition for transition across backends.
 fn noisy_circuit() -> Circuit {
@@ -124,6 +146,44 @@ fn assert_backends_agree(circuit: &Circuit, input: &Signal, horizon: f64, seed: 
             calendar.signal(name).unwrap(),
             "node {name} diverges"
         );
+    }
+}
+
+/// Runs the circuit once on the reference heap, then **three times** on
+/// one `Auto` simulator — crossing the wheel probe, the heap probe, and
+/// the committed winner — and demands every run match the reference
+/// bitwise. However the timing races resolve, Auto must be invisible.
+fn assert_auto_is_invisible(
+    circuit: &Circuit,
+    port: &str,
+    input: &Signal,
+    horizon: f64,
+    seed: Option<u64>,
+) {
+    let reference = {
+        let mut sim = Simulator::new(circuit.clone()).with_queue_backend(QueueBackend::Heap);
+        if let Some(seed) = seed {
+            sim.reseed_noise(seed);
+        }
+        sim.set_input(port, input.clone()).unwrap();
+        sim.run(horizon).unwrap()
+    };
+    let mut auto = Simulator::new(circuit.clone()).with_queue_backend(QueueBackend::Auto);
+    auto.set_input(port, input.clone()).unwrap();
+    for round in 0..3 {
+        if let Some(seed) = seed {
+            auto.reseed_noise(seed);
+        }
+        let run = auto.run(horizon).unwrap();
+        for name in circuit.node_names() {
+            assert_eq!(
+                reference.signal(name).unwrap(),
+                run.signal(name).unwrap(),
+                "auto round {round}: node {name} diverges"
+            );
+        }
+        assert_eq!(reference.processed_events(), run.processed_events());
+        assert_eq!(reference.scheduled_events(), run.scheduled_events());
     }
 }
 
@@ -217,6 +277,83 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Auto on involution pipelines: every probe phase bit-identical to
+    /// the reference heap.
+    #[test]
+    fn auto_matches_heap_on_involution_chains(
+        stages in 1usize..16,
+        gaps in proptest::collection::vec(0.1f64..6.0, 1..10),
+        widths in proptest::collection::vec(0.05f64..4.0, 10),
+    ) {
+        let circuit = involution_chain(stages);
+        let input = pulse_train(&gaps, &widths);
+        assert_auto_is_invisible(&circuit, "a", &input, 500.0, None);
+    }
+
+    /// Auto on wide fanout — the shape where the wheel historically
+    /// *lost* to the heap, so this is exactly where the probe's choice
+    /// matters and must stay invisible in the results.
+    #[test]
+    fn auto_matches_heap_on_fanout_stars(
+        branches in 2usize..24,
+        gaps in proptest::collection::vec(0.5f64..8.0, 1..8),
+        widths in proptest::collection::vec(0.2f64..5.0, 8),
+    ) {
+        let circuit = fanout_star(branches);
+        let input = pulse_train(&gaps, &widths);
+        assert_auto_is_invisible(&circuit, "a", &input, 500.0, None);
+        assert_backends_agree(&circuit, &input, 500.0, None);
+    }
+
+    /// Auto on cancel-heavy churn: the probe's cancel-rate shortcut
+    /// commits the wheel early; results must not notice.
+    #[test]
+    fn auto_matches_heap_on_cancel_heavy_inertial(
+        stages in 1usize..10,
+        window in 0.6f64..3.0,
+        gaps in proptest::collection::vec(0.5f64..4.0, 1..16),
+        widths in proptest::collection::vec(0.01f64..0.7, 16),
+    ) {
+        let circuit = inertial_chain(stages, window);
+        let input = pulse_train(&gaps, &widths);
+        assert_auto_is_invisible(&circuit, "a", &input, 500.0, None);
+    }
+
+    /// Auto on feedback oscillation (far-future pushes, overflow) and
+    /// under seeded noise: probe phases must track the heap reference
+    /// transition for transition.
+    #[test]
+    fn auto_matches_heap_on_feedback_loops(
+        loop_delay in 0.3f64..50.0,
+        pulse_width in 0.05f64..10.0,
+        horizon in 50.0f64..1000.0,
+    ) {
+        let circuit = feedback_loop(loop_delay);
+        assert_auto_is_invisible(
+            &circuit,
+            "i",
+            &Signal::pulse(0.0, pulse_width).unwrap(),
+            horizon,
+            None,
+        );
+    }
+
+    /// Auto under seeded adversarial noise.
+    #[test]
+    fn auto_matches_heap_under_noise(
+        seed in 0u64..1000,
+        gaps in proptest::collection::vec(0.5f64..5.0, 1..8),
+        widths in proptest::collection::vec(0.5f64..4.0, 8),
+    ) {
+        let circuit = noisy_circuit();
+        let input = pulse_train(&gaps, &widths);
+        assert_auto_is_invisible(&circuit, "a", &input, 500.0, Some(seed));
+    }
+}
+
 // ======================================================================
 // Sweep-level equivalence and pool determinism
 // ======================================================================
@@ -257,8 +394,9 @@ fn assert_sweeps_identical(a: &ivl_circuit::SweepResult, b: &ivl_circuit::SweepR
     }
 }
 
-/// `SweepResult`s must be bit-identical between queue backends for
-/// every worker count.
+/// `SweepResult`s must be bit-identical between queue backends —
+/// Calendar *and* Auto (whose workers probe and commit independently,
+/// mid-sweep) — for every worker count.
 #[test]
 fn sweep_results_identical_across_backends_and_worker_counts() {
     let scenarios = sweep_scenarios(16);
@@ -266,16 +404,18 @@ fn sweep_results_identical_across_backends_and_worker_counts() {
         .with_workers(1)
         .with_queue_backend(QueueBackend::Heap)
         .run(&scenarios);
-    for workers in [1, 2, 4, 7] {
-        let calendar = ScenarioRunner::new(noisy_circuit(), 300.0)
-            .with_workers(workers)
-            .with_queue_backend(QueueBackend::Calendar)
-            .run(&scenarios);
-        assert_sweeps_identical(
-            &reference,
-            &calendar,
-            &format!("calendar workers={workers}"),
-        );
+    for backend in [QueueBackend::Calendar, QueueBackend::Auto] {
+        for workers in [1, 2, 4, 7, 8] {
+            let sweep = ScenarioRunner::new(noisy_circuit(), 300.0)
+                .with_workers(workers)
+                .with_queue_backend(backend)
+                .run(&scenarios);
+            assert_sweeps_identical(
+                &reference,
+                &sweep,
+                &format!("{backend:?} workers={workers}"),
+            );
+        }
     }
 }
 
@@ -288,7 +428,7 @@ fn pool_is_deterministic_across_repeated_runs_and_worker_counts() {
     let reference = ScenarioRunner::new(noisy_circuit(), 300.0)
         .with_workers(1)
         .run(&scenarios);
-    for workers in [1, 2, 4, 7] {
+    for workers in [1, 2, 4, 7, 8] {
         let runner = ScenarioRunner::new(noisy_circuit(), 300.0).with_workers(workers);
         for round in 0..3 {
             let sweep = runner.run(&scenarios);

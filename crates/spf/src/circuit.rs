@@ -175,10 +175,12 @@ impl<D: DelayPair + Clone + Send + 'static> SpfCircuit<D> {
     /// `horizon`.
     ///
     /// The netlist and simulator state are built once per `SpfCircuit`
-    /// and reused across calls (only the feedback channel — which
-    /// carries the per-call adversary — is swapped), and the recorded
-    /// signals are returned by move, so repeated calls in a sweep pay
-    /// for the event loop alone rather than rebuilding and copying.
+    /// and reused across calls: only the feedback channel — which
+    /// carries the per-call adversary — is swapped, a single box-slot
+    /// write that leaves the `Arc`-shared topology untouched (no netlist
+    /// re-clone). The recorded signals are returned by move, so repeated
+    /// calls in a sweep pay for the event loop alone rather than
+    /// rebuilding and copying.
     ///
     /// # Errors
     ///
