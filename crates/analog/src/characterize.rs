@@ -111,6 +111,44 @@ impl Default for SweepConfig {
     }
 }
 
+impl SweepConfig {
+    /// Checks that this sweep can produce a meaningful result: a
+    /// non-empty width axis of finite positive widths, finite timing
+    /// knobs, and a positive integration step.
+    ///
+    /// Every sweep entry point calls this first, so a malformed
+    /// configuration fails with a typed [`Error::InvalidSweep`] instead
+    /// of panicking or silently measuring nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSweep`] naming the offending field.
+    pub fn validate(&self) -> Result<(), Error> {
+        let invalid = |reason: String| Err(Error::InvalidSweep { reason });
+        if self.widths.is_empty() {
+            return invalid("the width axis is empty".to_owned());
+        }
+        if let Some(w) = self.widths.iter().find(|w| !(w.is_finite() && **w > 0.0)) {
+            return invalid(format!(
+                "width axis entries must be finite and > 0, got {w}"
+            ));
+        }
+        for (value, name) in [
+            (self.settle, "settle"),
+            (self.tail, "tail"),
+            (self.slew, "slew"),
+        ] {
+            if !value.is_finite() {
+                return invalid(format!("{name} must be finite, got {value}"));
+            }
+        }
+        if !(self.dt.is_finite() && self.dt > 0.0) {
+            return invalid(format!("dt must be finite and > 0, got {}", self.dt));
+        }
+        Ok(())
+    }
+}
+
 /// Pairs up the transitions of a channel's digitized input and output
 /// signals into `(T, δ)` samples.
 ///
@@ -200,6 +238,7 @@ pub fn sweep_samples(
     config: &SweepConfig,
     inverted: bool,
 ) -> Result<Vec<DelaySample>, Error> {
+    config.validate()?;
     let runs = config
         .widths
         .iter()

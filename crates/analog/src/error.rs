@@ -18,6 +18,12 @@ pub enum Error {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A sweep configuration that cannot produce a meaningful result
+    /// (empty width axis, non-finite or non-positive knobs).
+    InvalidSweep {
+        /// What is wrong with the configuration.
+        reason: String,
+    },
     /// A characterization sweep failed to observe an expected crossing.
     MissingCrossing {
         /// Which crossing was missing.
@@ -46,6 +52,9 @@ impl fmt::Display for Error {
                 constraint,
             } => write!(f, "parameter {name} = {value} invalid: {constraint}"),
             Error::DegenerateWaveform { reason } => write!(f, "degenerate waveform: {reason}"),
+            Error::InvalidSweep { reason } => {
+                write!(f, "invalid sweep configuration: {reason}")
+            }
             Error::MissingCrossing { what, pulse_width } => write!(
                 f,
                 "missing {what} crossing while characterizing a {pulse_width} ps pulse"

@@ -92,6 +92,7 @@ impl SweepRunner {
         config: &SweepConfig,
         inverted: bool,
     ) -> Result<Vec<DelaySample>, Error> {
+        config.validate()?;
         let runs = self.run_widths(chain, vdd, config, inverted);
         collect_samples(runs, config)
     }
@@ -109,6 +110,7 @@ impl SweepRunner {
         vdd: &VddSource,
         config: &SweepConfig,
     ) -> Result<(Vec<DelaySample>, Vec<DelaySample>), Error> {
+        config.validate()?;
         let w = config.widths.len();
         let results = self.run_jobs(2 * w, |j| {
             let inverted = j >= w;
@@ -264,7 +266,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_width_list_reports_missing_crossing() {
+    fn empty_width_list_reports_invalid_sweep() {
         let vdd = VddSource::dc(1.0);
         let config = SweepConfig {
             widths: vec![],
@@ -273,7 +275,36 @@ mod tests {
         let err = SweepRunner::new()
             .sweep_samples(&chain(), &vdd, &config, false)
             .unwrap_err();
-        assert!(matches!(err, Error::MissingCrossing { .. }));
+        assert!(matches!(err, Error::InvalidSweep { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn non_finite_sweep_knobs_report_invalid_sweep() {
+        let vdd = VddSource::dc(1.0);
+        for config in [
+            SweepConfig {
+                widths: vec![20.0, f64::NAN],
+                ..SweepConfig::default()
+            },
+            SweepConfig {
+                widths: vec![-5.0],
+                ..SweepConfig::default()
+            },
+            SweepConfig {
+                settle: f64::INFINITY,
+                ..SweepConfig::default()
+            },
+            SweepConfig {
+                dt: 0.0,
+                ..SweepConfig::default()
+            },
+        ] {
+            let err = SweepRunner::new()
+                .sweep_samples(&chain(), &vdd, &config, false)
+                .unwrap_err();
+            assert!(matches!(err, Error::InvalidSweep { .. }), "{err:?}");
+            assert!(!err.to_string().is_empty());
+        }
     }
 
     #[test]

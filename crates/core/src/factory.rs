@@ -588,6 +588,70 @@ mod tests {
     }
 
     #[test]
+    fn error_variants_carry_exact_payloads() {
+        let r = ChannelRegistry::with_builtins();
+        let fail = |kind: &str, params: &ChannelParams| {
+            r.build(kind, params).err().expect("build must fail")
+        };
+        // unknown kind: the variant names the kind verbatim
+        match fail("nope", &ChannelParams::new()) {
+            Error::UnknownChannelKind { kind } => assert_eq!(kind, "nope"),
+            other => panic!("expected UnknownChannelKind, got {other:?}"),
+        }
+        // invalid params: the reason names the offending parameter
+        match fail("pure", &ChannelParams::new()) {
+            Error::InvalidChannelParams { reason } => {
+                assert!(reason.contains("delay"), "{reason}");
+            }
+            other => panic!("expected InvalidChannelParams, got {other:?}"),
+        }
+        match fail("inertial", &ChannelParams::new().with_num("delay", 1.0)) {
+            Error::InvalidChannelParams { reason } => {
+                assert!(reason.contains("window"), "{reason}");
+            }
+            other => panic!("expected InvalidChannelParams, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadowing_builtin_routes_error_paths_to_the_shadow() {
+        struct Picky;
+        impl ChannelFactory for Picky {
+            fn kind(&self) -> &str {
+                "pure"
+            }
+            fn build(&self, _params: &ChannelParams) -> Result<Box<dyn SimChannel>, Error> {
+                Err(Error::InvalidChannelParams {
+                    reason: "picky shadow rejects everything".into(),
+                })
+            }
+        }
+        let mut r = ChannelRegistry::with_builtins();
+        r.register(Box::new(Picky));
+        // parameters the builtin would happily accept now fail through
+        // the shadow — later registrations win for errors too
+        let err = r
+            .build("pure", &ChannelParams::new().with_num("delay", 1.0))
+            .err()
+            .expect("shadow must reject");
+        match err {
+            Error::InvalidChannelParams { reason } => {
+                assert_eq!(reason, "picky shadow rejects everything");
+            }
+            other => panic!("expected the shadow's error, got {other:?}"),
+        }
+        // other kinds are untouched
+        assert!(r
+            .build(
+                "inertial",
+                &ChannelParams::new()
+                    .with_num("delay", 1.0)
+                    .with_num("window", 0.5)
+            )
+            .is_ok());
+    }
+
+    #[test]
     fn custom_factories_shadow_builtins() {
         struct Shadow;
         impl ChannelFactory for Shadow {

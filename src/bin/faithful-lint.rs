@@ -1,0 +1,185 @@
+//! `faithful-lint` — static diagnostics for `faithful/1` experiment
+//! specs, without running a single simulation event.
+//!
+//! ```text
+//! faithful-lint [--deny-warnings] [--quiet] FILE.spec ... [--markdown FILE.md ...]
+//! ```
+//!
+//! Plain arguments are spec documents; `--markdown` files are scanned
+//! for fenced code blocks whose first line starts with `faithful/`, and
+//! every such block is linted with line numbers offset to the enclosing
+//! file. Diagnostics print as `file:line:col: severity[IVLnnn]: message`.
+//!
+//! Exit status: `0` clean (or warnings only), `1` if any
+//! `Error`-severity diagnostic was found (or any warning under
+//! `--deny-warnings`), `2` on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use faithful::core::factory::ChannelRegistry;
+use faithful::{lint_text, Severity};
+
+struct Options {
+    deny_warnings: bool,
+    quiet: bool,
+    specs: Vec<String>,
+    markdown: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny_warnings: false,
+        quiet: false,
+        specs: Vec::new(),
+        markdown: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--markdown" => {
+                let file = it
+                    .next()
+                    .ok_or_else(|| "--markdown needs a file argument".to_owned())?;
+                opts.markdown.push(file.clone());
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            other => opts.specs.push(other.to_owned()),
+        }
+    }
+    if opts.specs.is_empty() && opts.markdown.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    Ok(opts)
+}
+
+/// A spec document to lint: its source file, the text, and the line
+/// offset of the text within that file (0 for standalone specs).
+struct Input {
+    file: String,
+    text: String,
+    line_offset: u32,
+}
+
+/// Extracts every fenced code block whose first line starts with
+/// `faithful/` from a markdown document.
+fn spec_blocks(file: &str, markdown: &str) -> Vec<Input> {
+    let mut blocks = Vec::new();
+    let mut in_block = false;
+    let mut block_start = 0u32;
+    let mut block_lines: Vec<&str> = Vec::new();
+    for (i, line) in markdown.lines().enumerate() {
+        let fence = line.trim_start().starts_with("```");
+        if !in_block && fence {
+            in_block = true;
+            block_start = u32::try_from(i).unwrap_or(u32::MAX) + 1;
+            block_lines.clear();
+        } else if in_block && fence {
+            in_block = false;
+            if block_lines
+                .first()
+                .is_some_and(|l| l.trim_start().starts_with("faithful/"))
+            {
+                blocks.push(Input {
+                    file: file.to_owned(),
+                    text: block_lines.join("\n"),
+                    line_offset: block_start,
+                });
+            }
+        } else if in_block {
+            block_lines.push(line);
+        }
+    }
+    blocks
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("faithful-lint: {msg}");
+            }
+            eprintln!(
+                "usage: faithful-lint [--deny-warnings] [--quiet] FILE.spec ... \
+                 [--markdown FILE.md ...]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut inputs = Vec::new();
+    for file in &opts.specs {
+        match std::fs::read_to_string(file) {
+            Ok(text) => inputs.push(Input {
+                file: file.clone(),
+                text,
+                line_offset: 0,
+            }),
+            Err(e) => {
+                eprintln!("faithful-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for file in &opts.markdown {
+        match std::fs::read_to_string(file) {
+            Ok(text) => inputs.extend(spec_blocks(file, &text)),
+            Err(e) => {
+                eprintln!("faithful-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let registry = ChannelRegistry::with_builtins();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut documents = 0usize;
+    for input in &inputs {
+        documents += 1;
+        let report = match lint_text(&input.text, &registry) {
+            Ok(report) => report,
+            Err(e) => {
+                // a spec that does not even parse is an error finding
+                errors += 1;
+                let at = e
+                    .span()
+                    .map(|s| format!("{}:{}", s.line + input.line_offset, s.column))
+                    .unwrap_or_else(|| "-".to_owned());
+                println!("{}:{at}: error[parse]: {}", input.file, e.message());
+                continue;
+            }
+        };
+        for d in report.diagnostics() {
+            match d.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => {}
+            }
+            let at = d
+                .span
+                .map(|s| format!("{}:{}", s.line + input.line_offset, s.column))
+                .unwrap_or_else(|| "-".to_owned());
+            println!(
+                "{}:{at}: {}[{}]: {}",
+                input.file, d.severity, d.code, d.message
+            );
+        }
+    }
+    if !opts.quiet {
+        eprintln!(
+            "faithful-lint: {documents} document(s), {errors} error(s), {warnings} warning(s)"
+        );
+    }
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

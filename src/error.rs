@@ -2,13 +2,35 @@
 
 use std::fmt;
 
+/// A line/column position in a `faithful/1` spec document.
+///
+/// Both coordinates are 1-based and count characters, not bytes. Spans
+/// point at the first token of the construct they describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (characters).
+    pub column: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
 /// An error while parsing or validating an [`ExperimentSpec`]
 /// serialization.
+///
+/// Errors raised from parsed text carry the [`Span`] of the offending
+/// token; errors from programmatically built specs have none.
 ///
 /// [`ExperimentSpec`]: crate::ExperimentSpec
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecError {
     message: String,
+    span: Option<Span>,
 }
 
 impl SpecError {
@@ -17,19 +39,39 @@ impl SpecError {
     pub fn new(message: impl Into<String>) -> Self {
         SpecError {
             message: message.into(),
+            span: None,
         }
     }
 
-    /// The human-readable message.
+    /// Attaches a source location (latest call wins; `None` is a no-op,
+    /// so call sites can pass `value.span()` straight through).
+    #[must_use]
+    pub fn at(mut self, span: impl Into<Option<Span>>) -> Self {
+        if let Some(span) = span.into() {
+            self.span = Some(span);
+        }
+        self
+    }
+
+    /// The human-readable message, without the location prefix.
     #[must_use]
     pub fn message(&self) -> &str {
         &self.message
+    }
+
+    /// Where in the spec text the error points, if known.
+    #[must_use]
+    pub fn span(&self) -> Option<Span> {
+        self.span
     }
 }
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "experiment spec error: {}", self.message)
+        match self.span {
+            Some(span) => write!(f, "experiment spec error at {span}: {}", self.message),
+            None => write!(f, "experiment spec error: {}", self.message),
+        }
     }
 }
 
@@ -43,11 +85,12 @@ impl std::error::Error for SpecError {}
 /// callers can either match on the layer or walk the chain:
 ///
 /// ```
-/// use faithful::{Error, Experiment, ExperimentSpec};
+/// use faithful::{Error, Experiment, ExperimentSpec, LintConfig};
 ///
+/// // (lint pre-flight off, to reach the layer that owns the failure)
 /// let err = "faithful/1 channel { channel = warp {}; input = zero }"
 ///     .parse::<ExperimentSpec>()
-///     .map(|spec| Experiment::new(spec).run())
+///     .map(|spec| Experiment::new(spec).with_lint(LintConfig::Off).run())
 ///     .unwrap()
 ///     .unwrap_err();
 /// assert!(matches!(err, Error::Core(_)));
@@ -68,6 +111,9 @@ pub enum Error {
     Spf(ivl_spf::Error),
     /// A spec parse/validation error.
     Spec(SpecError),
+    /// The lint pre-flight found `Error`-severity diagnostics and the
+    /// effective [`LintConfig`](crate::LintConfig) is `Deny`.
+    Lint(crate::lint::LintReport),
 }
 
 impl fmt::Display for Error {
@@ -79,6 +125,7 @@ impl fmt::Display for Error {
             Error::Analog(e) => write!(f, "analog: {e}"),
             Error::Spf(e) => write!(f, "spf: {e}"),
             Error::Spec(e) => write!(f, "{e}"),
+            Error::Lint(report) => write!(f, "lint rejected the spec:\n{report}"),
         }
     }
 }
@@ -92,6 +139,7 @@ impl std::error::Error for Error {
             Error::Analog(e) => Some(e),
             Error::Spf(e) => Some(e),
             Error::Spec(e) => Some(e),
+            Error::Lint(_) => None,
         }
     }
 }

@@ -53,6 +53,7 @@ use crate::spec::{
 pub struct Experiment {
     spec: ExperimentSpec,
     registry: ChannelRegistry,
+    lint: Option<crate::lint::LintConfig>,
 }
 
 impl Experiment {
@@ -62,6 +63,7 @@ impl Experiment {
         Experiment {
             spec,
             registry: ChannelRegistry::with_builtins(),
+            lint: None,
         }
     }
 
@@ -105,19 +107,60 @@ impl Experiment {
         self
     }
 
+    /// Overrides what the lint pre-flight does with its findings.
+    ///
+    /// Unset, [`run`](Experiment::run) honours the `IVL_LINT`
+    /// environment knob (`off`, `warn`, `deny`) and otherwise denies
+    /// specs with `Error`-severity diagnostics.
+    #[must_use]
+    pub fn with_lint(mut self, mode: crate::lint::LintConfig) -> Self {
+        self.lint = Some(mode);
+        self
+    }
+
     /// The wrapped spec.
     #[must_use]
     pub fn spec(&self) -> &ExperimentSpec {
         &self.spec
     }
 
+    /// Lints the wrapped spec against this experiment's channel
+    /// registry without running anything (see [`mod@crate::lint`]).
+    #[must_use]
+    pub fn lint_report(&self) -> crate::lint::LintReport {
+        crate::lint::lint(&self.spec, &self.registry)
+    }
+
     /// Runs the experiment, dispatching on the workload kind.
+    ///
+    /// A static lint pass runs first: specs with `Error`-severity
+    /// diagnostics are rejected as [`Error::Lint`] before a single
+    /// event is scheduled, unless [`with_lint`](Experiment::with_lint)
+    /// or `IVL_LINT` loosen the mode.
     ///
     /// # Errors
     ///
-    /// Construction, validation and simulation errors of the selected
-    /// layer, unified into [`Error`].
+    /// [`Error::Lint`] from the pre-flight, then construction,
+    /// validation and simulation errors of the selected layer, unified
+    /// into [`Error`].
     pub fn run(&self) -> Result<ExperimentResult, Error> {
+        use crate::lint::LintConfig;
+        let mode = self
+            .lint
+            .or_else(LintConfig::from_env)
+            .unwrap_or(LintConfig::Deny);
+        if mode != LintConfig::Off {
+            let report = self.lint_report();
+            match mode {
+                LintConfig::Deny if report.has_errors() => {
+                    return Err(Error::Lint(report));
+                }
+                LintConfig::Warn if !report.is_clean() => {
+                    eprintln!("{report}");
+                }
+                _ => {}
+            }
+        }
         match &self.spec.workload {
             WorkloadSpec::Channel(c) => {
                 let mut channel = self.registry.build(&c.channel.kind, &c.channel.params)?;

@@ -39,6 +39,7 @@
 
 mod error;
 mod experiment;
+pub mod lint;
 mod spec;
 mod value;
 
@@ -47,11 +48,12 @@ pub use ivl_circuit as circuit;
 pub use ivl_core as core;
 pub use ivl_spf as spf;
 
-pub use error::{Error, SpecError};
+pub use error::{Error, Span, SpecError};
 pub use experiment::{
     AnalogResult, ChannelResult, DigitalOutcome, DigitalResult, Experiment, ExperimentResult,
     SpfResult,
 };
+pub use lint::{lint, lint_text, Diagnostic, LintConfig, LintReport, Severity};
 pub use spec::{
     AnalogSpec, AnalogTask, ChainSpec, ChannelRunSpec, ChannelSpec, DelaySpec, DigitalSpec,
     EdgeSpec, ExperimentSpec, GateKindSpec, IntegratorSpec, NetlistSpec, NodeSpec, NoiseSpec,

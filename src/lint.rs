@@ -1,0 +1,1413 @@
+//! `faithful-lint`: static diagnostics over experiment specs.
+//!
+//! The involution model's faithfulness guarantees only hold for
+//! well-formed inputs — channels must satisfy constraint (C), netlists
+//! must not contain undelayed combinational cycles, and specs must name
+//! real channel kinds with physical parameters. This module checks all
+//! of that *statically*: every pass is pure and runs without scheduling
+//! a single simulation event.
+//!
+//! Four passes produce [`Diagnostic`]s with stable codes:
+//!
+//! | code | severity | meaning |
+//! |------|----------|---------|
+//! | `IVL001` | error | combinational cycle with zero minimum delay on every edge |
+//! | `IVL002` | info | delayed feedback loop (legal, but worth knowing about) |
+//! | `IVL003` | warning | dangling node (undriven gate, or a node that drives nothing) |
+//! | `IVL004` | error | output port no gate drives |
+//! | `IVL005` | warning | node unreachable from any input |
+//! | `IVL010` | error | channel parameters rejected by the factory |
+//! | `IVL011` | error | constraint (C) violated for an `eta` channel or SPF spec |
+//! | `IVL012` | error | delay pair has no positive `δ_min` fixed point |
+//! | `IVL013` | warning | involution / monotonicity / concavity probing violation |
+//! | `IVL014` | warning | `delay_hint()` inconsistent with sampled delays |
+//! | `IVL015` | warning | delay-hint spread degenerates the calendar queue |
+//! | `IVL020` | warning | a scenario's stimulus provably cancels inside a channel |
+//! | `IVL021` | info | SPF input pulse provably filtered (Lemma 4 bound) |
+//! | `IVL022` | info | pulse-width propagation truncated (probe budget) |
+//! | `IVL030` | error | unknown channel kind |
+//! | `IVL031` | error | duplicate node name |
+//! | `IVL032` | error | edge references an unknown node |
+//! | `IVL033` | error | scenario drives an unknown input port |
+//! | `IVL034` | error | empty sweep axis / sample set |
+//! | `IVL035` | error | non-finite or out-of-range numeric field |
+//! | `IVL036` | error | signal spec that cannot build a valid signal |
+//! | `IVL037` | warning | `workers = 0` (clamped to 1 at run time) |
+//! | `IVL038` | warning | duplicate scenario label |
+//! | `IVL039` | error | malformed truth table (rows ≠ 2^inputs) |
+//!
+//! [`Experiment::run`](crate::Experiment::run) runs the linter as a
+//! pre-flight: `Error`-severity diagnostics deny the run by default;
+//! [`LintConfig`] (or the `IVL_LINT=off|warn|deny` environment knob)
+//! overrides that.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use ivl_core::channel::{apply_online, OnlineChannel};
+use ivl_core::delay::{check_involution, delta_min_of, DelayPair};
+use ivl_core::factory::{delay_pair_from, ChannelParams, ChannelRegistry, DelayFamily, ParamValue};
+use ivl_core::noise::EtaBounds;
+use ivl_core::Signal;
+
+use crate::error::{Span, SpecError};
+use crate::spec::{
+    channel_to_value, AnalogSpec, ChannelSpec, DelaySpec, DigitalSpec, ExperimentSpec,
+    GateKindSpec, NodeSpec, ReferenceSpec, ScenarioSpec, SignalSpec, SpfSpec, SpfTask,
+    TopologySpec, WorkloadSpec,
+};
+use crate::value::{parse_document, Value, ValueKind};
+
+/// How bad a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: nothing wrong, but worth knowing.
+    Info,
+    /// Suspicious: the experiment runs, but probably not as intended.
+    Warning,
+    /// Broken: the experiment cannot produce a meaningful result.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of the linter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`IVL001`…); see the module table.
+    pub code: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Where in the spec text it points (for parsed specs).
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(span) = self.span {
+            write!(f, " ({span})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything the linter found on one spec, in pass order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintReport {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// The findings, in the order the passes produced them.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// `true` if nothing at all was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// `true` if any finding has [`Severity::Error`].
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of findings at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        write!(
+            f,
+            "{} error(s), {} warning(s), {} note(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+/// What [`Experiment::run`](crate::Experiment::run) does with lint
+/// findings before dispatching the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintConfig {
+    /// Skip the pre-flight entirely.
+    Off,
+    /// Run the linter and print a non-clean report to stderr, but never
+    /// refuse to run.
+    Warn,
+    /// Refuse to run a spec with `Error`-severity findings (the
+    /// default).
+    #[default]
+    Deny,
+}
+
+impl LintConfig {
+    /// Reads the `IVL_LINT` environment knob (`off`, `warn` or `deny`);
+    /// `None` for unset or unrecognized values.
+    #[must_use]
+    pub fn from_env() -> Option<LintConfig> {
+        match std::env::var("IVL_LINT").ok()?.as_str() {
+            "off" => Some(LintConfig::Off),
+            "warn" => Some(LintConfig::Warn),
+            "deny" => Some(LintConfig::Deny),
+            _ => None,
+        }
+    }
+}
+
+/// Lints a (typically programmatically built) spec.
+///
+/// Diagnostics carry no spans; parse via [`lint_text`] to get locations.
+#[must_use]
+pub fn lint(spec: &ExperimentSpec, registry: &ChannelRegistry) -> LintReport {
+    Linter::new(registry, SpecSpans::default()).run(spec)
+}
+
+/// Parses a spec document and lints it, attaching line/column spans to
+/// the diagnostics.
+///
+/// # Errors
+///
+/// [`SpecError`] when the text does not parse as a spec at all (lint
+/// needs a structurally valid document to work on).
+pub fn lint_text(text: &str, registry: &ChannelRegistry) -> Result<LintReport, SpecError> {
+    let value = parse_document(text)?;
+    let spans = SpecSpans::extract(&value);
+    let spec = ExperimentSpec::from_value(value)?;
+    Ok(Linter::new(registry, spans).run(&spec))
+}
+
+// ======================================================================
+// Span side-table
+// ======================================================================
+
+/// Spans harvested from the parsed [`Value`] tree, so diagnostics on the
+/// typed spec (which carries no spans) can still point into the text.
+#[derive(Debug, Default)]
+struct SpecSpans {
+    workload: Option<Span>,
+    nodes: Vec<Option<Span>>,
+    edges: Vec<Option<Span>>,
+    scenarios: Vec<Option<Span>>,
+    widths: Option<Span>,
+    horizon: Option<Span>,
+    workers: Option<Span>,
+    delay: Option<Span>,
+    /// Rendered channel spec text → span of its node in the document.
+    channels: HashMap<String, Span>,
+}
+
+impl SpecSpans {
+    fn extract(value: &Value) -> SpecSpans {
+        let mut spans = SpecSpans {
+            workload: value.span(),
+            ..SpecSpans::default()
+        };
+        spans.collect_channels(value);
+        let ValueKind::Node(_, fields) = value.kind() else {
+            return spans;
+        };
+        for (name, v) in fields {
+            match name.as_str() {
+                "topology" => spans.collect_topology(v),
+                "scenarios" => spans.scenarios = list_spans(v),
+                "horizon" => spans.horizon = v.span(),
+                "workers" => spans.workers = v.span(),
+                "sweep" => {
+                    if let ValueKind::Node(_, sf) = v.kind() {
+                        if let Some((_, w)) = sf.iter().find(|(n, _)| n == "widths") {
+                            spans.widths = w.span();
+                        }
+                    }
+                }
+                "delay" => spans.delay = v.span(),
+                _ => {}
+            }
+        }
+        spans
+    }
+
+    fn collect_topology(&mut self, v: &Value) {
+        let ValueKind::Node(_, fields) = v.kind() else {
+            return;
+        };
+        for (name, fv) in fields {
+            match name.as_str() {
+                "nodes" => self.nodes = list_spans(fv),
+                "edges" => self.edges = list_spans(fv),
+                _ => {}
+            }
+        }
+    }
+
+    /// Every node reached through a field named `channel` is a channel
+    /// spec; key by its canonical rendering (which is what the typed
+    /// spec re-renders to, so lookups match exactly).
+    fn collect_channels(&mut self, v: &Value) {
+        match v.kind() {
+            ValueKind::Node(_, fields) => {
+                for (name, fv) in fields {
+                    if name == "channel"
+                        && matches!(fv.kind(), ValueKind::Node(..) | ValueKind::Word(_))
+                    {
+                        if let Some(span) = fv.span() {
+                            self.channels.entry(fv.to_string()).or_insert(span);
+                        }
+                    }
+                    self.collect_channels(fv);
+                }
+            }
+            ValueKind::List(items) => {
+                for item in items {
+                    self.collect_channels(item);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn list_spans(v: &Value) -> Vec<Option<Span>> {
+    match v.kind() {
+        ValueKind::List(items) => items.iter().map(Value::span).collect(),
+        _ => Vec::new(),
+    }
+}
+
+// ======================================================================
+// The linter
+// ======================================================================
+
+/// Pulse-response probes per lint run; beyond this the hazard pass
+/// truncates (and says so with `IVL022`) rather than stall a pre-flight.
+const PROBE_BUDGET: usize = 4096;
+
+/// Numerical tolerance for the involution probing pass (`IVL013`).
+const INVOLUTION_TOL: f64 = 1e-6;
+
+/// Output widths at or below this count as a cancelled pulse.
+const DEAD_WIDTH: f64 = 1e-12;
+
+/// Cached per-channel facts from the channel-verification pass.
+#[derive(Clone, Default)]
+struct ChannelFacts {
+    builds: bool,
+    hint: Option<f64>,
+    /// `true` when a probed single transition was delivered with zero
+    /// delay (the edge can sustain a zero-delay cycle).
+    zero_delay: bool,
+}
+
+struct Linter<'a> {
+    registry: &'a ChannelRegistry,
+    spans: SpecSpans,
+    diagnostics: Vec<Diagnostic>,
+    channels: HashMap<String, ChannelFacts>,
+    /// `(channel key, width bits)` → surviving output width.
+    probe_cache: HashMap<(String, u64), Option<f64>>,
+    probes_left: usize,
+    truncated: bool,
+}
+
+impl<'a> Linter<'a> {
+    fn new(registry: &'a ChannelRegistry, spans: SpecSpans) -> Self {
+        Linter {
+            registry,
+            spans,
+            diagnostics: Vec::new(),
+            channels: HashMap::new(),
+            probe_cache: HashMap::new(),
+            probes_left: PROBE_BUDGET,
+            truncated: false,
+        }
+    }
+
+    fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        span: Option<Span>,
+        message: String,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            message,
+            span,
+        });
+    }
+
+    fn run(mut self, spec: &ExperimentSpec) -> LintReport {
+        match &spec.workload {
+            WorkloadSpec::Channel(c) => {
+                self.check_channel(&c.channel);
+                self.check_signal(&c.input, "input", self.spans.workload);
+            }
+            WorkloadSpec::Digital(d) => self.lint_digital(d),
+            WorkloadSpec::Analog(a) => self.lint_analog(a),
+            WorkloadSpec::Spf(s) => self.lint_spf(s),
+        }
+        if self.truncated {
+            let done = PROBE_BUDGET - self.probes_left;
+            self.push(
+                "IVL022",
+                Severity::Info,
+                None,
+                format!("pulse-width propagation truncated after {done} channel probes"),
+            );
+        }
+        LintReport {
+            diagnostics: self.diagnostics,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 4 helpers shared by all workloads
+    // ------------------------------------------------------------------
+
+    fn check_signal(&mut self, s: &SignalSpec, what: &str, span: Option<Span>) {
+        if let Err(e) = s.build() {
+            self.push(
+                "IVL036",
+                Severity::Error,
+                span,
+                format!("{what}: signal spec builds no valid signal: {e}"),
+            );
+        }
+    }
+
+    fn check_finite(&mut self, value: f64, what: &str, span: Option<Span>) {
+        if !value.is_finite() {
+            self.push(
+                "IVL035",
+                Severity::Error,
+                span,
+                format!("{what} must be finite, got {value}"),
+            );
+        }
+    }
+
+    fn check_workers(&mut self, workers: Option<u32>) {
+        if workers == Some(0) {
+            self.push(
+                "IVL037",
+                Severity::Warning,
+                self.spans.workers,
+                "workers = 0 is clamped to 1 at run time".to_owned(),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Pass 2: channel-parameter verification
+    // ------------------------------------------------------------------
+
+    fn channel_key(c: &ChannelSpec) -> String {
+        channel_to_value(c).to_string()
+    }
+
+    fn channel_span(&self, key: &str) -> Option<Span> {
+        self.spans.channels.get(key).copied()
+    }
+
+    /// Verifies one channel spec (memoized by its canonical rendering)
+    /// and returns the cached facts about it.
+    fn check_channel(&mut self, c: &ChannelSpec) -> ChannelFacts {
+        let key = Self::channel_key(c);
+        if let Some(facts) = self.channels.get(&key) {
+            return facts.clone();
+        }
+        let facts = self.verify_channel(c, &key);
+        self.channels.insert(key, facts.clone());
+        facts
+    }
+
+    fn verify_channel(&mut self, c: &ChannelSpec, key: &str) -> ChannelFacts {
+        let span = self.channel_span(key);
+        let mut facts = ChannelFacts::default();
+        if !self.registry.contains(&c.kind) {
+            self.push(
+                "IVL030",
+                Severity::Error,
+                span,
+                format!(
+                    "unknown channel kind {:?} (registered: {})",
+                    c.kind,
+                    self.registry.kinds().join(", ")
+                ),
+            );
+            return facts;
+        }
+        let channel = match self.registry.build(&c.kind, &c.params) {
+            Ok(ch) => ch,
+            Err(e) => {
+                self.push(
+                    "IVL010",
+                    Severity::Error,
+                    span,
+                    format!("channel {:?}: parameters rejected: {e}", c.kind),
+                );
+                return facts;
+            }
+        };
+        facts.builds = true;
+        facts.hint = channel.delay_hint();
+
+        // probe the delivery delay of an isolated wide pulse: a zero (or
+        // negative) first delay marks a zero-delay edge for pass 1, and
+        // the sampled delays must be commensurate with `delay_hint()`
+        // for the calendar queue sizing to make sense (IVL014).
+        let mut channel = channel;
+        let probe = Signal::pulse(0.0, 1e6).expect("static probe signal");
+        let out = apply_online(&mut channel, &probe);
+        let mut sampled: Vec<f64> = Vec::new();
+        if let Some(first) = out.transitions().first() {
+            sampled.push(first.time);
+            facts.zero_delay = first.time <= DEAD_WIDTH;
+        }
+        if let Some(second) = out.transitions().get(1) {
+            sampled.push(second.time - 1e6);
+        }
+        if let Some(hint) = facts.hint {
+            let d_max = sampled.iter().copied().fold(0.0_f64, f64::max);
+            if d_max > 0.0 && hint > 0.0 && (d_max > 4.0 * hint || hint > 4.0 * d_max) {
+                self.push(
+                    "IVL014",
+                    Severity::Warning,
+                    span,
+                    format!(
+                        "channel {:?}: delay_hint() = {hint} but sampled delays reach {d_max} \
+                         (ratio > 4x degrades calendar-queue bucket sizing)",
+                        c.kind
+                    ),
+                );
+            }
+        }
+
+        // deep involution checks when the parameters describe one of the
+        // built-in delay families (custom factories shadowing these
+        // kinds get probing, not theory).
+        if (c.kind == "involution" || c.kind == "eta") && delay_pair_from(&c.params).is_ok() {
+            let eta = (c.kind == "eta").then(|| {
+                (
+                    c.params.num_or("minus", 0.0).unwrap_or(0.0),
+                    c.params.num_or("plus", 0.0).unwrap_or(0.0),
+                )
+            });
+            match delay_pair_from(&c.params).expect("checked above") {
+                DelayFamily::Exp(d) => self.verify_pair(&d, eta, &c.kind, span),
+                DelayFamily::Rational(d) => self.verify_pair(&d, eta, &c.kind, span),
+                _ => {}
+            }
+        }
+        facts
+    }
+
+    /// Involution-theory checks on one delay pair: `δ_min` existence
+    /// (IVL012), grid probing (IVL013) and constraint (C) when η-bounds
+    /// are present (IVL011).
+    fn verify_pair<D: DelayPair>(
+        &mut self,
+        pair: &D,
+        eta: Option<(f64, f64)>,
+        kind: &str,
+        span: Option<Span>,
+    ) {
+        let delta_min = match delta_min_of(pair) {
+            Ok(d) => d,
+            Err(e) => {
+                self.push(
+                    "IVL012",
+                    Severity::Error,
+                    span,
+                    format!("channel {kind:?}: no positive delta_min fixed point: {e}"),
+                );
+                return;
+            }
+        };
+        let hi = 5.0 * (pair.delta_up_inf() + pair.delta_down_inf()) + 1.0;
+        let report = check_involution(pair, -0.9 * delta_min, hi, 96);
+        if !report.is_valid(INVOLUTION_TOL) {
+            self.push(
+                "IVL013",
+                Severity::Warning,
+                span,
+                format!(
+                    "channel {kind:?}: delay pair fails involution probing \
+                     (roundtrip {:.2e}, monotonicity {:.2e}, concavity {:.2e})",
+                    report.max_roundtrip_error,
+                    report.max_monotonicity_violation,
+                    report.max_concavity_violation
+                ),
+            );
+        }
+        if let Some((minus, plus)) = eta {
+            if let Ok(bounds) = EtaBounds::new(minus, plus) {
+                if !bounds.satisfies_constraint_c(pair) {
+                    let slack = pair.delta_down(-plus) - delta_min - (plus + minus);
+                    self.push(
+                        "IVL011",
+                        Severity::Error,
+                        span,
+                        format!(
+                            "channel {kind:?}: constraint (C) violated: \
+                             eta+ + eta- = {} but delta_down(-eta+) - delta_min = {} \
+                             (slack {slack:.6})",
+                            plus + minus,
+                            pair.delta_down(-plus) - delta_min
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Digital workload: passes 1, 3 and 4
+    // ------------------------------------------------------------------
+
+    fn lint_digital(&mut self, d: &DigitalSpec) {
+        self.check_finite(d.horizon, "digital: field \"horizon\"", self.spans.horizon);
+        if d.horizon.is_finite() && d.horizon < 0.0 {
+            self.push(
+                "IVL035",
+                Severity::Error,
+                self.spans.horizon,
+                format!("digital: field \"horizon\" must be >= 0, got {}", d.horizon),
+            );
+        }
+        self.check_workers(d.workers);
+
+        let graph = self.extract_graph(&d.topology);
+        for edge in &graph.edges {
+            if let Some(c) = edge.channel {
+                self.check_channel(c);
+            }
+        }
+        self.graph_pass(&graph);
+        self.hint_spread(&graph);
+
+        let mut labels: HashSet<&str> = HashSet::new();
+        let input_names: HashSet<&str> = graph
+            .nodes
+            .iter()
+            .filter(|n| n.kind == GKind::Input)
+            .map(|n| n.name.as_str())
+            .collect();
+        for (i, s) in d.scenarios.iter().enumerate() {
+            let span = self.spans.scenarios.get(i).copied().flatten();
+            if !labels.insert(&s.label) {
+                self.push(
+                    "IVL038",
+                    Severity::Warning,
+                    span,
+                    format!("duplicate scenario label {:?}", s.label),
+                );
+            }
+            for (port, sig) in &s.inputs {
+                if !input_names.contains(port.as_str()) {
+                    self.push(
+                        "IVL033",
+                        Severity::Error,
+                        span,
+                        format!(
+                            "scenario {:?} drives unknown input port {:?}",
+                            s.label, port
+                        ),
+                    );
+                }
+                self.check_signal(sig, &format!("scenario {:?}, port {port:?}", s.label), span);
+            }
+        }
+
+        self.hazard_pass(&graph, &d.scenarios);
+    }
+
+    // ---- pass 1: graph analysis ----
+
+    fn extract_graph<'s>(&mut self, topology: &'s TopologySpec) -> Graph<'s> {
+        let mut g = Graph::default();
+        match topology {
+            TopologySpec::Netlist(n) => {
+                let mut by_name: HashMap<&str, usize> = HashMap::new();
+                for (i, node) in n.nodes.iter().enumerate() {
+                    let span = self.spans.nodes.get(i).copied().flatten();
+                    let (name, kind) = match node {
+                        NodeSpec::Input { name } => (name, GKind::Input),
+                        NodeSpec::Output { name } => (name, GKind::Output),
+                        NodeSpec::Gate { name, kind, .. } => {
+                            self.check_gate_kind(kind, span);
+                            (name, GKind::Gate)
+                        }
+                    };
+                    if by_name.contains_key(name.as_str()) {
+                        self.push(
+                            "IVL031",
+                            Severity::Error,
+                            span,
+                            format!("duplicate node name {name:?}"),
+                        );
+                        continue;
+                    }
+                    by_name.insert(name.as_str(), g.nodes.len());
+                    g.nodes.push(GNode {
+                        name: name.clone(),
+                        kind,
+                        span,
+                    });
+                }
+                for (i, e) in n.edges.iter().enumerate() {
+                    let span = self.spans.edges.get(i).copied().flatten();
+                    let from = by_name.get(e.from.as_str()).copied();
+                    let to = by_name.get(e.to.as_str()).copied();
+                    for (end, node) in [("from", &e.from), ("to", &e.to)] {
+                        if !by_name.contains_key(node.as_str()) {
+                            self.push(
+                                "IVL032",
+                                Severity::Error,
+                                span,
+                                format!("edge {end} references unknown node {node:?}"),
+                            );
+                        }
+                    }
+                    if let (Some(from), Some(to)) = (from, to) {
+                        g.edges.push(GEdge {
+                            from,
+                            to,
+                            channel: e.channel.as_ref(),
+                            span,
+                        });
+                    }
+                }
+            }
+            TopologySpec::InverterChain { stages, channel } => {
+                g.nodes.push(GNode {
+                    name: "a".to_owned(),
+                    kind: GKind::Input,
+                    span: None,
+                });
+                for i in 0..*stages {
+                    g.nodes.push(GNode {
+                        name: format!("inv{i}"),
+                        kind: GKind::Gate,
+                        span: None,
+                    });
+                }
+                g.nodes.push(GNode {
+                    name: "y".to_owned(),
+                    kind: GKind::Output,
+                    span: None,
+                });
+                let span = self.channel_span(&Self::channel_key(channel));
+                for i in 0..=*stages as usize {
+                    g.edges.push(GEdge {
+                        from: i,
+                        to: i + 1,
+                        // the first hop is a direct connection, matching
+                        // how the facade builds the chain
+                        channel: (i > 0).then_some(channel),
+                        span,
+                    });
+                }
+            }
+        }
+        g.index();
+        g
+    }
+
+    fn check_gate_kind(&mut self, kind: &GateKindSpec, span: Option<Span>) {
+        if let GateKindSpec::Table { inputs, rows } = kind {
+            let expected = 1usize << (*inputs).min(24);
+            if *inputs > 24 || rows.len() != expected {
+                self.push(
+                    "IVL039",
+                    Severity::Error,
+                    span,
+                    format!(
+                        "truth table with {inputs} input(s) needs {expected} rows, got {}",
+                        rows.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    fn graph_pass(&mut self, g: &Graph<'_>) {
+        // dangling / undriven / unreachable nodes
+        for (i, node) in g.nodes.iter().enumerate() {
+            let (ins, outs) = (g.in_degree[i], g.out_degree[i]);
+            match node.kind {
+                GKind::Input if outs == 0 => self.push(
+                    "IVL003",
+                    Severity::Warning,
+                    node.span,
+                    format!("input {:?} drives nothing", node.name),
+                ),
+                GKind::Output if ins == 0 => self.push(
+                    "IVL004",
+                    Severity::Error,
+                    node.span,
+                    format!("output port {:?} is driven by no gate", node.name),
+                ),
+                GKind::Gate if ins == 0 => self.push(
+                    "IVL003",
+                    Severity::Warning,
+                    node.span,
+                    format!(
+                        "gate {:?} has no driver (its inputs never change)",
+                        node.name
+                    ),
+                ),
+                GKind::Gate if outs == 0 => self.push(
+                    "IVL003",
+                    Severity::Warning,
+                    node.span,
+                    format!("gate {:?} drives nothing", node.name),
+                ),
+                _ => {}
+            }
+        }
+        let reachable = g.reachable_from_inputs();
+        for (i, node) in g.nodes.iter().enumerate() {
+            if node.kind != GKind::Input && !reachable[i] && g.in_degree[i] > 0 {
+                self.push(
+                    "IVL005",
+                    Severity::Warning,
+                    node.span,
+                    format!("node {:?} is unreachable from any input", node.name),
+                );
+            }
+        }
+
+        // combinational cycles: an SCC whose zero-minimum-delay edges
+        // alone still close a cycle deadlocks the simulator (IVL001);
+        // feedback through genuinely delayed edges is legal (IVL002).
+        let scc = g.sccs();
+        for component in &scc.components {
+            let is_cycle = component.len() > 1
+                || g.edges
+                    .iter()
+                    .any(|e| e.from == e.to && component.contains(&e.from));
+            if !is_cycle {
+                continue;
+            }
+            let names: Vec<&str> = component
+                .iter()
+                .map(|&i| g.nodes[i].name.as_str())
+                .collect();
+            let span = component.iter().find_map(|&i| g.nodes[i].span);
+            let in_component: HashSet<usize> = component.iter().copied().collect();
+            let zero_edges: Vec<&GEdge<'_>> = g
+                .edges
+                .iter()
+                .filter(|e| {
+                    in_component.contains(&e.from)
+                        && in_component.contains(&e.to)
+                        && self.edge_is_zero_delay(e)
+                })
+                .collect();
+            if has_cycle(component, &zero_edges) {
+                self.push(
+                    "IVL001",
+                    Severity::Error,
+                    span,
+                    format!(
+                        "combinational cycle with zero minimum delay through {{{}}} \
+                         (every edge delivers instantaneously; the simulation cannot make progress)",
+                        names.join(", ")
+                    ),
+                );
+            } else {
+                self.push(
+                    "IVL002",
+                    Severity::Info,
+                    span,
+                    format!("delayed feedback loop through {{{}}}", names.join(", ")),
+                );
+            }
+        }
+    }
+
+    fn edge_is_zero_delay(&mut self, e: &GEdge<'_>) -> bool {
+        match e.channel {
+            None => true,
+            Some(c) => {
+                let facts = self.check_channel(c);
+                facts.builds && facts.zero_delay
+            }
+        }
+    }
+
+    /// IVL015: the calendar queue sizes buckets from the smallest
+    /// `delay_hint()` and spans 4x the largest; a spread beyond the
+    /// bucket-count clamp (16384 buckets) parks most events in the
+    /// overflow level.
+    fn hint_spread(&mut self, g: &Graph<'_>) {
+        let mut min_hint = f64::INFINITY;
+        let mut max_hint: f64 = 0.0;
+        let mut span = None;
+        for e in &g.edges {
+            let Some(c) = e.channel else { continue };
+            let facts = self.check_channel(c);
+            if let Some(h) = facts.hint {
+                if h > 0.0 {
+                    if h < min_hint {
+                        span = e.span;
+                    }
+                    min_hint = min_hint.min(h);
+                    max_hint = max_hint.max(h);
+                }
+            }
+        }
+        if min_hint.is_finite() && max_hint / min_hint > 4096.0 {
+            self.push(
+                "IVL015",
+                Severity::Warning,
+                span,
+                format!(
+                    "delay hints spread from {min_hint} to {max_hint} (> 4096x): \
+                     the calendar event queue degenerates to its overflow level"
+                ),
+            );
+        }
+    }
+
+    // ---- pass 3: stimulus hazard analysis ----
+
+    fn hazard_pass(&mut self, g: &Graph<'_>, scenarios: &[ScenarioSpec]) {
+        let scc = g.sccs();
+        let cyclic: HashSet<usize> = scc
+            .components
+            .iter()
+            .filter(|c| {
+                c.len() > 1
+                    || g.edges
+                        .iter()
+                        .any(|e| e.from == e.to && c.contains(&e.from))
+            })
+            .flatten()
+            .copied()
+            .collect();
+        let order = g.topo_order(&cyclic);
+        // edge index -> (first scenario label, death count)
+        let mut deaths: HashMap<usize, (String, usize)> = HashMap::new();
+        for s in scenarios {
+            let mut width: Vec<Option<f64>> = vec![None; g.nodes.len()];
+            for (port, sig) in &s.inputs {
+                if let Some(idx) = g.nodes.iter().position(|n| n.name == *port) {
+                    if let Some(w) = min_pulse_width(sig) {
+                        width[idx] = Some(w);
+                    }
+                }
+            }
+            for &v in &order {
+                let Some(w) = width[v] else { continue };
+                if w <= DEAD_WIDTH {
+                    continue;
+                }
+                for &ei in &g.out_edges[v] {
+                    let e = &g.edges[ei];
+                    if cyclic.contains(&e.to) {
+                        continue;
+                    }
+                    let w_out = match e.channel {
+                        None => Some(w),
+                        Some(c) => self.pulse_response(c, w),
+                    };
+                    let Some(w_out) = w_out else { continue };
+                    if w_out <= DEAD_WIDTH {
+                        deaths
+                            .entry(ei)
+                            .and_modify(|(_, n)| *n += 1)
+                            .or_insert_with(|| (s.label.clone(), 1));
+                        continue;
+                    }
+                    let slot = &mut width[e.to];
+                    *slot = Some(slot.map_or(w_out, |prev| prev.min(w_out)));
+                }
+            }
+        }
+        let mut dead_edges: Vec<(usize, (String, usize))> = deaths.into_iter().collect();
+        dead_edges.sort_by_key(|(ei, _)| *ei);
+        for (ei, (label, n)) in dead_edges {
+            let e = &g.edges[ei];
+            let more = if n > 1 {
+                format!(" (and {} more scenario(s))", n - 1)
+            } else {
+                String::new()
+            };
+            self.push(
+                "IVL020",
+                Severity::Warning,
+                e.span,
+                format!(
+                    "scenario {label:?}: stimulus provably cancels in the channel \
+                     {:?} -> {:?}{more}",
+                    g.nodes[e.from].name, g.nodes[e.to].name
+                ),
+            );
+        }
+    }
+
+    /// The surviving output pulse width for an isolated input pulse of
+    /// `width` through this channel, probed against the pulse-extending
+    /// adversary for `eta` channels (so a death is a death under *every*
+    /// admissible noise sequence). `None` when the channel cannot be
+    /// probed or the budget ran out.
+    fn pulse_response(&mut self, c: &ChannelSpec, width: f64) -> Option<f64> {
+        if !(width.is_finite() && width > 0.0) {
+            return None;
+        }
+        let key = (Self::channel_key(c), width.to_bits());
+        if let Some(cached) = self.probe_cache.get(&key) {
+            return *cached;
+        }
+        if self.probes_left == 0 {
+            self.truncated = true;
+            return None;
+        }
+        self.probes_left -= 1;
+        let result = self.probe_once(c, width);
+        self.probe_cache.insert(key, result);
+        result
+    }
+
+    fn probe_once(&mut self, c: &ChannelSpec, width: f64) -> Option<f64> {
+        let facts = self.check_channel(c);
+        if !facts.builds {
+            return None;
+        }
+        let mut channel = if c.kind == "eta" {
+            // the adversary may only *shrink* the surviving width, so
+            // probe against the one that extends pulses the most
+            let params = extending_params(&c.params);
+            self.registry
+                .build(&c.kind, &params)
+                .or_else(|_| self.registry.build(&c.kind, &c.params))
+                .ok()?
+        } else {
+            self.registry.build(&c.kind, &c.params).ok()?
+        };
+        let input = Signal::pulse(0.0, width).ok()?;
+        let out = apply_online(&mut channel, &input);
+        let t = out.transitions();
+        Some(match (t.first(), t.get(1)) {
+            (Some(a), Some(b)) => b.time - a.time,
+            (Some(_), None) => width,
+            _ => 0.0,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Analog workload: pass 4
+    // ------------------------------------------------------------------
+
+    fn lint_analog(&mut self, a: &AnalogSpec) {
+        self.check_workers(a.workers);
+        if a.sweep.widths.is_empty() {
+            self.push(
+                "IVL034",
+                Severity::Error,
+                self.spans.widths,
+                "sweep: the width axis is empty (the sweep would silently measure nothing)"
+                    .to_owned(),
+            );
+        }
+        for w in &a.sweep.widths {
+            if !(w.is_finite() && *w > 0.0) {
+                self.push(
+                    "IVL035",
+                    Severity::Error,
+                    self.spans.widths,
+                    format!("sweep: width axis entries must be finite and > 0, got {w}"),
+                );
+                break;
+            }
+        }
+        for (value, what) in [
+            (a.sweep.settle, "sweep: field \"settle\""),
+            (a.sweep.tail, "sweep: field \"tail\""),
+            (a.sweep.slew, "sweep: field \"slew\""),
+        ] {
+            self.check_finite(value, what, self.spans.widths);
+        }
+        if !(a.sweep.dt.is_finite() && a.sweep.dt > 0.0) {
+            self.push(
+                "IVL035",
+                Severity::Error,
+                self.spans.widths,
+                format!(
+                    "sweep: field \"dt\" must be finite and > 0, got {}",
+                    a.sweep.dt
+                ),
+            );
+        }
+        if let crate::spec::AnalogTask::Deviations {
+            reference: ReferenceSpec::Empirical { up, down },
+            ..
+        } = &a.task
+        {
+            if up.is_empty() || down.is_empty() {
+                self.push(
+                    "IVL034",
+                    Severity::Error,
+                    self.spans.workload,
+                    "empirical reference with an empty sample set".to_owned(),
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // SPF workload: passes 2 and 3
+    // ------------------------------------------------------------------
+
+    fn lint_spf(&mut self, s: &SpfSpec) {
+        for (v, what) in [
+            (s.eta_minus, "spf: eta_minus"),
+            (s.eta_plus, "spf: eta_plus"),
+        ] {
+            self.check_finite(v, what, self.spans.workload);
+        }
+        if s.eta_minus < 0.0 || s.eta_plus < 0.0 {
+            self.push(
+                "IVL035",
+                Severity::Error,
+                self.spans.workload,
+                format!(
+                    "spf: eta bounds must be >= 0, got eta_minus = {}, eta_plus = {}",
+                    s.eta_minus, s.eta_plus
+                ),
+            );
+            return;
+        }
+        let span = self.spans.delay;
+        match &s.delay {
+            DelaySpec::Exp { tau, t_p, v_th } => {
+                match ivl_core::delay::ExpChannel::new(*tau, *t_p, *v_th) {
+                    Ok(d) => self.lint_spf_pair(&d, s, span),
+                    Err(e) => self.push(
+                        "IVL010",
+                        Severity::Error,
+                        span,
+                        format!("spf: exp delay family rejected: {e}"),
+                    ),
+                }
+            }
+            DelaySpec::Rational { a, b, c } => {
+                match ivl_core::delay::RationalPair::new(*a, *b, *c) {
+                    Ok(d) => self.lint_spf_pair(&d, s, span),
+                    Err(e) => self.push(
+                        "IVL010",
+                        Severity::Error,
+                        span,
+                        format!("spf: rational delay family rejected: {e}"),
+                    ),
+                }
+            }
+        }
+        if let SpfTask::Simulate { input, horizon, .. } = &s.task {
+            self.check_signal(input, "spf simulate input", self.spans.workload);
+            self.check_finite(*horizon, "spf: simulate horizon", self.spans.workload);
+        }
+    }
+
+    fn lint_spf_pair<D: DelayPair>(&mut self, pair: &D, s: &SpfSpec, span: Option<Span>) {
+        self.verify_pair(pair, Some((s.eta_minus, s.eta_plus)), "spf delay", span);
+        // Lemma 4 shadow: a simulated input pulse at or below the filter
+        // bound is provably cancelled in the first channel, so the run
+        // can only show the trivial outcome.
+        let has_error = self.has_error_for(span);
+        if has_error {
+            return;
+        }
+        if let SpfTask::Simulate { input, .. } = &s.task {
+            let Ok(bounds) = EtaBounds::new(s.eta_minus, s.eta_plus) else {
+                return;
+            };
+            let Ok(theory) = ivl_spf::SpfTheory::compute(pair, bounds) else {
+                return;
+            };
+            if let Some(w) = min_pulse_width(input) {
+                if w <= theory.filter_bound {
+                    self.push(
+                        "IVL021",
+                        Severity::Info,
+                        self.spans.workload,
+                        format!(
+                            "spf: input pulse width {w} is at or below the filter bound \
+                             {:.6} (Lemma 4): the pulse is provably cancelled",
+                            theory.filter_bound
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn has_error_for(&self, span: Option<Span>) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.span == span)
+    }
+}
+
+/// Rebuilds `eta` parameters with the pulse-extending adversary (and
+/// without the now-meaningless noise-source parameters).
+fn extending_params(params: &ChannelParams) -> ChannelParams {
+    let mut out = ChannelParams::new();
+    for (name, v) in params.entries() {
+        if matches!(name.as_str(), "noise" | "seed" | "sigma" | "shift") {
+            continue;
+        }
+        out = match v {
+            ParamValue::Num(x) => out.with_num(name.clone(), *x),
+            ParamValue::Int(x) => out.with_int(name.clone(), *x),
+            ParamValue::Text(s) => out.with_text(name.clone(), s.clone()),
+            _ => out,
+        };
+    }
+    out.with_text("noise", "extending")
+}
+
+/// The smallest pulse width (or inter-transition gap) a signal spec
+/// presents to the circuit, if it presents any.
+fn min_pulse_width(s: &SignalSpec) -> Option<f64> {
+    match s {
+        SignalSpec::Zero => None,
+        SignalSpec::Pulse { width, .. } => Some(*width),
+        SignalSpec::Train { pulses } => pulses
+            .iter()
+            .map(|(_, w)| *w)
+            .min_by(f64::total_cmp)
+            .filter(|w| w.is_finite()),
+        SignalSpec::Times { times, .. } => times
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .min_by(f64::total_cmp)
+            .filter(|w| w.is_finite()),
+    }
+}
+
+// ======================================================================
+// Graph scaffolding
+// ======================================================================
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GKind {
+    Input,
+    Output,
+    Gate,
+}
+
+struct GNode {
+    name: String,
+    kind: GKind,
+    span: Option<Span>,
+}
+
+struct GEdge<'a> {
+    from: usize,
+    to: usize,
+    channel: Option<&'a ChannelSpec>,
+    span: Option<Span>,
+}
+
+#[derive(Default)]
+struct Graph<'a> {
+    nodes: Vec<GNode>,
+    edges: Vec<GEdge<'a>>,
+    out_edges: Vec<Vec<usize>>,
+    in_degree: Vec<usize>,
+    out_degree: Vec<usize>,
+}
+
+struct SccResult {
+    components: Vec<Vec<usize>>,
+}
+
+impl<'a> Graph<'a> {
+    fn index(&mut self) {
+        self.out_edges = vec![Vec::new(); self.nodes.len()];
+        self.in_degree = vec![0; self.nodes.len()];
+        self.out_degree = vec![0; self.nodes.len()];
+        for (i, e) in self.edges.iter().enumerate() {
+            self.out_edges[e.from].push(i);
+            self.out_degree[e.from] += 1;
+            self.in_degree[e.to] += 1;
+        }
+    }
+
+    fn reachable_from_inputs(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == GKind::Input)
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &stack {
+            seen[i] = true;
+        }
+        while let Some(v) = stack.pop() {
+            for &ei in &self.out_edges[v] {
+                let to = self.edges[ei].to;
+                if !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strongly connected components via iterative Kosaraju; component
+    /// order and member order are deterministic.
+    fn sccs(&self) -> SccResult {
+        let n = self.nodes.len();
+        let mut order = Vec::with_capacity(n);
+        let mut seen = vec![false; n];
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            // iterative post-order DFS
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            seen[start] = true;
+            while let Some(top) = stack.last_mut() {
+                let (v, next) = *top;
+                if next < self.out_edges[v].len() {
+                    top.1 += 1;
+                    let to = self.edges[self.out_edges[v][next]].to;
+                    if !seen[to] {
+                        seen[to] = true;
+                        stack.push((to, 0));
+                    }
+                } else {
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            rev[e.to].push(e.from);
+        }
+        let mut component = vec![usize::MAX; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for &start in order.iter().rev() {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let mut members = vec![start];
+            component[start] = id;
+            let mut stack = vec![start];
+            while let Some(v) = stack.pop() {
+                for &u in &rev[v] {
+                    if component[u] == usize::MAX {
+                        component[u] = id;
+                        members.push(u);
+                        stack.push(u);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        SccResult { components }
+    }
+
+    /// A topological order of the acyclic part (nodes in `cyclic` are
+    /// excluded; their downstream still appears, fed only by what
+    /// reaches it acyclically).
+    fn topo_order(&self, cyclic: &HashSet<usize>) -> Vec<usize> {
+        let mut indeg: Vec<usize> = (0..self.nodes.len())
+            .map(|v| {
+                self.edges
+                    .iter()
+                    .filter(|e| e.to == v && !cyclic.contains(&e.from) && !cyclic.contains(&e.to))
+                    .count()
+            })
+            .collect();
+        let mut queue: Vec<usize> = (0..self.nodes.len())
+            .filter(|v| !cyclic.contains(v) && indeg[*v] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(queue.len());
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(v);
+            for &ei in &self.out_edges[v] {
+                let to = self.edges[ei].to;
+                if cyclic.contains(&to) {
+                    continue;
+                }
+                indeg[to] -= 1;
+                if indeg[to] == 0 {
+                    queue.push(to);
+                }
+            }
+        }
+        order
+    }
+}
+
+/// `true` if the given edges close a cycle within `component`.
+fn has_cycle(component: &[usize], edges: &[&GEdge<'_>]) -> bool {
+    if edges.iter().any(|e| e.from == e.to) {
+        return true;
+    }
+    // Kahn's algorithm on the restricted subgraph: leftover nodes = cycle
+    let mut indeg: HashMap<usize, usize> = component.iter().map(|&v| (v, 0)).collect();
+    for e in edges {
+        *indeg.get_mut(&e.to).expect("edge within component") += 1;
+    }
+    let mut queue: Vec<usize> = component
+        .iter()
+        .copied()
+        .filter(|v| indeg[v] == 0)
+        .collect();
+    let mut removed = 0;
+    while let Some(v) = queue.pop() {
+        removed += 1;
+        for e in edges {
+            if e.from == v {
+                let d = indeg.get_mut(&e.to).expect("edge within component");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(e.to);
+                }
+            }
+        }
+    }
+    removed < component.len()
+}

@@ -27,7 +27,7 @@ use std::str::FromStr;
 use ivl_core::factory::{ChannelParams, ParamValue};
 
 use crate::error::SpecError;
-use crate::value::{parse_document, render_document, Value};
+use crate::value::{parse_document, render_document, Value, ValueKind};
 
 /// A complete, serializable description of one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -973,19 +973,19 @@ impl ExperimentSpec {
 // ======================================================================
 
 fn num(v: f64) -> Value {
-    Value::Num(v)
+    Value::num(v)
 }
 
 fn int(v: u64) -> Value {
-    Value::Int(v)
+    Value::int(v)
 }
 
 fn text(s: &str) -> Value {
-    Value::Str(s.to_owned())
+    Value::str(s)
 }
 
 fn node(tag: &str, fields: Vec<(String, Value)>) -> Value {
-    Value::Node(tag.to_owned(), fields)
+    Value::node(tag, fields)
 }
 
 fn field(name: &str, value: Value) -> (String, Value) {
@@ -1009,7 +1009,7 @@ impl ExperimentSpec {
     }
 }
 
-fn channel_to_value(c: &ChannelSpec) -> Value {
+pub(crate) fn channel_to_value(c: &ChannelSpec) -> Value {
     let fields = c
         .params
         .entries()
@@ -1022,16 +1022,16 @@ fn channel_to_value(c: &ChannelSpec) -> Value {
                     if is_word(v) {
                         Value::word(v.clone())
                     } else {
-                        Value::Str(v.clone())
+                        Value::str(v.clone())
                     }
                 }
                 // future ParamValue variants degrade to their display form
-                other => Value::Str(other.to_string()),
+                other => Value::str(other.to_string()),
             };
             (name.clone(), v)
         })
         .collect();
-    Value::Node(c.kind.clone(), fields)
+    Value::node(c.kind.clone(), fields)
 }
 
 fn is_word(s: &str) -> bool {
@@ -1055,10 +1055,10 @@ fn signal_to_value(s: &SignalSpec) -> Value {
             "train",
             vec![field(
                 "pulses",
-                Value::List(
+                Value::list(
                     pulses
                         .iter()
-                        .map(|(t, w)| Value::List(vec![num(*t), num(*w)]))
+                        .map(|(t, w)| Value::list(vec![num(*t), num(*w)]))
                         .collect(),
                 ),
             )],
@@ -1067,7 +1067,7 @@ fn signal_to_value(s: &SignalSpec) -> Value {
             "times",
             vec![
                 field("initial", Value::bool(*initial)),
-                field("at", Value::List(times.iter().map(|t| num(*t)).collect())),
+                field("at", Value::list(times.iter().map(|t| num(*t)).collect())),
             ],
         ),
     }
@@ -1086,7 +1086,7 @@ fn digital_to_value(d: &DigitalSpec) -> Value {
     }
     fields.push(field(
         "scenarios",
-        Value::List(d.scenarios.iter().map(scenario_to_value).collect()),
+        Value::list(d.scenarios.iter().map(scenario_to_value).collect()),
     ));
     fields.push(field(
         "outputs",
@@ -1109,11 +1109,11 @@ fn topology_to_value(t: &TopologySpec) -> Value {
             vec![
                 field(
                     "nodes",
-                    Value::List(n.nodes.iter().map(node_to_value).collect()),
+                    Value::list(n.nodes.iter().map(node_to_value).collect()),
                 ),
                 field(
                     "edges",
-                    Value::List(n.edges.iter().map(edge_to_value).collect()),
+                    Value::list(n.edges.iter().map(edge_to_value).collect()),
                 ),
             ],
         ),
@@ -1166,7 +1166,7 @@ fn gate_kind_to_value(k: &GateKindSpec) -> Value {
                 field("inputs", int(u64::from(*inputs))),
                 field(
                     "rows",
-                    Value::List(rows.iter().map(|b| int(u64::from(*b))).collect()),
+                    Value::list(rows.iter().map(|b| int(u64::from(*b))).collect()),
                 ),
             ],
         ),
@@ -1192,7 +1192,7 @@ fn scenario_to_value(s: &ScenarioSpec) -> Value {
     }
     fields.push(field(
         "inputs",
-        Value::List(
+        Value::list(
             s.inputs
                 .iter()
                 .map(|(port, sig)| {
@@ -1249,7 +1249,7 @@ fn analog_to_value(a: &AnalogSpec) -> Value {
                 vec![
                     field(
                         "widths",
-                        Value::List(a.sweep.widths.iter().map(|w| num(*w)).collect()),
+                        Value::list(a.sweep.widths.iter().map(|w| num(*w)).collect()),
                     ),
                     field("settle", num(a.sweep.settle)),
                     field("tail", num(a.sweep.tail)),
@@ -1318,10 +1318,10 @@ fn reference_to_value(r: &ReferenceSpec) -> Value {
 }
 
 fn samples_to_value(samples: &[(f64, f64)]) -> Value {
-    Value::List(
+    Value::list(
         samples
             .iter()
-            .map(|(t, d)| Value::List(vec![num(*t), num(*d)]))
+            .map(|(t, d)| Value::list(vec![num(*t), num(*d)]))
             .collect(),
     )
 }
@@ -1398,25 +1398,34 @@ fn noise_to_value(n: NoiseSpec) -> Value {
 // ======================================================================
 
 /// A consuming reader over one node's fields with contextual errors.
+///
+/// Carries the node's span so every error it raises points back into
+/// the spec text when the value was parsed rather than built.
 struct Fields {
     tag: String,
+    span: Option<crate::error::Span>,
     fields: Vec<(String, Option<Value>)>,
 }
 
 impl Fields {
     fn of(value: Value, context: &str) -> Result<Fields, SpecError> {
-        match value {
-            Value::Node(tag, fields) => Ok(Fields {
+        let span = value.span();
+        match value.into_kind() {
+            ValueKind::Node(tag, fields) => Ok(Fields {
                 tag,
+                span,
                 fields: fields.into_iter().map(|(n, v)| (n, Some(v))).collect(),
             }),
-            Value::Word(tag) => Ok(Fields {
+            ValueKind::Word(tag) => Ok(Fields {
                 tag,
+                span,
                 fields: Vec::new(),
             }),
             other => Err(SpecError::new(format!(
-                "{context}: expected a tagged node, found {other}"
-            ))),
+                "{context}: expected a tagged node, found {}",
+                Value::from(other)
+            ))
+            .at(span)),
         }
     }
 
@@ -1427,7 +1436,8 @@ impl Fields {
             Err(SpecError::new(format!(
                 "unexpected tag {:?} (expected one of {expected:?})",
                 self.tag
-            )))
+            ))
+            .at(self.span))
         }
     }
 
@@ -1439,8 +1449,9 @@ impl Fields {
     }
 
     fn req(&mut self, name: &str) -> Result<Value, SpecError> {
+        let span = self.span;
         self.take(name)
-            .ok_or_else(|| SpecError::new(format!("{}: missing field {name:?}", self.tag)))
+            .ok_or_else(|| SpecError::new(format!("{}: missing field {name:?}", self.tag)).at(span))
     }
 
     fn f64(&mut self, name: &str) -> Result<f64, SpecError> {
@@ -1452,9 +1463,11 @@ impl Fields {
     }
 
     fn u32(&mut self, name: &str) -> Result<u32, SpecError> {
-        let v = self.u64(name)?;
-        u32::try_from(v)
-            .map_err(|_| SpecError::new(format!("{}: field {name:?} out of range", self.tag)))
+        let v = self.req(name)?;
+        let x = as_u64(&v, &self.tag, name)?;
+        u32::try_from(x).map_err(|_| {
+            SpecError::new(format!("{}: field {name:?} out of range", self.tag)).at(v.span())
+        })
     }
 
     fn bool(&mut self, name: &str) -> Result<bool, SpecError> {
@@ -1466,63 +1479,71 @@ impl Fields {
     }
 
     fn list(&mut self, name: &str) -> Result<Vec<Value>, SpecError> {
-        match self.req(name)? {
-            Value::List(items) => Ok(items),
+        let v = self.req(name)?;
+        let span = v.span();
+        match v.into_kind() {
+            ValueKind::List(items) => Ok(items),
             other => Err(SpecError::new(format!(
-                "{}: field {name:?} must be a list, found {other}",
-                self.tag
-            ))),
+                "{}: field {name:?} must be a list, found {}",
+                self.tag,
+                Value::from(other)
+            ))
+            .at(span)),
         }
     }
 
     fn finish(self) -> Result<(), SpecError> {
-        if let Some((name, _)) = self.fields.iter().find(|(_, v)| v.is_some()) {
-            return Err(SpecError::new(format!(
-                "{}: unknown field {name:?}",
-                self.tag
-            )));
+        if let Some((name, v)) = self.fields.iter().find(|(_, v)| v.is_some()) {
+            return Err(
+                SpecError::new(format!("{}: unknown field {name:?}", self.tag))
+                    .at(v.as_ref().and_then(Value::span).or(self.span)),
+            );
         }
         Ok(())
     }
 }
 
 fn as_f64(v: &Value, tag: &str, name: &str) -> Result<f64, SpecError> {
-    match v {
-        Value::Num(x) => Ok(*x),
+    match v.kind() {
+        ValueKind::Num(x) => Ok(*x),
         #[allow(clippy::cast_precision_loss)]
-        Value::Int(x) => Ok(*x as f64),
-        other => Err(SpecError::new(format!(
-            "{tag}: field {name:?} must be a number, found {other}"
-        ))),
+        ValueKind::Int(x) => Ok(*x as f64),
+        _ => Err(
+            SpecError::new(format!("{tag}: field {name:?} must be a number, found {v}"))
+                .at(v.span()),
+        ),
     }
 }
 
 fn as_u64(v: &Value, tag: &str, name: &str) -> Result<u64, SpecError> {
-    match v {
-        Value::Int(x) => Ok(*x),
-        other => Err(SpecError::new(format!(
-            "{tag}: field {name:?} must be an integer, found {other}"
-        ))),
+    match v.kind() {
+        ValueKind::Int(x) => Ok(*x),
+        _ => Err(SpecError::new(format!(
+            "{tag}: field {name:?} must be an integer, found {v}"
+        ))
+        .at(v.span())),
     }
 }
 
 fn as_bool(v: &Value, tag: &str, name: &str) -> Result<bool, SpecError> {
-    match v {
-        Value::Word(w) if w == "true" => Ok(true),
-        Value::Word(w) if w == "false" => Ok(false),
-        other => Err(SpecError::new(format!(
-            "{tag}: field {name:?} must be true or false, found {other}"
-        ))),
+    match v.kind() {
+        ValueKind::Word(w) if w == "true" => Ok(true),
+        ValueKind::Word(w) if w == "false" => Ok(false),
+        _ => Err(SpecError::new(format!(
+            "{tag}: field {name:?} must be true or false, found {v}"
+        ))
+        .at(v.span())),
     }
 }
 
 fn as_text(v: &Value, tag: &str, name: &str) -> Result<String, SpecError> {
-    match v {
-        Value::Str(s) => Ok(s.clone()),
-        Value::Word(w) => Ok(w.clone()),
-        other => Err(SpecError::new(format!(
-            "{tag}: field {name:?} must be a string, found {other}"
-        ))),
+    match v.kind() {
+        ValueKind::Str(s) => Ok(s.clone()),
+        ValueKind::Word(w) => Ok(w.clone()),
+        _ => Err(
+            SpecError::new(format!("{tag}: field {name:?} must be a string, found {v}"))
+                .at(v.span()),
+        ),
     }
 }
 
@@ -1541,7 +1562,8 @@ impl ExperimentSpec {
             other => {
                 return Err(SpecError::new(format!(
                     "unknown workload kind {other:?} (expected channel, digital, analog or spf)"
-                )))
+                ))
+                .at(f.span))
             }
         };
         f.finish()?;
@@ -1554,16 +1576,17 @@ fn channel_from_value(value: Value) -> Result<ChannelSpec, SpecError> {
     let mut params = ChannelParams::new();
     for (name, v) in &f.fields {
         let v = v.as_ref().expect("freshly constructed fields are present");
-        params = match v {
-            Value::Num(x) => params.with_num(name.clone(), *x),
-            Value::Int(x) => params.with_int(name.clone(), *x),
-            Value::Word(w) => params.with_text(name.clone(), w.clone()),
-            Value::Str(s) => params.with_text(name.clone(), s.clone()),
-            other => {
+        params = match v.kind() {
+            ValueKind::Num(x) => params.with_num(name.clone(), *x),
+            ValueKind::Int(x) => params.with_int(name.clone(), *x),
+            ValueKind::Word(w) => params.with_text(name.clone(), w.clone()),
+            ValueKind::Str(s) => params.with_text(name.clone(), s.clone()),
+            _ => {
                 return Err(SpecError::new(format!(
-                    "{}: channel parameter {name:?} must be scalar, found {other}",
+                    "{}: channel parameter {name:?} must be scalar, found {v}",
                     f.tag
-                )))
+                ))
+                .at(v.span()))
             }
         };
     }
@@ -1584,17 +1607,18 @@ fn signal_from_value(value: Value) -> Result<SignalSpec, SpecError> {
         "train" => {
             let mut pulses = Vec::new();
             for item in f.list("pulses")? {
-                match item {
-                    Value::List(pair) if pair.len() == 2 => {
+                match item.kind() {
+                    ValueKind::List(pair) if pair.len() == 2 => {
                         pulses.push((
                             as_f64(&pair[0], "train", "start")?,
                             as_f64(&pair[1], "train", "width")?,
                         ));
                     }
-                    other => {
+                    _ => {
                         return Err(SpecError::new(format!(
-                            "train: each pulse must be a [start, width] pair, found {other}"
-                        )))
+                            "train: each pulse must be a [start, width] pair, found {item}"
+                        ))
+                        .at(item.span()))
                     }
                 }
             }
@@ -1612,7 +1636,8 @@ fn signal_from_value(value: Value) -> Result<SignalSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown signal kind {other:?} (expected zero, pulse, train or times)"
-            )))
+            ))
+            .at(f.span))
         }
     };
     f.finish()?;
@@ -1660,8 +1685,9 @@ fn take_workers(f: &mut Fields) -> Result<Option<u32>, SpecError> {
     f.take("workers")
         .map(|v| {
             let w = as_u64(&v, &f.tag, "workers")?;
-            u32::try_from(w)
-                .map_err(|_| SpecError::new(format!("{}: field \"workers\" out of range", f.tag)))
+            u32::try_from(w).map_err(|_| {
+                SpecError::new(format!("{}: field \"workers\" out of range", f.tag)).at(v.span())
+            })
         })
         .transpose()
 }
@@ -1689,7 +1715,8 @@ fn topology_from_value(value: Value) -> Result<TopologySpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown topology kind {other:?} (expected netlist or chain)"
-            )))
+            ))
+            .at(f.span))
         }
     };
     f.finish()?;
@@ -1721,7 +1748,8 @@ fn node_from_value(value: Value) -> Result<NodeSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown node kind {other:?} (expected input, output or gate)"
-            )))
+            ))
+            .at(f.span))
         }
     };
     f.finish()?;
@@ -1748,7 +1776,7 @@ fn gate_kind_from_value(value: Value) -> Result<GateKindSpec, SpecError> {
                 .collect::<Result<Vec<_>, SpecError>>()?;
             GateKindSpec::Table { inputs, rows }
         }
-        other => return Err(SpecError::new(format!("unknown gate kind {other:?}"))),
+        other => return Err(SpecError::new(format!("unknown gate kind {other:?}")).at(f.span)),
     };
     f.finish()?;
     Ok(k)
@@ -1815,7 +1843,8 @@ fn analog_from_fields(f: &mut Fields) -> Result<AnalogSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown supply kind {other:?} (expected dc or sine)"
-            )))
+            ))
+            .at(sf.span))
         }
     };
     sf.finish()?;
@@ -1846,7 +1875,8 @@ fn analog_from_fields(f: &mut Fields) -> Result<AnalogSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown integrator {other:?} (expected rk4 or rk45)"
-            )))
+            ))
+            .at(intf.span))
         }
     };
     intf.finish()?;
@@ -1867,7 +1897,8 @@ fn analog_from_fields(f: &mut Fields) -> Result<AnalogSpec, SpecError> {
                 other => {
                     return Err(SpecError::new(format!(
                         "unknown orientation {other:?} (expected both, normal or inverted)"
-                    )))
+                    ))
+                    .at(tf.span))
                 }
             };
             AnalogTask::Deviations {
@@ -1878,7 +1909,8 @@ fn analog_from_fields(f: &mut Fields) -> Result<AnalogSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown analog task {other:?} (expected samples, characterize or deviations)"
-            )))
+            ))
+            .at(tf.span))
         }
     };
     tf.finish()?;
@@ -1914,7 +1946,8 @@ fn reference_from_value(value: Value) -> Result<ReferenceSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown reference {other:?} (expected exp, rational, empirical or self_empirical)"
-            )))
+            ))
+            .at(f.span))
         }
     };
     f.finish()?;
@@ -1922,21 +1955,21 @@ fn reference_from_value(value: Value) -> Result<ReferenceSpec, SpecError> {
 }
 
 fn samples_from_value(value: Value) -> Result<Vec<(f64, f64)>, SpecError> {
-    let Value::List(items) = value else {
-        return Err(SpecError::new(format!(
-            "empirical: samples must be a list, found {value}"
-        )));
+    let span = value.span();
+    let ValueKind::List(items) = value.into_kind() else {
+        return Err(SpecError::new("empirical: samples must be a list").at(span));
     };
     items
         .into_iter()
-        .map(|item| match item {
-            Value::List(pair) if pair.len() == 2 => Ok((
+        .map(|item| match item.kind() {
+            ValueKind::List(pair) if pair.len() == 2 => Ok((
                 as_f64(&pair[0], "empirical", "offset")?,
                 as_f64(&pair[1], "empirical", "delay")?,
             )),
-            other => Err(SpecError::new(format!(
-                "empirical: each sample must be an [offset, delay] pair, found {other}"
-            ))),
+            _ => Err(SpecError::new(format!(
+                "empirical: each sample must be an [offset, delay] pair, found {item}"
+            ))
+            .at(item.span())),
         })
         .collect()
 }
@@ -1957,7 +1990,8 @@ fn spf_from_fields(f: &mut Fields) -> Result<SpfSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown delay family {other:?} (expected exp or rational)"
-            )))
+            ))
+            .at(df.span))
         }
     };
     df.finish()?;
@@ -1974,7 +2008,8 @@ fn spf_from_fields(f: &mut Fields) -> Result<SpfSpec, SpecError> {
         other => {
             return Err(SpecError::new(format!(
                 "unknown spf task {other:?} (expected theory or simulate)"
-            )))
+            ))
+            .at(tf.span))
         }
     };
     tf.finish()?;
@@ -2002,7 +2037,7 @@ fn noise_from_value(value: Value) -> Result<NoiseSpec, SpecError> {
         "constant" => NoiseSpec::Constant {
             shift: f.f64("shift")?,
         },
-        other => return Err(SpecError::new(format!("unknown noise kind {other:?}"))),
+        other => return Err(SpecError::new(format!("unknown noise kind {other:?}")).at(f.span)),
     };
     f.finish()?;
     Ok(n)

@@ -18,17 +18,31 @@
 //! (integer) from `2.0` (real) and 64-bit seeds survive unharmed.
 //! Non-finite reals are not representable; specs are finite by
 //! construction.
+//!
+//! Every parsed [`Value`] carries the [`Span`] of its first token, so
+//! validation errors raised long after lexing (unknown fields, type
+//! mismatches, lint diagnostics) can still point at a line and column.
+//! Programmatically built values have no span; equality ignores spans
+//! so built and parsed trees compare equal.
 
 use std::fmt;
 
-use crate::error::SpecError;
+use crate::error::{Span, SpecError};
 
 /// Version tag emitted and accepted by this build.
 pub const SPEC_VERSION: u32 = 1;
 
-/// One node of the serialization tree.
+/// One node of the serialization tree: a [`ValueKind`] plus the source
+/// [`Span`] it was parsed from (if any).
+#[derive(Debug, Clone)]
+pub struct Value {
+    kind: ValueKind,
+    span: Option<Span>,
+}
+
+/// The shape of a [`Value`].
 #[derive(Debug, Clone, PartialEq)]
-pub enum Value {
+pub enum ValueKind {
     /// A real number (printed with a decimal point or exponent).
     Num(f64),
     /// A non-negative integer.
@@ -43,10 +57,50 @@ pub enum Value {
     Node(String, Vec<(String, Value)>),
 }
 
+/// Spans are provenance, not content: two trees that print the same
+/// are equal regardless of where (or whether) they were parsed.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
 impl Value {
+    fn spanned(kind: ValueKind, span: Span) -> Value {
+        Value {
+            kind,
+            span: Some(span),
+        }
+    }
+
+    /// A real number.
+    pub fn num(v: f64) -> Value {
+        ValueKind::Num(v).into()
+    }
+
+    /// An integer.
+    pub fn int(v: u64) -> Value {
+        ValueKind::Int(v).into()
+    }
+
     /// Convenience: a `Word` from a `&str`.
     pub fn word(w: impl Into<String>) -> Value {
-        Value::Word(w.into())
+        ValueKind::Word(w.into()).into()
+    }
+
+    /// A quoted string.
+    pub fn str(s: impl Into<String>) -> Value {
+        ValueKind::Str(s.into()).into()
+    }
+
+    /// An ordered list.
+    pub fn list(items: Vec<Value>) -> Value {
+        ValueKind::List(items).into()
+    }
+
+    /// A tagged node with named fields.
+    pub fn node(tag: impl Into<String>, fields: Vec<(String, Value)>) -> Value {
+        ValueKind::Node(tag.into(), fields).into()
     }
 
     /// Convenience: a boolean as the words `true`/`false`.
@@ -54,19 +108,34 @@ impl Value {
         Value::word(if b { "true" } else { "false" })
     }
 
+    /// The shape of this value.
+    pub fn kind(&self) -> &ValueKind {
+        &self.kind
+    }
+
+    /// Consumes the value, returning its shape.
+    pub fn into_kind(self) -> ValueKind {
+        self.kind
+    }
+
+    /// Where this value was parsed from, if it came from text.
+    pub fn span(&self) -> Option<Span> {
+        self.span
+    }
+
     fn is_scalar(&self) -> bool {
         matches!(
-            self,
-            Value::Num(_) | Value::Int(_) | Value::Word(_) | Value::Str(_)
+            self.kind,
+            ValueKind::Num(_) | ValueKind::Int(_) | ValueKind::Word(_) | ValueKind::Str(_)
         )
     }
 
     fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
-        match self {
-            Value::Num(v) => write!(f, "{v:?}"),
-            Value::Int(v) => write!(f, "{v}"),
-            Value::Word(w) => write!(f, "{w}"),
-            Value::Str(s) => {
+        match &self.kind {
+            ValueKind::Num(v) => write!(f, "{v:?}"),
+            ValueKind::Int(v) => write!(f, "{v}"),
+            ValueKind::Word(w) => write!(f, "{w}"),
+            ValueKind::Str(s) => {
                 f.write_str("\"")?;
                 for c in s.chars() {
                     match c {
@@ -80,7 +149,7 @@ impl Value {
                 }
                 f.write_str("\"")
             }
-            Value::List(items) => {
+            ValueKind::List(items) => {
                 if items.iter().all(Value::is_scalar) {
                     f.write_str("[")?;
                     for (i, item) in items.iter().enumerate() {
@@ -104,7 +173,7 @@ impl Value {
                     write!(f, "{:1$}]", "", indent)
                 }
             }
-            Value::Node(tag, fields) => {
+            ValueKind::Node(tag, fields) => {
                 if fields.is_empty() {
                     return write!(f, "{tag}");
                 }
@@ -117,6 +186,12 @@ impl Value {
                 write!(f, "{:1$}}}", "", indent)
             }
         }
+    }
+}
+
+impl From<ValueKind> for Value {
+    fn from(kind: ValueKind) -> Value {
+        Value { kind, span: None }
     }
 }
 
@@ -179,37 +254,50 @@ impl fmt::Display for Token {
 }
 
 struct Parser<'a> {
-    text: &'a str,
     chars: std::iter::Peekable<std::str::CharIndices<'a>>,
-    /// Byte offset of the most recently lexed token, for error messages.
-    at: usize,
+    /// Position of the *next* unread character (1-based).
+    line: u32,
+    column: u32,
+    /// Span of the most recently lexed token, for errors and values.
+    span: Span,
 }
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
         Parser {
-            text,
             chars: text.char_indices().peekable(),
-            at: 0,
+            line: 1,
+            column: 1,
+            span: Span { line: 1, column: 1 },
         }
     }
 
     fn err(&self, message: impl Into<String>) -> SpecError {
-        let line = self.text[..self.at.min(self.text.len())]
-            .bytes()
-            .filter(|&b| b == b'\n')
-            .count()
-            + 1;
-        SpecError::new(format!("line {line}: {}", message.into()))
+        SpecError::new(message).at(self.span)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
     }
 
     fn skip_ws(&mut self) {
-        while let Some(&(_, c)) = self.chars.peek() {
+        while let Some(c) = self.peek() {
             if c.is_whitespace() {
-                self.chars.next();
+                self.bump();
             } else if c == '#' {
                 // comment to end of line
-                for (_, c) in self.chars.by_ref() {
+                while let Some(c) = self.bump() {
                     if c == '\n' {
                         break;
                     }
@@ -222,39 +310,39 @@ impl<'a> Parser<'a> {
 
     fn next_token(&mut self) -> Result<Token, SpecError> {
         self.skip_ws();
-        let Some(&(pos, c)) = self.chars.peek() else {
-            self.at = self.text.len();
+        self.span = Span {
+            line: self.line,
+            column: self.column,
+        };
+        let Some(c) = self.peek() else {
             return Ok(Token::End);
         };
-        self.at = pos;
         if c == '"' {
-            self.chars.next();
+            self.bump();
             let mut s = String::new();
             loop {
-                match self.chars.next() {
-                    Some((_, '"')) => return Ok(Token::Str(s)),
-                    Some((_, '\\')) => match self.chars.next() {
-                        Some((_, '"')) => s.push('"'),
-                        Some((_, '\\')) => s.push('\\'),
-                        Some((_, 'n')) => s.push('\n'),
-                        Some((_, 't')) => s.push('\t'),
-                        Some((_, 'r')) => s.push('\r'),
-                        Some((_, other)) => {
-                            return Err(self.err(format!("unknown escape \\{other}")))
-                        }
+                match self.bump() {
+                    Some('"') => return Ok(Token::Str(s)),
+                    Some('\\') => match self.bump() {
+                        Some('"') => s.push('"'),
+                        Some('\\') => s.push('\\'),
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('r') => s.push('\r'),
+                        Some(other) => return Err(self.err(format!("unknown escape \\{other}"))),
                         None => return Err(self.err("unterminated string")),
                     },
-                    Some((_, c)) => s.push(c),
+                    Some(c) => s.push(c),
                     None => return Err(self.err("unterminated string")),
                 }
             }
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let mut w = String::new();
-            while let Some(&(_, c)) = self.chars.peek() {
+            while let Some(c) = self.peek() {
                 if c.is_ascii_alphanumeric() || c == '_' {
                     w.push(c);
-                    self.chars.next();
+                    self.bump();
                 } else {
                     break;
                 }
@@ -264,9 +352,9 @@ impl<'a> Parser<'a> {
         if c.is_ascii_digit() || c == '-' || c == '+' {
             let mut n = String::new();
             n.push(c);
-            self.chars.next();
+            self.bump();
             let mut real = false;
-            while let Some(&(_, c)) = self.chars.peek() {
+            while let Some(c) = self.peek() {
                 match c {
                     '0'..='9' => n.push(c),
                     '.' | 'e' | 'E' => {
@@ -278,7 +366,7 @@ impl<'a> Parser<'a> {
                     '-' | '+' if n.ends_with(['e', 'E']) => n.push(c),
                     _ => break,
                 }
-                self.chars.next();
+                self.bump();
             }
             if !real && !n.starts_with(['-', '+']) {
                 if let Ok(v) = n.parse::<u64>() {
@@ -291,18 +379,20 @@ impl<'a> Parser<'a> {
                 .map_err(|_| self.err(format!("bad number {n:?}")));
         }
         if "{}[]=;,/".contains(c) {
-            self.chars.next();
+            self.bump();
             return Ok(Token::Punct(c));
         }
         Err(self.err(format!("unexpected character {c:?}")))
     }
 
     fn peek_token(&mut self) -> Result<Token, SpecError> {
-        let save = self.chars.clone();
-        let save_at = self.at;
+        let save_chars = self.chars.clone();
+        let (save_line, save_column, save_span) = (self.line, self.column, self.span);
         let t = self.next_token()?;
-        self.chars = save;
-        self.at = save_at;
+        self.chars = save_chars;
+        self.line = save_line;
+        self.column = save_column;
+        self.span = save_span;
         Ok(t)
     }
 
@@ -328,10 +418,12 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_value(&mut self) -> Result<Value, SpecError> {
-        match self.next_token()? {
-            Token::Num(v) => Ok(Value::Num(v)),
-            Token::Int(v) => Ok(Value::Int(v)),
-            Token::Str(s) => Ok(Value::Str(s)),
+        let token = self.next_token()?;
+        let span = self.span;
+        match token {
+            Token::Num(v) => Ok(Value::spanned(ValueKind::Num(v), span)),
+            Token::Int(v) => Ok(Value::spanned(ValueKind::Int(v), span)),
+            Token::Str(s) => Ok(Value::spanned(ValueKind::Str(s), span)),
             Token::Word(tag) => {
                 if matches!(self.peek_token()?, Token::Punct('{')) {
                     self.next_token()?;
@@ -360,16 +452,16 @@ impl<'a> Parser<'a> {
                             }
                         }
                     }
-                    Ok(Value::Node(tag, fields))
+                    Ok(Value::spanned(ValueKind::Node(tag, fields), span))
                 } else {
-                    Ok(Value::Word(tag))
+                    Ok(Value::spanned(ValueKind::Word(tag), span))
                 }
             }
             Token::Punct('[') => {
                 let mut items = Vec::new();
                 if matches!(self.peek_token()?, Token::Punct(']')) {
                     self.next_token()?;
-                    return Ok(Value::List(items));
+                    return Ok(Value::spanned(ValueKind::List(items), span));
                 }
                 loop {
                     items.push(self.parse_value()?);
@@ -385,7 +477,7 @@ impl<'a> Parser<'a> {
                         t => return Err(self.err(format!("expected ',' or ']', found {t}"))),
                     }
                 }
-                Ok(Value::List(items))
+                Ok(Value::spanned(ValueKind::List(items), span))
             }
             t => Err(self.err(format!("expected a value, found {t}"))),
         }
@@ -404,36 +496,36 @@ mod tests {
 
     #[test]
     fn scalars_roundtrip() {
-        roundtrip(&Value::Num(1.5));
-        roundtrip(&Value::Num(-0.25));
-        roundtrip(&Value::Num(1e300));
-        roundtrip(&Value::Num(5e-324));
-        roundtrip(&Value::Num(f64::MAX));
-        roundtrip(&Value::Int(0));
-        roundtrip(&Value::Int(u64::MAX));
+        roundtrip(&Value::num(1.5));
+        roundtrip(&Value::num(-0.25));
+        roundtrip(&Value::num(1e300));
+        roundtrip(&Value::num(5e-324));
+        roundtrip(&Value::num(f64::MAX));
+        roundtrip(&Value::int(0));
+        roundtrip(&Value::int(u64::MAX));
         roundtrip(&Value::word("zero"));
-        roundtrip(&Value::Str("a b\"c\\d\n\te".into()));
-        roundtrip(&Value::Str(String::new()));
+        roundtrip(&Value::str("a b\"c\\d\n\te"));
+        roundtrip(&Value::str(String::new()));
     }
 
     #[test]
     fn structures_roundtrip() {
-        roundtrip(&Value::List(vec![]));
-        roundtrip(&Value::List(vec![Value::Num(1.0), Value::Int(2)]));
-        roundtrip(&Value::Node(
-            "pulse".into(),
+        roundtrip(&Value::list(vec![]));
+        roundtrip(&Value::list(vec![Value::num(1.0), Value::int(2)]));
+        roundtrip(&Value::node(
+            "pulse",
             vec![
-                ("at".into(), Value::Num(0.0)),
-                ("width".into(), Value::Num(2.5)),
-                ("tags".into(), Value::List(vec![Value::word("x")])),
+                ("at".into(), Value::num(0.0)),
+                ("width".into(), Value::num(2.5)),
+                ("tags".into(), Value::list(vec![Value::word("x")])),
                 (
                     "nested".into(),
-                    Value::Node("inner".into(), vec![("k".into(), Value::Str("v".into()))]),
+                    Value::node("inner", vec![("k".into(), Value::str("v"))]),
                 ),
                 (
                     "nodes".into(),
-                    Value::List(vec![
-                        Value::Node("n".into(), vec![("i".into(), Value::Int(1))]),
+                    Value::list(vec![
+                        Value::node("n", vec![("i".into(), Value::int(1))]),
                         Value::word("bare"),
                     ]),
                 ),
@@ -443,12 +535,13 @@ mod tests {
 
     #[test]
     fn integer_vs_real_distinction_survives() {
-        let doc = render_document(&Value::List(vec![Value::Num(2.0), Value::Int(2)]));
-        let Value::List(items) = parse_document(&doc).unwrap() else {
+        let doc = render_document(&Value::list(vec![Value::num(2.0), Value::int(2)]));
+        let parsed = parse_document(&doc).unwrap();
+        let ValueKind::List(items) = parsed.kind() else {
             panic!()
         };
-        assert_eq!(items[0], Value::Num(2.0));
-        assert_eq!(items[1], Value::Int(2));
+        assert_eq!(items[0], Value::num(2.0));
+        assert_eq!(items[1], Value::int(2));
     }
 
     #[test]
@@ -459,20 +552,26 @@ mod tests {
         .unwrap();
         assert_eq!(
             v,
-            Value::Node(
-                "pulse".into(),
+            Value::node(
+                "pulse",
                 vec![
-                    ("at".into(), Value::Num(1.0)),
-                    ("width".into(), Value::Num(2.0)),
+                    ("at".into(), Value::num(1.0)),
+                    ("width".into(), Value::num(2.0)),
                 ]
             )
         );
     }
 
     #[test]
-    fn errors_name_the_line() {
+    fn errors_name_line_and_column() {
         let err = parse_document("faithful/1 pulse {\n at = ?? }").unwrap_err();
-        assert!(err.message().contains("line 2"), "{err}");
+        let span = err.span().expect("lex errors carry a span");
+        assert_eq!((span.line, span.column), (2, 7), "{err}");
+        // the rendered form is part of the diagnostic surface — pin it
+        assert_eq!(
+            err.to_string(),
+            "experiment spec error at line 2, column 7: unexpected character '?'"
+        );
         assert!(parse_document("faithful/2 zero").is_err());
         assert!(parse_document("faithful/1 zero zero").is_err());
         assert!(parse_document("faithful/1 \"open").is_err());
@@ -483,9 +582,35 @@ mod tests {
     }
 
     #[test]
+    fn parsed_values_carry_spans() {
+        let v = parse_document("faithful/1 pulse {\n  at = 1.0;\n  width = 2.0;\n}").unwrap();
+        assert_eq!(
+            v.span(),
+            Some(Span {
+                line: 1,
+                column: 12
+            })
+        );
+        let ValueKind::Node(_, fields) = v.kind() else {
+            panic!()
+        };
+        assert_eq!(fields[0].1.span(), Some(Span { line: 2, column: 8 }));
+        assert_eq!(
+            fields[1].1.span(),
+            Some(Span {
+                line: 3,
+                column: 11
+            })
+        );
+        // built values have no span, but still compare equal to parsed ones
+        assert_eq!(Value::num(1.0).span(), None);
+        assert_eq!(fields[0].1, Value::num(1.0));
+    }
+
+    #[test]
     fn bare_word_is_empty_node() {
         assert_eq!(
-            Value::Node("zero".into(), vec![]).to_string(),
+            Value::node("zero", vec![]).to_string(),
             Value::word("zero").to_string()
         );
         assert_eq!(Value::bool(true), Value::word("true"));

@@ -217,7 +217,12 @@ fn per_scenario_failures_surface_in_outcomes() {
     )
     .with_scenario(ScenarioSpec::new("ok").with_input("a", SignalSpec::pulse(0.0, 4.0)))
     .with_scenario(ScenarioSpec::new("bad").with_input("nope", SignalSpec::pulse(0.0, 4.0)));
-    let result = Experiment::digital(spec).run().unwrap();
+    // the lint pre-flight would reject the unknown port statically; this
+    // test is about the runtime per-scenario failure path
+    let result = Experiment::digital(spec)
+        .with_lint(faithful::LintConfig::Off)
+        .run()
+        .unwrap();
     let digital = result.digital().unwrap();
     assert!(digital.outcomes[0].is_ok());
     assert!(!digital.outcomes[1].is_ok());
@@ -416,25 +421,32 @@ fn spf_facade_matches_direct_circuit() {
 
 #[test]
 fn facade_errors_unify_layer_errors() {
+    // every case here is also caught statically by the lint pre-flight
+    // (as Error::Lint); switch it off to exercise the layers themselves
+    let off = faithful::LintConfig::Off;
     // unknown channel kind -> core error
     let err = Experiment::channel(ChannelSpec::new("warp"), SignalSpec::Zero)
+        .with_lint(off)
         .run()
         .unwrap_err();
     assert!(matches!(err, faithful::Error::Core(_)));
     // dangling netlist edge -> spec error
     let netlist = NetlistSpec::new().input("a").wire("a", "ghost", 0);
     let err = Experiment::digital(DigitalSpec::new(TopologySpec::Netlist(netlist), 10.0))
+        .with_lint(off)
         .run()
         .unwrap_err();
     assert!(matches!(err, faithful::Error::Spec(_)), "{err:?}");
     // unconnected output -> circuit error
     let netlist = NetlistSpec::new().input("a").output("y");
     let err = Experiment::digital(DigitalSpec::new(TopologySpec::Netlist(netlist), 10.0))
+        .with_lint(off)
         .run()
         .unwrap_err();
     assert!(matches!(err, faithful::Error::Circuit(_)), "{err:?}");
     // constraint (C) violation -> spf error, with a source chain
     let err = Experiment::spf(SpfSpec::exp(TAU, T_P, V_TH, 0.4, 0.4))
+        .with_lint(off)
         .run()
         .unwrap_err();
     assert!(matches!(err, faithful::Error::Spf(_)), "{err:?}");

@@ -1,0 +1,349 @@
+//! Golden corpus for `faithful::lint`: every file under
+//! `tests/lint_corpus/` triggers a specific diagnostic, every shipped
+//! spec under `specs/` is clean, and the `faithful-lint` CLI agrees.
+
+use std::path::Path;
+use std::process::Command;
+
+use faithful::core::factory::{ChannelParams, ChannelRegistry};
+use faithful::{
+    lint, lint_text, DigitalSpec, Error, Experiment, ExperimentSpec, LintConfig, NetlistSpec,
+    ScenarioSpec, Severity, SignalSpec, SpfSpec, SpfTask, TopologySpec,
+};
+
+fn registry() -> ChannelRegistry {
+    ChannelRegistry::with_builtins()
+}
+
+fn corpus(file: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/lint_corpus")
+        .join(file);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Every corpus file, its expected diagnostic and severity — one row
+/// per lint pass category.
+const EXPECTED: &[(&str, &str, Severity)] = &[
+    ("zero_delay_cycle.spec", "IVL001", Severity::Error),
+    ("delayed_feedback.spec", "IVL002", Severity::Info),
+    ("undriven_output.spec", "IVL004", Severity::Error),
+    ("constraint_c_violation.spec", "IVL011", Severity::Error),
+    ("bad_channel_params.spec", "IVL010", Severity::Error),
+    ("dead_stimulus.spec", "IVL020", Severity::Warning),
+    ("unknown_kind.spec", "IVL030", Severity::Error),
+    ("unknown_port.spec", "IVL033", Severity::Error),
+    ("empty_sweep_axis.spec", "IVL034", Severity::Error),
+    ("duplicate_nodes.spec", "IVL031", Severity::Error),
+    ("unknown_edge_ref.spec", "IVL032", Severity::Error),
+    ("workers_zero.spec", "IVL037", Severity::Warning),
+    ("duplicate_labels.spec", "IVL038", Severity::Warning),
+    ("bad_truth_table.spec", "IVL039", Severity::Error),
+];
+
+#[test]
+fn every_corpus_file_triggers_its_diagnostic() {
+    let registry = registry();
+    for (file, code, severity) in EXPECTED {
+        let report = lint_text(&corpus(file), &registry)
+            .unwrap_or_else(|e| panic!("{file} failed to parse: {e}"));
+        let hit = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == *code)
+            .unwrap_or_else(|| panic!("{file}: no {code} in {report}"));
+        assert_eq!(hit.severity, *severity, "{file}: {hit}");
+        assert!(
+            hit.span.is_some(),
+            "{file}: {code} should carry a source span"
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_corpus_file() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/lint_corpus");
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        assert!(
+            EXPECTED.iter().any(|(file, ..)| *file == name),
+            "{name} is not registered in EXPECTED"
+        );
+    }
+}
+
+#[test]
+fn shipped_specs_and_experiments_md_lint_clean() {
+    let registry = registry();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for entry in std::fs::read_dir(root.join("specs")).unwrap() {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = lint_text(&text, &registry).unwrap();
+        assert!(report.is_clean(), "{}: {report}", path.display());
+    }
+}
+
+#[test]
+fn diagnostic_spans_point_into_the_text() {
+    let report = lint_text(&corpus("unknown_kind.spec"), &registry()).unwrap();
+    let d = &report.diagnostics()[0];
+    assert_eq!(d.code, "IVL030");
+    let span = d.span.expect("parsed specs carry spans");
+    // the `warp { ... }` node on line 3
+    assert_eq!((span.line, span.column), (3, 13));
+}
+
+#[test]
+fn constraint_c_violation_is_rejected_by_run_before_any_event() {
+    let err = Experiment::parse(&corpus("constraint_c_violation.spec"))
+        .unwrap()
+        .run()
+        .unwrap_err();
+    let Error::Lint(report) = err else {
+        panic!("expected Error::Lint, got {err:?}");
+    };
+    assert!(report.has_errors());
+    assert!(report.diagnostics().iter().any(|d| d.code == "IVL011"));
+    // the message renders the report
+    assert!(Error::Lint(report).to_string().contains("IVL011"));
+}
+
+#[test]
+fn lint_off_reaches_the_runtime_layer() {
+    let err = Experiment::parse(&corpus("constraint_c_violation.spec"))
+        .unwrap()
+        .with_lint(LintConfig::Off)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, Error::Spf(_)), "{err:?}");
+}
+
+#[test]
+fn warnings_do_not_deny() {
+    // IVL037 is a warning: deny mode still runs the experiment
+    let result = Experiment::parse(&corpus("workers_zero.spec"))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(result.digital().is_some());
+}
+
+#[test]
+fn delay_hint_inconsistency_is_ivl014() {
+    use faithful::core::channel::{FeedEffect, OnlineChannel};
+    use faithful::core::factory::ChannelFactory;
+    use faithful::core::Transition;
+
+    // a channel claiming a 1e-3 hint while delivering with delay 10
+    #[derive(Clone)]
+    struct LyingChannel;
+    impl OnlineChannel for LyingChannel {
+        fn feed(&mut self, t: Transition) -> FeedEffect {
+            FeedEffect::Scheduled(Transition::new(t.time + 10.0, t.value))
+        }
+        fn reset(&mut self) {}
+        fn delay_hint(&self) -> Option<f64> {
+            Some(1e-3)
+        }
+    }
+    struct LyingFactory;
+    impl ChannelFactory for LyingFactory {
+        fn kind(&self) -> &str {
+            "lying"
+        }
+        fn build(
+            &self,
+            _params: &ChannelParams,
+        ) -> Result<Box<dyn faithful::core::channel::SimChannel>, faithful::core::Error> {
+            Ok(Box::new(LyingChannel))
+        }
+    }
+    let mut registry = ChannelRegistry::with_builtins();
+    registry.register(Box::new(LyingFactory));
+    let spec: ExperimentSpec = "faithful/1 channel { channel = lying {}; input = zero }"
+        .parse()
+        .unwrap();
+    let report = lint(&spec, &registry);
+    assert!(
+        report.diagnostics().iter().any(|d| d.code == "IVL014"),
+        "{report}"
+    );
+}
+
+#[test]
+fn hint_spread_is_ivl015() {
+    let netlist = NetlistSpec::new()
+        .input("a")
+        .gate("g1", faithful::GateKindSpec::Not, false)
+        .gate("g2", faithful::GateKindSpec::Not, true)
+        .output("y")
+        .channel("a", "g1", 0, faithful::ChannelSpec::pure(1e-3))
+        .channel("g1", "g2", 0, faithful::ChannelSpec::pure(1e6))
+        .channel("g2", "y", 0, faithful::ChannelSpec::pure(1.0));
+    let spec = ExperimentSpec::digital(DigitalSpec::new(TopologySpec::Netlist(netlist), 10.0));
+    let report = lint(&spec, &registry());
+    assert!(
+        report.diagnostics().iter().any(|d| d.code == "IVL015"),
+        "{report}"
+    );
+}
+
+#[test]
+fn unreachable_node_is_ivl005() {
+    let netlist = NetlistSpec::new()
+        .input("a")
+        .gate("g1", faithful::GateKindSpec::Not, false)
+        .gate("orphan_src", faithful::GateKindSpec::Not, false)
+        .gate("orphan", faithful::GateKindSpec::Not, false)
+        .output("y")
+        .channel("a", "g1", 0, faithful::ChannelSpec::pure(1.0))
+        .channel("g1", "y", 0, faithful::ChannelSpec::pure(1.0))
+        .channel("orphan_src", "orphan", 0, faithful::ChannelSpec::pure(1.0))
+        .channel("orphan", "orphan_src", 0, faithful::ChannelSpec::pure(1.0));
+    let spec = ExperimentSpec::digital(DigitalSpec::new(TopologySpec::Netlist(netlist), 10.0));
+    let report = lint(&spec, &registry());
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "IVL005" && d.severity == Severity::Warning),
+        "{report}"
+    );
+}
+
+#[test]
+fn non_finite_horizon_is_ivl035() {
+    let spec = ExperimentSpec::digital(
+        DigitalSpec::new(
+            TopologySpec::InverterChain {
+                stages: 2,
+                channel: faithful::ChannelSpec::pure(1.0),
+            },
+            f64::NAN,
+        )
+        .with_scenario(ScenarioSpec::new("s").with_input("a", SignalSpec::pulse(0.0, 2.0))),
+    );
+    let report = lint(&spec, &registry());
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "IVL035" && d.severity == Severity::Error),
+        "{report}"
+    );
+}
+
+#[test]
+fn invalid_signal_is_ivl036() {
+    let spec = ExperimentSpec::digital(
+        DigitalSpec::new(
+            TopologySpec::InverterChain {
+                stages: 2,
+                channel: faithful::ChannelSpec::pure(1.0),
+            },
+            10.0,
+        )
+        .with_scenario(ScenarioSpec::new("s").with_input(
+            "a",
+            SignalSpec::Times {
+                initial: false,
+                times: vec![3.0, 1.0],
+            },
+        )),
+    );
+    let report = lint(&spec, &registry());
+    assert!(
+        report.diagnostics().iter().any(|d| d.code == "IVL036"),
+        "{report}"
+    );
+}
+
+#[test]
+fn spf_filtered_input_is_ivl021() {
+    let spec = ExperimentSpec::spf(SpfSpec::exp(1.0, 0.5, 0.5, 0.02, 0.02).with_task(
+        SpfTask::Simulate {
+            noise: faithful::NoiseSpec::WorstCase,
+            input: SignalSpec::pulse(0.0, 0.01),
+            horizon: 100.0,
+        },
+    ));
+    let report = lint(&spec, &registry());
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == "IVL021" && d.severity == Severity::Info),
+        "{report}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// The CLI
+// ---------------------------------------------------------------------
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_faithful-lint"))
+}
+
+#[test]
+fn cli_flags_the_corpus_and_passes_the_shipped_specs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let out = cli()
+        .current_dir(root)
+        .arg("tests/lint_corpus/unknown_kind.spec")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("tests/lint_corpus/unknown_kind.spec:3:13: error[IVL030]:"),
+        "{stdout}"
+    );
+
+    let out = cli()
+        .current_dir(root)
+        .args([
+            "specs/digital_sweep.spec",
+            "specs/analog_characterize.spec",
+            "specs/spf_theory.spec",
+            "specs/channel_pulse.spec",
+            "--markdown",
+            "EXPERIMENTS.md",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "clean specs print nothing");
+}
+
+#[test]
+fn cli_markdown_spans_are_offset_to_the_enclosing_file() {
+    let dir = std::env::temp_dir().join("faithful_lint_md_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let md = dir.join("doc.md");
+    std::fs::write(
+        &md,
+        "# doc\n\nsome prose\n\n```text\nfaithful/1 channel {\n  channel = warp {};\n  input = zero;\n}\n```\n",
+    )
+    .unwrap();
+    let out = cli().arg("--markdown").arg(&md).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // `warp {}` sits on file line 7 (line 2 of the fenced block)
+    assert!(stdout.contains(":7:13: error[IVL030]:"), "{stdout}");
+}
+
+#[test]
+fn cli_deny_warnings_escalates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let warn_only = "tests/lint_corpus/workers_zero.spec";
+    let ok = cli().current_dir(root).arg(warn_only).output().unwrap();
+    assert_eq!(ok.status.code(), Some(0));
+    let denied = cli()
+        .current_dir(root)
+        .args(["--deny-warnings", warn_only])
+        .output()
+        .unwrap();
+    assert_eq!(denied.status.code(), Some(1));
+}
