@@ -39,6 +39,15 @@ pub enum Error {
         /// Simulation time (ps) at which the integrator gave up.
         t: f64,
     },
+    /// A sweep worker panicked while running one job. The panic was
+    /// contained: only this job's slot carries the failure, every other
+    /// width's result is intact.
+    WorkerPanic {
+        /// Index of the job (width/orientation slot) that panicked.
+        index: usize,
+        /// The panic payload, rendered to text.
+        message: String,
+    },
     /// Propagated core error (e.g. invalid extracted signal).
     Core(ivl_core::Error),
 }
@@ -61,6 +70,9 @@ impl fmt::Display for Error {
             ),
             Error::Integration { what, t } => {
                 write!(f, "adaptive integration failed at t = {t} ps: {what}")
+            }
+            Error::WorkerPanic { index, message } => {
+                write!(f, "sweep worker panicked on job {index}: {message}")
             }
             Error::Core(e) => write!(f, "{e}"),
         }
@@ -102,6 +114,10 @@ mod tests {
             Error::Integration {
                 what: "step size underflow",
                 t: 12.5,
+            },
+            Error::WorkerPanic {
+                index: 3,
+                message: "boom".into(),
             },
             Error::Core(ivl_core::Error::SolverFailed { what: "x" }),
         ];

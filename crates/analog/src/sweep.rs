@@ -162,23 +162,37 @@ impl SweepRunner {
     /// from a shared atomic cursor (a slow job no longer stalls a
     /// statically assigned stripe); results are returned in job order
     /// regardless of scheduling.
-    fn run_jobs<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    ///
+    /// Every job runs inside a panic supervisor: a panicking job is
+    /// contained as [`Error::WorkerPanic`] in its own result slot (with
+    /// the job index and the panic payload) instead of tearing down the
+    /// whole sweep and poisoning every other width's result.
+    fn run_jobs<T, F>(&self, jobs: usize, job: F) -> Vec<Result<T, Error>>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        F: Fn(usize) -> Result<T, Error> + Sync,
     {
+        let supervised = |idx: usize| -> Result<T, Error> {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(idx))) {
+                Ok(result) => result,
+                Err(payload) => Err(Error::WorkerPanic {
+                    index: idx,
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
+        };
         let workers = self.workers.min(jobs.max(1));
         if workers <= 1 {
-            return (0..jobs).map(job).collect();
+            return (0..jobs).map(supervised).collect();
         }
         // ~4 chunks per worker balances cursor contention against load
         // imbalance; a chunk is never empty
         let chunk = (jobs / (workers * 4)).clamp(1, 16);
         let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = Vec::new();
+        let mut slots: Vec<Option<Result<T, Error>>> = Vec::new();
         slots.resize_with(jobs, || None);
         thread::scope(|scope| {
-            let (job, cursor) = (&job, &cursor);
+            let (supervised, cursor) = (&supervised, &cursor);
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(move || {
@@ -189,14 +203,16 @@ impl SweepRunner {
                                 return out;
                             }
                             for idx in start..(start + chunk).min(jobs) {
-                                out.push((idx, job(idx)));
+                                out.push((idx, supervised(idx)));
                             }
                         }
                     })
                 })
                 .collect();
             for h in handles {
-                for (idx, res) in h.join().expect("sweep worker panicked") {
+                // job panics are contained above; a failed join would be
+                // a bug in the fan-out plumbing itself
+                for (idx, res) in h.join().expect("sweep worker exited cleanly") {
                     slots[idx] = Some(res);
                 }
             }
@@ -205,6 +221,16 @@ impl SweepRunner {
             .into_iter()
             .map(|s| s.expect("every job index is claimed by a worker"))
             .collect()
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -304,6 +330,33 @@ mod tests {
                 .unwrap_err();
             assert!(matches!(err, Error::InvalidSweep { .. }), "{err:?}");
             assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn panicking_jobs_are_contained_per_slot() {
+        for workers in [1, 3] {
+            let runner = SweepRunner::new().with_workers(workers);
+            let results = runner.run_jobs(8, |j| {
+                if j == 5 {
+                    panic!("job {j} exploded");
+                }
+                Ok::<usize, Error>(j * 2)
+            });
+            assert_eq!(results.len(), 8);
+            for (j, r) in results.iter().enumerate() {
+                if j == 5 {
+                    match r {
+                        Err(Error::WorkerPanic { index, message }) => {
+                            assert_eq!(*index, 5);
+                            assert!(message.contains("exploded"), "{message}");
+                        }
+                        other => panic!("expected WorkerPanic, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), j * 2, "workers={workers}");
+                }
+            }
         }
     }
 

@@ -28,7 +28,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use faithful::{
-    ChannelSpec, DigitalSpec, Experiment, OutputSelect, ScenarioSpec, SignalSpec, TopologySpec,
+    ChannelSpec, DigitalSpec, Experiment, FailurePolicySpec, OutputSelect, ScenarioSpec,
+    SignalSpec, TopologySpec,
 };
 use ivl_circuit::{
     Circuit, CircuitBuilder, GateKind, QueueBackend, Scenario, ScenarioRunner, SimResult,
@@ -422,6 +423,7 @@ fn facade_sweep() -> DigitalSpec {
         horizon: 1e9,
         workers: Some(4),
         max_events: None,
+        on_failure: FailurePolicySpec::default(),
         outputs: OutputSelect {
             signals: false,
             stats: true,
@@ -481,6 +483,10 @@ fn emit_baseline(test_mode: bool) {
         auto_speedups.push(((*name).to_owned(), secs[0] / secs[2].max(1e-12)));
     }
 
+    // (entry, failed, retried) per sweep workload: clean benchmark runs
+    // must report zero failures, and the recorded counts let a baseline
+    // diff spot a sweep that silently started skipping scenarios
+    let mut sweep_health: Vec<(String, usize, u64)> = Vec::new();
     let mut pool_speedups: Vec<(usize, f64)> = Vec::new();
     for workers in [1usize, 2, 4] {
         let spawn_t = median_secs(iters, || {
@@ -495,6 +501,12 @@ fn emit_baseline(test_mode: bool) {
         });
         entries.push((format!("pool_sweep_{workers}w"), pool_t));
         pool_speedups.push((workers, spawn_t / pool_t.max(1e-12)));
+        let stats = runner.run(&scenarios).stats().clone();
+        sweep_health.push((
+            format!("pool_sweep_{workers}w"),
+            stats.failures,
+            stats.retried,
+        ));
     }
 
     // sweep_10k: the scaling tier. 10k cheap scenarios at 1/2/4/8
@@ -514,6 +526,12 @@ fn emit_baseline(test_mode: bool) {
         });
         entries.push((format!("sweep_10k_{workers}w"), t));
         sweep10k_times.push((workers, t));
+        let stats = runner.run(&sweep10k).stats().clone();
+        sweep_health.push((
+            format!("sweep_10k_{workers}w"),
+            stats.failures,
+            stats.retried,
+        ));
     }
 
     let spec = facade_sweep();
@@ -523,6 +541,35 @@ fn emit_baseline(test_mode: bool) {
         assert_eq!(stats.failures, 0);
     });
     entries.push(("facade_sweep_4w".to_owned(), facade_t));
+    let facade_result = Experiment::digital(spec.clone()).run().unwrap();
+    let facade_digital = facade_result.digital().unwrap();
+    // clean-run gate: the supervised facade path must report zero
+    // failures and zero retries on a fault-free workload
+    assert_eq!(
+        facade_digital.failed, 0,
+        "clean facade sweep reported failures"
+    );
+    assert_eq!(
+        facade_digital.retried, 0,
+        "clean facade sweep reported retries"
+    );
+    assert!(facade_digital.failures.is_empty());
+    assert!(facade_digital.quarantine.is_empty());
+    sweep_health.push((
+        "facade_sweep_4w".to_owned(),
+        facade_digital.failed,
+        facade_digital.retried,
+    ));
+    for (name, failed, retried) in &sweep_health {
+        assert_eq!(
+            *failed, 0,
+            "{name}: clean benchmark sweep reported failures"
+        );
+        assert_eq!(
+            *retried, 0,
+            "{name}: clean benchmark sweep reported retries"
+        );
+    }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
@@ -570,6 +617,14 @@ fn emit_baseline(test_mode: bool) {
         };
         let s = base_10k / t.max(1e-12);
         json.push_str(&format!("    \"{workers}w\": {s:.2}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"sweep_health\": {\n");
+    for (i, (name, failed, retried)) in sweep_health.iter().enumerate() {
+        let comma = if i + 1 < sweep_health.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{name}\": {{ \"failed\": {failed}, \"retried\": {retried} }}{comma}\n"
+        ));
     }
     json.push_str("  }\n");
     json.push_str("}\n");

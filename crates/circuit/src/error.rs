@@ -143,6 +143,22 @@ pub enum SimError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The run was cancelled from outside (a sweep watchdog enforcing a
+    /// per-scenario wall-clock budget, or an aborting sweep reclaiming
+    /// its stragglers). The simulation state is discarded; rerunning the
+    /// same scenario without the cancellation reproduces the full run.
+    Cancelled {
+        /// Simulation time reached when the cancellation was observed.
+        time: f64,
+    },
+    /// The worker thread running this scenario panicked (a bug in the
+    /// simulator or a channel implementation, not a simulation error).
+    /// The panic was contained by the sweep supervisor: the worker's
+    /// simulator was rebuilt and the sweep carried on.
+    ScenarioPanicked {
+        /// The panic payload, rendered to text.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -177,6 +193,12 @@ impl fmt::Display for SimError {
                 write!(f, "event budget of {budget} exhausted at time {time}")
             }
             SimError::UnknownNode { name } => write!(f, "unknown node {name:?}"),
+            SimError::Cancelled { time } => {
+                write!(f, "run cancelled at time {time} (watchdog or sweep abort)")
+            }
+            SimError::ScenarioPanicked { message } => {
+                write!(f, "scenario worker panicked: {message}")
+            }
         }
     }
 }
@@ -232,6 +254,10 @@ mod tests {
                 time: 5.0,
             }),
             Box::new(SimError::UnknownNode { name: "g".into() }),
+            Box::new(SimError::Cancelled { time: 4.5 }),
+            Box::new(SimError::ScenarioPanicked {
+                message: "boom".into(),
+            }),
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -469,6 +469,26 @@ impl Circuit {
         );
         *slot = Some(channel);
     }
+
+    /// Number of live circuit clones (including this one) sharing this
+    /// circuit's topology allocation. Worker-pool tests use this to pin
+    /// that discarded pools *join* their threads (each worker holds
+    /// clones) instead of leaking them.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn topology_refs(&self) -> usize {
+        Arc::strong_count(&self.topo)
+    }
+
+    /// The lowest-index edge that carries a channel, if any.
+    pub(crate) fn first_channel_edge(&self) -> Option<EdgeId> {
+        self.channels.iter().position(Option::is_some).map(EdgeId)
+    }
+
+    /// A fresh box of the channel on `id`, if `id` carries one.
+    pub(crate) fn clone_channel(&self, id: EdgeId) -> Option<Box<dyn SimChannel>> {
+        self.channels.get(id.0).and_then(Clone::clone)
+    }
 }
 
 impl fmt::Debug for Circuit {

@@ -58,5 +58,8 @@ pub use error::{CircuitError, SimError};
 pub use gate::{GateKind, TruthTable};
 pub use graph::{Circuit, CircuitBuilder, EdgeId, NodeId, NodeKind};
 pub use queue::QueueBackend;
-pub use runner::{Scenario, ScenarioOutcome, ScenarioRunner, SweepResult, SweepStats};
+pub use runner::{
+    FailurePolicy, FaultKind, FaultPlan, Scenario, ScenarioFailure, ScenarioOutcome,
+    ScenarioRunner, SweepAborted, SweepResult, SweepStats,
+};
 pub use sim::{SimResult, Simulator};

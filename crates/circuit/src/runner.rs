@@ -1,6 +1,6 @@
-//! Parallel multi-scenario sweeps over a **persistent worker pool**:
-//! fan a batch of stimuli / noise seeds over worker threads, each
-//! simulating its own clone of one circuit.
+//! Parallel multi-scenario sweeps over a **persistent, supervised
+//! worker pool**: fan a batch of stimuli / noise seeds over worker
+//! threads, each simulating its own clone of one circuit.
 //!
 //! The paper's Monte-Carlo experiments (adversary batteries, η-noise
 //! sweeps) run the *same* circuit under thousands of slightly different
@@ -13,12 +13,36 @@
 //! [`Simulator`] whose per-run working memory stays warm scenario after
 //! scenario and sweep after sweep. A 10k-scenario sweep therefore
 //! performs zero per-scenario allocation, zero thread spawns, and holds
-//! exactly one copy of the netlist no matter the worker count.
+//! one template plus one working copy of the netlist per worker — all
+//! `Arc`-sharing a single topology no matter the worker count.
 //!
 //! Work is distributed dynamically: workers pull fixed-size index
 //! chunks from a shared atomic cursor, so a scenario that simulates 100×
 //! longer than its neighbours no longer stalls a statically assigned
 //! stripe (the old `i % workers` discipline).
+//!
+//! # Supervision
+//!
+//! Every scenario executes under a per-scenario supervisor:
+//!
+//! * a **panic** in the simulator or a channel is contained by
+//!   `catch_unwind`, the worker's simulator is rebuilt from the
+//!   template, and the failure is recorded as a typed
+//!   [`ScenarioFailure`] — the pool survives;
+//! * a **wall-clock budget** ([`with_scenario_timeout`]) is enforced by
+//!   a watchdog thread that cancels stragglers cooperatively (the
+//!   simulator polls a cancel flag once per event batch);
+//! * the **event budget** ([`with_max_events`]) is, as before, reported
+//!   per scenario as [`SimError::MaxEventsExceeded`];
+//! * the [`FailurePolicy`] decides what a failure does to the sweep:
+//!   record and continue ([`FailurePolicy::Skip`], the default), retry
+//!   with the same seed up to a bound ([`FailurePolicy::Retry`]), or
+//!   stop dispatching and report the failing scenario's identity
+//!   ([`FailurePolicy::Abort`] via [`try_run`]).
+//!
+//! A seeded [`FaultPlan`] can inject deterministic faults (panics,
+//! budget exhaustion, stalls, corrupted channels) into chosen scenario
+//! indices — the chaos-testing hook that proves the supervisor holds.
 //!
 //! Scenarios with a [`seed`](Scenario::with_seed) are bitwise
 //! reproducible regardless of worker count, chunk scheduling, or how
@@ -27,20 +51,27 @@
 //! scenarios on noisy circuits draw from whatever stream state their
 //! worker's simulator has reached — which now also depends on dynamic
 //! chunk assignment — so seed your scenarios when you need determinism.
+//!
+//! [`with_scenario_timeout`]: ScenarioRunner::with_scenario_timeout
+//! [`with_max_events`]: ScenarioRunner::with_max_events
+//! [`try_run`]: ScenarioRunner::try_run
 
 use std::cell::UnsafeCell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use ivl_core::{PulseStats, Signal};
+use ivl_core::channel::{FeedEffect, OnlineChannel};
+use ivl_core::{PulseStats, Signal, Transition};
 
 use crate::error::SimError;
 use crate::graph::Circuit;
 use crate::queue::QueueBackend;
-use crate::sim::{SimResult, Simulator};
+use crate::sim::{split_mix64, SimResult, Simulator};
 
 /// One entry of a sweep: a label, input assignments, and an optional
 /// noise seed.
@@ -113,14 +144,208 @@ impl ScenarioOutcome {
     }
 }
 
+/// What a sweep does when a scenario fails (simulation error, contained
+/// panic, or watchdog cancellation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stop dispatching new scenarios on the first failure, cancel
+    /// stragglers, and report the failing scenario's identity (index,
+    /// label, seed, cause) through
+    /// [`try_run`](ScenarioRunner::try_run)'s error.
+    Abort,
+    /// Record the failure in the scenario's outcome and keep sweeping
+    /// (the default).
+    #[default]
+    Skip,
+    /// Re-run a failing scenario up to this many extra times — with the
+    /// *same* seed, so a real (deterministic) bug fails every attempt
+    /// and is reported, while infrastructure flakes (a transient panic,
+    /// a machine-load timeout) recover. Still-failing scenarios are
+    /// then recorded as under [`FailurePolicy::Skip`].
+    Retry(u32),
+}
+
+/// One scenario's failure, with everything needed to replay it: the
+/// scenario's index in the sweep, its label and noise seed, the typed
+/// cause, and how many retries were spent on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFailure {
+    /// Index of the scenario in the swept slice.
+    pub index: usize,
+    /// The scenario's label.
+    pub label: String,
+    /// The scenario's noise seed, if it had one.
+    pub seed: Option<u64>,
+    /// Why it failed: a simulation error, a contained worker panic
+    /// ([`SimError::ScenarioPanicked`]), or a watchdog cancellation
+    /// ([`SimError::Cancelled`]).
+    pub cause: SimError,
+    /// Retries spent before giving up (0 unless the policy is
+    /// [`FailurePolicy::Retry`]).
+    pub retries: u32,
+}
+
+impl fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario {} ({:?}", self.index, self.label)?;
+        match self.seed {
+            Some(seed) => write!(f, ", seed {seed})")?,
+            None => write!(f, ", unseeded)")?,
+        }
+        if self.retries > 0 {
+            write!(f, " failed after {} retries: {}", self.retries, self.cause)
+        } else {
+            write!(f, " failed: {}", self.cause)
+        }
+    }
+}
+
+impl std::error::Error for ScenarioFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.cause)
+    }
+}
+
+/// A sweep stopped by [`FailurePolicy::Abort`]: the triggering failure
+/// (index, label, seed, cause — nothing is lost) plus how many
+/// scenarios had already completed successfully.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAborted {
+    /// The failure that tripped the abort.
+    pub failure: ScenarioFailure,
+    /// Scenarios that had completed successfully when the sweep stopped.
+    pub completed: usize,
+}
+
+impl fmt::Display for SweepAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep aborted at {} ({} scenarios completed)",
+            self.failure, self.completed
+        )
+    }
+}
+
+impl std::error::Error for SweepAborted {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.failure)
+    }
+}
+
+/// A deterministic fault to inject at one scenario index (chaos
+/// testing; see [`FaultPlan`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Panic on every attempt (a deterministic bug: retries cannot
+    /// save it).
+    Panic,
+    /// Panic on the first `failures` attempts, then succeed — an
+    /// infrastructure flake that [`FailurePolicy::Retry`] recovers.
+    Flaky {
+        /// Number of leading attempts that panic.
+        failures: u32,
+    },
+    /// Clamp the scenario's event budget to 1 so it deterministically
+    /// exhausts ([`SimError::MaxEventsExceeded`] with budget 1).
+    ExhaustBudget,
+    /// Block the worker until the sweep watchdog cancels it (requires
+    /// [`ScenarioRunner::with_scenario_timeout`]; capped defensively at
+    /// 30 s otherwise).
+    Stall,
+    /// Swap the first channel of the worker's circuit for one that
+    /// reports an impossible pairwise cancellation, yielding a
+    /// deterministic [`SimError::CancellationMismatch`]; the original
+    /// channel is restored afterwards.
+    CorruptChannel,
+}
+
+/// A deterministic fault-injection plan: which [`FaultKind`] fires at
+/// which scenario index.
+///
+/// This is the test-only chaos hook behind
+/// [`ScenarioRunner::with_fault_plan`]: it lets a test (or a CI chaos
+/// job) prove that scenario supervision holds — injected panics,
+/// budget blow-ups and stalls must degrade into typed
+/// [`ScenarioFailure`]s while every surviving scenario stays bitwise
+/// identical to a fault-free sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<(usize, FaultKind)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at `index`. The first fault registered for an index
+    /// wins.
+    #[must_use]
+    pub fn with_fault(mut self, index: usize, kind: FaultKind) -> Self {
+        self.faults.push((index, kind));
+        self
+    }
+
+    /// Derives a reproducible three-fault plan (one panic, one budget
+    /// exhaustion, one stall) at distinct indices below `scenarios`,
+    /// from `seed` — the CI chaos matrix feeds `IVL_FAULT_SEED` through
+    /// here.
+    #[must_use]
+    pub fn seeded(seed: u64, scenarios: usize) -> Self {
+        let mut plan = FaultPlan::new();
+        if scenarios == 0 {
+            return plan;
+        }
+        let mut used: Vec<usize> = Vec::new();
+        let mut state = seed;
+        for kind in [FaultKind::Panic, FaultKind::ExhaustBudget, FaultKind::Stall] {
+            if used.len() == scenarios {
+                break;
+            }
+            let index = loop {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let candidate = usize::try_from(split_mix64(state) % scenarios as u64)
+                    .expect("index below scenario count");
+                if !used.contains(&candidate) {
+                    break candidate;
+                }
+            };
+            used.push(index);
+            plan = plan.with_fault(index, kind);
+        }
+        plan
+    }
+
+    /// The registered faults, in registration order.
+    #[must_use]
+    pub fn faults(&self) -> &[(usize, FaultKind)] {
+        &self.faults
+    }
+
+    fn kind_at(&self, index: usize) -> Option<&FaultKind> {
+        self.faults
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, k)| k)
+    }
+}
+
 /// Aggregate pulse statistics over the *output ports* of every
 /// successful scenario in a sweep.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepStats {
     /// Number of scenarios swept.
     pub scenarios: usize,
-    /// Scenarios that ended in a [`SimError`].
+    /// Scenarios that ended in a [`SimError`] (including contained
+    /// panics and watchdog cancellations).
     pub failures: usize,
+    /// Retries spent across the whole sweep (0 unless the policy is
+    /// [`FailurePolicy::Retry`]).
+    pub retried: u64,
     /// Total events delivered across all successful runs.
     pub processed_events: u64,
     /// Total events scheduled across all successful runs.
@@ -136,7 +361,12 @@ pub struct SweepStats {
 }
 
 impl SweepStats {
-    fn absorb_signal(&mut self, signal: &Signal) {
+    /// Folds one output-port signal into the aggregate (transition
+    /// count, pulse-width extrema, minimum period). Exposed so
+    /// checkpoint-resume can rebuild sweep statistics from persisted
+    /// per-scenario signals in exactly the order the runner would have
+    /// used — bit-identical merges depend on it.
+    pub fn absorb_signal(&mut self, signal: &Signal) {
         self.output_transitions += signal.len() as u64;
         let stats = PulseStats::of(signal);
         for w in stats.up_times() {
@@ -154,6 +384,7 @@ impl SweepStats {
 pub struct SweepResult {
     outcomes: Vec<ScenarioOutcome>,
     stats: SweepStats,
+    failures: Vec<ScenarioFailure>,
 }
 
 impl SweepResult {
@@ -167,6 +398,13 @@ impl SweepResult {
     #[must_use]
     pub fn stats(&self) -> &SweepStats {
         &self.stats
+    }
+
+    /// Every failed scenario, in index order, with label, seed, typed
+    /// cause and retry count — the replayable failure report.
+    #[must_use]
+    pub fn failures(&self) -> &[ScenarioFailure] {
+        &self.failures
     }
 
     /// Number of scenarios swept.
@@ -186,53 +424,280 @@ impl SweepResult {
 // Persistent worker pool
 // ======================================================================
 
+/// Per-worker supervision state, shared between the worker thread, the
+/// job abort path, and the watchdog.
+struct WorkerShared {
+    /// `Some(start)` while the worker is inside a scenario. Guarded by
+    /// a mutex so the watchdog never cancels a scenario that started
+    /// after the stamp it read.
+    busy_since: Mutex<Option<Instant>>,
+    /// The cancel flag wired into the worker's simulator. Cleared at
+    /// the start of every scenario attempt (under the `busy_since`
+    /// lock), set by the watchdog or an aborting sweep.
+    cancel: Arc<AtomicBool>,
+}
+
+impl WorkerShared {
+    fn begin(&self) {
+        let mut busy = self
+            .busy_since
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.cancel.store(false, Ordering::SeqCst);
+        *busy = Some(Instant::now());
+    }
+
+    fn end(&self) {
+        *self
+            .busy_since
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+    }
+}
+
+/// Everything a worker needs besides the job: its template circuit (to
+/// rebuild the simulator after a contained panic, and to restore
+/// channels after a `CorruptChannel` fault), simulator knobs, and its
+/// supervision handle.
+struct WorkerCtx {
+    template: Circuit,
+    max_events: usize,
+    backend: QueueBackend,
+    shared: Arc<WorkerShared>,
+}
+
+impl WorkerCtx {
+    fn make_sim(&self) -> Simulator {
+        let mut sim = Simulator::new(self.template.clone())
+            .with_max_events(self.max_events)
+            .with_queue_backend(self.backend);
+        sim.set_cancel_flag(Some(Arc::clone(&self.shared.cancel)));
+        sim
+    }
+}
+
 /// One sweep's shared state: the scenario slice (as a raw pointer whose
-/// lifetime is guarded by `run` blocking until every worker reports
-/// completion), the work-stealing cursor, and one result slot per
-/// scenario.
+/// lifetime is guarded by `try_run` blocking until every worker reports
+/// completion), the work-stealing cursor, one result slot per scenario,
+/// and the failure-policy machinery.
 struct Job {
     scenarios: *const Scenario,
     n: usize,
     horizon: f64,
     chunk: usize,
+    policy: FailurePolicy,
+    fault: Option<FaultPlan>,
     cursor: AtomicUsize,
     slots: Vec<ResultSlot>,
     completed: Mutex<usize>,
     done: Condvar,
     panicked: AtomicBool,
+    aborted: AtomicBool,
+    retried: AtomicU64,
+    abort_failure: Mutex<Option<ScenarioFailure>>,
+    /// Every worker's cancel flag, so an aborting failure can reclaim
+    /// stragglers without waiting for them to finish naturally.
+    worker_cancels: Vec<Arc<AtomicBool>>,
 }
 
-// SAFETY: `scenarios` is only dereferenced while the dispatching `run`
-// call is blocked waiting for completion (so the borrow it was created
-// from is alive), and each `slots[i]` is written by exactly one worker
-// (the one that claimed index `i` from `cursor`).
+// SAFETY: `scenarios` is only dereferenced while the dispatching
+// `try_run` call is blocked waiting for completion (so the borrow it
+// was created from is alive), and each `slots[i]` is written by exactly
+// one worker (the one that claimed index `i` from `cursor`).
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
-struct ResultSlot(UnsafeCell<Option<Result<SimResult, SimError>>>);
+/// A result slot: the scenario's outcome plus the retries spent on it.
+struct ResultSlot(UnsafeCell<Option<(Result<SimResult, SimError>, u32)>>);
 
 impl Job {
-    /// Claims and runs chunks until the cursor is exhausted.
-    fn work(&self, sim: &mut Simulator) {
+    /// Claims and runs chunks until the cursor is exhausted or the
+    /// sweep aborts.
+    fn work(&self, sim: &mut Simulator, ctx: &WorkerCtx) {
         loop {
+            if self.aborted.load(Ordering::Relaxed) {
+                return;
+            }
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.n {
                 return;
             }
             let end = (start + self.chunk).min(self.n);
             for idx in start..end {
+                if self.aborted.load(Ordering::Relaxed) {
+                    return;
+                }
                 // SAFETY: see the `Send`/`Sync` impls above.
                 let scenario = unsafe { &*self.scenarios.add(idx) };
-                let result = run_scenario(sim, scenario, self.horizon);
-                unsafe { *self.slots[idx].0.get() = Some(result) };
+                let (result, retries) = self.run_supervised(sim, ctx, idx, scenario);
+                if let Err(cause) = &result {
+                    if self.policy == FailurePolicy::Abort {
+                        self.abort_with(ScenarioFailure {
+                            index: idx,
+                            label: scenario.label.clone(),
+                            seed: scenario.seed,
+                            cause: cause.clone(),
+                            retries,
+                        });
+                    }
+                }
+                unsafe { *self.slots[idx].0.get() = Some((result, retries)) };
             }
+        }
+    }
+
+    /// Runs one scenario under the failure policy: retry on failure (same
+    /// seed) up to the policy's bound, counting retries globally.
+    fn run_supervised(
+        &self,
+        sim: &mut Simulator,
+        ctx: &WorkerCtx,
+        idx: usize,
+        scenario: &Scenario,
+    ) -> (Result<SimResult, SimError>, u32) {
+        let fault = self.fault.as_ref().and_then(|p| p.kind_at(idx));
+        let extra = match self.policy {
+            FailurePolicy::Retry(n) => n,
+            _ => 0,
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let result = run_attempt(sim, ctx, idx, scenario, self.horizon, fault, attempt);
+            if result.is_ok() || attempt >= extra || self.aborted.load(Ordering::Relaxed) {
+                return (result, attempt);
+            }
+            attempt += 1;
+            self.retried.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the triggering failure (first writer wins), then stops
+    /// dispatch and cancels every worker's in-flight scenario.
+    fn abort_with(&self, failure: ScenarioFailure) {
+        {
+            let mut slot = self
+                .abort_failure
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(failure);
+            }
+        }
+        self.aborted.store(true, Ordering::SeqCst);
+        self.cursor.store(self.n, Ordering::Relaxed);
+        for flag in &self.worker_cancels {
+            flag.store(true, Ordering::SeqCst);
         }
     }
 }
 
+/// Runs one attempt of one scenario inside the panic supervisor.
+fn run_attempt(
+    sim: &mut Simulator,
+    ctx: &WorkerCtx,
+    idx: usize,
+    scenario: &Scenario,
+    horizon: f64,
+    fault: Option<&FaultKind>,
+    attempt: u32,
+) -> Result<SimResult, SimError> {
+    ctx.shared.begin();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_with_fault(sim, ctx, idx, scenario, horizon, fault, attempt)
+    }));
+    ctx.shared.end();
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            // the panic may have left the simulator (or its channel
+            // boxes) inconsistent — rebuild from the template
+            *sim = ctx.make_sim();
+            Err(SimError::ScenarioPanicked {
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Defensive cap on [`FaultKind::Stall`] when no watchdog is armed.
+const STALL_CAP: Duration = Duration::from_secs(30);
+
+fn run_with_fault(
+    sim: &mut Simulator,
+    ctx: &WorkerCtx,
+    idx: usize,
+    scenario: &Scenario,
+    horizon: f64,
+    fault: Option<&FaultKind>,
+    attempt: u32,
+) -> Result<SimResult, SimError> {
+    match fault {
+        Some(FaultKind::Panic) => panic!("injected fault: panic at scenario {idx}"),
+        Some(FaultKind::Flaky { failures }) if attempt < *failures => {
+            panic!("injected fault: flaky panic at scenario {idx} (attempt {attempt})")
+        }
+        Some(FaultKind::Stall) => {
+            // block until the watchdog reclaims this worker (or the
+            // defensive cap expires); the cancelled flag then surfaces
+            // as `SimError::Cancelled` from the run below
+            let start = Instant::now();
+            while !ctx.shared.cancel.load(Ordering::Relaxed) && start.elapsed() < STALL_CAP {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            run_scenario(sim, scenario, horizon)
+        }
+        Some(FaultKind::ExhaustBudget) => {
+            let saved = sim.max_events();
+            sim.set_max_events(1);
+            let result = run_scenario(sim, scenario, horizon);
+            sim.set_max_events(saved);
+            result
+        }
+        Some(FaultKind::CorruptChannel) => {
+            let Some(edge) = ctx.template.first_channel_edge() else {
+                return run_scenario(sim, scenario, horizon);
+            };
+            sim.replace_channel(edge, Box::new(CorruptedChannel));
+            let result = run_scenario(sim, scenario, horizon);
+            let original = ctx
+                .template
+                .clone_channel(edge)
+                .expect("template edge carries a channel");
+            sim.replace_channel(edge, original);
+            result
+        }
+        Some(FaultKind::Flaky { .. }) | None => run_scenario(sim, scenario, horizon),
+    }
+}
+
+/// A deliberately broken channel: it claims a pairwise cancellation on
+/// its very first input, which the simulator rejects as a hard
+/// [`SimError::CancellationMismatch`] — the deterministic stand-in for
+/// a corrupted channel parameter in a [`FaultPlan`].
+#[derive(Debug, Clone)]
+struct CorruptedChannel;
+
+impl OnlineChannel for CorruptedChannel {
+    fn feed(&mut self, input: Transition) -> FeedEffect {
+        FeedEffect::CancelledPair { cancelled: input }
+    }
+
+    fn reset(&mut self) {}
+}
+
 /// Increments the job's completion count when dropped — *including*
-/// during unwinding, so a panicking worker cannot leave `run` waiting
-/// forever on the condvar.
+/// during unwinding, so a panicking worker cannot leave `try_run`
+/// waiting forever on the condvar.
 struct CompletionGuard<'a>(&'a Job);
 
 impl Drop for CompletionGuard<'_> {
@@ -250,19 +715,21 @@ impl Drop for CompletionGuard<'_> {
     }
 }
 
-fn worker_loop(rx: &Receiver<Arc<Job>>, mut sim: Simulator) {
+fn worker_loop(rx: &Receiver<Arc<Job>>, ctx: &WorkerCtx) {
+    let mut sim = ctx.make_sim();
     while let Ok(job) = rx.recv() {
         let _guard = CompletionGuard(&job);
-        job.work(&mut sim);
+        job.work(&mut sim, ctx);
     }
 }
 
-/// The spawned threads and their job mailboxes. Dropping the pool
-/// disconnects the mailboxes (workers exit their receive loop) and
-/// joins every thread.
+/// The spawned threads, their job mailboxes and supervision handles.
+/// Dropping the pool disconnects the mailboxes (workers exit their
+/// receive loop) and joins every thread.
 struct WorkerPool {
     senders: Vec<Sender<Arc<Job>>>,
     handles: Vec<JoinHandle<()>>,
+    shared: Vec<Arc<WorkerShared>>,
 }
 
 impl WorkerPool {
@@ -274,24 +741,44 @@ impl WorkerPool {
     fn spawn(circuit: &Circuit, workers: usize, max_events: usize, backend: QueueBackend) -> Self {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
+        let mut shareds = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let sim = Simulator::new(circuit.clone())
-                .with_max_events(max_events)
-                .with_queue_backend(backend);
+            let shared = Arc::new(WorkerShared {
+                busy_since: Mutex::new(None),
+                cancel: Arc::new(AtomicBool::new(false)),
+            });
+            let ctx = WorkerCtx {
+                template: circuit.clone(),
+                max_events,
+                backend,
+                shared: Arc::clone(&shared),
+            };
             let (tx, rx) = mpsc::channel::<Arc<Job>>();
             senders.push(tx);
-            handles.push(std::thread::spawn(move || worker_loop(&rx, sim)));
+            shareds.push(shared);
+            handles.push(std::thread::spawn(move || worker_loop(&rx, &ctx)));
         }
-        WorkerPool { senders, handles }
+        WorkerPool {
+            senders,
+            handles,
+            shared: shareds,
+        }
     }
 
     fn workers(&self) -> usize {
         self.senders.len()
     }
 
+    fn cancel_flags(&self) -> Vec<Arc<AtomicBool>> {
+        self.shared.iter().map(|s| Arc::clone(&s.cancel)).collect()
+    }
+
     /// Hands the job to every worker and blocks until all of them have
-    /// drained the cursor. Returns `false` if any worker panicked.
-    fn execute(&self, job: &Arc<Job>) -> bool {
+    /// drained the cursor (or bailed out of an aborting sweep). Arms a
+    /// watchdog for the duration if a scenario deadline is set. Returns
+    /// `false` if a worker panicked *outside* the per-scenario
+    /// supervisor (pool plumbing bug).
+    fn execute(&self, job: &Arc<Job>, deadline: Option<Duration>) -> bool {
         // a send only fails if the worker already died; waiting counts
         // only the workers that actually received the job, so the wait
         // below always terminates
@@ -300,6 +787,7 @@ impl WorkerPool {
             .iter()
             .filter(|tx| tx.send(Arc::clone(job)).is_ok())
             .count();
+        let watchdog = deadline.map(|d| self.spawn_watchdog(job, d, alive));
         let mut completed = job
             .completed
             .lock()
@@ -310,7 +798,51 @@ impl WorkerPool {
                 .wait(completed)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        drop(completed);
+        if let Some(handle) = watchdog {
+            // exits within one tick of the completion count reaching
+            // `alive` — bounded by 50 ms
+            let _ = handle.join();
+        }
         !job.panicked.load(Ordering::SeqCst)
+    }
+
+    /// The per-scenario wall-clock enforcer: polls every worker's
+    /// `busy_since` stamp and sets its cancel flag once the deadline is
+    /// exceeded. The stamp and the flag are touched under the same
+    /// mutex the worker uses, so a freshly started scenario can never
+    /// be cancelled by a stale observation.
+    fn spawn_watchdog(&self, job: &Arc<Job>, deadline: Duration, alive: usize) -> JoinHandle<()> {
+        let job = Arc::clone(job);
+        let shared: Vec<Arc<WorkerShared>> = self.shared.clone();
+        std::thread::spawn(move || {
+            let tick = (deadline / 8)
+                .max(Duration::from_millis(1))
+                .min(Duration::from_millis(50));
+            loop {
+                {
+                    let completed = job
+                        .completed
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if *completed >= alive {
+                        return;
+                    }
+                }
+                std::thread::sleep(tick);
+                for s in &shared {
+                    let busy = s
+                        .busy_since
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(since) = *busy {
+                        if since.elapsed() >= deadline {
+                            s.cancel.store(true, Ordering::SeqCst);
+                        }
+                    }
+                }
+            }
+        })
     }
 }
 
@@ -324,14 +856,16 @@ impl Drop for WorkerPool {
     }
 }
 
-/// Fans scenarios across a persistent pool of worker threads, each
-/// simulating its own clone of the circuit.
+/// Fans scenarios across a persistent pool of supervised worker
+/// threads, each simulating its own clone of the circuit.
 ///
 /// The pool is spawned lazily on the first [`run`](ScenarioRunner::run)
 /// and reused for every subsequent sweep: each worker keeps one warm
 /// [`Simulator`] (event pool, recorders, queue) for the runner's whole
 /// lifetime. Workers claim scenario-index chunks from a shared atomic
 /// cursor, so load imbalance between scenarios is absorbed dynamically.
+/// Scenarios run supervised: panic containment, per-scenario
+/// timeouts, [`FailurePolicy`] handling and [`FaultPlan`] injection.
 ///
 /// ```
 /// use ivl_circuit::{CircuitBuilder, GateKind, Scenario, ScenarioRunner, Simulator};
@@ -364,6 +898,9 @@ pub struct ScenarioRunner {
     max_events: usize,
     workers: usize,
     backend: QueueBackend,
+    policy: FailurePolicy,
+    timeout: Option<Duration>,
+    fault: Option<FaultPlan>,
     pool: Mutex<Option<WorkerPool>>,
 }
 
@@ -379,12 +916,15 @@ impl ScenarioRunner {
             max_events: 10_000_000,
             workers,
             backend: QueueBackend::from_env(),
+            policy: FailurePolicy::default(),
+            timeout: None,
+            fault: None,
             pool: Mutex::new(None),
         }
     }
 
     /// Sets the number of worker threads (clamped to ≥ 1). Discards any
-    /// already-spawned pool.
+    /// already-spawned pool (joining, not leaking, its threads).
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -396,8 +936,11 @@ impl ScenarioRunner {
     }
 
     /// Caps scheduled events per scenario run (see
-    /// [`Simulator::with_max_events`]). Discards any already-spawned
-    /// pool.
+    /// [`Simulator::with_max_events`]). The budget is enforced — and
+    /// reported — per scenario: exhausting it fails that scenario with
+    /// [`SimError::MaxEventsExceeded`], it never aborts the sweep by
+    /// itself. Discards any already-spawned pool (joining, not leaking,
+    /// its threads).
     #[must_use]
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
@@ -410,7 +953,7 @@ impl ScenarioRunner {
 
     /// Selects the workers' pending-event queue backend (see
     /// [`Simulator::with_queue_backend`]). Discards any already-spawned
-    /// pool.
+    /// pool (joining, not leaking, its threads).
     #[must_use]
     pub fn with_queue_backend(mut self, backend: QueueBackend) -> Self {
         self.backend = backend;
@@ -419,6 +962,45 @@ impl ScenarioRunner {
             .get_mut()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         self
+    }
+
+    /// Sets the sweep's [`FailurePolicy`] (default
+    /// [`FailurePolicy::Skip`]). Per-job configuration: the worker pool
+    /// is kept.
+    #[must_use]
+    pub fn with_failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Arms a per-scenario wall-clock budget: a watchdog thread cancels
+    /// any scenario still running `timeout` after it started, failing
+    /// it with [`SimError::Cancelled`]. Cancellation is cooperative
+    /// (polled once per event batch), so enforcement granularity is one
+    /// batch plus one watchdog tick (≤ 50 ms). Per-job configuration:
+    /// the worker pool is kept.
+    #[must_use]
+    pub fn with_scenario_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] (chaos testing). Faults
+    /// fire by scenario index on every sweep this runner executes until
+    /// the plan is replaced. Per-job configuration: the worker pool is
+    /// kept.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Installs or clears the fault plan in place — the mutable twin of
+    /// [`with_fault_plan`](ScenarioRunner::with_fault_plan), for callers
+    /// that re-target the plan between runs (e.g. batch-local index
+    /// remapping). Per-job configuration: the worker pool is kept.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
     }
 
     /// The template circuit scenarios are swept over.
@@ -432,18 +1014,39 @@ impl ScenarioRunner {
     ///
     /// Workers pull scenario-index chunks from a shared cursor; each
     /// worker reuses one simulator (and its event pool) for all of its
-    /// scenarios, across every `run` call on this runner. Simulation
-    /// failures are recorded per scenario, they do not abort the sweep.
+    /// scenarios, across every `run` call on this runner. Failures —
+    /// simulation errors, contained worker panics, watchdog
+    /// cancellations — are recorded per scenario under the default
+    /// [`FailurePolicy::Skip`] (see [`SweepResult::failures`]); they do
+    /// not abort the sweep and they do not kill the pool.
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panics (i.e. a bug in the simulator
-    /// itself, not a simulation error). The pool is discarded, so a
-    /// subsequent `run` starts from fresh workers.
+    /// Panics if the policy is [`FailurePolicy::Abort`] and a scenario
+    /// failed — the message carries the failing scenario's index, label,
+    /// seed and cause. Use [`try_run`](ScenarioRunner::try_run) to
+    /// handle the abort as a typed [`SweepAborted`] instead.
     #[must_use]
     pub fn run(&self, scenarios: &[Scenario]) -> SweepResult {
+        match self.try_run(scenarios) {
+            Ok(sweep) => sweep,
+            Err(aborted) => panic!("{aborted}"),
+        }
+    }
+
+    /// Like [`run`](ScenarioRunner::run), but an
+    /// [`FailurePolicy::Abort`] stop is returned as a typed
+    /// [`SweepAborted`] — carrying the failing scenario's index, label,
+    /// seed and cause — instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepAborted`] when the policy is
+    /// [`FailurePolicy::Abort`] and a scenario failed.
+    pub fn try_run(&self, scenarios: &[Scenario]) -> Result<SweepResult, SweepAborted> {
         let n = scenarios.len();
-        let mut slots: Vec<Option<Result<SimResult, SimError>>> = Vec::new();
+        let mut slots: Vec<Option<(Result<SimResult, SimError>, u32)>> = Vec::new();
+        let mut retried = 0u64;
         if n > 0 {
             let mut pool_guard = self
                 .pool
@@ -460,21 +1063,45 @@ impl ScenarioRunner {
                 n,
                 horizon: self.horizon,
                 chunk,
+                policy: self.policy,
+                fault: self.fault.clone(),
                 cursor: AtomicUsize::new(0),
                 slots: (0..n).map(|_| ResultSlot(UnsafeCell::new(None))).collect(),
                 completed: Mutex::new(0),
                 done: Condvar::new(),
                 panicked: AtomicBool::new(false),
+                aborted: AtomicBool::new(false),
+                retried: AtomicU64::new(0),
+                abort_failure: Mutex::new(None),
+                worker_cancels: pool.cancel_flags(),
             });
-            let ok = pool.execute(&job);
+            let ok = pool.execute(&job, self.timeout);
             if !ok {
+                // a panic escaped the per-scenario supervisor: a pool
+                // plumbing bug, not a scenario failure — discard the
+                // pool so a subsequent run starts from fresh workers
                 *pool_guard = None;
-                panic!("scenario worker panicked");
+                panic!("scenario worker panicked outside scenario supervision");
             }
             drop(pool_guard);
+            retried = job.retried.load(Ordering::Relaxed);
             // SAFETY: every worker has reported completion (with the
             // release/acquire ordering of the completion mutex), so the
             // slots are no longer aliased.
+            if job.aborted.load(Ordering::SeqCst) {
+                let failure = job
+                    .abort_failure
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("an aborted sweep records its triggering failure");
+                let completed = job
+                    .slots
+                    .iter()
+                    .filter(|slot| unsafe { matches!(&*slot.0.get(), Some((Ok(_), _))) })
+                    .count();
+                return Err(SweepAborted { failure, completed });
+            }
             slots = job
                 .slots
                 .iter()
@@ -482,18 +1109,29 @@ impl ScenarioRunner {
                 .collect();
         }
 
-        let outcomes: Vec<ScenarioOutcome> = slots
-            .into_iter()
-            .zip(scenarios)
-            .map(|(slot, sc)| ScenarioOutcome {
+        let mut failures: Vec<ScenarioFailure> = Vec::new();
+        let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(n);
+        for (idx, (slot, sc)) in slots.into_iter().zip(scenarios).enumerate() {
+            let (result, retries) = slot.expect("every scenario index is claimed by a worker");
+            if let Err(cause) = &result {
+                failures.push(ScenarioFailure {
+                    index: idx,
+                    label: sc.label.clone(),
+                    seed: sc.seed,
+                    cause: cause.clone(),
+                    retries,
+                });
+            }
+            outcomes.push(ScenarioOutcome {
                 label: sc.label.clone(),
-                result: slot.expect("every scenario index is claimed by a worker"),
-            })
-            .collect();
+                result,
+            });
+        }
 
         let output_names: Vec<&str> = self.circuit.output_names();
         let mut stats = SweepStats {
             scenarios: n,
+            retried,
             ..SweepStats::default()
         };
         for outcome in &outcomes {
@@ -511,7 +1149,11 @@ impl ScenarioRunner {
             }
         }
 
-        SweepResult { outcomes, stats }
+        Ok(SweepResult {
+            outcomes,
+            stats,
+            failures,
+        })
     }
 }
 
@@ -528,6 +1170,8 @@ impl fmt::Debug for ScenarioRunner {
             .field("max_events", &self.max_events)
             .field("workers", &self.workers)
             .field("backend", &self.backend)
+            .field("policy", &self.policy)
+            .field("timeout", &self.timeout)
             .field("pool_spawned", &pool_spawned)
             .finish()
     }
@@ -614,6 +1258,8 @@ mod tests {
         }
         assert_eq!(sweep.stats().scenarios, 7);
         assert_eq!(sweep.stats().failures, 0);
+        assert_eq!(sweep.stats().retried, 0);
+        assert!(sweep.failures().is_empty());
         assert!(sweep.stats().processed_events > 0);
     }
 
@@ -692,6 +1338,13 @@ mod tests {
         ));
         assert!(sweep.outcomes()[2].result().is_ok());
         assert_eq!(sweep.stats().failures, 1);
+        assert_eq!(sweep.failures().len(), 1);
+        let failure = &sweep.failures()[0];
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.label, "bad-port");
+        assert_eq!(failure.seed, None);
+        assert_eq!(failure.retries, 0);
+        assert!(matches!(failure.cause, SimError::UnknownPort { .. }));
     }
 
     #[test]
@@ -700,6 +1353,7 @@ mod tests {
         let sweep = runner.run(&[]);
         assert!(sweep.is_empty());
         assert_eq!(sweep.stats(), &SweepStats::default());
+        assert!(sweep.failures().is_empty());
     }
 
     #[test]
@@ -736,5 +1390,64 @@ mod tests {
         assert_eq!(s.seed(), Some(9));
         let d = format!("{s:?}");
         assert!(d.contains("lbl"));
+    }
+
+    #[test]
+    fn fault_plan_accessors_and_seeding() {
+        let plan = FaultPlan::new()
+            .with_fault(3, FaultKind::Panic)
+            .with_fault(5, FaultKind::Stall);
+        assert_eq!(plan.faults().len(), 2);
+        assert_eq!(plan.kind_at(3), Some(&FaultKind::Panic));
+        assert_eq!(plan.kind_at(4), None);
+
+        // seeded plans are reproducible and hit distinct indices
+        let a = FaultPlan::seeded(42, 100);
+        let b = FaultPlan::seeded(42, 100);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 3);
+        let mut indices: Vec<usize> = a.faults().iter().map(|(i, _)| *i).collect();
+        indices.dedup();
+        assert_eq!(indices.len(), 3);
+        assert!(indices.iter().all(|i| *i < 100));
+        // tiny sweeps get as many faults as they have scenarios
+        assert_eq!(FaultPlan::seeded(1, 2).faults().len(), 2);
+        assert!(FaultPlan::seeded(1, 0).faults().is_empty());
+    }
+
+    #[test]
+    fn failure_types_display_and_chain() {
+        let failure = ScenarioFailure {
+            index: 7,
+            label: "s7".into(),
+            seed: Some(7),
+            cause: SimError::ScenarioPanicked {
+                message: "boom".into(),
+            },
+            retries: 2,
+        };
+        let text = failure.to_string();
+        assert!(text.contains("scenario 7"), "{text}");
+        assert!(text.contains("seed 7"), "{text}");
+        assert!(text.contains("2 retries"), "{text}");
+        assert!(text.contains("boom"), "{text}");
+        assert!(std::error::Error::source(&failure).is_some());
+
+        let aborted = SweepAborted {
+            failure,
+            completed: 41,
+        };
+        let text = aborted.to_string();
+        assert!(text.contains("41 scenarios completed"), "{text}");
+        assert!(std::error::Error::source(&aborted).is_some());
+
+        let unseeded = ScenarioFailure {
+            index: 0,
+            label: "u".into(),
+            seed: None,
+            cause: SimError::Cancelled { time: 1.0 },
+            retries: 0,
+        };
+        assert!(unseeded.to_string().contains("unseeded"));
     }
 }

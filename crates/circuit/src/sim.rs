@@ -25,6 +25,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use ivl_core::channel::{FeedEffect, OnlineChannel as _, SimChannel};
@@ -350,6 +351,7 @@ pub struct Simulator {
     calendar: CalendarConfig,
     probe: AutoProbe,
     state: SimState,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// Calendar geometry for a circuit: bucket width from the channels'
@@ -467,6 +469,7 @@ impl Simulator {
             calendar,
             probe: AutoProbe::default(),
             state: SimState::default(),
+            cancel: None,
         }
     }
 
@@ -525,6 +528,31 @@ impl Simulator {
     pub fn with_max_events(mut self, max_events: usize) -> Self {
         self.max_events = max_events;
         self
+    }
+
+    /// Non-consuming form of [`with_max_events`](Simulator::with_max_events):
+    /// sweep supervisors use it to tighten and restore the budget around
+    /// a single scenario without rebuilding the simulator.
+    pub fn set_max_events(&mut self, max_events: usize) {
+        self.max_events = max_events;
+    }
+
+    /// The configured scheduled-event budget per run.
+    #[must_use]
+    pub fn max_events(&self) -> usize {
+        self.max_events
+    }
+
+    /// Attaches (or detaches) a cooperative cancellation flag.
+    ///
+    /// [`run`](Simulator::run) polls the flag once per event batch with
+    /// relaxed ordering — negligible cost — and returns
+    /// [`SimError::Cancelled`] as soon as it observes `true`. Sweep
+    /// watchdogs use this to reclaim workers stuck on a pathological
+    /// scenario; the flag is never cleared by the simulator itself, so
+    /// the owner must reset it between runs.
+    pub fn set_cancel_flag(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.cancel = flag;
     }
 
     /// The circuit under simulation.
@@ -610,6 +638,7 @@ impl Simulator {
         let backend = self.effective_backend();
         let probing = self.backend == QueueBackend::Auto && self.probe.resolved.is_none();
         let probe_start = probing.then(std::time::Instant::now);
+        let cancel = self.cancel.clone();
 
         let circuit = &mut self.circuit;
         let inputs = &self.inputs;
@@ -698,6 +727,12 @@ impl Simulator {
         let mut batch_time = 0.0_f64;
 
         loop {
+            // cooperative cancellation: one relaxed load per batch
+            if let Some(flag) = &cancel {
+                if flag.load(Ordering::Relaxed) {
+                    return Err(SimError::Cancelled { time: batch_time });
+                }
+            }
             // deliver every still-live event at batch_time: the whole
             // same-timestamp batch lands in the dirty set before any
             // gate is re-evaluated
@@ -828,6 +863,7 @@ impl Clone for Simulator {
             calendar: self.calendar,
             probe: AutoProbe::default(),
             state: SimState::default(),
+            cancel: None,
         }
     }
 }
@@ -842,7 +878,7 @@ impl fmt::Debug for Simulator {
 }
 
 /// `SplitMix64` — used to derive decorrelated per-edge noise seeds.
-fn split_mix64(mut z: u64) -> u64 {
+pub(crate) fn split_mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

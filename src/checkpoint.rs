@@ -1,0 +1,298 @@
+//! Resumable sweep checkpoints: the versioned sidecar behind
+//! [`Experiment::resume`](crate::Experiment::resume).
+//!
+//! While a checkpointed digital sweep runs, the facade periodically
+//! writes a `faithful/1` **checkpoint document** next to the results:
+//! the full experiment spec (embedded verbatim, so the sidecar is
+//! self-contained), the total scenario count, and — for every scenario
+//! that has already completed successfully — its output-port signals
+//! and event counts. Failed scenarios are deliberately *not*
+//! checkpointed: a resumed run re-executes them, so transient failures
+//! get a second chance and deterministic ones re-surface.
+//!
+//! Resuming parses the sidecar, rebuilds the experiment from the
+//! embedded spec, skips every checkpointed scenario, and merges the
+//! persisted signals back into the final result and statistics. For
+//! seeded scenarios the merged result is bit-identical to an
+//! uninterrupted run: signals round-trip exactly (`f64` times print via
+//! `{:?}`), and statistics are re-aggregated in scenario-index order
+//! from the same per-scenario data the runner would have produced.
+//!
+//! Writes are atomic (write-to-temp, then rename), so a kill mid-write
+//! leaves the previous complete checkpoint in place.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ivl_core::{Bit, Signal};
+
+use crate::error::{CheckpointError, SpecError};
+use crate::spec::{as_f64, Fields};
+use crate::value::{parse_document, render_document, Value};
+
+/// Version tag of the checkpoint sidecar schema (inside the `faithful/1`
+/// document version).
+pub(crate) const CHECKPOINT_VERSION: u64 = 1;
+
+/// One successfully completed scenario, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct DoneScenario {
+    pub(crate) label: String,
+    pub(crate) processed: u64,
+    pub(crate) scheduled: u64,
+    pub(crate) signals: Vec<(String, Signal)>,
+}
+
+/// The persisted state of a partially completed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CheckpointState {
+    /// The experiment spec, embedded verbatim.
+    pub(crate) spec_text: String,
+    /// Total scenario count of the sweep.
+    pub(crate) total: usize,
+    /// Retries spent across the completed portion.
+    pub(crate) retried: u64,
+    /// Completed scenarios by sweep index.
+    pub(crate) done: BTreeMap<usize, DoneScenario>,
+}
+
+fn field(name: &str, value: Value) -> (String, Value) {
+    (name.to_owned(), value)
+}
+
+fn signal_to_value(name: &str, signal: &Signal) -> Value {
+    Value::node(
+        "sig",
+        vec![
+            field("name", Value::str(name)),
+            field("initial", Value::bool(signal.initial() == Bit::One)),
+            field(
+                "times",
+                Value::list(
+                    signal
+                        .transitions()
+                        .iter()
+                        .map(|t| Value::num(t.time))
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+}
+
+/// Renders the checkpoint as a versioned `faithful/1` document.
+pub(crate) fn render(state: &CheckpointState) -> String {
+    let done = state
+        .done
+        .iter()
+        .map(|(index, d)| {
+            Value::node(
+                "done",
+                vec![
+                    field("index", Value::int(*index as u64)),
+                    field("label", Value::str(d.label.clone())),
+                    field("processed", Value::int(d.processed)),
+                    field("scheduled", Value::int(d.scheduled)),
+                    field(
+                        "signals",
+                        Value::list(
+                            d.signals
+                                .iter()
+                                .map(|(n, s)| signal_to_value(n, s))
+                                .collect(),
+                        ),
+                    ),
+                ],
+            )
+        })
+        .collect();
+    let root = Value::node(
+        "checkpoint",
+        vec![
+            field("version", Value::int(CHECKPOINT_VERSION)),
+            field("total", Value::int(state.total as u64)),
+            field("retried", Value::int(state.retried)),
+            field("spec", Value::str(state.spec_text.clone())),
+            field("done", Value::list(done)),
+        ],
+    );
+    render_document(&root)
+}
+
+fn from_spec_err(e: SpecError) -> CheckpointError {
+    CheckpointError::new(e.to_string())
+}
+
+/// Parses a checkpoint document.
+pub(crate) fn parse(text: &str) -> Result<CheckpointState, CheckpointError> {
+    let value = parse_document(text).map_err(from_spec_err)?;
+    let mut f = Fields::of(value, "checkpoint").map_err(from_spec_err)?;
+    f.expect_tag(&["checkpoint"]).map_err(from_spec_err)?;
+    let version = f.u64("version").map_err(from_spec_err)?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::new(format!(
+            "unsupported checkpoint version {version} (this build reads version \
+             {CHECKPOINT_VERSION})"
+        )));
+    }
+    let total = usize::try_from(f.u64("total").map_err(from_spec_err)?)
+        .map_err(|_| CheckpointError::new("field \"total\" out of range"))?;
+    let retried = f.u64("retried").map_err(from_spec_err)?;
+    let spec_text = f.string("spec").map_err(from_spec_err)?;
+    let mut done = BTreeMap::new();
+    for item in f.list("done").map_err(from_spec_err)? {
+        let mut df = Fields::of(item, "done").map_err(from_spec_err)?;
+        df.expect_tag(&["done"]).map_err(from_spec_err)?;
+        let index = usize::try_from(df.u64("index").map_err(from_spec_err)?)
+            .map_err(|_| CheckpointError::new("scenario index out of range"))?;
+        if index >= total {
+            return Err(CheckpointError::new(format!(
+                "completed scenario index {index} exceeds the sweep's total of {total}"
+            )));
+        }
+        let label = df.string("label").map_err(from_spec_err)?;
+        let processed = df.u64("processed").map_err(from_spec_err)?;
+        let scheduled = df.u64("scheduled").map_err(from_spec_err)?;
+        let mut signals = Vec::new();
+        for sv in df.list("signals").map_err(from_spec_err)? {
+            let mut sf = Fields::of(sv, "sig").map_err(from_spec_err)?;
+            sf.expect_tag(&["sig"]).map_err(from_spec_err)?;
+            let name = sf.string("name").map_err(from_spec_err)?;
+            let initial = if sf.bool("initial").map_err(from_spec_err)? {
+                Bit::One
+            } else {
+                Bit::Zero
+            };
+            let times = sf
+                .list("times")
+                .map_err(from_spec_err)?
+                .iter()
+                .map(|v| as_f64(v, "sig", "times"))
+                .collect::<Result<Vec<f64>, _>>()
+                .map_err(from_spec_err)?;
+            sf.finish().map_err(from_spec_err)?;
+            let signal = Signal::from_times(initial, &times).map_err(|e| {
+                CheckpointError::new(format!("invalid persisted signal {name:?}: {e}"))
+            })?;
+            signals.push((name, signal));
+        }
+        df.finish().map_err(from_spec_err)?;
+        let duplicate = done
+            .insert(
+                index,
+                DoneScenario {
+                    label,
+                    processed,
+                    scheduled,
+                    signals,
+                },
+            )
+            .is_some();
+        if duplicate {
+            return Err(CheckpointError::new(format!(
+                "scenario index {index} is checkpointed twice"
+            )));
+        }
+    }
+    f.finish().map_err(from_spec_err)?;
+    Ok(CheckpointState {
+        spec_text,
+        total,
+        retried,
+        done,
+    })
+}
+
+/// Reads and parses a checkpoint sidecar.
+pub(crate) fn read(path: &Path) -> Result<CheckpointState, CheckpointError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CheckpointError::new(e.to_string()).at_path(path.display().to_string()))?;
+    parse(&text).map_err(|e| e.at_path(path.display().to_string()))
+}
+
+/// Writes a checkpoint atomically: render to `<path>.tmp`, then rename
+/// over `path`, so an interrupted write never truncates the previous
+/// complete checkpoint.
+pub(crate) fn write_atomic(path: &Path, state: &CheckpointState) -> Result<(), CheckpointError> {
+    let text = render(state);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, &text)
+        .map_err(|e| CheckpointError::new(e.to_string()).at_path(tmp.display().to_string()))?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| CheckpointError::new(e.to_string()).at_path(path.display().to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> CheckpointState {
+        let mut done = BTreeMap::new();
+        done.insert(
+            2,
+            DoneScenario {
+                label: "s2".to_owned(),
+                processed: 11,
+                scheduled: 13,
+                signals: vec![(
+                    "y".to_owned(),
+                    Signal::from_times(Bit::One, &[1.25, 3.0000000000000004]).unwrap(),
+                )],
+            },
+        );
+        done.insert(
+            0,
+            DoneScenario {
+                label: "s0".to_owned(),
+                processed: 7,
+                scheduled: 7,
+                signals: vec![("y".to_owned(), Signal::zero())],
+            },
+        );
+        CheckpointState {
+            spec_text: "faithful/1 channel {\n}\n".to_owned(),
+            total: 5,
+            retried: 3,
+            done,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_exactly() {
+        let state = sample_state();
+        let text = render(&state);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, state);
+        // and the rendering is stable
+        assert_eq!(render(&parsed), text);
+    }
+
+    #[test]
+    fn bad_documents_are_rejected_with_reasons() {
+        assert!(parse("garbage").is_err());
+        // wrong version
+        let text = render(&sample_state()).replace("version = 1", "version = 99");
+        let err = parse(&text).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        // completed index out of range
+        let text = render(&sample_state()).replace("total = 5", "total = 1");
+        let err = parse(&text).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn atomic_write_and_read_round_trip() {
+        let state = sample_state();
+        let path =
+            std::env::temp_dir().join(format!("faithful_ckpt_test_{}.spec", std::process::id()));
+        write_atomic(&path, &state).unwrap();
+        let read_back = read(&path).unwrap();
+        assert_eq!(read_back, state);
+        std::fs::remove_file(&path).ok();
+        let err = read(&path).unwrap_err();
+        assert!(err.path().is_some());
+    }
+}

@@ -77,6 +77,56 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+/// An error reading, writing or validating a sweep checkpoint sidecar
+/// (the resumable-partial-results file behind
+/// [`Experiment::resume`](crate::Experiment::resume)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointError {
+    message: String,
+    path: Option<String>,
+}
+
+impl CheckpointError {
+    /// Creates a checkpoint error with the given message.
+    #[must_use]
+    pub fn new(message: impl Into<String>) -> Self {
+        CheckpointError {
+            message: message.into(),
+            path: None,
+        }
+    }
+
+    /// Attaches the sidecar path the error refers to.
+    #[must_use]
+    pub fn at_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// The human-readable message, without the path prefix.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The sidecar path, if known.
+    #[must_use]
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(path) => write!(f, "checkpoint error in {path:?}: {}", self.message),
+            None => write!(f, "checkpoint error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// Everything that can go wrong running an experiment through the
 /// facade, in one matchable type.
 ///
@@ -111,6 +161,11 @@ pub enum Error {
     Spf(ivl_spf::Error),
     /// A spec parse/validation error.
     Spec(SpecError),
+    /// A sweep stopped by the `abort` failure policy; carries the
+    /// failing scenario's index, label, seed and cause.
+    Sweep(ivl_circuit::SweepAborted),
+    /// A checkpoint sidecar could not be read, written or validated.
+    Checkpoint(CheckpointError),
     /// The lint pre-flight found `Error`-severity diagnostics and the
     /// effective [`LintConfig`](crate::LintConfig) is `Deny`.
     Lint(crate::lint::LintReport),
@@ -125,6 +180,8 @@ impl fmt::Display for Error {
             Error::Analog(e) => write!(f, "analog: {e}"),
             Error::Spf(e) => write!(f, "spf: {e}"),
             Error::Spec(e) => write!(f, "{e}"),
+            Error::Sweep(e) => write!(f, "{e}"),
+            Error::Checkpoint(e) => write!(f, "{e}"),
             Error::Lint(report) => write!(f, "lint rejected the spec:\n{report}"),
         }
     }
@@ -139,6 +196,8 @@ impl std::error::Error for Error {
             Error::Analog(e) => Some(e),
             Error::Spf(e) => Some(e),
             Error::Spec(e) => Some(e),
+            Error::Sweep(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
             Error::Lint(_) => None,
         }
     }
@@ -177,5 +236,17 @@ impl From<ivl_spf::Error> for Error {
 impl From<SpecError> for Error {
     fn from(e: SpecError) -> Self {
         Error::Spec(e)
+    }
+}
+
+impl From<ivl_circuit::SweepAborted> for Error {
+    fn from(e: ivl_circuit::SweepAborted) -> Self {
+        Error::Sweep(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
     }
 }

@@ -4,6 +4,10 @@
 //! pipeline or the SPF theory/circuit layer, behind one typed
 //! [`ExperimentResult`].
 
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
 use ivl_analog::chain::InverterChain;
 use ivl_analog::characterize::{
     to_empirical, DelaySample, DeviationSample, Integrator, SweepConfig,
@@ -13,7 +17,8 @@ use ivl_analog::supply::VddSource;
 use ivl_analog::SweepRunner;
 use ivl_circuit::vcd::write_vcd;
 use ivl_circuit::{
-    Circuit, CircuitBuilder, GateKind, Scenario, ScenarioRunner, SimError, SweepStats, TruthTable,
+    Circuit, CircuitBuilder, FaultPlan, GateKind, Scenario, ScenarioFailure, ScenarioRunner,
+    SimError, SweepStats, TruthTable,
 };
 use ivl_core::channel::apply_online;
 use ivl_core::delay::{DelayPair, ExpChannel, RationalPair};
@@ -25,11 +30,12 @@ use ivl_core::noise::{
 use ivl_core::{Bit, Edge, Signal};
 use ivl_spf::{SpfCircuit, SpfRun, SpfTheory};
 
-use crate::error::{Error, SpecError};
+use crate::checkpoint;
+use crate::error::{CheckpointError, Error, SpecError};
 use crate::spec::{
-    AnalogSpec, AnalogTask, ChannelSpec, DelaySpec, DigitalSpec, ExperimentSpec, GateKindSpec,
-    IntegratorSpec, NodeSpec, NoiseSpec, Orientation, ReferenceSpec, SpfSpec, SpfTask,
-    TopologySpec, WorkloadSpec,
+    AnalogSpec, AnalogTask, ChannelSpec, DelaySpec, DigitalSpec, ExperimentSpec, FailurePolicySpec,
+    GateKindSpec, IntegratorSpec, NodeSpec, NoiseSpec, Orientation, ReferenceSpec, SpfSpec,
+    SpfTask, TopologySpec, WorkloadSpec,
 };
 
 /// A ready-to-run experiment: a spec plus the channel registry used to
@@ -54,6 +60,11 @@ pub struct Experiment {
     spec: ExperimentSpec,
     registry: ChannelRegistry,
     lint: Option<crate::lint::LintConfig>,
+    timeout: Option<Duration>,
+    fault: Option<FaultPlan>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    resume: Option<checkpoint::CheckpointState>,
 }
 
 impl Experiment {
@@ -64,7 +75,33 @@ impl Experiment {
             spec,
             registry: ChannelRegistry::with_builtins(),
             lint: None,
+            timeout: None,
+            fault: None,
+            checkpoint: None,
+            checkpoint_every: 64,
+            resume: None,
         }
+    }
+
+    /// Resumes a checkpointed digital sweep from its sidecar file: the
+    /// experiment is rebuilt from the spec embedded in the checkpoint,
+    /// already-completed scenarios are skipped (their persisted signals
+    /// and statistics merge back into the result), and checkpointing
+    /// continues into the same file. For seeded scenarios the resumed
+    /// result is bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Checkpoint`] if the sidecar cannot be read or fails
+    /// validation; [`Error::Spec`] if the embedded spec does not parse.
+    pub fn resume(path: impl AsRef<Path>) -> Result<Self, Error> {
+        let path = path.as_ref();
+        let state = checkpoint::read(path)?;
+        let spec: ExperimentSpec = state.spec_text.parse()?;
+        let mut experiment = Experiment::new(spec);
+        experiment.checkpoint = Some(path.to_path_buf());
+        experiment.resume = Some(state);
+        Ok(experiment)
     }
 
     /// Parses a serialized spec and wraps it.
@@ -104,6 +141,45 @@ impl Experiment {
     #[must_use]
     pub fn with_registry(mut self, registry: ChannelRegistry) -> Self {
         self.registry = registry;
+        self
+    }
+
+    /// Arms a per-scenario wall-clock budget for digital sweeps: a
+    /// watchdog cancels any scenario still running `timeout` after it
+    /// started, failing it with
+    /// [`SimError::Cancelled`](ivl_circuit::SimError::Cancelled) under
+    /// the spec's failure policy.
+    #[must_use]
+    pub fn with_scenario_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Installs a deterministic [`FaultPlan`] for digital sweeps (chaos
+    /// testing). Fault indices refer to spec scenario order. Takes
+    /// precedence over the `IVL_FAULT_SEED` environment knob.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Enables periodic checkpointing of digital sweeps to the sidecar
+    /// file at `path` (atomically rewritten after every completed
+    /// batch), so an interrupted sweep can be picked up with
+    /// [`Experiment::resume`].
+    #[must_use]
+    pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Sets how many scenarios run between checkpoint writes (default
+    /// 64, clamped to ≥ 1). Only meaningful together with
+    /// [`with_checkpoint`](Experiment::with_checkpoint).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, scenarios: usize) -> Self {
+        self.checkpoint_every = scenarios.max(1);
         self
     }
 
@@ -258,62 +334,244 @@ impl Experiment {
             .into_iter()
             .map(str::to_owned)
             .collect();
-        let mut runner = ScenarioRunner::new(circuit, d.horizon);
+        let mut runner =
+            ScenarioRunner::new(circuit, d.horizon).with_failure_policy(d.on_failure.to_policy());
         if let Some(w) = d.workers {
             runner = runner.with_workers(w as usize);
         }
         if let Some(m) = d.max_events {
             runner = runner.with_max_events(usize::try_from(m).unwrap_or(usize::MAX));
         }
-        let mut scenarios = Vec::with_capacity(d.scenarios.len());
-        for s in &d.scenarios {
-            let mut sc = Scenario::new(s.label.clone());
-            if let Some(seed) = s.seed {
-                sc = sc.with_seed(seed);
-            }
-            for (port, sig) in &s.inputs {
-                sc = sc.with_input(port.clone(), sig.build()?);
-            }
-            scenarios.push(sc);
+        if let Some(t) = self.timeout {
+            runner = runner.with_scenario_timeout(t);
         }
-        let sweep = runner.run(&scenarios);
-        let mut outcomes = Vec::with_capacity(sweep.len());
-        for outcome in sweep.outcomes() {
-            match outcome.result() {
-                Ok(run) => {
-                    let mut signals = Vec::new();
-                    if d.outputs.signals || d.outputs.vcd {
+        let fault = self
+            .fault
+            .clone()
+            .or_else(|| fault_plan_from_env(d.scenarios.len()));
+
+        let total = d.scenarios.len();
+        let mut records: Vec<Option<ScenarioRecord>> = Vec::new();
+        records.resize_with(total, || None);
+        let mut retried: u64 = 0;
+
+        // seed already-completed scenarios from a resume checkpoint
+        if let Some(state) = &self.resume {
+            if state.total != total {
+                return Err(Error::Checkpoint(CheckpointError::new(format!(
+                    "checkpoint covers {} scenarios but the spec has {total}",
+                    state.total
+                ))));
+            }
+            retried = state.retried;
+            for (&index, done) in &state.done {
+                records[index] = Some(ScenarioRecord {
+                    label: done.label.clone(),
+                    signals: done.signals.clone(),
+                    processed: done.processed,
+                    scheduled: done.scheduled,
+                    error: None,
+                    retries: 0,
+                });
+            }
+        }
+
+        let pending: Vec<usize> = (0..total).filter(|&i| records[i].is_none()).collect();
+        // without a checkpoint sidecar there is nothing to persist
+        // between batches, so run everything in one sweep
+        let batch_size = if self.checkpoint.is_some() {
+            self.checkpoint_every.max(1)
+        } else {
+            pending.len().max(1)
+        };
+
+        for batch in pending.chunks(batch_size) {
+            let mut scenarios = Vec::with_capacity(batch.len());
+            for &i in batch {
+                let s = &d.scenarios[i];
+                let mut sc = Scenario::new(s.label.clone());
+                if let Some(seed) = s.seed {
+                    sc = sc.with_seed(seed);
+                }
+                for (port, sig) in &s.inputs {
+                    sc = sc.with_input(port.clone(), sig.build()?);
+                }
+                scenarios.push(sc);
+            }
+            // faults are planned in global scenario indices; remap the
+            // slice this batch executes
+            if let Some(plan) = &fault {
+                let mut local = FaultPlan::new();
+                for (pos, &gi) in batch.iter().enumerate() {
+                    if let Some((_, kind)) = plan.faults().iter().find(|(fi, _)| *fi == gi) {
+                        local = local.with_fault(pos, kind.clone());
+                    }
+                }
+                runner.set_fault_plan(Some(local));
+            }
+            let sweep = match runner.try_run(&scenarios) {
+                Ok(sweep) => sweep,
+                Err(mut aborted) => {
+                    // report the global index, and persist the completed
+                    // batches so resume() can pick the sweep back up
+                    // from here (the aborted batch itself re-runs)
+                    aborted.failure.index = batch[aborted.failure.index];
+                    if let Some(path) = &self.checkpoint {
+                        self.write_checkpoint(path, total, retried, &records)?;
+                    }
+                    return Err(Error::Sweep(aborted));
+                }
+            };
+            retried += sweep.stats().retried;
+            for (pos, outcome) in sweep.outcomes().iter().enumerate() {
+                let record = match outcome.result() {
+                    Ok(run) => {
+                        let mut signals = Vec::with_capacity(output_names.len());
                         for name in &output_names {
                             signals.push((name.clone(), run.signal(name)?.clone()));
                         }
+                        ScenarioRecord {
+                            label: outcome.label().to_owned(),
+                            signals,
+                            processed: run.processed_events() as u64,
+                            scheduled: run.scheduled_events() as u64,
+                            error: None,
+                            retries: 0,
+                        }
+                    }
+                    Err(e) => {
+                        let retries = sweep
+                            .failures()
+                            .iter()
+                            .find(|f| f.index == pos)
+                            .map_or(0, |f| f.retries);
+                        ScenarioRecord {
+                            label: outcome.label().to_owned(),
+                            signals: Vec::new(),
+                            processed: 0,
+                            scheduled: 0,
+                            error: Some(e.clone()),
+                            retries,
+                        }
+                    }
+                };
+                records[batch[pos]] = Some(record);
+            }
+            if let Some(path) = &self.checkpoint {
+                self.write_checkpoint(path, total, retried, &records)?;
+            }
+        }
+
+        // assemble in scenario-index order; statistics are re-aggregated
+        // here (rather than taken from per-batch sweeps) so a resumed or
+        // batched run is bit-identical to a single uninterrupted sweep
+        let mut outcomes = Vec::with_capacity(total);
+        let mut failures: Vec<ScenarioFailure> = Vec::new();
+        let mut quarantine: Vec<QuarantinedScenario> = Vec::new();
+        let mut stats = SweepStats {
+            scenarios: total,
+            retried,
+            ..SweepStats::default()
+        };
+        for (i, record) in records.into_iter().enumerate() {
+            let record = record.expect("every scenario was executed or resumed");
+            match record.error {
+                None => {
+                    stats.processed_events += record.processed;
+                    stats.scheduled_events += record.scheduled;
+                    for (_, signal) in &record.signals {
+                        stats.absorb_signal(signal);
                     }
                     let vcd = if d.outputs.vcd {
-                        let pairs: Vec<(&str, &Signal)> =
-                            signals.iter().map(|(n, s)| (n.as_str(), s)).collect();
+                        let pairs: Vec<(&str, &Signal)> = record
+                            .signals
+                            .iter()
+                            .map(|(n, s)| (n.as_str(), s))
+                            .collect();
                         Some(write_vcd(&pairs, "1ps", 0.001).map_err(SpecError::new)?)
                     } else {
                         None
                     };
-                    if !d.outputs.signals {
-                        signals.clear();
-                    }
+                    let signals = if d.outputs.signals {
+                        record.signals
+                    } else {
+                        Vec::new()
+                    };
                     outcomes.push(DigitalOutcome {
-                        label: outcome.label().to_owned(),
+                        label: record.label,
                         signals,
                         vcd,
                         error: None,
                     });
                 }
-                Err(e) => outcomes.push(DigitalOutcome {
-                    label: outcome.label().to_owned(),
-                    signals: Vec::new(),
-                    vcd: None,
-                    error: Some(e.clone()),
-                }),
+                Some(cause) => {
+                    stats.failures += 1;
+                    failures.push(ScenarioFailure {
+                        index: i,
+                        label: record.label.clone(),
+                        seed: d.scenarios[i].seed,
+                        cause: cause.clone(),
+                        retries: record.retries,
+                    });
+                    quarantine.push(QuarantinedScenario {
+                        index: i,
+                        label: record.label.clone(),
+                        spec: quarantine_spec(d, i, &cause),
+                    });
+                    outcomes.push(DigitalOutcome {
+                        label: record.label,
+                        signals: Vec::new(),
+                        vcd: None,
+                        error: Some(cause),
+                    });
+                }
             }
         }
-        let stats = d.outputs.stats.then(|| sweep.stats().clone());
-        Ok(ExperimentResult::Digital(DigitalResult { outcomes, stats }))
+        write_quarantine_files(&quarantine)?;
+        let failed = failures.len();
+        let stats_out = d.outputs.stats.then(|| stats.clone());
+        Ok(ExperimentResult::Digital(DigitalResult {
+            outcomes,
+            stats: stats_out,
+            completed: total - failed,
+            failed,
+            retried,
+            failures,
+            quarantine,
+        }))
+    }
+
+    fn write_checkpoint(
+        &self,
+        path: &Path,
+        total: usize,
+        retried: u64,
+        records: &[Option<ScenarioRecord>],
+    ) -> Result<(), Error> {
+        let mut done = BTreeMap::new();
+        for (i, record) in records.iter().enumerate() {
+            if let Some(record) = record {
+                if record.error.is_none() {
+                    done.insert(
+                        i,
+                        checkpoint::DoneScenario {
+                            label: record.label.clone(),
+                            processed: record.processed,
+                            scheduled: record.scheduled,
+                            signals: record.signals.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        let state = checkpoint::CheckpointState {
+            spec_text: self.spec.to_string(),
+            total,
+            retried,
+            done,
+        };
+        checkpoint::write_atomic(path, &state)?;
+        Ok(())
     }
 
     fn run_analog(&self, a: &AnalogSpec) -> Result<AnalogResult, Error> {
@@ -522,6 +780,74 @@ fn raw_samples(samples: &[(f64, f64)], edge: Edge) -> Vec<DelaySample> {
         .collect()
 }
 
+/// One scenario's result while a batched/resumable sweep is in flight.
+struct ScenarioRecord {
+    label: String,
+    signals: Vec<(String, Signal)>,
+    processed: u64,
+    scheduled: u64,
+    error: Option<SimError>,
+    retries: u32,
+}
+
+/// Builds a seeded [`FaultPlan`] from `IVL_FAULT_SEED`, if set.
+///
+/// This is the CI chaos hook: when the variable holds a `u64`, three
+/// distinct scenario indices derived from the seed get a panic, a
+/// budget-exhaustion and a stall fault. Unset (the normal case) means
+/// no injection.
+fn fault_plan_from_env(scenarios: usize) -> Option<FaultPlan> {
+    let seed = std::env::var("IVL_FAULT_SEED").ok()?.parse::<u64>().ok()?;
+    Some(FaultPlan::seeded(seed, scenarios))
+}
+
+/// Repackages scenario `index` of sweep `d` as a standalone replayable
+/// spec: same topology, inputs and seed; `workers = 1`; `on_failure =
+/// abort`; and — for budget exhaustion — the exceeded budget.
+fn quarantine_spec(d: &DigitalSpec, index: usize, cause: &SimError) -> String {
+    let mut q = DigitalSpec::new(d.topology.clone(), d.horizon)
+        .with_scenario(d.scenarios[index].clone())
+        .with_workers(1)
+        .with_on_failure(FailurePolicySpec::Abort);
+    q.max_events = match cause {
+        SimError::MaxEventsExceeded { budget, .. } => {
+            Some(u64::try_from(*budget).unwrap_or(u64::MAX))
+        }
+        _ => d.max_events,
+    };
+    q.outputs = d.outputs;
+    ExperimentSpec::digital(q).to_string()
+}
+
+/// Writes each quarantined spec into `IVL_FAULT_QUARANTINE_DIR` (when
+/// set) as `quarantine_NNNN_<label>.spec`.
+fn write_quarantine_files(quarantine: &[QuarantinedScenario]) -> Result<(), Error> {
+    let Some(dir) = std::env::var_os("IVL_FAULT_QUARANTINE_DIR") else {
+        return Ok(());
+    };
+    if quarantine.is_empty() {
+        return Ok(());
+    }
+    let dir = PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).map_err(|e| {
+        Error::Checkpoint(CheckpointError::new(e.to_string()).at_path(dir.display().to_string()))
+    })?;
+    for q in quarantine {
+        let label: String = q
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("quarantine_{:04}_{label}.spec", q.index));
+        std::fs::write(&path, &q.spec).map_err(|e| {
+            Error::Checkpoint(
+                CheckpointError::new(e.to_string()).at_path(path.display().to_string()),
+            )
+        })?;
+    }
+    Ok(())
+}
+
 // ======================================================================
 // Results
 // ======================================================================
@@ -593,6 +919,16 @@ pub struct DigitalResult {
     pub outcomes: Vec<DigitalOutcome>,
     /// Aggregate sweep statistics (when selected).
     pub stats: Option<SweepStats>,
+    /// Scenarios that completed successfully (including resumed ones).
+    pub completed: usize,
+    /// Scenarios that failed after the failure policy was exhausted.
+    pub failed: usize,
+    /// Retry attempts spent across the whole sweep.
+    pub retried: u64,
+    /// Typed descriptions of every failed scenario, in index order.
+    pub failures: Vec<ScenarioFailure>,
+    /// A standalone replayable spec per failed scenario, in index order.
+    pub quarantine: Vec<QuarantinedScenario>,
 }
 
 impl DigitalResult {
@@ -601,6 +937,24 @@ impl DigitalResult {
     pub fn outcome(&self, label: &str) -> Option<&DigitalOutcome> {
         self.outcomes.iter().find(|o| o.label == label)
     }
+}
+
+/// A failed scenario repackaged as a standalone `faithful/1` spec.
+///
+/// The spec keeps the sweep's topology and the failing scenario's
+/// inputs and seed, pins `workers = 1` and `on_failure = abort`, and —
+/// for budget exhaustion — carries the exceeded `max_events` budget, so
+/// running it reproduces the failure in isolation. When the
+/// `IVL_FAULT_QUARANTINE_DIR` environment variable is set, each spec is
+/// also written there as `quarantine_NNNN_<label>.spec`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedScenario {
+    /// The scenario's index within the sweep.
+    pub index: usize,
+    /// The scenario's label.
+    pub label: String,
+    /// The standalone replayable spec text.
+    pub spec: String,
 }
 
 /// One scenario's outcome within a digital sweep.

@@ -37,6 +37,7 @@
 //! paper-figure reproduction index.
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod error;
 mod experiment;
 pub mod lint;
@@ -48,17 +49,21 @@ pub use ivl_circuit as circuit;
 pub use ivl_core as core;
 pub use ivl_spf as spf;
 
-pub use error::{Error, Span, SpecError};
+pub use error::{CheckpointError, Error, Span, SpecError};
 pub use experiment::{
     AnalogResult, ChannelResult, DigitalOutcome, DigitalResult, Experiment, ExperimentResult,
-    SpfResult,
+    QuarantinedScenario, SpfResult,
 };
 pub use lint::{lint, lint_text, Diagnostic, LintConfig, LintReport, Severity};
 pub use spec::{
     AnalogSpec, AnalogTask, ChainSpec, ChannelRunSpec, ChannelSpec, DelaySpec, DigitalSpec,
-    EdgeSpec, ExperimentSpec, GateKindSpec, IntegratorSpec, NetlistSpec, NodeSpec, NoiseSpec,
-    Orientation, OutputSelect, ReferenceSpec, ScenarioSpec, SignalSpec, SpfSpec, SpfTask,
-    SupplySpec, SweepSpec, TopologySpec, WorkloadSpec,
+    EdgeSpec, ExperimentSpec, FailurePolicySpec, GateKindSpec, IntegratorSpec, NetlistSpec,
+    NodeSpec, NoiseSpec, Orientation, OutputSelect, ReferenceSpec, ScenarioSpec, SignalSpec,
+    SpfSpec, SpfTask, SupplySpec, SweepSpec, TopologySpec, WorkloadSpec,
+};
+
+pub use ivl_circuit::{
+    FailurePolicy, FaultKind, FaultPlan, ScenarioFailure, SweepAborted, SweepStats,
 };
 pub use value::SPEC_VERSION;
 

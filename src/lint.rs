@@ -35,6 +35,8 @@
 //! | `IVL037` | warning | `workers = 0` (clamped to 1 at run time) |
 //! | `IVL038` | warning | duplicate scenario label |
 //! | `IVL039` | error | malformed truth table (rows ≠ 2^inputs) |
+//! | `IVL040` | warning | `max_events` below the provable minimum event count |
+//! | `IVL041` | warning | `retry(n)` policy on a fully deterministic workload |
 //!
 //! [`Experiment::run`](crate::Experiment::run) runs the linter as a
 //! pre-flight: `Error`-severity diagnostics deny the run by default;
@@ -53,8 +55,8 @@ use ivl_core::Signal;
 use crate::error::{Span, SpecError};
 use crate::spec::{
     channel_to_value, AnalogSpec, ChannelSpec, DelaySpec, DigitalSpec, ExperimentSpec,
-    GateKindSpec, NodeSpec, ReferenceSpec, ScenarioSpec, SignalSpec, SpfSpec, SpfTask,
-    TopologySpec, WorkloadSpec,
+    FailurePolicySpec, GateKindSpec, NodeSpec, ReferenceSpec, ScenarioSpec, SignalSpec, SpfSpec,
+    SpfTask, TopologySpec, WorkloadSpec,
 };
 use crate::value::{parse_document, Value, ValueKind};
 
@@ -218,6 +220,8 @@ struct SpecSpans {
     widths: Option<Span>,
     horizon: Option<Span>,
     workers: Option<Span>,
+    max_events: Option<Span>,
+    on_failure: Option<Span>,
     delay: Option<Span>,
     /// Rendered channel spec text → span of its node in the document.
     channels: HashMap<String, Span>,
@@ -239,6 +243,8 @@ impl SpecSpans {
                 "scenarios" => spans.scenarios = list_spans(v),
                 "horizon" => spans.horizon = v.span(),
                 "workers" => spans.workers = v.span(),
+                "max_events" => spans.max_events = v.span(),
+                "on_failure" => spans.on_failure = v.span(),
                 "sweep" => {
                     if let ValueKind::Node(_, sf) = v.kind() {
                         if let Some((_, w)) = sf.iter().find(|(n, _)| n == "widths") {
@@ -647,6 +653,94 @@ impl<'a> Linter<'a> {
         }
 
         self.hazard_pass(&graph, &d.scenarios);
+        self.budget_pass(&graph, d);
+        self.retry_pass(&graph, d);
+    }
+
+    /// `IVL040`: per scenario, every input transition fed into a direct
+    /// (channel-less) outgoing edge is scheduled verbatim, so the
+    /// scheduled-event count is provably at least
+    /// Σ_ports (transitions × direct out-edges). If that floor already
+    /// exceeds `max_events`, the scenario is guaranteed to die with
+    /// `MaxEventsExceeded` before a single gate fires.
+    fn budget_pass(&mut self, g: &Graph<'_>, d: &DigitalSpec) {
+        let Some(budget) = d.max_events else {
+            return;
+        };
+        let mut direct_out: HashMap<&str, u64> = HashMap::new();
+        for e in &g.edges {
+            if e.channel.is_none() && g.nodes[e.from].kind == GKind::Input {
+                *direct_out.entry(g.nodes[e.from].name.as_str()).or_insert(0) += 1;
+            }
+        }
+        if direct_out.is_empty() {
+            return;
+        }
+        for (i, s) in d.scenarios.iter().enumerate() {
+            let mut floor: u64 = 0;
+            for (port, sig) in &s.inputs {
+                let Some(&fanout) = direct_out.get(port.as_str()) else {
+                    continue;
+                };
+                let Ok(signal) = sig.build() else {
+                    continue; // IVL036 already reported
+                };
+                floor += signal.transitions().len() as u64 * fanout;
+            }
+            if floor > budget {
+                let span = self
+                    .spans
+                    .max_events
+                    .or_else(|| self.spans.scenarios.get(i).copied().flatten());
+                self.push(
+                    "IVL040",
+                    Severity::Warning,
+                    span,
+                    format!(
+                        "scenario {:?} schedules at least {floor} events from its input \
+                         stimuli alone, which already exceeds max_events = {budget}",
+                        s.label
+                    ),
+                );
+            }
+        }
+    }
+
+    /// `IVL041`: a `retry(n)` failure policy re-runs a failed scenario
+    /// with the same seed, so when every channel in the topology is
+    /// deterministic the retries can only reproduce the failure.
+    /// Channels of unknown (custom) kinds are conservatively assumed
+    /// stochastic, so they never trigger this warning.
+    fn retry_pass(&mut self, g: &Graph<'_>, d: &DigitalSpec) {
+        let FailurePolicySpec::Retry { attempts } = d.on_failure else {
+            return;
+        };
+        let deterministic = g.edges.iter().all(|e| {
+            let Some(c) = e.channel else {
+                return true; // direct connection
+            };
+            if !matches!(
+                c.kind.as_str(),
+                "pure" | "inertial" | "ddm" | "involution" | "eta"
+            ) {
+                return false; // custom kind: assume stochastic
+            }
+            !matches!(
+                c.params.text_or("noise", "zero"),
+                Ok("uniform" | "gaussian")
+            )
+        });
+        if deterministic {
+            self.push(
+                "IVL041",
+                Severity::Warning,
+                self.spans.on_failure,
+                format!(
+                    "on_failure = retry({attempts}) with a fully deterministic workload: \
+                     retries re-run the same seed and can only reproduce the failure"
+                ),
+            );
+        }
     }
 
     // ---- pass 1: graph analysis ----

@@ -256,6 +256,8 @@ pub struct DigitalSpec {
     pub max_events: Option<u64>,
     /// Worker threads (`None` = machine default).
     pub workers: Option<u32>,
+    /// What a scenario failure does to the sweep (default: skip).
+    pub on_failure: FailurePolicySpec,
     /// The scenarios to sweep (one scenario = one run).
     pub scenarios: Vec<ScenarioSpec>,
     /// Which outputs to materialize in the result.
@@ -272,9 +274,17 @@ impl DigitalSpec {
             horizon,
             max_events: None,
             workers: None,
+            on_failure: FailurePolicySpec::default(),
             scenarios: Vec::new(),
             outputs: OutputSelect::default(),
         }
+    }
+
+    /// Sets the failure policy.
+    #[must_use]
+    pub fn with_on_failure(mut self, on_failure: FailurePolicySpec) -> Self {
+        self.on_failure = on_failure;
+        self
     }
 
     /// Sets the worker count.
@@ -310,6 +320,40 @@ impl DigitalSpec {
     pub fn with_outputs(mut self, outputs: OutputSelect) -> Self {
         self.outputs = outputs;
         self
+    }
+}
+
+/// What a scenario failure does to a digital sweep — the declarative
+/// mirror of [`ivl_circuit::FailurePolicy`].
+///
+/// Serialized as `on_failure = abort | skip | retry(attempts = n)`;
+/// the field is omitted entirely for the default (`skip`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicySpec {
+    /// Stop dispatching on the first failure and report the failing
+    /// scenario's identity as the experiment's error.
+    Abort,
+    /// Record failures per scenario and keep sweeping (the default).
+    #[default]
+    Skip,
+    /// Retry failing scenarios — with the same seed — up to `attempts`
+    /// extra times before recording them. Only infrastructure flakes
+    /// recover; deterministic bugs fail every attempt.
+    Retry {
+        /// Extra attempts per failing scenario.
+        attempts: u32,
+    },
+}
+
+impl FailurePolicySpec {
+    /// The runner-level policy this spec maps to.
+    #[must_use]
+    pub fn to_policy(self) -> ivl_circuit::FailurePolicy {
+        match self {
+            FailurePolicySpec::Abort => ivl_circuit::FailurePolicy::Abort,
+            FailurePolicySpec::Skip => ivl_circuit::FailurePolicy::Skip,
+            FailurePolicySpec::Retry { attempts } => ivl_circuit::FailurePolicy::Retry(attempts),
+        }
     }
 }
 
@@ -1084,6 +1128,14 @@ fn digital_to_value(d: &DigitalSpec) -> Value {
     if let Some(w) = d.workers {
         fields.push(field("workers", int(u64::from(w))));
     }
+    match d.on_failure {
+        FailurePolicySpec::Skip => {}
+        FailurePolicySpec::Abort => fields.push(field("on_failure", Value::word("abort"))),
+        FailurePolicySpec::Retry { attempts } => fields.push(field(
+            "on_failure",
+            node("retry", vec![field("attempts", int(u64::from(attempts)))]),
+        )),
+    }
     fields.push(field(
         "scenarios",
         Value::list(d.scenarios.iter().map(scenario_to_value).collect()),
@@ -1401,14 +1453,14 @@ fn noise_to_value(n: NoiseSpec) -> Value {
 ///
 /// Carries the node's span so every error it raises points back into
 /// the spec text when the value was parsed rather than built.
-struct Fields {
-    tag: String,
-    span: Option<crate::error::Span>,
+pub(crate) struct Fields {
+    pub(crate) tag: String,
+    pub(crate) span: Option<crate::error::Span>,
     fields: Vec<(String, Option<Value>)>,
 }
 
 impl Fields {
-    fn of(value: Value, context: &str) -> Result<Fields, SpecError> {
+    pub(crate) fn of(value: Value, context: &str) -> Result<Fields, SpecError> {
         let span = value.span();
         match value.into_kind() {
             ValueKind::Node(tag, fields) => Ok(Fields {
@@ -1429,7 +1481,7 @@ impl Fields {
         }
     }
 
-    fn expect_tag(&self, expected: &[&str]) -> Result<(), SpecError> {
+    pub(crate) fn expect_tag(&self, expected: &[&str]) -> Result<(), SpecError> {
         if expected.contains(&self.tag.as_str()) {
             Ok(())
         } else {
@@ -1441,28 +1493,28 @@ impl Fields {
         }
     }
 
-    fn take(&mut self, name: &str) -> Option<Value> {
+    pub(crate) fn take(&mut self, name: &str) -> Option<Value> {
         self.fields
             .iter_mut()
             .find(|(n, v)| n == name && v.is_some())
             .and_then(|(_, v)| v.take())
     }
 
-    fn req(&mut self, name: &str) -> Result<Value, SpecError> {
+    pub(crate) fn req(&mut self, name: &str) -> Result<Value, SpecError> {
         let span = self.span;
         self.take(name)
             .ok_or_else(|| SpecError::new(format!("{}: missing field {name:?}", self.tag)).at(span))
     }
 
-    fn f64(&mut self, name: &str) -> Result<f64, SpecError> {
+    pub(crate) fn f64(&mut self, name: &str) -> Result<f64, SpecError> {
         as_f64(&self.req(name)?, &self.tag, name)
     }
 
-    fn u64(&mut self, name: &str) -> Result<u64, SpecError> {
+    pub(crate) fn u64(&mut self, name: &str) -> Result<u64, SpecError> {
         as_u64(&self.req(name)?, &self.tag, name)
     }
 
-    fn u32(&mut self, name: &str) -> Result<u32, SpecError> {
+    pub(crate) fn u32(&mut self, name: &str) -> Result<u32, SpecError> {
         let v = self.req(name)?;
         let x = as_u64(&v, &self.tag, name)?;
         u32::try_from(x).map_err(|_| {
@@ -1470,15 +1522,15 @@ impl Fields {
         })
     }
 
-    fn bool(&mut self, name: &str) -> Result<bool, SpecError> {
+    pub(crate) fn bool(&mut self, name: &str) -> Result<bool, SpecError> {
         as_bool(&self.req(name)?, &self.tag, name)
     }
 
-    fn string(&mut self, name: &str) -> Result<String, SpecError> {
+    pub(crate) fn string(&mut self, name: &str) -> Result<String, SpecError> {
         as_text(&self.req(name)?, &self.tag, name)
     }
 
-    fn list(&mut self, name: &str) -> Result<Vec<Value>, SpecError> {
+    pub(crate) fn list(&mut self, name: &str) -> Result<Vec<Value>, SpecError> {
         let v = self.req(name)?;
         let span = v.span();
         match v.into_kind() {
@@ -1492,7 +1544,7 @@ impl Fields {
         }
     }
 
-    fn finish(self) -> Result<(), SpecError> {
+    pub(crate) fn finish(self) -> Result<(), SpecError> {
         if let Some((name, v)) = self.fields.iter().find(|(_, v)| v.is_some()) {
             return Err(
                 SpecError::new(format!("{}: unknown field {name:?}", self.tag))
@@ -1503,7 +1555,7 @@ impl Fields {
     }
 }
 
-fn as_f64(v: &Value, tag: &str, name: &str) -> Result<f64, SpecError> {
+pub(crate) fn as_f64(v: &Value, tag: &str, name: &str) -> Result<f64, SpecError> {
     match v.kind() {
         ValueKind::Num(x) => Ok(*x),
         #[allow(clippy::cast_precision_loss)]
@@ -1515,7 +1567,7 @@ fn as_f64(v: &Value, tag: &str, name: &str) -> Result<f64, SpecError> {
     }
 }
 
-fn as_u64(v: &Value, tag: &str, name: &str) -> Result<u64, SpecError> {
+pub(crate) fn as_u64(v: &Value, tag: &str, name: &str) -> Result<u64, SpecError> {
     match v.kind() {
         ValueKind::Int(x) => Ok(*x),
         _ => Err(SpecError::new(format!(
@@ -1536,7 +1588,7 @@ fn as_bool(v: &Value, tag: &str, name: &str) -> Result<bool, SpecError> {
     }
 }
 
-fn as_text(v: &Value, tag: &str, name: &str) -> Result<String, SpecError> {
+pub(crate) fn as_text(v: &Value, tag: &str, name: &str) -> Result<String, SpecError> {
     match v.kind() {
         ValueKind::Str(s) => Ok(s.clone()),
         ValueKind::Word(w) => Ok(w.clone()),
@@ -1652,6 +1704,27 @@ fn digital_from_fields(f: &mut Fields) -> Result<DigitalSpec, SpecError> {
         .map(|v| as_u64(&v, "digital", "max_events"))
         .transpose()?;
     let workers = take_workers(f)?;
+    let on_failure = match f.take("on_failure") {
+        None => FailurePolicySpec::default(),
+        Some(v) => {
+            let mut pf = Fields::of(v, "on_failure")?;
+            let p = match pf.tag.as_str() {
+                "abort" => FailurePolicySpec::Abort,
+                "skip" => FailurePolicySpec::Skip,
+                "retry" => FailurePolicySpec::Retry {
+                    attempts: pf.u32("attempts")?,
+                },
+                other => {
+                    return Err(SpecError::new(format!(
+                        "unknown failure policy {other:?} (expected abort, skip or retry)"
+                    ))
+                    .at(pf.span))
+                }
+            };
+            pf.finish()?;
+            p
+        }
+    };
     let scenarios = f
         .list("scenarios")?
         .into_iter()
@@ -1676,6 +1749,7 @@ fn digital_from_fields(f: &mut Fields) -> Result<DigitalSpec, SpecError> {
         horizon,
         max_events,
         workers,
+        on_failure,
         scenarios,
         outputs,
     })

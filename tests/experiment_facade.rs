@@ -453,3 +453,42 @@ fn facade_errors_unify_layer_errors() {
     assert!(std::error::Error::source(&err).is_some());
     assert!(!err.to_string().is_empty());
 }
+
+#[test]
+fn sweep_and_checkpoint_errors_display_and_chain() {
+    use std::error::Error as StdError;
+
+    // abort policy -> Error::Sweep, with the failing scenario's index,
+    // seed and cause preserved through the chain
+    let spec = digital_spec(4, 6, 2).with_on_failure(faithful::FailurePolicySpec::Abort);
+    let err = Experiment::digital(spec)
+        .with_fault_plan(faithful::FaultPlan::new().with_fault(3, faithful::FaultKind::Panic))
+        .run()
+        .unwrap_err();
+    let faithful::Error::Sweep(ref aborted) = err else {
+        panic!("expected Error::Sweep, got {err:?}");
+    };
+    assert_eq!(aborted.failure.index, 3);
+    assert_eq!(aborted.failure.seed, Some(3));
+    let text = err.to_string();
+    assert!(text.contains("sweep aborted"), "{text}");
+    assert!(text.contains("scenario 3"), "{text}");
+    assert!(text.contains("seed 3"), "{text}");
+    // Error -> SweepAborted -> ScenarioFailure -> SimError
+    let aborted = StdError::source(&err).expect("Sweep has a source");
+    let failure = aborted.source().expect("SweepAborted has a source");
+    assert!(failure.to_string().contains("seed 3"), "{failure}");
+    let cause = failure.source().expect("ScenarioFailure has a source");
+    assert!(cause.to_string().contains("panicked"), "{cause}");
+
+    // unreadable sidecar -> Error::Checkpoint, carrying the path
+    let missing =
+        std::env::temp_dir().join(format!("faithful_no_such_{}.spec", std::process::id()));
+    let err = Experiment::resume(&missing).unwrap_err();
+    let faithful::Error::Checkpoint(ref ck) = err else {
+        panic!("expected Error::Checkpoint, got {err:?}");
+    };
+    assert_eq!(ck.path(), Some(missing.display().to_string().as_str()));
+    assert!(err.to_string().contains("checkpoint error"), "{err}");
+    assert!(StdError::source(&err).is_some());
+}

@@ -39,6 +39,8 @@ const EXPECTED: &[(&str, &str, Severity)] = &[
     ("workers_zero.spec", "IVL037", Severity::Warning),
     ("duplicate_labels.spec", "IVL038", Severity::Warning),
     ("bad_truth_table.spec", "IVL039", Severity::Error),
+    ("budget_too_small.spec", "IVL040", Severity::Warning),
+    ("retry_deterministic.spec", "IVL041", Severity::Warning),
 ];
 
 #[test]

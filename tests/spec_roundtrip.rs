@@ -3,9 +3,9 @@
 
 use faithful::{
     AnalogSpec, AnalogTask, ChainSpec, ChannelRunSpec, ChannelSpec, DelaySpec, DigitalSpec,
-    EdgeSpec, ExperimentSpec, GateKindSpec, IntegratorSpec, NetlistSpec, NodeSpec, NoiseSpec,
-    Orientation, OutputSelect, ReferenceSpec, ScenarioSpec, SignalSpec, SpfSpec, SpfTask,
-    SupplySpec, SweepSpec, TopologySpec, WorkloadSpec,
+    EdgeSpec, ExperimentSpec, FailurePolicySpec, GateKindSpec, IntegratorSpec, NetlistSpec,
+    NodeSpec, NoiseSpec, Orientation, OutputSelect, ReferenceSpec, ScenarioSpec, SignalSpec,
+    SpfSpec, SpfTask, SupplySpec, SweepSpec, TopologySpec, WorkloadSpec,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -191,6 +191,13 @@ fn arb_digital(rng: &mut StdRng) -> DigitalSpec {
     if rng.gen_range(0..2u32) == 0 {
         d = d.with_max_events(rng.gen());
     }
+    d = d.with_on_failure(match rng.gen_range(0..4u32) {
+        0 => FailurePolicySpec::Abort,
+        1 => FailurePolicySpec::Retry {
+            attempts: rng.gen_range(0..5u32),
+        },
+        _ => FailurePolicySpec::Skip,
+    });
     for _ in 0..rng.gen_range(0..4usize) {
         let mut s = ScenarioSpec::new(arb_name(rng));
         if rng.gen_range(0..2u32) == 0 {
@@ -456,4 +463,69 @@ faithful/1 analog {
         .expect("characterize task");
     assert!(!up.is_empty());
     assert!(!down.is_empty());
+}
+
+#[test]
+fn fault_tolerance_docs_are_pinned() {
+    // The spec block shown in EXPERIMENTS.md "Fault tolerance" — kept
+    // verbatim here so the docs cannot drift from a runnable spec.
+    let spec = r#"faithful/1 digital {
+  topology = chain {
+    stages = 4;
+    channel = eta {
+      delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5;
+      minus = 0.02; plus = 0.02;
+      noise = uniform; seed = 0;
+    };
+  };
+  horizon = 100.0;
+  workers = 2;
+  on_failure = retry { attempts = 2 };
+  scenarios = [
+    scenario { label = "draw0"; seed = 0; inputs = [
+      drive { port = "a"; signal = pulse { at = 1.0; width = 6.0 } }
+    ] }
+  ];
+}"#;
+    let experiments = include_str!("../EXPERIMENTS.md");
+    assert!(
+        experiments.contains(spec),
+        "EXPERIMENTS.md drifted from the pinned fault-tolerance spec"
+    );
+    let parsed: ExperimentSpec = spec.parse().unwrap();
+    let digital = match &parsed.workload {
+        WorkloadSpec::Digital(d) => d,
+        other => panic!("expected digital workload, got {other:?}"),
+    };
+    assert_eq!(digital.on_failure, FailurePolicySpec::Retry { attempts: 2 });
+    let result = faithful::Experiment::new(parsed).run().unwrap();
+    let sweep = result.digital().expect("digital workload");
+    assert_eq!(sweep.completed, 1);
+    assert_eq!(sweep.failed, 0);
+
+    // both documents describe the robustness surface
+    for needle in [
+        "## Fault tolerance",
+        "### Resumable sweeps",
+        "### Chaos testing",
+        "IVL_FAULT_QUARANTINE_DIR",
+        "IVL_FAULT_SEED",
+        "Experiment::resume",
+    ] {
+        assert!(
+            experiments.contains(needle),
+            "EXPERIMENTS.md lost {needle:?}"
+        );
+    }
+    let readme = include_str!("../README.md");
+    for needle in [
+        "## Fault-tolerant sweeps",
+        "on_failure",
+        "IVL_FAULT_QUARANTINE_DIR",
+        "IVL_FAULT_SEED",
+        "Experiment::resume",
+        "with_fault_plan",
+    ] {
+        assert!(readme.contains(needle), "README.md lost {needle:?}");
+    }
 }
