@@ -2,10 +2,13 @@
 //! heap vs the adaptive `Auto` backend on the three canonical workloads
 //! (1k-gate chain, fanout grid, cancel-heavy inertial churn), the
 //! persistent scenario worker pool vs the old spawn-per-sweep
-//! discipline at 1/2/4 workers, and a `sweep_10k` tier (10 000
+//! discipline at 1/2/4 workers, a `sweep_10k` tier (10 000
 //! scenarios) sized to actually saturate cores at 1/2/4/8 workers —
 //! the old 64-scenario sweep finished in ~18 ms and measured spawn
-//! overhead, not scaling.
+//! overhead, not scaling — and a `service` tier pushing a batch of
+//! distinct specs through an in-process `faithful-serve` daemon cold
+//! (every spec computed) and hot (pure content-addressed cache replay),
+//! recording specs/sec and client-observed p50/p99 latency for both.
 //!
 //! Besides the criterion groups, the harness emits a machine-readable
 //! `BENCH_digital.json` baseline at the workspace root (override the
@@ -27,9 +30,10 @@
 use std::time::Instant;
 
 use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use faithful::service::{run_batch, BatchOptions, ServeConfig, Server};
 use faithful::{
-    ChannelSpec, DigitalSpec, Experiment, FailurePolicySpec, OutputSelect, ScenarioSpec,
-    SignalSpec, TopologySpec,
+    ChannelSpec, DigitalSpec, Experiment, ExperimentSpec, FailurePolicySpec, NoiseSpec,
+    OutputSelect, ScenarioSpec, SignalSpec, TopologySpec,
 };
 use ivl_circuit::{
     Circuit, CircuitBuilder, GateKind, QueueBackend, Scenario, ScenarioRunner, SimResult,
@@ -401,6 +405,107 @@ fn verify_bit_identity(
     );
 }
 
+// ======================================================================
+// The `service` tier: faithful-serve cold vs hot cache throughput
+// ======================================================================
+
+/// One spec of the service batch: a seeded (hence cacheable) sweep.
+/// The document is deliberately *short* (12 pulses) but the simulation
+/// *heavy* (a 128-stage chain), so a cold submission is dominated by
+/// event processing while a hot replay pays only parse + hash + frame
+/// I/O — the asymmetry the cache exists to exploit.
+fn service_spec(k: u64) -> String {
+    ExperimentSpec::digital(
+        DigitalSpec::new(
+            TopologySpec::InverterChain {
+                stages: 128,
+                channel: ChannelSpec::eta_exp(
+                    1.0,
+                    0.5,
+                    0.5,
+                    0.02,
+                    0.02,
+                    NoiseSpec::Uniform { seed: 0 },
+                ),
+            },
+            2000.0,
+        )
+        .with_scenario(ScenarioSpec::new(format!("k{k}")).with_seed(k).with_input(
+            "a",
+            SignalSpec::train((0..12).map(|i| (f64::from(i) * 75.0, 15.0))),
+        )),
+    )
+    .to_string()
+}
+
+/// Runs the experiment-service tier: an in-process `faithful-serve`
+/// pool fed one batch of distinct specs over 4 pipelined connections,
+/// cold (every spec computed) then hot (pure cache replay). Returns the
+/// recorded `(metric, value)` pairs; under `IVL_BENCH_CHECK` asserts
+/// the hot batch sustains >= 10x the cold specs/sec.
+fn service_tier(test_mode: bool) -> Vec<(String, f64)> {
+    let batch = if test_mode { 256 } else { 1000 };
+    let specs: Vec<String> = (0..batch).map(service_spec).collect();
+    let server = Server::bind(ServeConfig::default()).expect("bind service bench server");
+    let addr = server.local_addr().expect("service bench addr").to_string();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    let options = BatchOptions {
+        connections: 4,
+        pipeline: 32,
+    };
+    let cold = run_batch(&addr, &specs, &options).expect("cold service batch");
+    assert!(cold.errors.is_empty(), "{:?}", cold.errors);
+    assert_eq!(cold.ok, specs.len());
+    assert_eq!(cold.cached, 0, "distinct cold specs cannot hit the cache");
+    let hot = run_batch(&addr, &specs, &options).expect("hot service batch");
+    assert_eq!(
+        hot.cached,
+        specs.len(),
+        "the hot batch must be pure cache replay"
+    );
+    handle.shutdown();
+    let summary = join.join().expect("service bench server");
+    assert_eq!(summary.jobs, specs.len() as u64);
+
+    let ratio = hot.specs_per_sec() / cold.specs_per_sec().max(1e-12);
+    println!(
+        "service tier ({batch} specs): cold {:.0} specs/sec (p50 {:.2}ms, p99 {:.2}ms), \
+         hot {:.0} specs/sec (p50 {:.2}ms, p99 {:.2}ms), {ratio:.1}x",
+        cold.specs_per_sec(),
+        cold.latency_ms(0.5).unwrap_or(0.0),
+        cold.latency_ms(0.99).unwrap_or(0.0),
+        hot.specs_per_sec(),
+        hot.latency_ms(0.5).unwrap_or(0.0),
+        hot.latency_ms(0.99).unwrap_or(0.0),
+    );
+    if std::env::var_os("IVL_BENCH_CHECK").is_some() {
+        assert!(
+            ratio >= 10.0,
+            "regression gate: hot-cache service throughput only {ratio:.1}x cold \
+             (hot {:.0} vs cold {:.0} specs/sec)",
+            hot.specs_per_sec(),
+            cold.specs_per_sec()
+        );
+        println!("IVL_BENCH_CHECK passed: service hot vs cold = {ratio:.1}x");
+    }
+    vec![
+        ("cold_specs_per_sec".to_owned(), cold.specs_per_sec()),
+        ("hot_specs_per_sec".to_owned(), hot.specs_per_sec()),
+        ("hot_vs_cold".to_owned(), ratio),
+        (
+            "cold_p50_ms".to_owned(),
+            cold.latency_ms(0.5).unwrap_or(0.0),
+        ),
+        (
+            "cold_p99_ms".to_owned(),
+            cold.latency_ms(0.99).unwrap_or(0.0),
+        ),
+        ("hot_p50_ms".to_owned(), hot.latency_ms(0.5).unwrap_or(0.0)),
+        ("hot_p99_ms".to_owned(), hot.latency_ms(0.99).unwrap_or(0.0)),
+    ]
+}
+
 /// A spec-driven digital sweep through the `Experiment` facade — the
 /// facade dispatches to the same `ScenarioRunner`, so it inherits the
 /// calendar queue and the worker pool for free; this entry pins that.
@@ -571,6 +676,8 @@ fn emit_baseline(test_mode: bool) {
         );
     }
 
+    let service = service_tier(test_mode);
+
     let host_cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"digital\",\n");
@@ -617,6 +724,12 @@ fn emit_baseline(test_mode: bool) {
         };
         let s = base_10k / t.max(1e-12);
         json.push_str(&format!("    \"{workers}w\": {s:.2}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"service\": {\n");
+    for (i, (name, v)) in service.iter().enumerate() {
+        let comma = if i + 1 < service.len() { "," } else { "" };
+        json.push_str(&format!("    \"{name}\": {v:.3}{comma}\n"));
     }
     json.push_str("  },\n");
     json.push_str("  \"sweep_health\": {\n");

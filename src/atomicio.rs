@@ -1,0 +1,63 @@
+//! The one atomic-write primitive shared by every on-disk artifact.
+//!
+//! Checkpoint sidecars ([`crate::Experiment::resume`]) and the
+//! experiment service's disk cache (`IVL_CACHE_DIR`) both persist
+//! `faithful/1` documents that must never be observed half-written: a
+//! kill mid-write has to leave either the previous complete file or no
+//! file, never a truncated one. Both go through [`write_atomic`] so the
+//! crash discipline cannot diverge between the two stores: render the
+//! full payload, write it to `<path>.tmp`, then `rename` over `path`
+//! (atomic on POSIX filesystems).
+//!
+//! A stale `<path>.tmp` left behind by a kill between the write and the
+//! rename is harmless: the next write truncates and replaces it, and
+//! readers never look at `.tmp` paths.
+
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically via a `<path>.tmp` sidecar and
+/// rename.
+///
+/// # Errors
+///
+/// On failure returns the underlying I/O error together with the path
+/// the failing operation touched (the temporary on write failures, the
+/// destination on rename failures), so callers can wrap it in their own
+/// error type without losing the location.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), (std::io::Error, PathBuf)> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| (e, tmp.clone()))?;
+    std::fs::rename(&tmp, path).map_err(|e| (e, path.to_path_buf()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_replaces_previous_content_atomically() {
+        let dir = std::env::temp_dir().join(format!("faithful_atomicio_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.spec");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        // a stale .tmp from an interrupted earlier write is overwritten,
+        // not an error
+        std::fs::write(dir.join("artifact.spec.tmp"), b"torn hal").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!dir.join("artifact.spec.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failures_name_the_path_they_touched() {
+        let missing = Path::new("/nonexistent-dir-for-faithful-tests/x.spec");
+        let (err, path) = write_atomic(missing, b"payload").unwrap_err();
+        assert_eq!(path, missing.with_extension("spec.tmp"));
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    }
+}

@@ -1,0 +1,150 @@
+//! `faithful-client` — batch submitter for a `faithful-serve` daemon.
+//!
+//! ```text
+//! faithful-client [--addr HOST:PORT] [--connections N] [--pipeline K]
+//!                 [--repeat R] [--expect-cached] [--quiet] FILE.spec ...
+//! ```
+//!
+//! Reads every spec file, submits the whole list `R` times (default 1)
+//! across `N` concurrent connections with up to `K` pipelined requests
+//! per connection, and reports throughput (specs/sec) plus p50/p99
+//! client-observed latency. `--addr` falls back to `IVL_SERVE_ADDR`,
+//! then `127.0.0.1:7433`. `--expect-cached` asserts that *every*
+//! response was served from the daemon's cache — the CI smoke job uses
+//! it to pin the hot-resubmission path.
+//!
+//! Exit status: `0` when every spec succeeded (and, under
+//! `--expect-cached`, every response was a cache hit), `1` when any
+//! served response was an error or a cache expectation failed, `2` on
+//! usage or I/O errors.
+
+use std::process::ExitCode;
+
+use faithful::service::{run_batch, BatchOptions, ENV_ADDR};
+
+struct Options {
+    addr: String,
+    batch: BatchOptions,
+    repeat: usize,
+    expect_cached: bool,
+    quiet: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        addr: std::env::var(ENV_ADDR).unwrap_or_else(|_| "127.0.0.1:7433".to_owned()),
+        batch: BatchOptions::default(),
+        repeat: 1,
+        expect_cached: false,
+        quiet: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let number = |flag: &str, raw: &str| -> Result<usize, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a positive integer, got {raw:?}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr", &mut it)?,
+            "--connections" => {
+                opts.batch.connections =
+                    number("--connections", &value("--connections", &mut it)?)?.max(1);
+            }
+            "--pipeline" => {
+                opts.batch.pipeline = number("--pipeline", &value("--pipeline", &mut it)?)?.max(1);
+            }
+            "--repeat" => opts.repeat = number("--repeat", &value("--repeat", &mut it)?)?.max(1),
+            "--expect-cached" => opts.expect_cached = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other:?}")),
+            other => opts.files.push(other.to_owned()),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no spec files".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("faithful-client: {msg}");
+            }
+            eprintln!(
+                "usage: faithful-client [--addr HOST:PORT] [--connections N] [--pipeline K] \\
+                 [--repeat R] [--expect-cached] [--quiet] FILE.spec ..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut batch = Vec::with_capacity(opts.files.len() * opts.repeat);
+    for file in &opts.files {
+        match std::fs::read_to_string(file) {
+            Ok(text) => batch.push(text),
+            Err(e) => {
+                eprintln!("faithful-client: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let one_round = batch.clone();
+    for _ in 1..opts.repeat {
+        batch.extend(one_round.iter().cloned());
+    }
+
+    let report = match run_batch(&opts.addr, &batch, &opts.batch) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("faithful-client: {}: {e}", opts.addr);
+            return ExitCode::from(2);
+        }
+    };
+
+    for (index, message) in &report.errors {
+        let file = &opts.files[index % opts.files.len()];
+        eprintln!("faithful-client: {file}: {message}");
+    }
+    if !opts.quiet {
+        let quantile = |q: f64| {
+            report
+                .latency_ms(q)
+                .map_or_else(|| "-".to_owned(), |ms| format!("{ms:.2}ms"))
+        };
+        eprintln!(
+            "faithful-client: {} submitted, {} ok ({} cached), {} error(s) in {:.2?} \
+             ({:.0} specs/sec, p50 {}, p99 {})",
+            report.submitted,
+            report.ok,
+            report.cached,
+            report.errors.len(),
+            report.elapsed,
+            report.specs_per_sec(),
+            quantile(0.5),
+            quantile(0.99),
+        );
+    }
+    if !report.errors.is_empty() {
+        return ExitCode::from(1);
+    }
+    if opts.expect_cached && report.cached != report.submitted {
+        eprintln!(
+            "faithful-client: expected every response from the cache, got {} of {}",
+            report.cached, report.submitted
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

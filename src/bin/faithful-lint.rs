@@ -2,13 +2,15 @@
 //! specs, without running a single simulation event.
 //!
 //! ```text
-//! faithful-lint [--deny-warnings] [--quiet] FILE.spec ... [--markdown FILE.md ...]
+//! faithful-lint [--deny-warnings] [--service] [--quiet] FILE.spec ... [--markdown FILE.md ...]
 //! ```
 //!
 //! Plain arguments are spec documents; `--markdown` files are scanned
 //! for fenced code blocks whose first line starts with `faithful/`, and
 //! every such block is linted with line numbers offset to the enclosing
 //! file. Diagnostics print as `file:line:col: severity[IVLnnn]: message`.
+//! `--service` lints in experiment-service context, adding diagnostics
+//! about fields the `faithful-serve` daemon overrides (`IVL050`).
 //!
 //! Exit status: `0` clean (or warnings only), `1` if any
 //! `Error`-severity diagnostic was found (or any warning under
@@ -17,10 +19,11 @@
 use std::process::ExitCode;
 
 use faithful::core::factory::ChannelRegistry;
-use faithful::{lint_text, Severity};
+use faithful::{lint_text, lint_text_for_service, Severity};
 
 struct Options {
     deny_warnings: bool,
+    service: bool,
     quiet: bool,
     specs: Vec<String>,
     markdown: Vec<String>,
@@ -29,6 +32,7 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         deny_warnings: false,
+        service: false,
         quiet: false,
         specs: Vec::new(),
         markdown: Vec::new(),
@@ -37,6 +41,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
+            "--service" => opts.service = true,
             "--quiet" | "-q" => opts.quiet = true,
             "--markdown" => {
                 let file = it
@@ -106,7 +111,7 @@ fn main() -> ExitCode {
                 eprintln!("faithful-lint: {msg}");
             }
             eprintln!(
-                "usage: faithful-lint [--deny-warnings] [--quiet] FILE.spec ... \
+                "usage: faithful-lint [--deny-warnings] [--service] [--quiet] FILE.spec ... \
                  [--markdown FILE.md ...]"
             );
             return ExitCode::from(2);
@@ -143,7 +148,12 @@ fn main() -> ExitCode {
     let mut documents = 0usize;
     for input in &inputs {
         documents += 1;
-        let report = match lint_text(&input.text, &registry) {
+        let lint = if opts.service {
+            lint_text_for_service
+        } else {
+            lint_text
+        };
+        let report = match lint(&input.text, &registry) {
             Ok(report) => report,
             Err(e) => {
                 // a spec that does not even parse is an error finding

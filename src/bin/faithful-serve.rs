@@ -1,0 +1,155 @@
+//! `faithful-serve` — the experiment service daemon: `faithful/1`
+//! specs over TCP with content-addressed result caching.
+//!
+//! ```text
+//! faithful-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!                [--per-connection N] [--cache-entries N]
+//!                [--cache-bytes N] [--cache-dir DIR]
+//! ```
+//!
+//! Defaults come from the environment where it matters: `--addr` falls
+//! back to `IVL_SERVE_ADDR` (then `127.0.0.1:7433`), `--cache-dir` to
+//! `IVL_CACHE_DIR` (unset means the cache is memory-only). Port 0 binds
+//! an ephemeral port; the daemon prints the resolved address as
+//! `faithful-serve: listening on HOST:PORT` on stdout either way, so
+//! scripts can discover it.
+//!
+//! On SIGTERM or SIGINT the daemon drains gracefully: it stops
+//! accepting connections, rejects new submissions with typed `shutdown`
+//! errors, finishes every already-accepted job, prints a drain summary
+//! and exits 0. See the `faithful::service` module docs for the frame
+//! protocol and cache semantics.
+//!
+//! Exit status: `0` after a clean drain, `2` on usage or bind errors.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use faithful::service::{ServeConfig, Server, ENV_ADDR, ENV_CACHE_DIR};
+
+/// Set by the signal handler; polled by the main thread.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // A lock-free flag store is all the handler does; the drain itself
+    // runs on the main thread.
+    unsafe {
+        signal(SIGTERM, on_signal as *const () as usize);
+        signal(SIGINT, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig {
+        addr: std::env::var(ENV_ADDR).unwrap_or_else(|_| "127.0.0.1:7433".to_owned()),
+        cache_dir: std::env::var_os(ENV_CACHE_DIR).map(std::path::PathBuf::from),
+        ..ServeConfig::default()
+    };
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    let number = |flag: &str, raw: &str| -> Result<usize, String> {
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a non-negative integer, got {raw:?}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr", &mut it)?,
+            "--workers" => config.workers = number("--workers", &value("--workers", &mut it)?)?,
+            "--queue" => {
+                config.queue_capacity = number("--queue", &value("--queue", &mut it)?)?;
+            }
+            "--per-connection" => {
+                config.per_connection =
+                    number("--per-connection", &value("--per-connection", &mut it)?)?;
+            }
+            "--cache-entries" => {
+                config.cache_entries =
+                    number("--cache-entries", &value("--cache-entries", &mut it)?)?;
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = number("--cache-bytes", &value("--cache-bytes", &mut it)?)?;
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir", &mut it)?));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("faithful-serve: {msg}");
+            }
+            eprintln!(
+                "usage: faithful-serve [--addr HOST:PORT] [--workers N] [--queue N] \\
+                 [--per-connection N] [--cache-entries N] [--cache-bytes N] [--cache-dir DIR]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("faithful-serve: bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("faithful-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    install_signal_handlers();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+
+    // Scripts (the CI smoke job, the service tests) parse this line.
+    println!("faithful-serve: listening on {addr}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    while !STOP.load(Ordering::SeqCst) && !join.is_finished() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.shutdown();
+    let summary = match join.join() {
+        Ok(summary) => summary,
+        Err(_) => {
+            eprintln!("faithful-serve: server thread panicked");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "faithful-serve: drained; {} connection(s), {} job(s) run, {} cache hit(s), \
+         {} rejected, {} error(s)",
+        summary.connections, summary.jobs, summary.cache_hits, summary.rejected, summary.errors
+    );
+    ExitCode::SUCCESS
+}

@@ -212,17 +212,13 @@ pub(crate) fn read(path: &Path) -> Result<CheckpointState, CheckpointError> {
 
 /// Writes a checkpoint atomically: render to `<path>.tmp`, then rename
 /// over `path`, so an interrupted write never truncates the previous
-/// complete checkpoint.
+/// complete checkpoint. Shares [`crate::atomicio::write_atomic`] with
+/// the experiment service's disk cache so both stores keep the same
+/// crash discipline.
 pub(crate) fn write_atomic(path: &Path, state: &CheckpointState) -> Result<(), CheckpointError> {
     let text = render(state);
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, &text)
-        .map_err(|e| CheckpointError::new(e.to_string()).at_path(tmp.display().to_string()))?;
-    std::fs::rename(&tmp, path)
-        .map_err(|e| CheckpointError::new(e.to_string()).at_path(path.display().to_string()))?;
-    Ok(())
+    crate::atomicio::write_atomic(path, text.as_bytes())
+        .map_err(|(e, at)| CheckpointError::new(e.to_string()).at_path(at.display().to_string()))
 }
 
 #[cfg(test)]

@@ -985,7 +985,7 @@ impl DigitalOutcome {
 }
 
 /// The output of an analog experiment, shaped by the task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum AnalogResult {
     /// `(T, δ)` samples of one orientation.

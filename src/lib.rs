@@ -17,7 +17,10 @@
 //! scenario sweep, an analog characterization, or an SPF instance — as
 //! a serializable [`ExperimentSpec`] and let [`Experiment::run`]
 //! dispatch it to the right engine behind one typed
-//! [`ExperimentResult`] and one [`Error`] type.
+//! [`ExperimentResult`] and one [`Error`] type. The [`service`] module
+//! (and the `faithful-serve` / `faithful-client` bins) turns that
+//! facade into a long-running TCP daemon with an exact,
+//! content-addressed result cache.
 //!
 //! ```
 //! use faithful::{ChannelSpec, Experiment, SignalSpec};
@@ -37,10 +40,12 @@
 //! paper-figure reproduction index.
 #![warn(missing_docs)]
 
+mod atomicio;
 mod checkpoint;
 mod error;
 mod experiment;
 pub mod lint;
+pub mod service;
 mod spec;
 mod value;
 
@@ -54,7 +59,10 @@ pub use experiment::{
     AnalogResult, ChannelResult, DigitalOutcome, DigitalResult, Experiment, ExperimentResult,
     QuarantinedScenario, SpfResult,
 };
-pub use lint::{lint, lint_text, Diagnostic, LintConfig, LintReport, Severity};
+pub use lint::{
+    lint, lint_for_service, lint_text, lint_text_for_service, Diagnostic, LintConfig, LintReport,
+    Severity,
+};
 pub use spec::{
     AnalogSpec, AnalogTask, ChainSpec, ChannelRunSpec, ChannelSpec, DelaySpec, DigitalSpec,
     EdgeSpec, ExperimentSpec, FailurePolicySpec, GateKindSpec, IntegratorSpec, NetlistSpec,

@@ -37,6 +37,7 @@
 //! | `IVL039` | error | malformed truth table (rows ≠ 2^inputs) |
 //! | `IVL040` | warning | `max_events` below the provable minimum event count |
 //! | `IVL041` | warning | `retry(n)` policy on a fully deterministic workload |
+//! | `IVL050` | info | `workers = n` is overridden by the experiment service's shared pool (service context only) |
 //!
 //! [`Experiment::run`](crate::Experiment::run) runs the linter as a
 //! pre-flight: `Error`-severity diagnostics deny the run by default;
@@ -205,6 +206,38 @@ pub fn lint_text(text: &str, registry: &ChannelRegistry) -> Result<LintReport, S
     Ok(Linter::new(registry, spans).run(&spec))
 }
 
+/// Lints a spec *as the experiment service would before running it*.
+///
+/// This is the same pass set as [`lint`], plus service-context
+/// diagnostics for fields the daemon overrides server-side — today
+/// `IVL050` (info) when a spec requests `workers = n`, which
+/// `faithful-serve` ignores in favor of its own shared pool sizing.
+/// Results are unaffected (sweeps are bit-identical across worker
+/// counts), so the finding is informational, but clients should not be
+/// silently surprised that the knob did nothing.
+#[must_use]
+pub fn lint_for_service(spec: &ExperimentSpec, registry: &ChannelRegistry) -> LintReport {
+    Linter::new(registry, SpecSpans::default())
+        .for_service()
+        .run(spec)
+}
+
+/// Parses a spec document and lints it in service context (see
+/// [`lint_for_service`]), attaching line/column spans.
+///
+/// # Errors
+///
+/// [`SpecError`] when the text does not parse as a spec at all.
+pub fn lint_text_for_service(
+    text: &str,
+    registry: &ChannelRegistry,
+) -> Result<LintReport, SpecError> {
+    let value = parse_document(text)?;
+    let spans = SpecSpans::extract(&value);
+    let spec = ExperimentSpec::from_value(value)?;
+    Ok(Linter::new(registry, spans).for_service().run(&spec))
+}
+
 // ======================================================================
 // Span side-table
 // ======================================================================
@@ -339,6 +372,9 @@ struct Linter<'a> {
     probe_cache: HashMap<(String, u64), Option<f64>>,
     probes_left: usize,
     truncated: bool,
+    /// Lint for the experiment service: adds diagnostics about fields
+    /// the daemon overrides server-side (`IVL050`).
+    service: bool,
 }
 
 impl<'a> Linter<'a> {
@@ -351,7 +387,13 @@ impl<'a> Linter<'a> {
             probe_cache: HashMap::new(),
             probes_left: PROBE_BUDGET,
             truncated: false,
+            service: false,
         }
+    }
+
+    fn for_service(mut self) -> Self {
+        self.service = true;
+        self
     }
 
     fn push(
@@ -426,6 +468,18 @@ impl<'a> Linter<'a> {
                 Severity::Warning,
                 self.spans.workers,
                 "workers = 0 is clamped to 1 at run time".to_owned(),
+            );
+        }
+        if let (true, Some(n)) = (self.service, workers) {
+            self.push(
+                "IVL050",
+                Severity::Info,
+                self.spans.workers,
+                format!(
+                    "workers = {n} is ignored by the experiment service, which schedules \
+                     jobs onto its own shared pool (results are unaffected: sweeps are \
+                     bit-identical across worker counts)"
+                ),
             );
         }
     }

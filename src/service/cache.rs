@@ -1,0 +1,325 @@
+//! The content-addressed result cache: exact, bounded, optionally
+//! persistent.
+//!
+//! Keys are [`ExperimentSpec::canonical_hash`](crate::ExperimentSpec::canonical_hash)
+//! values; every entry also stores the canonical spec text it was
+//! computed for and a lookup verifies it, so a (vanishingly unlikely)
+//! 64-bit collision degrades to a miss, never to a wrong result.
+//!
+//! The in-memory store is an LRU bounded by **entry count and total
+//! bytes** — whichever cap is hit first evicts the least-recently-used
+//! entries. The optional disk store (one document per entry under the
+//! configured directory) is written through on insert with the same
+//! atomic tmp+rename discipline as checkpoint sidecars
+//! ([`crate::atomicio`]), so a daemon killed mid-write leaves either
+//! the previous complete entry or none — a truncated or torn entry
+//! fails to parse and reads as a miss, never as corrupt data.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::spec::Fields;
+use crate::value::{parse_document, render_document, Value};
+
+/// Schema version of on-disk cache entries.
+const DISK_VERSION: u64 = 1;
+
+struct Entry {
+    spec: String,
+    result: String,
+    stamp: u64,
+}
+
+impl Entry {
+    fn bytes(&self) -> usize {
+        self.spec.len() + self.result.len()
+    }
+}
+
+/// Running counters of one cache's lifetime, for the daemon's drain
+/// summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing (or a hash collision).
+    pub misses: u64,
+    /// Entries evicted to respect the entry/byte bounds.
+    pub evictions: u64,
+    /// Disk writes that failed (the cache degrades to memory-only for
+    /// that entry; never fatal).
+    pub disk_errors: u64,
+}
+
+/// A bounded LRU of rendered result documents keyed on canonical spec
+/// text, with optional write-through persistence.
+pub struct ResultCache {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    total_bytes: usize,
+    max_entries: usize,
+    max_bytes: usize,
+    dir: Option<PathBuf>,
+    counters: CacheCounters,
+}
+
+impl ResultCache {
+    /// A memory-only cache holding at most `max_entries` entries and
+    /// `max_bytes` total bytes (specs + results). Either bound of 0
+    /// disables caching entirely.
+    #[must_use]
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            clock: 0,
+            total_bytes: 0,
+            max_entries,
+            max_bytes,
+            dir: None,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Adds a write-through disk store under `dir` (created if
+    /// missing). Disk entries are unbounded and survive restarts; the
+    /// LRU bounds apply to memory only.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn with_disk(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.dir = Some(dir);
+        Ok(self)
+    }
+
+    /// Lifetime counters.
+    #[must_use]
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// The file a given hash persists to, when a disk store is
+    /// configured.
+    #[must_use]
+    pub fn entry_path(&self, hash: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| entry_path(d, hash))
+    }
+
+    /// Looks up the result for `canonical_spec` (which must hash to
+    /// `hash`): memory first, then disk (promoting a disk hit into
+    /// memory). The stored spec text is compared before anything is
+    /// returned, so a colliding hash is a miss.
+    pub fn get(&mut self, hash: u64, canonical_spec: &str) -> Option<String> {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(&hash) {
+            if e.spec == canonical_spec {
+                e.stamp = self.clock;
+                self.counters.hits += 1;
+                return Some(e.result.clone());
+            }
+            self.counters.misses += 1;
+            return None;
+        }
+        if let Some(dir) = &self.dir {
+            if let Some(result) = read_entry(&entry_path(dir, hash), canonical_spec) {
+                self.counters.hits += 1;
+                self.install(hash, canonical_spec.to_owned(), result.clone(), false);
+                return Some(result);
+            }
+        }
+        self.counters.misses += 1;
+        None
+    }
+
+    /// Stores the rendered result for `canonical_spec`, evicting
+    /// least-recently-used entries past the bounds and writing through
+    /// to disk when configured.
+    pub fn insert(&mut self, hash: u64, canonical_spec: &str, result: String) {
+        if self.max_entries == 0 || self.max_bytes == 0 {
+            return;
+        }
+        self.clock += 1;
+        self.install(hash, canonical_spec.to_owned(), result, true);
+    }
+
+    fn install(&mut self, hash: u64, spec: String, result: String, write_disk: bool) {
+        if write_disk {
+            if let Some(dir) = &self.dir {
+                let text = render_entry(&spec, &result);
+                if crate::atomicio::write_atomic(&entry_path(dir, hash), text.as_bytes()).is_err() {
+                    self.counters.disk_errors += 1;
+                }
+            }
+        }
+        if let Some(old) = self.entries.remove(&hash) {
+            self.total_bytes -= old.bytes();
+        }
+        let entry = Entry {
+            spec,
+            result,
+            stamp: self.clock,
+        };
+        self.total_bytes += entry.bytes();
+        self.entries.insert(hash, entry);
+        // Evict past either bound, never the entry just touched (a
+        // single oversized result may transiently exceed max_bytes
+        // rather than thrash).
+        while self.entries.len() > 1
+            && (self.entries.len() > self.max_entries || self.total_bytes > self.max_bytes)
+        {
+            let Some((&lru, _)) = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != hash)
+                .min_by_key(|(_, e)| e.stamp)
+            else {
+                break;
+            };
+            let removed = self.entries.remove(&lru).expect("lru key just found");
+            self.total_bytes -= removed.bytes();
+            self.counters.evictions += 1;
+        }
+    }
+
+    /// Number of entries currently in memory.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are in memory.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes (specs + results) currently held in memory.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.total_bytes
+    }
+}
+
+fn entry_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("cache_{hash:016x}.spec"))
+}
+
+fn render_entry(spec: &str, result: &str) -> String {
+    render_document(&Value::node(
+        "cached",
+        vec![
+            ("version".to_owned(), Value::int(DISK_VERSION)),
+            ("spec".to_owned(), Value::str(spec)),
+            ("result".to_owned(), Value::str(result)),
+        ],
+    ))
+}
+
+/// Reads and validates one disk entry; any parse failure, version
+/// mismatch or spec mismatch is a miss (`None`), never an error — torn
+/// or foreign files must not take the service down.
+fn read_entry(path: &Path, canonical_spec: &str) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let mut f = Fields::of(parse_document(&text).ok()?, "cached").ok()?;
+    f.expect_tag(&["cached"]).ok()?;
+    if f.u64("version").ok()? != DISK_VERSION {
+        return None;
+    }
+    let spec = f.string("spec").ok()?;
+    let result = f.string("result").ok()?;
+    f.finish().ok()?;
+    (spec == canonical_spec).then_some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("faithful_cache_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn lru_is_bounded_by_entries_and_bytes() {
+        let mut c = ResultCache::new(2, 1 << 20);
+        c.insert(1, "spec-a", "result-a".to_owned());
+        c.insert(2, "spec-b", "result-b".to_owned());
+        c.insert(3, "spec-c", "result-c".to_owned());
+        assert_eq!(c.len(), 2);
+        // 1 was least recently used and fell out
+        assert!(c.get(1, "spec-a").is_none());
+        assert_eq!(c.get(3, "spec-c").as_deref(), Some("result-c"));
+        // touching 2 makes 3 the LRU for the next eviction
+        assert!(c.get(2, "spec-b").is_some());
+        c.insert(4, "spec-d", "result-d".to_owned());
+        assert!(c.get(3, "spec-c").is_none());
+        assert!(c.get(2, "spec-b").is_some());
+
+        // byte bound: each entry is ~16 bytes, cap at ~2 entries' worth
+        let mut c = ResultCache::new(100, 36);
+        c.insert(1, "spec-a", "result-a".to_owned());
+        c.insert(2, "spec-b", "result-b".to_owned());
+        c.insert(3, "spec-c", "result-c".to_owned());
+        assert!(c.bytes() <= 36, "bytes = {}", c.bytes());
+        assert!(c.len() < 3);
+        assert!(c.counters().evictions >= 1);
+    }
+
+    #[test]
+    fn hash_collisions_read_as_misses() {
+        let mut c = ResultCache::new(10, 1 << 20);
+        c.insert(42, "spec-a", "result-a".to_owned());
+        assert!(c.get(42, "different-spec-same-hash").is_none());
+        assert_eq!(c.get(42, "spec-a").as_deref(), Some("result-a"));
+    }
+
+    #[test]
+    fn disk_store_survives_a_new_cache_and_tolerates_torn_files() {
+        let d = dir("disk");
+        let mut c = ResultCache::new(10, 1 << 20).with_disk(&d).unwrap();
+        c.insert(7, "faithful/1 spec", "faithful/1 result".to_owned());
+        let path = c.entry_path(7).unwrap();
+        assert!(path.exists());
+
+        // a fresh (post-restart) cache reads it back from disk
+        let mut fresh = ResultCache::new(10, 1 << 20).with_disk(&d).unwrap();
+        assert_eq!(
+            fresh.get(7, "faithful/1 spec").as_deref(),
+            Some("faithful/1 result")
+        );
+        // ... and promoted it into memory
+        assert_eq!(fresh.len(), 1);
+
+        // kill-mid-write: truncate the entry as an interrupted write
+        // would never do (the atomic rename forbids it) and as a torn
+        // disk could: the entry reads as a miss, not an error.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let mut torn = ResultCache::new(10, 1 << 20).with_disk(&d).unwrap();
+        assert!(torn.get(7, "faithful/1 spec").is_none());
+
+        // a leftover .tmp from a kill between write and rename is
+        // ignored by reads and replaced by the next write
+        std::fs::write(path.with_extension("spec.tmp"), "half a docum").unwrap();
+        torn.insert(7, "faithful/1 spec", "faithful/1 result".to_owned());
+        assert!(!path.with_extension("spec.tmp").exists());
+        let mut again = ResultCache::new(10, 1 << 20).with_disk(&d).unwrap();
+        assert_eq!(
+            again.get(7, "faithful/1 spec").as_deref(),
+            Some("faithful/1 result")
+        );
+        std::fs::remove_dir_all(&d).ok();
+    }
+
+    #[test]
+    fn zero_bounds_disable_caching() {
+        let mut c = ResultCache::new(0, 1 << 20);
+        c.insert(1, "s", "r".to_owned());
+        assert!(c.get(1, "s").is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1010,6 +1010,37 @@ impl ExperimentSpec {
     pub fn spf(spec: SpfSpec) -> Self {
         ExperimentSpec::new(WorkloadSpec::Spf(spec))
     }
+
+    /// A stable content hash of the spec's *canonical* text form.
+    ///
+    /// The hash is FNV-1a (64-bit) over the bytes of `self.to_string()`
+    /// — the canonical `faithful/1` rendering, which is byte-identical
+    /// for every text that parses to the same spec. Comments,
+    /// whitespace and formatting variants of one spec therefore hash to
+    /// the same value, which is exactly the contract the experiment
+    /// service's content-addressed result cache keys on: because
+    /// replay of a spec is bit-identical, equal hashes (verified
+    /// against the stored canonical text to rule out collisions) mean
+    /// reusable results.
+    ///
+    /// Unlike `std::collections::hash_map::DefaultHasher`, this value
+    /// is stable across processes, platforms and releases of the spec
+    /// schema version, so it can name on-disk cache entries.
+    #[must_use]
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a_64(self.to_string().as_bytes())
+    }
+}
+
+/// FNV-1a, 64-bit: the offset-basis/prime pair from Fowler–Noll–Vo.
+/// Deliberately dependency-free and byte-order independent.
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 // ======================================================================

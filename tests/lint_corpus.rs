@@ -7,8 +7,8 @@ use std::process::Command;
 
 use faithful::core::factory::{ChannelParams, ChannelRegistry};
 use faithful::{
-    lint, lint_text, DigitalSpec, Error, Experiment, ExperimentSpec, LintConfig, NetlistSpec,
-    ScenarioSpec, Severity, SignalSpec, SpfSpec, SpfTask, TopologySpec,
+    lint, lint_text, lint_text_for_service, DigitalSpec, Error, Experiment, ExperimentSpec,
+    LintConfig, NetlistSpec, ScenarioSpec, Severity, SignalSpec, SpfSpec, SpfTask, TopologySpec,
 };
 
 fn registry() -> ChannelRegistry {
@@ -41,13 +41,20 @@ const EXPECTED: &[(&str, &str, Severity)] = &[
     ("bad_truth_table.spec", "IVL039", Severity::Error),
     ("budget_too_small.spec", "IVL040", Severity::Warning),
     ("retry_deterministic.spec", "IVL041", Severity::Warning),
+    ("service_workers_override.spec", "IVL050", Severity::Info),
 ];
 
 #[test]
 fn every_corpus_file_triggers_its_diagnostic() {
     let registry = registry();
     for (file, code, severity) in EXPECTED {
-        let report = lint_text(&corpus(file), &registry)
+        // IVL050 only exists in experiment-service context.
+        let lint_fn = if *code == "IVL050" {
+            lint_text_for_service
+        } else {
+            lint_text
+        };
+        let report = lint_fn(&corpus(file), &registry)
             .unwrap_or_else(|e| panic!("{file} failed to parse: {e}"));
         let hit = report
             .diagnostics()
@@ -348,4 +355,45 @@ fn cli_deny_warnings_escalates() {
         .output()
         .unwrap();
     assert_eq!(denied.status.code(), Some(1));
+}
+
+#[test]
+fn ivl050_only_fires_in_service_context() {
+    let registry = registry();
+    let text = corpus("service_workers_override.spec");
+    // the default path says nothing: workers is honored by Experiment::run
+    let plain = lint_text(&text, &registry).unwrap();
+    assert!(
+        plain.diagnostics().iter().all(|d| d.code != "IVL050"),
+        "{plain}"
+    );
+    assert!(plain.is_clean(), "{plain}");
+    // the service path flags it as informational, never blocking
+    let served = lint_text_for_service(&text, &registry).unwrap();
+    let hit = served
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == "IVL050")
+        .unwrap_or_else(|| panic!("no IVL050 in {served}"));
+    assert_eq!(hit.severity, Severity::Info);
+    assert!(hit.message.contains("shared pool"), "{}", hit.message);
+    assert!(!served.has_errors());
+}
+
+#[test]
+fn cli_service_flag_surfaces_ivl050() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let file = "tests/lint_corpus/service_workers_override.spec";
+    let plain = cli().current_dir(root).arg(file).output().unwrap();
+    assert_eq!(plain.status.code(), Some(0));
+    assert!(!String::from_utf8(plain.stdout).unwrap().contains("IVL050"));
+    let served = cli()
+        .current_dir(root)
+        .args(["--service", file])
+        .output()
+        .unwrap();
+    // info-severity: printed, but still exit 0
+    assert_eq!(served.status.code(), Some(0));
+    let stdout = String::from_utf8(served.stdout).unwrap();
+    assert!(stdout.contains("info[IVL050]"), "{stdout}");
 }

@@ -1,0 +1,496 @@
+//! End-to-end tests of the experiment service: golden bit-identity
+//! between served and in-process results, cache semantics, typed error
+//! frames, graceful drain (in-process and via SIGTERM against the real
+//! `faithful-serve` bin), and disk-cache persistence across restarts.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::thread;
+use std::time::Duration;
+
+use faithful::service::{
+    render_result, ServeConfig, ServeSummary, ServedErrorKind, Server, ServiceClient, ServiceHandle,
+};
+use faithful::Experiment;
+
+const CHANNEL_SPEC: &str = "faithful/1 channel {\n  \
+    channel = involution { delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5 };\n  \
+    input = pulse { at = 0.0; width = 3.0 };\n}\n";
+
+const SPF_SPEC: &str = "faithful/1 spf {\n  \
+    delay = exp { tau = 1.0; t_p = 0.5; v_th = 0.5 };\n  \
+    eta_minus = 0.02;\n  eta_plus = 0.02;\n  task = theory;\n}\n";
+
+const ANALOG_SPEC: &str = "faithful/1 analog {\n  \
+    chain = chain { stages = 3; width_scale = 1.0 };\n  \
+    supply = dc { volts = 1.0 };\n  \
+    sweep = sweep {\n    \
+    widths = [30.0, 60.0, 90.0];\n    \
+    settle = 20.0; tail = 60.0; dt = 0.1; slew = 10.0; stage = 1;\n    \
+    integrator = rk4;\n  };\n  \
+    task = samples { inverted = false };\n}\n";
+
+/// A seeded digital sweep; `seed` varies the scenario so distinct specs
+/// are distinct cache entries.
+fn digital_spec(seed: u64) -> String {
+    format!(
+        "faithful/1 digital {{\n  topology = chain {{\n    stages = 8;\n    \
+         channel = eta {{\n      delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5;\n      \
+         minus = 0.02; plus = 0.02;\n      noise = uniform; seed = 0;\n    }};\n  }};\n  \
+         horizon = 100.0;\n  workers = 4;\n  scenarios = [\n    \
+         scenario {{ label = \"draw\"; seed = {seed}; inputs = [\n      \
+         drive {{ port = \"a\"; signal = pulse {{ at = 1.0; width = 6.0 }} }}\n    ] }}\n  ];\n  \
+         outputs = outputs {{ signals = true; stats = true; vcd = false }};\n}}\n"
+    )
+}
+
+fn start(config: ServeConfig) -> (SocketAddr, ServiceHandle, thread::JoinHandle<ServeSummary>) {
+    let server = Server::bind(config).expect("bind ephemeral server");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle();
+    let join = thread::spawn(move || server.run());
+    (addr, handle, join)
+}
+
+fn in_process(text: &str) -> String {
+    render_result(&Experiment::parse(text).unwrap().run().unwrap())
+}
+
+#[test]
+fn served_results_are_bit_identical_to_in_process_across_connections() {
+    // (spec, in-process golden bytes); the server overrides `workers`,
+    // so equality here also pins worker-count invariance end to end.
+    let golden: Vec<(String, String)> = [
+        CHANNEL_SPEC.to_owned(),
+        SPF_SPEC.to_owned(),
+        ANALOG_SPEC.to_owned(),
+        digital_spec(0),
+    ]
+    .into_iter()
+    .map(|text| {
+        let expected = in_process(&text);
+        (text, expected)
+    })
+    .collect();
+
+    for connections in [1usize, 2, 4] {
+        let (addr, handle, join) = start(ServeConfig::default());
+        let mut clients = Vec::new();
+        for _ in 0..connections {
+            let golden = golden.clone();
+            clients.push(thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).unwrap();
+                for (text, expected) in &golden {
+                    let response = client.run_one(text).unwrap();
+                    assert!(response.reply.is_ok(), "{:?}", response.reply);
+                    assert_eq!(
+                        &response.payload, expected,
+                        "served bytes drifted from in-process bytes \
+                         ({connections} connection(s))"
+                    );
+                }
+            }));
+        }
+        for c in clients {
+            c.join().unwrap();
+        }
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert_eq!(summary.connections, connections as u64);
+        assert_eq!(
+            summary.jobs + summary.cache_hits,
+            (connections * golden.len()) as u64
+        );
+        assert_eq!(summary.errors, 0);
+    }
+}
+
+#[test]
+fn cache_replays_are_byte_identical_and_format_insensitive() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = ServiceClient::connect(addr).unwrap();
+
+    let text = digital_spec(7);
+    let fresh = client.run_one(&text).unwrap();
+    assert!(fresh.reply.is_ok(), "{:?}", fresh.reply);
+    assert!(!fresh.cached);
+
+    let replay = client.run_one(&text).unwrap();
+    assert!(replay.cached, "second submission must hit the cache");
+    assert_eq!(replay.payload, fresh.payload, "cache replay must be exact");
+
+    // a comment/whitespace variant is the same cache entry
+    let variant = format!(
+        "\n# reformatted\n{}\n  # trailing comment\n",
+        text.replacen('{', "{\n  # inline\n", 1)
+    );
+    let reformatted = client.run_one(&variant).unwrap();
+    assert!(
+        reformatted.cached,
+        "formatting variants must share the cache entry"
+    );
+    assert_eq!(reformatted.payload, fresh.payload);
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.jobs, 1);
+    assert_eq!(summary.cache_hits, 2);
+}
+
+#[test]
+fn unseeded_stochastic_sweeps_bypass_the_cache() {
+    // No scenario seed over a `noise = uniform` channel: the one spec
+    // class whose replay may differ, so it must never be cached.
+    let text = "faithful/1 digital {\n  topology = chain {\n    stages = 4;\n    \
+         channel = eta {\n      delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5;\n      \
+         minus = 0.02; plus = 0.02;\n      noise = uniform; seed = 0;\n    };\n  };\n  \
+         horizon = 50.0;\n  scenarios = [\n    \
+         scenario { label = \"unseeded\"; inputs = [\n      \
+         drive { port = \"a\"; signal = pulse { at = 1.0; width = 6.0 } }\n    ] }\n  ];\n}\n";
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = ServiceClient::connect(addr).unwrap();
+    for _ in 0..2 {
+        let response = client.run_one(text).unwrap();
+        assert!(response.reply.is_ok(), "{:?}", response.reply);
+        assert!(!response.cached, "non-replayable specs must not be cached");
+    }
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.jobs, 2);
+    assert_eq!(summary.cache_hits, 0);
+}
+
+#[test]
+fn spec_and_lint_failures_come_back_as_typed_errors() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = ServiceClient::connect(addr).unwrap();
+
+    let garbled = client.run_one("faithful/1 cooking {}").unwrap();
+    let err = garbled.reply.unwrap_err();
+    assert_eq!(err.kind, ServedErrorKind::Spec);
+    assert!(err.message.contains("workload"), "{err}");
+
+    // parses, but the lint preflight rejects the unknown channel kind
+    let unlintable =
+        "faithful/1 channel {\n  channel = warp { factor = 9.0 };\n  input = zero;\n}\n";
+    let linted = client.run_one(unlintable).unwrap();
+    let err = linted.reply.unwrap_err();
+    assert_eq!(err.kind, ServedErrorKind::Lint);
+    let ivl030 = err
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "IVL030")
+        .unwrap_or_else(|| panic!("no IVL030 in {err}"));
+    assert_eq!(ivl030.severity, faithful::Severity::Error);
+    assert!(
+        ivl030.span.is_some(),
+        "wire diagnostics keep their source spans"
+    );
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.errors, 2);
+    assert_eq!(summary.jobs, 0);
+}
+
+#[test]
+fn shutdown_drains_accepted_jobs_and_rejects_new_ones() {
+    let (addr, handle, join) = start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = ServiceClient::connect(addr).unwrap();
+
+    // two distinct jobs accepted before the drain begins (the pause
+    // lets the connection reader consume both submissions; acceptance
+    // happens at the reader, not at the client's write)...
+    let a = client.submit(&digital_spec(100)).unwrap();
+    let b = client.submit(&digital_spec(101)).unwrap();
+    thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+    // ... and one submitted after: the flag is already set, so the
+    // reader must reject it with a typed `shutdown` error.
+    let c = client.submit(&digital_spec(102)).unwrap();
+
+    let mut ok = Vec::new();
+    let mut rejected = Vec::new();
+    for _ in 0..3 {
+        let response = client.recv().unwrap();
+        match response.reply {
+            Ok(_) => ok.push(response.id),
+            Err(e) => {
+                assert_eq!(e.kind, ServedErrorKind::Shutdown, "{e}");
+                rejected.push(response.id);
+            }
+        }
+    }
+    ok.sort_unstable();
+    assert_eq!(ok, vec![a, b], "accepted jobs must drain to results");
+    assert_eq!(rejected, vec![c]);
+
+    let summary = join.join().unwrap();
+    assert_eq!(summary.jobs + summary.cache_hits, 2);
+    assert_eq!(summary.rejected, 1);
+}
+
+#[test]
+fn disk_cache_survives_a_daemon_restart() {
+    let dir = std::env::temp_dir().join(format!("faithful_serve_disk_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = || ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let text = digital_spec(55);
+
+    let (addr, handle, join) = start(config());
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let fresh = client.run_one(&text).unwrap();
+    assert!(!fresh.cached);
+    drop(client);
+    handle.shutdown();
+    join.join().unwrap();
+
+    // a brand-new daemon over the same directory serves it from disk
+    let (addr, handle, join) = start(config());
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let replay = client.run_one(&text).unwrap();
+    assert!(replay.cached, "disk entries must survive restarts");
+    assert_eq!(replay.payload, fresh.payload);
+    drop(client);
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.jobs, 0);
+    assert_eq!(summary.cache_hits, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ======================================================================
+// The real daemon, over SIGTERM
+// ======================================================================
+
+#[cfg(unix)]
+#[test]
+fn sigterm_mid_batch_drains_every_accepted_job() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_faithful-serve"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn faithful-serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("faithful-serve: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_owned();
+
+    let mut client = ServiceClient::connect(addr.as_str()).unwrap();
+    let batch = 10u64;
+    let mut pending: Vec<u64> = (0..batch)
+        .map(|i| client.submit(&digital_spec(1000 + i)).unwrap())
+        .collect();
+    // let a prefix of the batch reach the queue, then pull the plug
+    thread::sleep(Duration::from_millis(100));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success());
+
+    // Every submitted job is accounted for: a result if it was accepted
+    // before the signal, a typed shutdown rejection otherwise. Nothing
+    // is dropped and the stream stays decodable throughout.
+    let mut results = 0u64;
+    let mut rejections = 0u64;
+    for _ in 0..batch {
+        let response = client.recv().expect("every job must be answered");
+        let index = pending
+            .iter()
+            .position(|&id| id == response.id)
+            .expect("response for an id we submitted");
+        pending.remove(index);
+        match response.reply {
+            Ok(_) => results += 1,
+            Err(e) => {
+                assert_eq!(e.kind, ServedErrorKind::Shutdown, "{e}");
+                rejections += 1;
+            }
+        }
+    }
+    assert!(pending.is_empty());
+    assert_eq!(results + rejections, batch);
+    assert!(results >= 1, "at least the in-flight job must complete");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "daemon must exit 0 after a clean drain");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut stdout, &mut rest).unwrap();
+    assert!(rest.contains("drained"), "missing drain summary: {rest:?}");
+}
+
+#[cfg(unix)]
+#[test]
+fn client_bin_reports_cache_hits_on_resubmission() {
+    let dir = std::env::temp_dir().join(format!("faithful_serve_bin_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec_file = dir.join("one.spec");
+    std::fs::write(&spec_file, digital_spec(9000)).unwrap();
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_faithful-serve"))
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let mut stdout = BufReader::new(daemon.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("faithful-serve: listening on ")
+        .unwrap()
+        .to_owned();
+
+    let client = |extra: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_faithful-client"));
+        cmd.args(["--addr", &addr, "--connections", "2"])
+            .args(extra)
+            .arg(&spec_file);
+        cmd.status().unwrap()
+    };
+    assert!(client(&[]).success(), "cold submission must succeed");
+    assert!(
+        client(&["--expect-cached"]).success(),
+        "hot resubmission must be served from the cache"
+    );
+
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(term.success());
+    assert!(daemon.wait().unwrap().success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn batch_driver_aggregates_throughput_and_latency() {
+    let (addr, handle, join) = start(ServeConfig::default());
+    let specs: Vec<String> = (0..16).map(digital_spec).collect();
+    let report = faithful::service::run_batch(
+        &addr.to_string(),
+        &specs,
+        &faithful::service::BatchOptions {
+            connections: 4,
+            pipeline: 8,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.submitted, 16);
+    assert_eq!(report.ok, 16);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(report.specs_per_sec() > 0.0);
+    let (p50, p99) = (
+        report.latency_ms(0.5).unwrap(),
+        report.latency_ms(0.99).unwrap(),
+    );
+    assert!(p50 <= p99, "p50 {p50} must not exceed p99 {p99}");
+
+    // the same batch again is pure cache replay
+    let hot = faithful::service::run_batch(
+        &addr.to_string(),
+        &specs,
+        &faithful::service::BatchOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(hot.cached, 16);
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.jobs, 16);
+    assert!(summary.cache_hits >= 16);
+}
+
+#[test]
+fn service_docs_are_pinned() {
+    // The spec block shown in EXPERIMENTS.md "Experiment service" —
+    // kept verbatim here so the walkthrough cannot drift from a
+    // runnable, cacheable spec.
+    let spec = r#"faithful/1 digital {
+  topology = chain {
+    stages = 6;
+    channel = eta {
+      delay = exp; tau = 1.0; t_p = 0.5; v_th = 0.5;
+      minus = 0.02; plus = 0.02;
+      noise = uniform; seed = 0;
+    };
+  };
+  horizon = 120.0;
+  workers = 4;
+  scenarios = [
+    scenario { label = "served0"; seed = 0; inputs = [
+      drive { port = "a"; signal = pulse { at = 1.0; width = 8.0 } }
+    ] },
+    scenario { label = "served1"; seed = 1; inputs = [
+      drive { port = "a"; signal = pulse { at = 2.0; width = 5.0 } }
+    ] }
+  ];
+}"#;
+    let experiments = include_str!("../EXPERIMENTS.md");
+    assert!(
+        experiments.contains(spec),
+        "EXPERIMENTS.md drifted from the pinned service spec"
+    );
+
+    // Serve it twice: fresh run, then a byte-identical cache replay —
+    // exactly the behavior the walkthrough promises.
+    let expected = in_process(spec);
+    let (addr, handle, join) = start(ServeConfig::default());
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let fresh = client.run_one(spec).unwrap();
+    assert!(fresh.reply.is_ok(), "{:?}", fresh.reply);
+    assert!(!fresh.cached);
+    assert_eq!(fresh.payload, expected);
+    let replay = client.run_one(spec).unwrap();
+    assert!(
+        replay.cached,
+        "docs promise the second submission replays from cache"
+    );
+    assert_eq!(replay.payload, expected);
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.jobs, 1);
+    assert_eq!(summary.cache_hits, 1);
+
+    // both documents describe the service surface
+    for needle in [
+        "## Experiment service",
+        "### Frame format",
+        "### Error frames",
+        "### Cache semantics",
+        "RESULT_CACHED",
+        "IVL_SERVE_ADDR",
+        "IVL_CACHE_DIR",
+    ] {
+        assert!(
+            experiments.contains(needle),
+            "EXPERIMENTS.md lost {needle:?}"
+        );
+    }
+    let readme = include_str!("../README.md");
+    for needle in [
+        "## Experiment service",
+        "faithful-serve",
+        "faithful-client",
+        "canonical_hash",
+        "IVL_SERVE_ADDR",
+        "IVL_CACHE_DIR",
+    ] {
+        assert!(readme.contains(needle), "README.md lost {needle:?}");
+    }
+}

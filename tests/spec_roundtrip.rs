@@ -343,6 +343,34 @@ proptest! {
         // serialization is canonical
         prop_assert_eq!(text, back.to_string());
     }
+
+    /// The service cache key: `canonical_hash` survives parse → print →
+    /// parse, and comment/whitespace variants of the same document
+    /// collide onto the same hash (they are the same cache entry).
+    #[test]
+    fn canonical_hash_is_format_insensitive(seed in 0u64..u64::MAX) {
+        let spec = arb_spec(seed);
+        let hash = spec.canonical_hash();
+        let text = spec.to_string();
+        let back: ExperimentSpec = text
+            .parse()
+            .map_err(|e| TestCaseError::Fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(hash, back.canonical_hash(), "---\n{}", text);
+
+        // Reformat without changing meaning: leading/trailing blank
+        // lines and comments, plus a comment just inside the workload
+        // braces (the first `{` always opens the workload node, so the
+        // insertion cannot land inside a quoted string).
+        let variant = format!(
+            "\n  # a leading comment\n{}\n# a trailing comment\n\t \n",
+            text.replacen('{', "{\n  # an inline comment\n", 1)
+        );
+        let reparsed: ExperimentSpec = variant
+            .parse()
+            .map_err(|e| TestCaseError::Fail(format!("{e}\n---\n{variant}")))?;
+        prop_assert_eq!(&spec, &reparsed, "---\n{}", variant);
+        prop_assert_eq!(hash, reparsed.canonical_hash(), "---\n{}", variant);
+    }
 }
 
 #[test]
