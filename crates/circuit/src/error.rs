@@ -143,6 +143,13 @@ pub enum SimError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// The node exists but the run recorded signals selectively (a
+    /// watch set was configured) and this node was not in it, so no
+    /// waveform is available.
+    NotWatched {
+        /// The node whose signal was requested.
+        name: String,
+    },
     /// The run was cancelled from outside (a sweep watchdog enforcing a
     /// per-scenario wall-clock budget, or an aborting sweep reclaiming
     /// its stragglers). The simulation state is discarded; rerunning the
@@ -193,6 +200,10 @@ impl fmt::Display for SimError {
                 write!(f, "event budget of {budget} exhausted at time {time}")
             }
             SimError::UnknownNode { name } => write!(f, "unknown node {name:?}"),
+            SimError::NotWatched { name } => write!(
+                f,
+                "node {name:?} was not in the run's watch set, so its signal was not recorded"
+            ),
             SimError::Cancelled { time } => {
                 write!(f, "run cancelled at time {time} (watchdog or sweep abort)")
             }
@@ -254,6 +265,7 @@ mod tests {
                 time: 5.0,
             }),
             Box::new(SimError::UnknownNode { name: "g".into() }),
+            Box::new(SimError::NotWatched { name: "g".into() }),
             Box::new(SimError::Cancelled { time: 4.5 }),
             Box::new(SimError::ScenarioPanicked {
                 message: "boom".into(),

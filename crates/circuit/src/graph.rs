@@ -1,7 +1,17 @@
 //! Circuit graphs: ports, gates and channel edges.
+//!
+//! The netlist is stored struct-of-arrays: node attributes live in flat
+//! parallel vectors indexed by [`NodeId`], edge endpoints in parallel
+//! vectors indexed by [`EdgeId`], and fanout adjacency in a CSR-style
+//! (`out_start` offsets + `out_edges` indices) pair instead of one
+//! `Vec<EdgeId>` allocation per node. Ids are compact `u32`, so a
+//! million-gate netlist costs a handful of large allocations rather
+//! than millions of small ones, and a clone-free `Arc` share between
+//! sweep workers stays cache-friendly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::ops::Range;
 use std::sync::Arc;
 
 use ivl_core::channel::SimChannel;
@@ -12,25 +22,25 @@ use crate::gate::GateKind;
 
 /// Identifier of a circuit node (input port, output port or gate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub(crate) usize);
+pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
     /// The raw index of the node.
     #[must_use]
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
 /// Identifier of a circuit edge (a channel or a direct port connection).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EdgeId(pub(crate) usize);
+pub struct EdgeId(pub(crate) u32);
 
 impl EdgeId {
     /// The raw index of the edge.
     #[must_use]
     pub fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -53,32 +63,80 @@ pub enum NodeKind {
     },
 }
 
-#[derive(Clone)]
-pub(crate) struct Node {
-    pub(crate) name: String,
-    pub(crate) kind: NodeKind,
+/// Compact per-node discriminant stored in the struct-of-arrays
+/// topology; the full [`NodeKind`] is reconstructed on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeTag {
+    Input,
+    Output,
+    Gate,
 }
 
-/// The immutable endpoints of one edge. The channel (the only mutable
-/// part of an edge) lives outside the shared topology, in
-/// [`Circuit::channels`].
-#[derive(Clone, Copy)]
-pub(crate) struct Edge {
-    pub(crate) from: NodeId,
-    pub(crate) to: NodeId,
-    pub(crate) pin: usize,
-}
-
-/// The immutable netlist of a [`Circuit`]: node table, edge endpoints,
-/// adjacency and the name index. Shared via `Arc` between every clone
-/// of a circuit (and hence between all scenario-sweep workers), so
-/// cloning a circuit copies only per-edge channel state — never the
-/// topology.
+/// The immutable netlist of a [`Circuit`] in struct-of-arrays form:
+/// parallel per-node attribute vectors, parallel per-edge endpoint
+/// vectors, CSR fanout adjacency and the name index. Shared via `Arc`
+/// between every clone of a circuit (and hence between all
+/// scenario-sweep workers), so cloning a circuit copies only per-edge
+/// channel state — never the topology.
 pub(crate) struct Topology {
-    pub(crate) nodes: Vec<Node>,
-    pub(crate) edges: Vec<Edge>,
-    pub(crate) outgoing: Vec<Vec<EdgeId>>,
+    // --- per node, indexed by NodeId ---
+    pub(crate) node_names: Vec<String>,
+    pub(crate) node_tags: Vec<NodeTag>,
+    /// Boolean function per node; a `Buf` placeholder for ports.
+    pub(crate) gate_kinds: Vec<GateKind>,
+    /// Input-pin count: 0 for inputs, 1 for outputs, declared arity
+    /// for gates.
+    pub(crate) node_arity: Vec<u32>,
+    /// Initial output value (the paper's value "until time 0");
+    /// `Bit::Zero` placeholder for ports.
+    pub(crate) node_initial: Vec<Bit>,
+    /// CSR offsets into the flattened input-pin array: node `n`'s pins
+    /// occupy `pin_start[n]..pin_start[n + 1]`.
+    pub(crate) pin_start: Vec<u32>,
+    // --- per edge, indexed by EdgeId ---
+    pub(crate) edge_from: Vec<u32>,
+    pub(crate) edge_to: Vec<u32>,
+    pub(crate) edge_pin: Vec<u32>,
+    // --- CSR fanout adjacency ---
+    /// Node `n`'s outgoing edges are
+    /// `out_edges[out_start[n]..out_start[n + 1]]`, in edge-creation
+    /// order (the order the old per-node `Vec<EdgeId>` held them).
+    pub(crate) out_start: Vec<u32>,
+    pub(crate) out_edges: Vec<u32>,
     pub(crate) names: Arc<HashMap<String, NodeId>>,
+}
+
+impl Topology {
+    pub(crate) fn node_count(&self) -> usize {
+        self.node_tags.len()
+    }
+
+    pub(crate) fn edge_count(&self) -> usize {
+        self.edge_from.len()
+    }
+
+    /// Outgoing edge indices of node `n`, in edge-creation order.
+    pub(crate) fn outgoing(&self, n: usize) -> &[u32] {
+        &self.out_edges[self.out_start[n] as usize..self.out_start[n + 1] as usize]
+    }
+
+    /// Range of node `n`'s pins in the flattened pin array.
+    pub(crate) fn pin_range(&self, n: usize) -> Range<usize> {
+        self.pin_start[n] as usize..self.pin_start[n + 1] as usize
+    }
+
+    /// Reconstructs the full [`NodeKind`] of node `n`.
+    pub(crate) fn node_kind(&self, n: usize) -> NodeKind {
+        match self.node_tags[n] {
+            NodeTag::Input => NodeKind::Input,
+            NodeTag::Output => NodeKind::Output,
+            NodeTag::Gate => NodeKind::Gate {
+                kind: self.gate_kinds[n].clone(),
+                arity: self.node_arity[n] as usize,
+                initial: self.node_initial[n],
+            },
+        }
+    }
 }
 
 // builder-internal representation before the topology/channel split
@@ -97,11 +155,24 @@ enum Connection {
 /// validates the paper's well-formedness rules: every gate input pin and
 /// output port is driven by exactly one connection, and gates and
 /// channels alternate.
+///
+/// Validation is incremental and scale-friendly: double driving is
+/// caught at connect time through an O(1) driven-pin set, and the
+/// final unconnected-pin sweep is a single O(nodes + edges) pass —
+/// no quadratic rescans, so million-gate netlists build in linear time.
 pub struct CircuitBuilder {
-    nodes: Vec<Node>,
-    edges: Vec<Edge>,
+    node_names: Vec<String>,
+    node_tags: Vec<NodeTag>,
+    gate_kinds: Vec<GateKind>,
+    node_arity: Vec<u32>,
+    node_initial: Vec<Bit>,
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    edge_pin: Vec<u32>,
     conns: Vec<Connection>,
     names: HashMap<String, NodeId>,
+    /// `(to, pin)` pairs already driven — O(1) double-driver checks.
+    driven: HashSet<(u32, u32)>,
     deferred_error: Option<CircuitError>,
 }
 
@@ -110,36 +181,51 @@ impl CircuitBuilder {
     #[must_use]
     pub fn new() -> Self {
         CircuitBuilder {
-            nodes: Vec::new(),
-            edges: Vec::new(),
+            node_names: Vec::new(),
+            node_tags: Vec::new(),
+            gate_kinds: Vec::new(),
+            node_arity: Vec::new(),
+            node_initial: Vec::new(),
+            edge_from: Vec::new(),
+            edge_to: Vec::new(),
+            edge_pin: Vec::new(),
             conns: Vec::new(),
             names: HashMap::new(),
+            driven: HashSet::new(),
             deferred_error: None,
         }
     }
 
-    fn add_node(&mut self, name: &str, kind: NodeKind) -> NodeId {
-        let id = NodeId(self.nodes.len());
+    fn add_node(
+        &mut self,
+        name: &str,
+        tag: NodeTag,
+        gate_kind: GateKind,
+        arity: u32,
+        initial: Bit,
+    ) -> NodeId {
+        let id = NodeId(u32::try_from(self.node_tags.len()).expect("more than u32::MAX nodes"));
         if self.names.insert(name.to_owned(), id).is_some() && self.deferred_error.is_none() {
             self.deferred_error = Some(CircuitError::DuplicateName {
                 name: name.to_owned(),
             });
         }
-        self.nodes.push(Node {
-            name: name.to_owned(),
-            kind,
-        });
+        self.node_names.push(name.to_owned());
+        self.node_tags.push(tag);
+        self.gate_kinds.push(gate_kind);
+        self.node_arity.push(arity);
+        self.node_initial.push(initial);
         id
     }
 
     /// Adds an input port.
     pub fn input(&mut self, name: &str) -> NodeId {
-        self.add_node(name, NodeKind::Input)
+        self.add_node(name, NodeTag::Input, GateKind::Buf, 0, Bit::Zero)
     }
 
     /// Adds an output port.
     pub fn output(&mut self, name: &str) -> NodeId {
-        self.add_node(name, NodeKind::Output)
+        self.add_node(name, NodeTag::Output, GateKind::Buf, 1, Bit::Zero)
     }
 
     /// Adds a gate with the kind's default arity.
@@ -162,54 +248,58 @@ impl CircuitBuilder {
                 arity,
             });
         }
-        self.add_node(
-            name,
-            NodeKind::Gate {
-                kind,
-                arity,
-                initial,
-            },
-        )
+        let arity = u32::try_from(arity).expect("gate arity exceeds u32::MAX");
+        self.add_node(name, NodeTag::Gate, kind, arity, initial)
     }
 
     fn check_endpoints(&self, from: NodeId, to: NodeId, pin: usize) -> Result<(), CircuitError> {
-        let from_node = self
-            .nodes
-            .get(from.0)
-            .ok_or(CircuitError::UnknownNode { index: from.0 })?;
-        let to_node = self
-            .nodes
-            .get(to.0)
-            .ok_or(CircuitError::UnknownNode { index: to.0 })?;
-        if matches!(from_node.kind, NodeKind::Output) {
+        let from_tag = *self
+            .node_tags
+            .get(from.index())
+            .ok_or(CircuitError::UnknownNode {
+                index: from.index(),
+            })?;
+        let to_tag = *self
+            .node_tags
+            .get(to.index())
+            .ok_or(CircuitError::UnknownNode { index: to.index() })?;
+        if from_tag == NodeTag::Output {
             return Err(CircuitError::WrongPortDirection {
-                name: from_node.name.clone(),
+                name: self.node_names[from.index()].clone(),
             });
         }
-        if matches!(to_node.kind, NodeKind::Input) {
+        if to_tag == NodeTag::Input {
             return Err(CircuitError::WrongPortDirection {
-                name: to_node.name.clone(),
+                name: self.node_names[to.index()].clone(),
             });
         }
-        let arity = match &to_node.kind {
-            NodeKind::Gate { arity, .. } => *arity,
-            NodeKind::Output => 1,
-            NodeKind::Input => unreachable!("rejected above"),
-        };
+        let arity = self.node_arity[to.index()] as usize;
         if pin >= arity {
             return Err(CircuitError::PinOutOfRange {
-                node: to_node.name.clone(),
+                node: self.node_names[to.index()].clone(),
                 pin,
                 arity,
             });
         }
-        if self.edges.iter().any(|e| e.to == to && e.pin == pin) {
+        #[allow(clippy::cast_possible_truncation)]
+        if self.driven.contains(&(to.0, pin as u32)) {
             return Err(CircuitError::PinAlreadyDriven {
-                node: to_node.name.clone(),
+                node: self.node_names[to.index()].clone(),
                 pin,
             });
         }
         Ok(())
+    }
+
+    #[allow(clippy::cast_possible_truncation)]
+    fn push_edge(&mut self, from: NodeId, to: NodeId, pin: usize, conn: Connection) -> EdgeId {
+        let id = EdgeId(u32::try_from(self.edge_from.len()).expect("more than u32::MAX edges"));
+        self.edge_from.push(from.0);
+        self.edge_to.push(to.0);
+        self.edge_pin.push(pin as u32);
+        self.driven.insert((to.0, pin as u32));
+        self.conns.push(conn);
+        id
     }
 
     /// Connects `from` to pin `pin` of `to` through `channel`.
@@ -234,10 +324,28 @@ impl CircuitBuilder {
         C: SimChannel + 'static,
     {
         self.check_endpoints(from, to, pin)?;
-        let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { from, to, pin });
-        self.conns.push(Connection::Channel(Box::new(channel)));
-        Ok(id)
+        Ok(self.push_edge(from, to, pin, Connection::Channel(Box::new(channel))))
+    }
+
+    /// Connects `from` to pin `pin` of `to` through an already-boxed
+    /// channel — the dynamic-dispatch twin of
+    /// [`connect`](CircuitBuilder::connect), for callers that source
+    /// channels from a factory (the parametric topology
+    /// [`generate`](crate::generate) functions, spec-driven netlists).
+    /// Avoids wrapping the box in a second box.
+    ///
+    /// # Errors
+    ///
+    /// As [`connect`](CircuitBuilder::connect).
+    pub fn connect_boxed(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        pin: usize,
+        channel: Box<dyn SimChannel>,
+    ) -> Result<EdgeId, CircuitError> {
+        self.check_endpoints(from, to, pin)?;
+        Ok(self.push_edge(from, to, pin, Connection::Channel(channel)))
     }
 
     /// Connects `from` to pin `pin` of `to` with zero delay. At least one
@@ -254,18 +362,15 @@ impl CircuitBuilder {
         pin: usize,
     ) -> Result<EdgeId, CircuitError> {
         self.check_endpoints(from, to, pin)?;
-        let from_is_gate = matches!(self.nodes[from.0].kind, NodeKind::Gate { .. });
-        let to_is_gate = matches!(self.nodes[to.0].kind, NodeKind::Gate { .. });
-        if from_is_gate && to_is_gate {
+        if self.node_tags[from.index()] == NodeTag::Gate
+            && self.node_tags[to.index()] == NodeTag::Gate
+        {
             return Err(CircuitError::DirectBetweenGates {
-                from: self.nodes[from.0].name.clone(),
-                to: self.nodes[to.0].name.clone(),
+                from: self.node_names[from.index()].clone(),
+                to: self.node_names[to.index()].clone(),
             });
         }
-        let id = EdgeId(self.edges.len());
-        self.edges.push(Edge { from, to, pin });
-        self.conns.push(Connection::Direct);
-        Ok(id)
+        Ok(self.push_edge(from, to, pin, Connection::Direct))
     }
 
     /// Validates and finalizes the circuit.
@@ -274,30 +379,53 @@ impl CircuitBuilder {
     ///
     /// Returns the first well-formedness violation: duplicate names, bad
     /// gate arities, or unconnected gate pins / output ports.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn build(self) -> Result<Circuit, CircuitError> {
         if let Some(err) = self.deferred_error {
             return Err(err);
         }
+        let n = self.node_tags.len();
+        // flattened-pin CSR offsets (inputs contribute 0 pins)
+        let mut pin_start = Vec::with_capacity(n + 1);
+        pin_start.push(0u32);
+        let mut total = 0u32;
+        for &a in &self.node_arity {
+            total = total.checked_add(a).expect("more than u32::MAX input pins");
+            pin_start.push(total);
+        }
         // every gate pin and output port must be driven (exactly once —
-        // double driving was rejected at connect time)
-        for (i, node) in self.nodes.iter().enumerate() {
-            let arity = match &node.kind {
-                NodeKind::Gate { arity, .. } => *arity,
-                NodeKind::Output => 1,
-                NodeKind::Input => continue,
-            };
+        // double driving was rejected at connect time): one linear mark
+        // pass over the edges, one linear sweep over the pins
+        let mut pin_driven = vec![false; total as usize];
+        for (i, &to) in self.edge_to.iter().enumerate() {
+            pin_driven[(pin_start[to as usize] + self.edge_pin[i]) as usize] = true;
+        }
+        for (node, &arity) in self.node_arity.iter().enumerate() {
+            let base = pin_start[node];
             for pin in 0..arity {
-                if !self.edges.iter().any(|e| e.to == NodeId(i) && e.pin == pin) {
+                if !pin_driven[(base + pin) as usize] {
                     return Err(CircuitError::UnconnectedPin {
-                        node: node.name.clone(),
-                        pin,
+                        node: self.node_names[node].clone(),
+                        pin: pin as usize,
                     });
                 }
             }
         }
-        let mut outgoing = vec![Vec::new(); self.nodes.len()];
-        for (i, e) in self.edges.iter().enumerate() {
-            outgoing[e.from.0].push(EdgeId(i));
+        // CSR fanout adjacency by counting sort: preserves edge-creation
+        // order within each source node
+        let e = self.edge_from.len();
+        let mut out_start = vec![0u32; n + 1];
+        for &f in &self.edge_from {
+            out_start[f as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_start[i + 1] += out_start[i];
+        }
+        let mut cursor = out_start.clone();
+        let mut out_edges = vec![0u32; e];
+        for (i, &f) in self.edge_from.iter().enumerate() {
+            out_edges[cursor[f as usize] as usize] = i as u32;
+            cursor[f as usize] += 1;
         }
         let channels = self
             .conns
@@ -309,9 +437,17 @@ impl CircuitBuilder {
             .collect();
         Ok(Circuit {
             topo: Arc::new(Topology {
-                nodes: self.nodes,
-                edges: self.edges,
-                outgoing,
+                node_names: self.node_names,
+                node_tags: self.node_tags,
+                gate_kinds: self.gate_kinds,
+                node_arity: self.node_arity,
+                node_initial: self.node_initial,
+                pin_start,
+                edge_from: self.edge_from,
+                edge_to: self.edge_to,
+                edge_pin: self.edge_pin,
+                out_start,
+                out_edges,
                 names: Arc::new(self.names),
             }),
             channels,
@@ -328,27 +464,28 @@ impl Default for CircuitBuilder {
 impl fmt::Debug for CircuitBuilder {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CircuitBuilder")
-            .field("nodes", &self.nodes.len())
-            .field("edges", &self.edges.len())
+            .field("nodes", &self.node_tags.len())
+            .field("edges", &self.edge_from.len())
             .finish_non_exhaustive()
     }
 }
 
 /// A validated circuit, ready to simulate.
 ///
-/// A circuit is two layers: an immutable, `Arc`-shared netlist (nodes,
-/// edge endpoints, adjacency, name index) and per-instance channel
-/// state (`Box<dyn SimChannel>` per channel edge, `None` for direct
-/// connections). Cloning deep-copies only the channels — their
-/// single-history and noise/RNG state is what makes clones simulate
-/// independently — while every clone keeps pointing at the *same*
-/// netlist allocation. This is what lets the parallel
+/// A circuit is two layers: an immutable, `Arc`-shared netlist (flat
+/// node-attribute arrays, edge endpoints, CSR adjacency, name index)
+/// and per-instance channel state (`Box<dyn SimChannel>` per channel
+/// edge, `None` for direct connections). Cloning deep-copies only the
+/// channels — their single-history and noise/RNG state is what makes
+/// clones simulate independently — while every clone keeps pointing at
+/// the *same* netlist allocation. This is what lets the parallel
 /// [`ScenarioRunner`](crate::ScenarioRunner) hand each worker its own
-/// circuit without duplicating a 100k-gate topology per worker.
+/// circuit without duplicating a million-gate topology per worker.
 pub struct Circuit {
     pub(crate) topo: Arc<Topology>,
     /// Mutable per-edge channel state; `None` for direct connections.
-    /// Indexed by [`EdgeId`], in lockstep with `topo.edges`.
+    /// Indexed by [`EdgeId`], in lockstep with the topology's edge
+    /// arrays.
     pub(crate) channels: Vec<Option<Box<dyn SimChannel>>>,
 }
 
@@ -365,13 +502,13 @@ impl Circuit {
     /// Number of nodes.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.topo.nodes.len()
+        self.topo.node_count()
     }
 
     /// Number of edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
-        self.topo.edges.len()
+        self.topo.edge_count()
     }
 
     /// Looks a node up by name.
@@ -387,44 +524,44 @@ impl Circuit {
     /// Panics if `id` does not belong to this circuit.
     #[must_use]
     pub fn node_name(&self, id: NodeId) -> &str {
-        &self.topo.nodes[id.0].name
+        &self.topo.node_names[id.index()]
     }
 
-    /// The node's kind.
+    /// The node's kind, reconstructed from the packed attribute arrays.
     ///
     /// # Panics
     ///
     /// Panics if `id` does not belong to this circuit.
     #[must_use]
-    pub fn node_kind(&self, id: NodeId) -> &NodeKind {
-        &self.topo.nodes[id.0].kind
+    pub fn node_kind(&self, id: NodeId) -> NodeKind {
+        self.topo.node_kind(id.index())
     }
 
     /// Names of every node (ports and gates), in creation order.
     #[must_use]
     pub fn node_names(&self) -> Vec<&str> {
-        self.topo.nodes.iter().map(|n| n.name.as_str()).collect()
+        self.topo.node_names.iter().map(String::as_str).collect()
     }
 
     /// Names of all input ports, in creation order.
     #[must_use]
     pub fn input_names(&self) -> Vec<&str> {
-        self.topo
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Input))
-            .map(|n| n.name.as_str())
-            .collect()
+        self.port_names(NodeTag::Input)
     }
 
     /// Names of all output ports, in creation order.
     #[must_use]
     pub fn output_names(&self) -> Vec<&str> {
+        self.port_names(NodeTag::Output)
+    }
+
+    fn port_names(&self, tag: NodeTag) -> Vec<&str> {
         self.topo
-            .nodes
+            .node_tags
             .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Output))
-            .map(|n| n.name.as_str())
+            .zip(&self.topo.node_names)
+            .filter(|(t, _)| **t == tag)
+            .map(|(_, n)| n.as_str())
             .collect()
     }
 
@@ -435,8 +572,12 @@ impl Circuit {
     /// Panics if `id` does not belong to this circuit.
     #[must_use]
     pub fn edge_endpoints(&self, id: EdgeId) -> (NodeId, NodeId, usize) {
-        let e = &self.topo.edges[id.0];
-        (e.from, e.to, e.pin)
+        let i = id.index();
+        (
+            NodeId(self.topo.edge_from[i]),
+            NodeId(self.topo.edge_to[i]),
+            self.topo.edge_pin[i] as usize,
+        )
     }
 
     /// `true` if `self` and `other` were cloned from the same build and
@@ -461,7 +602,7 @@ impl Circuit {
     /// direct (channel-free) connection — a direct edge can never
     /// legally carry a channel, because gates and channels alternate.
     pub fn replace_channel(&mut self, id: EdgeId, channel: Box<dyn SimChannel>) {
-        let slot = &mut self.channels[id.0];
+        let slot = &mut self.channels[id.index()];
         assert!(
             slot.is_some(),
             "edge {} is a direct connection, not a channel",
@@ -481,21 +622,25 @@ impl Circuit {
     }
 
     /// The lowest-index edge that carries a channel, if any.
+    #[allow(clippy::cast_possible_truncation)]
     pub(crate) fn first_channel_edge(&self) -> Option<EdgeId> {
-        self.channels.iter().position(Option::is_some).map(EdgeId)
+        self.channels
+            .iter()
+            .position(Option::is_some)
+            .map(|i| EdgeId(i as u32))
     }
 
     /// A fresh box of the channel on `id`, if `id` carries one.
     pub(crate) fn clone_channel(&self, id: EdgeId) -> Option<Box<dyn SimChannel>> {
-        self.channels.get(id.0).and_then(Clone::clone)
+        self.channels.get(id.index()).and_then(Clone::clone)
     }
 }
 
 impl fmt::Debug for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Circuit")
-            .field("nodes", &self.topo.nodes.len())
-            .field("edges", &self.topo.edges.len())
+            .field("nodes", &self.topo.node_count())
+            .field("edges", &self.topo.edge_count())
             .finish_non_exhaustive()
     }
 }
@@ -526,6 +671,28 @@ mod tests {
         assert_eq!(c.output_names(), vec!["y"]);
         assert!(matches!(c.node_kind(g), NodeKind::Gate { .. }));
         assert_eq!(c.edge_endpoints(EdgeId(0)), (a, g, 0));
+    }
+
+    #[test]
+    fn csr_adjacency_matches_creation_order() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let root = b.gate("root", GateKind::Buf, Bit::Zero);
+        b.connect_direct(a, root, 0).unwrap();
+        let mut expect = Vec::new();
+        for i in 0..4 {
+            let g = b.gate(&format!("g{i}"), GateKind::Buf, Bit::Zero);
+            expect.push(b.connect(root, g, 0, delay()).unwrap());
+            let y = b.output(&format!("y{i}"));
+            b.connect(g, y, 0, delay()).unwrap();
+        }
+        let c = b.build().unwrap();
+        let got: Vec<u32> = c.topo.outgoing(root.index()).to_vec();
+        let want: Vec<u32> = expect.iter().map(|e| e.0).collect();
+        assert_eq!(got, want, "fanout must keep edge-creation order");
+        // pin ranges: input has none, gates and outputs have one
+        assert_eq!(c.topo.pin_range(a.index()).len(), 0);
+        assert_eq!(c.topo.pin_range(root.index()).len(), 1);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 mod error;
 mod gate;
+pub mod generate;
 mod graph;
 mod queue;
 mod runner;

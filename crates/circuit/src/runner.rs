@@ -463,6 +463,7 @@ struct WorkerCtx {
     template: Circuit,
     max_events: usize,
     backend: QueueBackend,
+    watch: Option<Arc<Vec<String>>>,
     shared: Arc<WorkerShared>,
 }
 
@@ -471,6 +472,10 @@ impl WorkerCtx {
         let mut sim = Simulator::new(self.template.clone())
             .with_max_events(self.max_events)
             .with_queue_backend(self.backend);
+        if let Some(watch) = &self.watch {
+            sim.set_watch(watch.iter())
+                .expect("watch names were validated against the template circuit");
+        }
         sim.set_cancel_flag(Some(Arc::clone(&self.shared.cancel)));
         sim
     }
@@ -738,7 +743,13 @@ impl WorkerPool {
     /// reusable simulator state. Under [`QueueBackend::Auto`] each
     /// worker's simulator measures its own first chunk of work and
     /// commits to the faster queue backend independently.
-    fn spawn(circuit: &Circuit, workers: usize, max_events: usize, backend: QueueBackend) -> Self {
+    fn spawn(
+        circuit: &Circuit,
+        workers: usize,
+        max_events: usize,
+        backend: QueueBackend,
+        watch: Option<&Arc<Vec<String>>>,
+    ) -> Self {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         let mut shareds = Vec::with_capacity(workers);
@@ -751,6 +762,7 @@ impl WorkerPool {
                 template: circuit.clone(),
                 max_events,
                 backend,
+                watch: watch.map(Arc::clone),
                 shared: Arc::clone(&shared),
             };
             let (tx, rx) = mpsc::channel::<Arc<Job>>();
@@ -901,6 +913,7 @@ pub struct ScenarioRunner {
     policy: FailurePolicy,
     timeout: Option<Duration>,
     fault: Option<FaultPlan>,
+    watch: Option<Arc<Vec<String>>>,
     pool: Mutex<Option<WorkerPool>>,
 }
 
@@ -919,6 +932,7 @@ impl ScenarioRunner {
             policy: FailurePolicy::default(),
             timeout: None,
             fault: None,
+            watch: None,
             pool: Mutex::new(None),
         }
     }
@@ -962,6 +976,43 @@ impl ScenarioRunner {
             .get_mut()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
         self
+    }
+
+    /// Restricts every worker's per-scenario recording to the named
+    /// nodes (see [`Simulator::set_watch`]) — on large circuits this
+    /// bounds sweep memory by the watch set instead of the netlist.
+    /// The circuit's output ports are always added to the set, so
+    /// [`SweepStats`] pulse statistics stay complete. Discards any
+    /// already-spawned pool (joining, not leaking, its threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if a name does not exist in
+    /// the circuit.
+    pub fn with_watch<I, S>(mut self, names: I) -> Result<Self, SimError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut list: Vec<String> = Vec::new();
+        for name in names {
+            let name = name.as_ref();
+            if self.circuit.node(name).is_none() {
+                return Err(SimError::UnknownNode { name: name.into() });
+            }
+            list.push(name.to_string());
+        }
+        for port in self.circuit.output_names() {
+            list.push(port.to_string());
+        }
+        list.sort_unstable();
+        list.dedup();
+        self.watch = Some(Arc::new(list));
+        *self
+            .pool
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+        Ok(self)
     }
 
     /// Sets the sweep's [`FailurePolicy`] (default
@@ -1053,7 +1104,13 @@ impl ScenarioRunner {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             let pool = pool_guard.get_or_insert_with(|| {
-                WorkerPool::spawn(&self.circuit, self.workers, self.max_events, self.backend)
+                WorkerPool::spawn(
+                    &self.circuit,
+                    self.workers,
+                    self.max_events,
+                    self.backend,
+                    self.watch.as_ref(),
+                )
             });
             // ~4 chunks per worker balances stealing overhead against
             // load imbalance; a chunk is never empty

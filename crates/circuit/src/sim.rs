@@ -15,6 +15,16 @@
 //! first run the hot loop performs no pool/recorder allocations — only
 //! the returned [`SimResult`]'s signals are freshly allocated.
 //!
+//! Recording is selective: by default every node and edge gets a
+//! waveform recorder (bit-identical to the historical behaviour), but a
+//! [watch set](Simulator::set_watch) restricts recorders to the named
+//! nodes, so a million-gate run holds recording memory proportional to
+//! the watched nodes — not the netlist. A
+//! [transition cap](Simulator::set_transition_cap) additionally bounds
+//! each recorder: the first `cap` transitions are kept, the rest are
+//! counted as [dropped](SimResult::dropped_transitions) instead of
+//! growing an unbounded `Vec`.
+//!
 //! Pending events are ordered by a pluggable [`QueueBackend`]: a
 //! bucketed calendar queue (sized from the channels' delay hints), the
 //! reference binary heap, or the default [`QueueBackend::Auto`] which
@@ -32,7 +42,7 @@ use ivl_core::channel::{FeedEffect, OnlineChannel as _, SimChannel};
 use ivl_core::{Bit, Signal, SignalBuilder, Transition};
 
 use crate::error::SimError;
-use crate::graph::{Circuit, EdgeId, NodeId, NodeKind, Topology};
+use crate::graph::{Circuit, EdgeId, NodeId, NodeTag};
 use crate::queue::{CalendarConfig, EventKey, EventQueue, QueueBackend, QueueImpl};
 
 /// Generation-stamped handle to a slot in the [`EventPool`].
@@ -145,6 +155,22 @@ impl EventPool {
     }
 }
 
+/// Slot sentinel: this node/edge has no recorder this run.
+const NO_REC: u32 = u32::MAX;
+
+/// Pushes `tr` onto a recorder unless the per-recorder transition cap
+/// is exhausted; capped pushes are counted instead of recorded, so the
+/// kept prefix still alternates and the caller can see how much was
+/// decimated.
+#[inline]
+fn record(rec: &mut SignalBuilder, tr: Transition, cap: usize, dropped: &mut usize, msg: &str) {
+    if rec.len() < cap {
+        rec.push(tr).expect(msg);
+    } else {
+        *dropped += 1;
+    }
+}
+
 /// Per-run working memory, reused across [`Simulator::run`] calls.
 ///
 /// `prepare` resizes and resets every buffer in place (keeping
@@ -153,10 +179,16 @@ impl EventPool {
 #[derive(Debug, Default)]
 struct SimState {
     node_initial: Vec<Bit>,
-    pins: Vec<Vec<Bit>>,
+    /// Flattened pin values, indexed by the topology's `pin_start` CSR.
+    pins: Vec<Bit>,
     out_value: Vec<Bit>,
+    /// Recorder slot per node (`NO_REC` = unwatched). Identity map in
+    /// full-recording mode.
+    node_slot: Vec<u32>,
+    edge_slot: Vec<u32>,
     node_rec: Vec<SignalBuilder>,
     edge_rec: Vec<SignalBuilder>,
+    dropped: usize,
     pool: EventPool,
     queue: QueueImpl,
     edge_pending: Vec<VecDeque<EventId>>,
@@ -166,59 +198,82 @@ struct SimState {
 }
 
 impl SimState {
+    #[allow(clippy::cast_possible_truncation)]
     fn prepare(
         &mut self,
         circuit: &Circuit,
         inputs: &[Signal],
         backend: QueueBackend,
         calendar: CalendarConfig,
+        watch: Option<&[NodeId]>,
     ) {
-        let n_nodes = circuit.node_count();
-        let n_edges = circuit.edge_count();
+        let topo = &*circuit.topo;
+        let n_nodes = topo.node_count();
+        let n_edges = topo.edge_count();
 
         self.node_initial.clear();
         self.node_initial
-            .extend((0..n_nodes).map(|i| match circuit.node_kind(NodeId(i)) {
-                NodeKind::Input => inputs[i].initial(),
-                NodeKind::Gate { initial, .. } => *initial,
+            .extend((0..n_nodes).map(|i| match topo.node_tags[i] {
+                NodeTag::Input => inputs[i].initial(),
+                NodeTag::Gate => topo.node_initial[i],
                 // output ports inherit their (unique) driver's initial
-                NodeKind::Output => Bit::Zero, // fixed up below
+                NodeTag::Output => Bit::Zero, // fixed up below
             }));
 
-        // pin values: driver's initial value propagated (channels keep
-        // the initial value)
-        self.pins.resize_with(n_nodes, Vec::new);
-        for i in 0..n_nodes {
-            let arity = match circuit.node_kind(NodeId(i)) {
-                NodeKind::Gate { arity, .. } => *arity,
-                NodeKind::Output => 1,
-                NodeKind::Input => 0,
-            };
-            self.pins[i].clear();
-            self.pins[i].resize(arity, Bit::Zero);
-        }
-        for e in &circuit.topo.edges {
-            self.pins[e.to.index()][e.pin] = self.node_initial[e.from.index()];
+        // flattened pin values: driver's initial value propagated
+        // (channels keep the initial value)
+        let n_pins = topo.pin_start[n_nodes] as usize;
+        self.pins.clear();
+        self.pins.resize(n_pins, Bit::Zero);
+        for e in 0..n_edges {
+            let to = topo.edge_to[e] as usize;
+            self.pins[(topo.pin_start[to] + topo.edge_pin[e]) as usize] =
+                self.node_initial[topo.edge_from[e] as usize];
         }
         for i in 0..n_nodes {
-            if matches!(circuit.node_kind(NodeId(i)), NodeKind::Output) {
-                self.node_initial[i] = self.pins[i][0];
+            if topo.node_tags[i] == NodeTag::Output {
+                self.node_initial[i] = self.pins[topo.pin_start[i] as usize];
             }
         }
 
         self.out_value.clear();
         self.out_value.extend_from_slice(&self.node_initial);
 
-        self.node_rec
-            .resize_with(n_nodes, || SignalBuilder::new(Bit::Zero));
-        for (rec, &init) in self.node_rec.iter_mut().zip(&self.node_initial) {
-            rec.reset(init);
+        // recorders: full mode keeps one per node and edge
+        // (bit-identical legacy behaviour); a watch set allocates
+        // exactly one recorder per watched node and none per edge
+        match watch {
+            None => {
+                self.node_slot.clear();
+                self.node_slot.extend(0..n_nodes as u32);
+                self.edge_slot.clear();
+                self.edge_slot.extend(0..n_edges as u32);
+                self.node_rec
+                    .resize_with(n_nodes, || SignalBuilder::new(Bit::Zero));
+                for (rec, &init) in self.node_rec.iter_mut().zip(&self.node_initial) {
+                    rec.reset(init);
+                }
+                self.edge_rec
+                    .resize_with(n_edges, || SignalBuilder::new(Bit::Zero));
+                for (e, rec) in self.edge_rec.iter_mut().enumerate() {
+                    rec.reset(self.node_initial[topo.edge_from[e] as usize]);
+                }
+            }
+            Some(nodes) => {
+                self.node_slot.clear();
+                self.node_slot.resize(n_nodes, NO_REC);
+                self.edge_slot.clear();
+                self.edge_slot.resize(n_edges, NO_REC);
+                self.node_rec
+                    .resize_with(nodes.len(), || SignalBuilder::new(Bit::Zero));
+                for (slot, id) in nodes.iter().enumerate() {
+                    self.node_slot[id.index()] = slot as u32;
+                    self.node_rec[slot].reset(self.node_initial[id.index()]);
+                }
+                self.edge_rec.clear();
+            }
         }
-        self.edge_rec
-            .resize_with(n_edges, || SignalBuilder::new(Bit::Zero));
-        for (rec, e) in self.edge_rec.iter_mut().zip(&circuit.topo.edges) {
-            rec.reset(self.node_initial[e.from.index()]);
-        }
+        self.dropped = 0;
 
         self.pool.clear();
         self.queue.ensure(backend, calendar);
@@ -232,7 +287,7 @@ impl SimState {
         self.dirty_flag.clear();
         self.dirty_flag.resize(n_nodes, false);
         for i in 0..n_nodes {
-            if matches!(circuit.node_kind(NodeId(i)), NodeKind::Gate { .. }) {
+            if topo.node_tags[i] == NodeTag::Gate {
                 self.dirty.push(i);
                 self.dirty_flag[i] = true;
             }
@@ -324,6 +379,15 @@ impl Queue<'_> {
     }
 }
 
+/// A selective-recording watch set: the sorted, deduplicated node ids
+/// whose waveforms a run records. Shared by `Arc` into every
+/// [`SimResult`], so result construction costs O(1) regardless of the
+/// netlist size.
+#[derive(Debug, Clone)]
+struct Watch {
+    nodes: Arc<Vec<NodeId>>,
+}
+
 /// Event-driven simulator over a [`Circuit`].
 ///
 /// Owns the circuit (and hence the channels' adversary/noise state).
@@ -343,6 +407,17 @@ impl Queue<'_> {
 /// sweeps, [`reseed_noise`](Simulator::reseed_noise) pins every
 /// channel's stream to a scenario seed (this is what
 /// [`ScenarioRunner`](crate::ScenarioRunner) does per scenario).
+///
+/// # Memory-bounded recording
+///
+/// By default every node and edge records its full waveform. On large
+/// netlists, [`set_watch`](Simulator::set_watch) restricts recording to
+/// the named nodes (recording memory ∝ watched nodes, not netlist
+/// size), and [`set_transition_cap`](Simulator::set_transition_cap)
+/// bounds each recorder to its first `cap` transitions, counting the
+/// overflow in [`SimResult::dropped_transitions`]. Neither knob changes
+/// what is *simulated* — event processing is bit-identical; only what
+/// is *kept* differs.
 pub struct Simulator {
     circuit: Circuit,
     inputs: Vec<Signal>,
@@ -352,6 +427,8 @@ pub struct Simulator {
     probe: AutoProbe,
     state: SimState,
     cancel: Option<Arc<AtomicBool>>,
+    watch: Option<Watch>,
+    transition_cap: Option<usize>,
 }
 
 /// Calendar geometry for a circuit: bucket width from the channels'
@@ -367,48 +444,92 @@ fn calendar_config_for(circuit: &Circuit) -> CalendarConfig {
     )
 }
 
+/// Accumulated timing evidence for one backend: total timed seconds
+/// and total scheduled events across every timed probe run so far.
+#[derive(Debug, Clone, Copy, Default)]
+struct ProbeAccum {
+    secs: f64,
+    scheduled: usize,
+}
+
+impl ProbeAccum {
+    fn measured(&self) -> bool {
+        self.scheduled >= AutoProbe::MIN_EVENTS
+    }
+
+    fn per_event(&self) -> f64 {
+        self.secs / self.scheduled as f64
+    }
+}
+
 /// Measure-and-switch state for [`QueueBackend::Auto`].
 ///
-/// While unresolved, each run is a probe: the calendar wheel first,
-/// then the reference heap, each timed and normalized per *scheduled*
-/// event. Resolution rules:
+/// While unresolved, each run is a probe: the reference heap first,
+/// then the calendar wheel, each timed and normalized per *scheduled*
+/// event. Evidence is *accumulated* across runs — a workload of many
+/// tiny runs (each too noisy to time alone) still resolves once a
+/// backend has [`Self::MIN_EVENTS`] scheduled events on the books,
+/// instead of probing forever. Resolution rules:
 ///
-/// - runs scheduling fewer than [`Self::MIN_EVENTS`] events are not
-///   recorded (too noisy to time, and too cheap for the backend to
-///   matter);
-/// - a cancel rate above [`Self::CANCEL_COMMIT_RATE`] on the wheel
-///   probe commits the wheel immediately — its eager `discard` beats
-///   the heap's lazy stale filtering by construction on cancel-heavy
-///   workloads, so the heap probe would be wasted work;
-/// - otherwise, once both probes exist, the wheel wins if it is within
-///   [`Self::WHEEL_MARGIN`] of the heap. The margin is deliberately
-///   tight so a topology where the wheel regresses (wide fanout, many
-///   sparse buckets) falls back to the heap instead of shipping a
-///   slowdown.
+/// - the simulator's very first run is never *timed*: it pays one-off
+///   costs (per-node state, pool growth, recorder setup) that would be
+///   billed to whichever backend probes first and flip close races.
+///   Its event counts still feed the cancel-rate shortcut below —
+///   counts are exact regardless of warmth;
+/// - while the heap is still unmeasured, the heap is also the backend
+///   used — the unresolved default is the reference implementation, so
+///   `Auto` cannot lose to the heap on workloads the probe never gets
+///   enough evidence about (this is where the old wheel-first probe
+///   shipped a persistent regression on short wide-fanout runs: tiny
+///   runs never resolved, and the unresolved default was the wheel);
+/// - a cancel rate above [`Self::CANCEL_COMMIT_RATE`] commits the
+///   wheel immediately, from the run counts of *any* backend
+///   (cancellation is a property of the workload, not the queue): the
+///   wheel's eager `discard` beats the heap's lazy stale filtering by
+///   construction on cancel-heavy workloads;
+/// - otherwise, once both backends are measured, the heap wins unless
+///   the wheel beat it *clearly*: the wheel is committed only when
+///   `wheel ≤ heap × WHEEL_MARGIN` with a margin below 1. The heap is
+///   the reference backend and the `Auto` contract is "never lose to
+///   the heap", so ties and timing noise must fall back to the heap —
+///   the wheel's one structural win (cancel-heavy churn) is already
+///   caught by the cancel-rate shortcut above.
 ///
 /// Both backends are bit-identical, so however the timing races
 /// resolve, the simulation results are unaffected.
 #[derive(Debug, Clone, Copy, Default)]
 struct AutoProbe {
-    wheel_per_event: Option<f64>,
-    heap_per_event: Option<f64>,
+    heap: ProbeAccum,
+    wheel: ProbeAccum,
+    /// Scheduled/processed event totals across every probe run
+    /// (including the untimed cold run) — the cancel-rate evidence.
+    sched_total: usize,
+    proc_total: usize,
+    /// Whether the cold first run has already been absorbed.
+    warmed: bool,
     resolved: Option<QueueBackend>,
 }
 
 impl AutoProbe {
-    /// Probe runs scheduling fewer events than this are ignored.
-    const MIN_EVENTS: usize = 16;
-    /// Wheel cancel-rate threshold above which the heap probe is
-    /// skipped and the wheel committed outright.
+    /// A backend is considered measured once its probe runs have
+    /// accumulated this many scheduled events: a sub-64-event sample is
+    /// dominated by timer granularity, and mispredicting on one is how
+    /// the wheel used to get committed on topologies where it loses.
+    const MIN_EVENTS: usize = 64;
+    /// Cancel-rate threshold above which the wheel is committed
+    /// outright, without a timed comparison.
     const CANCEL_COMMIT_RATE: f64 = 0.25;
-    /// The wheel wins a timed comparison when
-    /// `wheel ≤ heap × WHEEL_MARGIN` (per scheduled event).
-    const WHEEL_MARGIN: f64 = 1.02;
+    /// The wheel wins a timed comparison only when
+    /// `wheel ≤ heap × WHEEL_MARGIN` (per scheduled event): it must be
+    /// measurably *faster*, not merely tied, to displace the reference
+    /// heap.
+    const WHEEL_MARGIN: f64 = 0.95;
 
     /// The concrete backend the next run should use: the committed
-    /// winner, or the next probe target (wheel first, then heap).
+    /// winner, or the next probe target (heap until measured, then the
+    /// wheel).
     fn backend(&self) -> QueueBackend {
-        self.resolved.unwrap_or(if self.wheel_per_event.is_none() {
+        self.resolved.unwrap_or(if self.heap.measured() {
             QueueBackend::Calendar
         } else {
             QueueBackend::Heap
@@ -422,31 +543,41 @@ impl AutoProbe {
         scheduled: usize,
         processed: usize,
     ) {
-        if self.resolved.is_some() || scheduled < Self::MIN_EVENTS {
+        if self.resolved.is_some() || scheduled == 0 {
             return;
         }
-        let per_event = elapsed.as_secs_f64() / scheduled as f64;
-        match backend {
-            QueueBackend::Calendar => {
-                self.wheel_per_event = Some(per_event);
-                // processed counts deliveries; the rest of the schedule
-                // budget is cancellations (plus any beyond-horizon
-                // leftovers — close enough for a heuristic)
-                let cancel_rate = 1.0 - processed as f64 / scheduled as f64;
-                if cancel_rate > Self::CANCEL_COMMIT_RATE {
-                    self.resolved = Some(QueueBackend::Calendar);
-                    return;
-                }
+        self.sched_total += scheduled;
+        self.proc_total += processed;
+        if self.sched_total >= Self::MIN_EVENTS {
+            // processed counts deliveries; the rest of the schedule
+            // budget is cancellations (plus any beyond-horizon
+            // leftovers — close enough for a heuristic)
+            let cancel_rate = 1.0 - self.proc_total as f64 / self.sched_total as f64;
+            if cancel_rate > Self::CANCEL_COMMIT_RATE {
+                self.resolved = Some(QueueBackend::Calendar);
+                return;
             }
-            QueueBackend::Heap => self.heap_per_event = Some(per_event),
-            QueueBackend::Auto => unreachable!("probe runs use a concrete backend"),
         }
-        if let (Some(w), Some(h)) = (self.wheel_per_event, self.heap_per_event) {
-            self.resolved = Some(if w <= h * Self::WHEEL_MARGIN {
-                QueueBackend::Calendar
-            } else {
-                QueueBackend::Heap
-            });
+        if !self.warmed {
+            // cold first run: counts recorded above, timing discarded
+            self.warmed = true;
+            return;
+        }
+        let acc = match backend {
+            QueueBackend::Heap => &mut self.heap,
+            QueueBackend::Calendar => &mut self.wheel,
+            QueueBackend::Auto => unreachable!("probe runs use a concrete backend"),
+        };
+        acc.secs += elapsed.as_secs_f64();
+        acc.scheduled += scheduled;
+        if self.heap.measured() && self.wheel.measured() {
+            self.resolved = Some(
+                if self.wheel.per_event() <= self.heap.per_event() * Self::WHEEL_MARGIN {
+                    QueueBackend::Calendar
+                } else {
+                    QueueBackend::Heap
+                },
+            );
         }
     }
 }
@@ -470,6 +601,8 @@ impl Simulator {
             probe: AutoProbe::default(),
             state: SimState::default(),
             cancel: None,
+            watch: None,
+            transition_cap: None,
         }
     }
 
@@ -543,6 +676,77 @@ impl Simulator {
         self.max_events
     }
 
+    /// Restricts waveform recording to the named nodes. Subsequent runs
+    /// allocate one recorder per watched node and none per edge, so
+    /// recording memory is proportional to the watch set — not the
+    /// netlist. Unwatched nodes still *simulate* identically (event
+    /// processing is unaffected); only [`SimResult`] queries against
+    /// them fail with [`SimError::NotWatched`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if a name does not resolve;
+    /// the previous watch configuration is left unchanged.
+    pub fn set_watch<I, S>(&mut self, names: I) -> Result<(), SimError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut nodes = Vec::new();
+        for name in names {
+            let name = name.as_ref();
+            let id = self
+                .circuit
+                .node(name)
+                .ok_or_else(|| SimError::UnknownNode {
+                    name: name.to_owned(),
+                })?;
+            nodes.push(id);
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.watch = Some(Watch {
+            nodes: Arc::new(nodes),
+        });
+        Ok(())
+    }
+
+    /// Consuming form of [`set_watch`](Simulator::set_watch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownNode`] if a name does not resolve.
+    pub fn with_watch<I, S>(mut self, names: I) -> Result<Self, SimError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.set_watch(names)?;
+        Ok(self)
+    }
+
+    /// Restores full recording: every node and edge gets a recorder
+    /// again (the default).
+    pub fn clear_watch(&mut self) {
+        self.watch = None;
+    }
+
+    /// Bounds every recorder to its first `cap` transitions; overflow
+    /// is counted in [`SimResult::dropped_transitions`] instead of
+    /// growing the transition vector. `None` (the default) records
+    /// everything. The kept prefix is exact — truncation, not
+    /// sampling — so S1-alternation of the recorded waveform holds.
+    pub fn set_transition_cap(&mut self, cap: Option<usize>) {
+        self.transition_cap = cap;
+    }
+
+    /// Consuming form of [`set_transition_cap`](Simulator::set_transition_cap).
+    #[must_use]
+    pub fn with_transition_cap(mut self, cap: usize) -> Self {
+        self.transition_cap = Some(cap);
+        self
+    }
+
     /// Attaches (or detaches) a cooperative cancellation flag.
     ///
     /// [`run`](Simulator::run) polls the flag once per event batch with
@@ -572,7 +776,7 @@ impl Simulator {
         let id = self
             .circuit
             .node(name)
-            .filter(|id| matches!(self.circuit.node_kind(*id), NodeKind::Input))
+            .filter(|id| self.circuit.topo.node_tags[id.index()] == NodeTag::Input)
             .ok_or_else(|| SimError::UnknownPort {
                 name: name.to_owned(),
             })?;
@@ -632,6 +836,7 @@ impl Simulator {
     /// transition that does not match the pending event on its edge, and
     /// [`SimError::MaxEventsExceeded`] if the scheduled-event budget runs
     /// out before the horizon.
+    #[allow(clippy::too_many_lines)]
     pub fn run(&mut self, horizon: f64) -> Result<SimResult, SimError> {
         // resolve Auto to a concrete backend; time the run only while
         // the probe is still measuring (zero cost otherwise)
@@ -639,11 +844,18 @@ impl Simulator {
         let probing = self.backend == QueueBackend::Auto && self.probe.resolved.is_none();
         let probe_start = probing.then(std::time::Instant::now);
         let cancel = self.cancel.clone();
+        let cap = self.transition_cap.unwrap_or(usize::MAX);
 
         let circuit = &mut self.circuit;
         let inputs = &self.inputs;
         let state = &mut self.state;
-        state.prepare(circuit, inputs, backend, self.calendar);
+        state.prepare(
+            circuit,
+            inputs,
+            backend,
+            self.calendar,
+            self.watch.as_ref().map(|w| w.nodes.as_slice()),
+        );
 
         // reset channel history
         for ch in circuit.channels.iter_mut().flatten() {
@@ -654,8 +866,11 @@ impl Simulator {
             node_initial: _,
             pins,
             out_value,
+            node_slot,
+            edge_slot,
             node_rec,
             edge_rec,
+            dropped,
             pool,
             queue: event_queue,
             edge_pending,
@@ -674,47 +889,49 @@ impl Simulator {
         };
 
         // split the circuit into disjoint borrows so the hot loops
-        // index each vector directly (no repeated nested
-        // `circuit.…[…]` bounds-check chains): the Arc-shared topology
-        // is read-only, only the channel boxes are mutated
+        // index the flat topology arrays directly: the Arc-shared
+        // topology is read-only, only the channel boxes are mutated
         let Circuit { topo, channels } = circuit;
-        let Topology {
-            nodes,
-            edges,
-            outgoing,
-            names,
-        } = &**topo;
+        let topo = &**topo;
         let channels = channels.as_mut_slice();
 
         // Pre-schedule all input-port signals. A channel driven by an
         // input port sees exactly that port's transitions, so feeding
         // them all upfront is equivalent to feeding them in global time
         // order.
-        for i in 0..nodes.len() {
-            if !matches!(nodes[i].kind, NodeKind::Input) {
+        for i in 0..topo.node_count() {
+            if topo.node_tags[i] != NodeTag::Input {
                 continue;
             }
             let signal = &inputs[i];
-            for &eid in &outgoing[i] {
-                match &mut channels[eid.index()] {
+            for &eid in topo.outgoing(i) {
+                let e = eid as usize;
+                match &mut channels[e] {
                     None => {
                         for tr in signal {
-                            queue.schedule(eid.index(), *tr)?;
+                            queue.schedule(e, *tr)?;
                         }
                     }
                     Some(ch) => {
                         for tr in signal {
                             let effect = ch.feed(*tr);
-                            queue.apply(eid.index(), effect, None)?;
+                            queue.apply(e, effect, None)?;
                         }
                     }
                 }
             }
             // record the input signal itself
-            for tr in signal {
-                node_rec[i]
-                    .push(*tr)
-                    .expect("input signal is already validated");
+            let slot = node_slot[i];
+            if slot != NO_REC {
+                for tr in signal {
+                    record(
+                        &mut node_rec[slot as usize],
+                        *tr,
+                        cap,
+                        dropped,
+                        "input signal is already validated",
+                    );
+                }
             }
         }
 
@@ -747,32 +964,45 @@ impl Simulator {
                     queue.edge_pending[edge_idx].pop_front();
                 }
                 processed += 1;
-                let edge = &edges[edge_idx];
                 if let Some(ch) = &mut channels[edge_idx] {
                     ch.discard_delivered(time);
                 }
-                edge_rec[edge_idx]
-                    .push(Transition::new(time, value))
-                    .expect("channel outputs alternate and increase");
-                let to = edge.to.index();
-                let pin = edge.pin;
-                pins[to][pin] = value;
-                match &nodes[to].kind {
-                    NodeKind::Gate { .. } => {
+                let eslot = edge_slot[edge_idx];
+                if eslot != NO_REC {
+                    record(
+                        &mut edge_rec[eslot as usize],
+                        Transition::new(time, value),
+                        cap,
+                        dropped,
+                        "channel outputs alternate and increase",
+                    );
+                }
+                let to = topo.edge_to[edge_idx] as usize;
+                let pin = topo.edge_pin[edge_idx];
+                pins[(topo.pin_start[to] + pin) as usize] = value;
+                match topo.node_tags[to] {
+                    NodeTag::Gate => {
                         if !dirty_flag[to] {
                             dirty_flag[to] = true;
                             dirty.push(to);
                         }
                     }
-                    NodeKind::Output => {
+                    NodeTag::Output => {
                         if out_value[to] != value {
                             out_value[to] = value;
-                            node_rec[to]
-                                .push(Transition::new(time, value))
-                                .expect("output port deliveries alternate");
+                            let slot = node_slot[to];
+                            if slot != NO_REC {
+                                record(
+                                    &mut node_rec[slot as usize],
+                                    Transition::new(time, value),
+                                    cap,
+                                    dropped,
+                                    "output port deliveries alternate",
+                                );
+                            }
                         }
                     }
-                    NodeKind::Input => unreachable!("edges cannot enter input ports"),
+                    NodeTag::Input => unreachable!("edges cannot enter input ports"),
                 }
             }
 
@@ -782,24 +1012,32 @@ impl Simulator {
                 dirty_flag[i] = false;
             }
             for &i in dirty_scratch.iter() {
-                let NodeKind::Gate { kind, .. } = &nodes[i].kind else {
+                if topo.node_tags[i] != NodeTag::Gate {
                     continue;
-                };
-                let new_value = kind.eval(&pins[i]);
+                }
+                let new_value = topo.gate_kinds[i].eval(&pins[topo.pin_range(i)]);
                 if new_value == out_value[i] {
                     continue;
                 }
                 out_value[i] = new_value;
                 let tr = Transition::new(batch_time, new_value);
-                node_rec[i]
-                    .push(tr)
-                    .expect("gate output changes strictly after its previous change");
-                for &eid in &outgoing[i] {
-                    match &mut channels[eid.index()] {
-                        None => queue.schedule(eid.index(), tr)?,
+                let slot = node_slot[i];
+                if slot != NO_REC {
+                    record(
+                        &mut node_rec[slot as usize],
+                        tr,
+                        cap,
+                        dropped,
+                        "gate output changes strictly after its previous change",
+                    );
+                }
+                for &eid in topo.outgoing(i) {
+                    let e = eid as usize;
+                    match &mut channels[e] {
+                        None => queue.schedule(e, tr)?,
                         Some(ch) => {
                             let effect = ch.feed(tr);
-                            queue.apply(eid.index(), effect, Some(batch_time))?;
+                            queue.apply(e, effect, Some(batch_time))?;
                         }
                     }
                 }
@@ -838,9 +1076,12 @@ impl Simulator {
         let node_signals: Vec<Signal> = node_rec.iter().map(SignalBuilder::snapshot).collect();
         let edge_signals: Vec<Signal> = edge_rec.iter().map(SignalBuilder::snapshot).collect();
         Ok(SimResult {
-            names: Arc::clone(names),
+            names: Arc::clone(&topo.names),
+            watched: self.watch.as_ref().map(|w| Arc::clone(&w.nodes)),
             node_signals,
             edge_signals,
+            dropped_transitions: *dropped,
+            zero: Signal::zero(),
             horizon,
             processed_events: processed,
             scheduled_events,
@@ -853,7 +1094,8 @@ impl Clone for Simulator {
     /// only the per-edge channel state — and the inputs; the clone
     /// starts with fresh, empty per-run state and (under
     /// [`QueueBackend::Auto`]) its own unresolved probe, so each sweep
-    /// worker measures its own workload.
+    /// worker measures its own workload. Watch set and transition cap
+    /// carry over (the watch `Arc` is shared, not deep-copied).
     fn clone(&self) -> Self {
         Simulator {
             circuit: self.circuit.clone(),
@@ -864,6 +1106,8 @@ impl Clone for Simulator {
             probe: AutoProbe::default(),
             state: SimState::default(),
             cancel: None,
+            watch: self.watch.clone(),
+            transition_cap: self.transition_cap,
         }
     }
 }
@@ -886,42 +1130,76 @@ pub(crate) fn split_mix64(mut z: u64) -> u64 {
 }
 
 /// The recorded signals of a completed run.
+///
+/// Under full recording (the default) every node and edge has a
+/// waveform. Under a [watch set](Simulator::set_watch) only the watched
+/// nodes do: queries against unwatched nodes return
+/// [`SimError::NotWatched`] (by name) or the zero signal (by id), and
+/// edge queries return the zero signal.
 #[derive(Debug, Clone)]
 pub struct SimResult {
     names: Arc<HashMap<String, NodeId>>,
+    /// Sorted watched node ids; `None` = full recording. `node_signals`
+    /// is indexed by position in this list when present, by raw node id
+    /// otherwise.
+    watched: Option<Arc<Vec<NodeId>>>,
     node_signals: Vec<Signal>,
     edge_signals: Vec<Signal>,
+    dropped_transitions: usize,
+    zero: Signal,
     horizon: f64,
     processed_events: usize,
     scheduled_events: usize,
 }
 
 impl SimResult {
+    fn slot(&self, id: NodeId) -> Option<usize> {
+        match &self.watched {
+            None => Some(id.index()),
+            Some(w) => w.binary_search(&id).ok(),
+        }
+    }
+
     /// The signal at the named node (input port, gate output, or output
     /// port).
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownNode`] if the name does not resolve.
+    /// Returns [`SimError::UnknownNode`] if the name does not resolve
+    /// and [`SimError::NotWatched`] if the run recorded selectively and
+    /// the node was not watched.
     pub fn signal(&self, name: &str) -> Result<&Signal, SimError> {
-        self.names
+        let id = self
+            .names
             .get(name)
-            .map(|id| &self.node_signals[id.index()])
+            .copied()
             .ok_or_else(|| SimError::UnknownNode {
+                name: name.to_owned(),
+            })?;
+        self.slot(id)
+            .map(|s| &self.node_signals[s])
+            .ok_or_else(|| SimError::NotWatched {
                 name: name.to_owned(),
             })
     }
 
-    /// The signal at a node id.
+    /// The signal at a node id; the zero signal if the node was not
+    /// watched.
     #[must_use]
     pub fn node_signal(&self, id: NodeId) -> &Signal {
-        &self.node_signals[id.index()]
+        self.slot(id).map_or(&self.zero, |s| &self.node_signals[s])
     }
 
-    /// The signal delivered at the *output* of an edge's channel.
+    /// The signal delivered at the *output* of an edge's channel; the
+    /// zero signal if the run recorded selectively (watch sets record
+    /// no edges).
     #[must_use]
     pub fn edge_signal(&self, id: EdgeId) -> &Signal {
-        &self.edge_signals[id.index()]
+        if self.watched.is_some() {
+            &self.zero
+        } else {
+            &self.edge_signals[id.index()]
+        }
     }
 
     /// Moves the named signal out of the result (no clone). Subsequent
@@ -929,7 +1207,8 @@ impl SimResult {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownNode`] if the name does not resolve.
+    /// Returns [`SimError::UnknownNode`] if the name does not resolve
+    /// and [`SimError::NotWatched`] if the node was not watched.
     pub fn take_signal(&mut self, name: &str) -> Result<Signal, SimError> {
         let id = self
             .names
@@ -938,21 +1217,35 @@ impl SimResult {
             .ok_or_else(|| SimError::UnknownNode {
                 name: name.to_owned(),
             })?;
-        Ok(self.take_node_signal(id))
+        match self.slot(id) {
+            Some(s) => Ok(std::mem::replace(&mut self.node_signals[s], Signal::zero())),
+            None => Err(SimError::NotWatched {
+                name: name.to_owned(),
+            }),
+        }
     }
 
     /// Moves a node's signal out of the result (no clone). Subsequent
-    /// reads of the same node see the zero signal.
+    /// reads of the same node see the zero signal; an unwatched node
+    /// yields the zero signal.
     #[must_use]
     pub fn take_node_signal(&mut self, id: NodeId) -> Signal {
-        std::mem::replace(&mut self.node_signals[id.index()], Signal::zero())
+        match self.slot(id) {
+            Some(s) => std::mem::replace(&mut self.node_signals[s], Signal::zero()),
+            None => Signal::zero(),
+        }
     }
 
     /// Moves an edge's delivered signal out of the result (no clone).
-    /// Subsequent reads of the same edge see the zero signal.
+    /// Subsequent reads of the same edge see the zero signal; under
+    /// selective recording the zero signal is all there is.
     #[must_use]
     pub fn take_edge_signal(&mut self, id: EdgeId) -> Signal {
-        std::mem::replace(&mut self.edge_signals[id.index()], Signal::zero())
+        if self.watched.is_some() {
+            Signal::zero()
+        } else {
+            std::mem::replace(&mut self.edge_signals[id.index()], Signal::zero())
+        }
     }
 
     /// The simulation horizon this run used.
@@ -972,6 +1265,15 @@ impl SimResult {
     #[must_use]
     pub fn scheduled_events(&self) -> usize {
         self.scheduled_events
+    }
+
+    /// Number of transitions the [transition
+    /// cap](Simulator::set_transition_cap) refused to record this run
+    /// (0 when uncapped or under the cap). The recorded waveforms are
+    /// exact prefixes; a non-zero count means tails were truncated.
+    #[must_use]
+    pub fn dropped_transitions(&self) -> usize {
+        self.dropped_transitions
     }
 }
 
@@ -1001,6 +1303,7 @@ mod tests {
         assert_eq!(run.signal("a").unwrap(), &s);
         assert_eq!(run.processed_events(), 2);
         assert_eq!(run.scheduled_events(), 2);
+        assert_eq!(run.dropped_transitions(), 0);
     }
 
     #[test]
@@ -1398,6 +1701,120 @@ mod tests {
     }
 
     #[test]
+    fn watched_run_matches_full_run_on_watched_nodes() {
+        // selective recording must not change what is simulated: the
+        // watched waveforms agree bitwise with a full-recording run
+        let d = ExpChannel::new(1.0, 0.5, 0.5).unwrap();
+        let build = || {
+            let mut b = CircuitBuilder::new();
+            let a = b.input("a");
+            let g1 = b.gate("inv1", GateKind::Not, Bit::One);
+            let g2 = b.gate("inv2", GateKind::Not, Bit::Zero);
+            let y = b.output("y");
+            b.connect_direct(a, g1, 0).unwrap();
+            b.connect(g1, g2, 0, InvolutionChannel::new(d.clone()))
+                .unwrap();
+            b.connect(g2, y, 0, InvolutionChannel::new(d.clone()))
+                .unwrap();
+            b.build().unwrap()
+        };
+        let input = Signal::pulse_train([(0.0, 2.0), (5.0, 0.8)]).unwrap();
+
+        let mut full = Simulator::new(build());
+        full.reseed_noise(7);
+        full.set_input("a", input.clone()).unwrap();
+        let full_run = full.run(100.0).unwrap();
+
+        let mut watched = Simulator::new(build()).with_watch(["y", "inv1"]).unwrap();
+        watched.reseed_noise(7);
+        watched.set_input("a", input).unwrap();
+        let sel_run = watched.run(100.0).unwrap();
+
+        for name in ["y", "inv1"] {
+            assert_eq!(
+                full_run.signal(name).unwrap(),
+                sel_run.signal(name).unwrap()
+            );
+        }
+        assert_eq!(
+            full_run.processed_events(),
+            sel_run.processed_events(),
+            "watching must not change event processing"
+        );
+        // unwatched queries: typed error by name, zero signal by id
+        assert!(matches!(
+            sel_run.signal("inv2"),
+            Err(SimError::NotWatched { .. })
+        ));
+        assert!(matches!(
+            sel_run.signal("ghost"),
+            Err(SimError::UnknownNode { .. })
+        ));
+        let g2 = watched.circuit().node("inv2").unwrap();
+        assert!(sel_run.node_signal(g2).is_zero());
+        assert!(sel_run.edge_signal(EdgeId(1)).is_zero());
+    }
+
+    #[test]
+    fn watch_rejects_unknown_names() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap());
+        assert!(matches!(
+            sim.set_watch(["nope"]),
+            Err(SimError::UnknownNode { .. })
+        ));
+        sim.set_watch(["y"]).unwrap();
+        sim.clear_watch();
+        sim.set_input("a", Signal::pulse(0.0, 1.0).unwrap())
+            .unwrap();
+        let run = sim.run(10.0).unwrap();
+        // clear_watch restores full recording
+        assert!(run.signal("a").is_ok());
+    }
+
+    #[test]
+    fn transition_cap_truncates_and_counts() {
+        // oscillator producing ~20 transitions at the OR gate; a cap of
+        // 4 must keep exactly the first 4 and count the rest
+        let mut b = CircuitBuilder::new();
+        let i = b.input("i");
+        let or = b.gate("or", GateKind::Or, Bit::Zero);
+        let y = b.output("y");
+        b.connect_direct(i, or, 0).unwrap();
+        b.connect(or, or, 1, pure(2.0)).unwrap();
+        b.connect(or, y, 0, pure(0.5)).unwrap();
+        let build_input = Signal::pulse(0.0, 0.5).unwrap();
+
+        let mut uncapped = Simulator::new({
+            let mut b2 = CircuitBuilder::new();
+            let i = b2.input("i");
+            let or = b2.gate("or", GateKind::Or, Bit::Zero);
+            let y = b2.output("y");
+            b2.connect_direct(i, or, 0).unwrap();
+            b2.connect(or, or, 1, pure(2.0)).unwrap();
+            b2.connect(or, y, 0, pure(0.5)).unwrap();
+            b2.build().unwrap()
+        });
+        uncapped.set_input("i", build_input.clone()).unwrap();
+        let full = uncapped.run(20.5).unwrap();
+        let full_or = full.signal("or").unwrap().clone();
+        assert!(full_or.len() > 4);
+
+        let mut sim = Simulator::new(b.build().unwrap()).with_transition_cap(4);
+        sim.set_input("i", build_input).unwrap();
+        let run = sim.run(20.5).unwrap();
+        let capped = run.signal("or").unwrap();
+        assert_eq!(capped.len(), 4);
+        assert_eq!(capped.transitions(), &full_or.transitions()[..4]);
+        assert!(run.dropped_transitions() > 0);
+        // event processing itself is unaffected by the cap
+        assert_eq!(run.processed_events(), full.processed_events());
+    }
+
+    #[test]
     fn causality_violation_is_detected_not_miscomputed() {
         // An adversary far beyond any sane bound can shift an output
         // before an already *delivered* transition. Batch evaluation
@@ -1465,8 +1882,8 @@ mod tests {
     #[test]
     fn auto_probe_resolves_to_a_concrete_backend() {
         // Auto must (a) run probes on concrete backends and (b) commit
-        // after at most one wheel + one heap measurement on a workload
-        // big enough to time
+        // after one untimed cold run plus one heap + one wheel
+        // measurement on a workload big enough to time
         let mut b = CircuitBuilder::new();
         let i = b.input("i");
         let or = b.gate("or", GateKind::Or, Bit::Zero);
@@ -1478,16 +1895,19 @@ mod tests {
         sim.set_input("i", Signal::pulse(0.0, 0.5).unwrap())
             .unwrap();
         assert_eq!(sim.queue_backend(), QueueBackend::Auto);
-        assert_eq!(sim.effective_backend(), QueueBackend::Calendar);
+        assert_eq!(sim.effective_backend(), QueueBackend::Heap);
         let first = sim.run(200.5).unwrap();
+        // the cold run is untimed: the heap is still being measured
         assert_eq!(sim.effective_backend(), QueueBackend::Heap);
         let second = sim.run(200.5).unwrap();
+        assert_eq!(sim.effective_backend(), QueueBackend::Calendar);
+        let third = sim.run(200.5).unwrap();
         let resolved = sim.effective_backend();
         assert_ne!(resolved, QueueBackend::Auto);
-        let third = sim.run(200.5).unwrap();
+        let fourth = sim.run(200.5).unwrap();
         assert_eq!(sim.effective_backend(), resolved, "choice is committed");
         // and the probe phases are invisible in the results
-        for run in [&second, &third] {
+        for run in [&second, &third, &fourth] {
             assert_eq!(first.signal("y").unwrap(), run.signal("y").unwrap());
             assert_eq!(first.processed_events(), run.processed_events());
         }
@@ -1496,8 +1916,8 @@ mod tests {
     #[test]
     fn auto_probe_commits_wheel_on_cancel_heavy_workloads() {
         // every pulse is absorbed by the inertial window → ~100% cancel
-        // rate → the wheel is committed after its own probe, without a
-        // heap measurement
+        // rate → the wheel is committed straight from the heap probe's
+        // accumulated counts, without ever timing the wheel
         let mut b = CircuitBuilder::new();
         let i = b.input("i");
         let g = b.gate("buf", GateKind::Buf, Bit::Zero);
@@ -1510,6 +1930,36 @@ mod tests {
         sim.set_input("i", input).unwrap();
         sim.run(1e9).unwrap();
         assert_eq!(sim.effective_backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn auto_probe_amortizes_tiny_runs_on_the_heap() {
+        // a single run scheduling fewer than MIN_EVENTS events must not
+        // resolve the probe — short noisy measurements are exactly how
+        // the wheel used to get mispredicted onto losing topologies —
+        // and while unmeasured, the backend in use must be the
+        // reference heap, so `Auto` cannot lose to it. Evidence
+        // accumulates across runs, so enough tiny runs still resolve
+        // the probe instead of measuring forever.
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.output("y");
+        b.connect_direct(a, y, 0).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).with_queue_backend(QueueBackend::Auto);
+        sim.set_input("a", Signal::pulse(0.0, 1.0).unwrap())
+            .unwrap();
+        for _ in 0..4 {
+            sim.run(10.0).unwrap();
+            // still accumulating heap evidence: the heap stays in use
+            assert_eq!(sim.effective_backend(), QueueBackend::Heap);
+        }
+        // with enough tiny runs the heap evidence reaches MIN_EVENTS
+        // and the probe moves on to the wheel — it is not stuck
+        let moved_on = (0..400).any(|_| {
+            sim.run(10.0).unwrap();
+            sim.effective_backend() == QueueBackend::Calendar
+        });
+        assert!(moved_on, "accumulated tiny runs never measured the heap");
     }
 
     #[test]

@@ -166,9 +166,17 @@ pub fn read_vcd(doc: &str, time_scale: f64) -> Result<Vec<(String, Signal)>, Str
     if !(time_scale.is_finite() && time_scale > 0.0) {
         return Err(format!("time_scale must be positive, got {time_scale}"));
     }
+    // each signal streams into its own builder as change lines are
+    // parsed — the document is walked once and no global change list is
+    // materialized, so parsing a 100k-node dump holds one builder per
+    // signal, not every transition twice
+    struct Sig {
+        builder: SignalBuilder,
+        current: Bit,
+    }
     let mut order: Vec<(char, String)> = Vec::new();
     let mut initial: HashMap<char, Bit> = HashMap::new();
-    let mut changes: HashMap<char, Vec<(f64, Bit)>> = HashMap::new();
+    let mut sigs: HashMap<char, Sig> = HashMap::new();
     let mut time = 0.0_f64;
     let mut in_dumpvars = false;
     let mut header_done = false;
@@ -187,7 +195,18 @@ pub fn read_vcd(doc: &str, time_scale: f64) -> Result<Vec<(String, Signal)>, Str
                 .next()
                 .ok_or_else(|| format!("malformed $var line: {line}"))?;
             order.push((ident, name.to_owned()));
-            changes.insert(ident, Vec::new());
+            if header_done {
+                // late declaration: no initial value can follow, start
+                // from the default
+                let init = initial.get(&ident).copied().unwrap_or(Bit::Zero);
+                sigs.insert(
+                    ident,
+                    Sig {
+                        builder: SignalBuilder::new(init),
+                        current: init,
+                    },
+                );
+            }
             continue;
         }
         match line {
@@ -198,6 +217,18 @@ pub fn read_vcd(doc: &str, time_scale: f64) -> Result<Vec<(String, Signal)>, Str
             "$end" if in_dumpvars => {
                 in_dumpvars = false;
                 header_done = true;
+                // initial values are now known: open one builder per
+                // declared signal
+                for (ident, _) in &order {
+                    let init = initial.get(ident).copied().unwrap_or(Bit::Zero);
+                    sigs.insert(
+                        *ident,
+                        Sig {
+                            builder: SignalBuilder::new(init),
+                            current: init,
+                        },
+                    );
+                }
                 continue;
             }
             "$upscope $end" | "$enddefinitions $end" => continue,
@@ -226,26 +257,29 @@ pub fn read_vcd(doc: &str, time_scale: f64) -> Result<Vec<(String, Signal)>, Str
         if in_dumpvars || !header_done {
             initial.insert(ident, value);
         } else {
-            changes
+            let sig = sigs
                 .get_mut(&ident)
-                .ok_or_else(|| format!("unknown identifier: {line}"))?
-                .push((time, value));
+                .ok_or_else(|| format!("unknown identifier: {line}"))?;
+            if value != sig.current {
+                sig.builder.push_time(time).map_err(|e| {
+                    let name = order
+                        .iter()
+                        .find(|(i, _)| *i == ident)
+                        .map_or("?", |(_, n)| n.as_str());
+                    format!("signal {name:?}: {e}")
+                })?;
+                sig.current = value;
+            }
         }
     }
     let mut out = Vec::with_capacity(order.len());
     for (ident, name) in order {
-        let init = initial.get(&ident).copied().unwrap_or(Bit::Zero);
-        let mut builder = SignalBuilder::new(init);
-        let mut current = init;
-        for (t, v) in changes.remove(&ident).unwrap_or_default() {
-            if v != current {
-                builder
-                    .push_time(t)
-                    .map_err(|e| format!("signal {name:?}: {e}"))?;
-                current = v;
-            }
-        }
-        out.push((name, builder.finish()));
+        let signal = match sigs.remove(&ident) {
+            Some(sig) => sig.builder.finish(),
+            // the header never completed: only initial values exist
+            None => SignalBuilder::new(initial.get(&ident).copied().unwrap_or(Bit::Zero)).finish(),
+        };
+        out.push((name, signal));
     }
     Ok(out)
 }

@@ -15,6 +15,7 @@ use ivl_analog::characterize::{
 use ivl_analog::ode::Rk45Options;
 use ivl_analog::supply::VddSource;
 use ivl_analog::SweepRunner;
+use ivl_circuit::generate;
 use ivl_circuit::vcd::write_vcd;
 use ivl_circuit::{
     Circuit, CircuitBuilder, FaultPlan, GateKind, Scenario, ScenarioFailure, ScenarioRunner,
@@ -304,25 +305,36 @@ impl Experiment {
                 }
                 Ok(b.build()?)
             }
+            // generator topologies delegate to ivl_circuit::generate;
+            // the registry builds one prototype channel (validating the
+            // spec's kind and params) and the generator clones it per
+            // edge — registry builds are deterministic functions of the
+            // params, so a clone is bitwise the same channel
             TopologySpec::InverterChain { stages, channel } => {
-                let mut b = CircuitBuilder::new();
-                let a = b.input("a");
-                let y = b.output("y");
-                let mut prev = a;
-                for i in 0..*stages {
-                    let init = if i % 2 == 0 { Bit::One } else { Bit::Zero };
-                    let g = b.gate(&format!("inv{i}"), GateKind::Not, init);
-                    if i == 0 {
-                        b.connect_direct(prev, g, 0)?;
-                    } else {
-                        let ch = self.registry.build(&channel.kind, &channel.params)?;
-                        b.connect(prev, g, 0, ch)?;
-                    }
-                    prev = g;
-                }
-                let ch = self.registry.build(&channel.kind, &channel.params)?;
-                b.connect(prev, y, 0, ch)?;
-                Ok(b.build()?)
+                let proto = self.registry.build(&channel.kind, &channel.params)?;
+                Ok(generate::inverter_chain(*stages, || proto.clone())?)
+            }
+            TopologySpec::Grid2d {
+                width,
+                height,
+                channel,
+            } => {
+                let proto = self.registry.build(&channel.kind, &channel.params)?;
+                Ok(generate::grid(*width, *height, || proto.clone())?)
+            }
+            TopologySpec::RandomDag {
+                nodes,
+                seed,
+                channel,
+            } => {
+                let proto = self.registry.build(&channel.kind, &channel.params)?;
+                Ok(generate::random_dag(*nodes, seed.unwrap_or(0), || {
+                    proto.clone()
+                })?)
+            }
+            TopologySpec::FatTree { depth, channel } => {
+                let proto = self.registry.build(&channel.kind, &channel.params)?;
+                Ok(generate::fat_tree(*depth, || proto.clone())?)
             }
         }
     }
@@ -334,8 +346,20 @@ impl Experiment {
             .into_iter()
             .map(str::to_owned)
             .collect();
+        // the signals each scenario materializes: output ports first
+        // (the historical behaviour, so existing results stay
+        // byte-identical), then watched non-port nodes in spec order
+        let mut collect_names = output_names;
+        for name in &d.outputs.watch {
+            if !collect_names.iter().any(|n| n == name) {
+                collect_names.push(name.clone());
+            }
+        }
         let mut runner =
             ScenarioRunner::new(circuit, d.horizon).with_failure_policy(d.on_failure.to_policy());
+        if !d.outputs.watch.is_empty() {
+            runner = runner.with_watch(&d.outputs.watch).map_err(Error::Sim)?;
+        }
         if let Some(w) = d.workers {
             runner = runner.with_workers(w as usize);
         }
@@ -426,8 +450,8 @@ impl Experiment {
             for (pos, outcome) in sweep.outcomes().iter().enumerate() {
                 let record = match outcome.result() {
                     Ok(run) => {
-                        let mut signals = Vec::with_capacity(output_names.len());
-                        for name in &output_names {
+                        let mut signals = Vec::with_capacity(collect_names.len());
+                        for name in &collect_names {
                             signals.push((name.clone(), run.signal(name)?.clone()));
                         }
                         ScenarioRecord {
@@ -815,7 +839,7 @@ fn quarantine_spec(d: &DigitalSpec, index: usize, cause: &SimError) -> String {
         }
         _ => d.max_events,
     };
-    q.outputs = d.outputs;
+    q.outputs = d.outputs.clone();
     ExperimentSpec::digital(q).to_string()
 }
 

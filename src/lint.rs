@@ -38,6 +38,9 @@
 //! | `IVL040` | warning | `max_events` below the provable minimum event count |
 //! | `IVL041` | warning | `retry(n)` policy on a fully deterministic workload |
 //! | `IVL050` | info | `workers = n` is overridden by the experiment service's shared pool (service context only) |
+//! | `IVL060` | error | degenerate generator parameters (zero-size grid or DAG, fat tree beyond the depth cap) |
+//! | `IVL061` | warning | `random_dag` without an explicit seed (netlist not reproducible from the spec) |
+//! | `IVL062` | error | watched node name not present in the (generated) topology |
 //!
 //! [`Experiment::run`](crate::Experiment::run) runs the linter as a
 //! pre-flight: `Error`-severity diagnostics deny the run by default;
@@ -256,6 +259,8 @@ struct SpecSpans {
     max_events: Option<Span>,
     on_failure: Option<Span>,
     delay: Option<Span>,
+    topology: Option<Span>,
+    watch: Vec<Option<Span>>,
     /// Rendered channel spec text → span of its node in the document.
     channels: HashMap<String, Span>,
 }
@@ -272,8 +277,18 @@ impl SpecSpans {
         };
         for (name, v) in fields {
             match name.as_str() {
-                "topology" => spans.collect_topology(v),
+                "topology" => {
+                    spans.topology = v.span();
+                    spans.collect_topology(v);
+                }
                 "scenarios" => spans.scenarios = list_spans(v),
+                "outputs" => {
+                    if let ValueKind::Node(_, of) = v.kind() {
+                        if let Some((_, w)) = of.iter().find(|(n, _)| n == "watch") {
+                            spans.watch = list_spans(w);
+                        }
+                    }
+                }
                 "horizon" => spans.horizon = v.span(),
                 "workers" => spans.workers = v.span(),
                 "max_events" => spans.max_events = v.span(),
@@ -706,6 +721,27 @@ impl<'a> Linter<'a> {
             }
         }
 
+        // IVL062: a watched node must exist in the topology. Generator
+        // node names follow a closed-form naming scheme, so membership
+        // is decided without materializing the netlist.
+        for (i, name) in d.outputs.watch.iter().enumerate() {
+            if !topology_has_node(&d.topology, name) {
+                let span = self
+                    .spans
+                    .watch
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .or(self.spans.topology);
+                self.push(
+                    "IVL062",
+                    Severity::Error,
+                    span,
+                    format!("watched node {name:?} does not exist in the topology"),
+                );
+            }
+        }
+
         self.hazard_pass(&graph, &d.scenarios);
         self.budget_pass(&graph, d);
         self.retry_pass(&graph, d);
@@ -884,9 +920,109 @@ impl<'a> Linter<'a> {
                     });
                 }
             }
+            // scale generators (grid, random_dag, fat_tree) are acyclic
+            // and fully connected by construction, so instead of
+            // synthesizing up to a million nodes the lint graph is a
+            // 3-node skeleton `a → gate → y` that exercises every
+            // channel/stimulus pass exactly once (the input hop is
+            // direct, matching how the generators wire their first
+            // gate). Generator *parameters* are checked here (IVL060,
+            // IVL061); watch-name membership is checked formulaically
+            // in `lint_digital` (IVL062).
+            TopologySpec::Grid2d {
+                width,
+                height,
+                channel,
+            } => {
+                if *width == 0 || *height == 0 {
+                    self.push(
+                        "IVL060",
+                        Severity::Error,
+                        self.spans.topology,
+                        format!(
+                            "grid generator has zero size ({width} × {height}): \
+                             no gate drives the output port"
+                        ),
+                    );
+                }
+                self.generator_skeleton(&mut g, channel);
+            }
+            TopologySpec::RandomDag {
+                nodes,
+                seed,
+                channel,
+            } => {
+                if *nodes == 0 {
+                    self.push(
+                        "IVL060",
+                        Severity::Error,
+                        self.spans.topology,
+                        "random_dag generator has zero gates: no gate drives the output port"
+                            .to_owned(),
+                    );
+                }
+                if seed.is_none() {
+                    self.push(
+                        "IVL061",
+                        Severity::Warning,
+                        self.spans.topology,
+                        "random_dag without a seed defaults to 0 — state the seed so the \
+                         netlist is reproducible from the spec alone"
+                            .to_owned(),
+                    );
+                }
+                self.generator_skeleton(&mut g, channel);
+            }
+            TopologySpec::FatTree { depth, channel } => {
+                if *depth > 24 {
+                    self.push(
+                        "IVL060",
+                        Severity::Error,
+                        self.spans.topology,
+                        format!(
+                            "fat_tree depth {depth} exceeds the cap of 24 \
+                             (2^24 leaves ≈ 33M gates)"
+                        ),
+                    );
+                }
+                self.generator_skeleton(&mut g, channel);
+            }
         }
         g.index();
         g
+    }
+
+    /// The 3-node stand-in graph for a scale generator: input `"a"`
+    /// directly into one gate, one generator channel to output `"y"`.
+    fn generator_skeleton<'s>(&mut self, g: &mut Graph<'s>, channel: &'s ChannelSpec) {
+        g.nodes.push(GNode {
+            name: "a".to_owned(),
+            kind: GKind::Input,
+            span: None,
+        });
+        g.nodes.push(GNode {
+            name: "g".to_owned(),
+            kind: GKind::Gate,
+            span: None,
+        });
+        g.nodes.push(GNode {
+            name: "y".to_owned(),
+            kind: GKind::Output,
+            span: None,
+        });
+        let span = self.channel_span(&Self::channel_key(channel));
+        g.edges.push(GEdge {
+            from: 0,
+            to: 1,
+            channel: None,
+            span,
+        });
+        g.edges.push(GEdge {
+            from: 1,
+            to: 2,
+            channel: Some(channel),
+            span,
+        });
     }
 
     fn check_gate_kind(&mut self, kind: &GateKindSpec, span: Option<Span>) {
@@ -1324,6 +1460,55 @@ impl<'a> Linter<'a> {
             .iter()
             .any(|d| d.severity == Severity::Error && d.span == span)
     }
+}
+
+/// Whether `name` names a node of the topology, without materializing
+/// it: netlists are scanned, generators use their closed-form naming
+/// scheme (`inv{i}` for chains, `g{x}_{y}` for grids, `n{i}` for
+/// random DAGs, `t{level}_{i}` for fat trees, plus the ports `a`/`y`).
+fn topology_has_node(topology: &TopologySpec, name: &str) -> bool {
+    let ports = name == "a" || name == "y";
+    match topology {
+        TopologySpec::Netlist(n) => n.nodes.iter().any(|node| match node {
+            NodeSpec::Input { name: n }
+            | NodeSpec::Output { name: n }
+            | NodeSpec::Gate { name: n, .. } => n == name,
+        }),
+        TopologySpec::InverterChain { stages, .. } => {
+            ports || canonical_index(name, "inv").is_some_and(|i| i < u64::from(*stages))
+        }
+        TopologySpec::Grid2d { width, height, .. } => {
+            ports
+                || canonical_pair(name, "g")
+                    .is_some_and(|(x, y)| x < u64::from(*width) && y < u64::from(*height))
+        }
+        TopologySpec::RandomDag { nodes, .. } => {
+            ports || canonical_index(name, "n").is_some_and(|i| i < u64::from(*nodes))
+        }
+        TopologySpec::FatTree { depth, .. } => {
+            ports
+                || canonical_pair(name, "t").is_some_and(|(level, i)| {
+                    level <= u64::from(*depth) && i < 1u64 << (u64::from(*depth) - level).min(63)
+                })
+        }
+    }
+}
+
+/// Parses `"{prefix}{i}"` where `i` is rendered canonically (no sign,
+/// no leading zeros), returning `i`.
+fn canonical_index(name: &str, prefix: &str) -> Option<u64> {
+    let digits = name.strip_prefix(prefix)?;
+    let i: u64 = digits.parse().ok()?;
+    (i.to_string() == digits).then_some(i)
+}
+
+/// Parses `"{prefix}{x}_{y}"` with canonically rendered coordinates.
+fn canonical_pair(name: &str, prefix: &str) -> Option<(u64, u64)> {
+    let rest = name.strip_prefix(prefix)?;
+    let (x, y) = rest.split_once('_')?;
+    let xv: u64 = x.parse().ok()?;
+    let yv: u64 = y.parse().ok()?;
+    (xv.to_string() == x && yv.to_string() == y).then_some((xv, yv))
 }
 
 /// Rebuilds `eta` parameters with the pulse-extending adversary (and

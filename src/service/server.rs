@@ -629,7 +629,10 @@ fn replayable(spec: &ExperimentSpec) -> bool {
 
 fn topology_stochastic(topology: &TopologySpec) -> bool {
     match topology {
-        TopologySpec::InverterChain { channel, .. } => channel_stochastic(channel),
+        TopologySpec::InverterChain { channel, .. }
+        | TopologySpec::Grid2d { channel, .. }
+        | TopologySpec::RandomDag { channel, .. }
+        | TopologySpec::FatTree { channel, .. } => channel_stochastic(channel),
         TopologySpec::Netlist(n) => n
             .edges
             .iter()

@@ -372,6 +372,40 @@ pub enum TopologySpec {
         /// The inter-stage channel.
         channel: ChannelSpec,
     },
+    /// Generator: a `width × height` 2-D lattice — `Not` gates along
+    /// the top/left border, 2-input `Nand`s inside, every lattice edge
+    /// carrying the given channel (see `ivl_circuit::generate::grid`).
+    Grid2d {
+        /// Cells per row.
+        width: u32,
+        /// Number of rows.
+        height: u32,
+        /// The lattice channel.
+        channel: ChannelSpec,
+    },
+    /// Generator: a seeded random DAG — gate `n{i}` draws 1–2
+    /// predecessors uniformly from the gates before it (see
+    /// `ivl_circuit::generate::random_dag`).
+    RandomDag {
+        /// Number of gates.
+        nodes: u32,
+        /// SplitMix64 seed; `None` means the spec omitted it (the
+        /// linter flags this — an unseeded random netlist is not
+        /// reproducible; building defaults to 0).
+        seed: Option<u64>,
+        /// The edge channel.
+        channel: ChannelSpec,
+    },
+    /// Generator: a binary reduction tree of the given depth —
+    /// `2^depth` `Not` leaves fanned out from the input, `Nand`s
+    /// reducing pairwise to a single root (see
+    /// `ivl_circuit::generate::fat_tree`).
+    FatTree {
+        /// Tree depth (the root sits at this level; `2^depth` leaves).
+        depth: u32,
+        /// The tree-edge channel.
+        channel: ChannelSpec,
+    },
 }
 
 /// A circuit as data: the declarative mirror of
@@ -557,7 +591,7 @@ impl ScenarioSpec {
 }
 
 /// Which outputs a digital experiment materializes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutputSelect {
     /// Keep each scenario's output-port signals (the crossings).
     pub signals: bool,
@@ -566,15 +600,23 @@ pub struct OutputSelect {
     /// Render a VCD dump of each scenario's output ports (timescale
     /// 1 ps, one tick per 0.001 time units).
     pub vcd: bool,
+    /// Restrict recording to these nodes (plus the output ports, which
+    /// are always recorded). Empty means record every node and edge —
+    /// the historical behaviour. On generated scale-tier netlists a
+    /// non-empty watch list bounds simulation memory by the watch set
+    /// instead of the netlist, and the named signals ride along in
+    /// each scenario's `signals`/VCD output.
+    pub watch: Vec<String>,
 }
 
 impl Default for OutputSelect {
-    /// Signals and stats on, VCD off.
+    /// Signals and stats on, VCD off, no watch restriction.
     fn default() -> Self {
         OutputSelect {
             signals: true,
             stats: true,
             vcd: false,
+            watch: Vec::new(),
         }
     }
 }
@@ -584,6 +626,14 @@ impl OutputSelect {
     #[must_use]
     pub fn with_vcd(mut self) -> Self {
         self.vcd = true;
+        self
+    }
+
+    /// Adds a node to the watch list (switching the run to selective
+    /// recording).
+    #[must_use]
+    pub fn with_watch(mut self, node: impl Into<String>) -> Self {
+        self.watch.push(node.into());
         self
     }
 }
@@ -1171,17 +1221,20 @@ fn digital_to_value(d: &DigitalSpec) -> Value {
         "scenarios",
         Value::list(d.scenarios.iter().map(scenario_to_value).collect()),
     ));
-    fields.push(field(
-        "outputs",
-        node(
-            "outputs",
-            vec![
-                field("signals", Value::bool(d.outputs.signals)),
-                field("stats", Value::bool(d.outputs.stats)),
-                field("vcd", Value::bool(d.outputs.vcd)),
-            ],
-        ),
-    ));
+    let mut output_fields = vec![
+        field("signals", Value::bool(d.outputs.signals)),
+        field("stats", Value::bool(d.outputs.stats)),
+        field("vcd", Value::bool(d.outputs.vcd)),
+    ];
+    // emitted only when set, so specs predating the watch field
+    // round-trip byte-identically (stable canonical hashes)
+    if !d.outputs.watch.is_empty() {
+        output_fields.push(field(
+            "watch",
+            Value::list(d.outputs.watch.iter().map(|n| text(n)).collect()),
+        ));
+    }
+    fields.push(field("outputs", node("outputs", output_fields)));
     node("digital", fields)
 }
 
@@ -1204,6 +1257,37 @@ fn topology_to_value(t: &TopologySpec) -> Value {
             "chain",
             vec![
                 field("stages", int(u64::from(*stages))),
+                field("channel", channel_to_value(channel)),
+            ],
+        ),
+        TopologySpec::Grid2d {
+            width,
+            height,
+            channel,
+        } => node(
+            "grid",
+            vec![
+                field("width", int(u64::from(*width))),
+                field("height", int(u64::from(*height))),
+                field("channel", channel_to_value(channel)),
+            ],
+        ),
+        TopologySpec::RandomDag {
+            nodes,
+            seed,
+            channel,
+        } => {
+            let mut fields = vec![field("nodes", int(u64::from(*nodes)))];
+            if let Some(seed) = seed {
+                fields.push(field("seed", int(*seed)));
+            }
+            fields.push(field("channel", channel_to_value(channel)));
+            node("random_dag", fields)
+        }
+        TopologySpec::FatTree { depth, channel } => node(
+            "fat_tree",
+            vec![
+                field("depth", int(u64::from(*depth))),
                 field("channel", channel_to_value(channel)),
             ],
         ),
@@ -1766,10 +1850,33 @@ fn digital_from_fields(f: &mut Fields) -> Result<DigitalSpec, SpecError> {
         Some(v) => {
             let mut of = Fields::of(v, "outputs")?;
             of.expect_tag(&["outputs"])?;
+            let signals = of.bool("signals")?;
+            let stats = of.bool("stats")?;
+            let vcd = of.bool("vcd")?;
+            let watch = match of.take("watch") {
+                None => Vec::new(),
+                Some(v) => {
+                    let span = v.span();
+                    match v.into_kind() {
+                        ValueKind::List(items) => items
+                            .iter()
+                            .map(|v| as_text(v, "outputs", "watch"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                        other => {
+                            return Err(SpecError::new(format!(
+                                "outputs: field \"watch\" must be a list, found {}",
+                                Value::from(other)
+                            ))
+                            .at(span))
+                        }
+                    }
+                }
+            };
             let sel = OutputSelect {
-                signals: of.bool("signals")?,
-                stats: of.bool("stats")?,
-                vcd: of.bool("vcd")?,
+                signals,
+                stats,
+                vcd,
+                watch,
             };
             of.finish()?;
             sel
@@ -1817,9 +1924,26 @@ fn topology_from_value(value: Value) -> Result<TopologySpec, SpecError> {
             stages: f.u32("stages")?,
             channel: channel_from_value(f.req("channel")?)?,
         },
+        "grid" => TopologySpec::Grid2d {
+            width: f.u32("width")?,
+            height: f.u32("height")?,
+            channel: channel_from_value(f.req("channel")?)?,
+        },
+        "random_dag" => TopologySpec::RandomDag {
+            nodes: f.u32("nodes")?,
+            seed: f
+                .take("seed")
+                .map(|v| as_u64(&v, "random_dag", "seed"))
+                .transpose()?,
+            channel: channel_from_value(f.req("channel")?)?,
+        },
+        "fat_tree" => TopologySpec::FatTree {
+            depth: f.u32("depth")?,
+            channel: channel_from_value(f.req("channel")?)?,
+        },
         other => {
             return Err(SpecError::new(format!(
-                "unknown topology kind {other:?} (expected netlist or chain)"
+                "unknown topology kind {other:?} (expected netlist, chain, grid, random_dag or fat_tree)"
             ))
             .at(f.span))
         }

@@ -194,6 +194,7 @@ fn digital_output_selection_controls_materialization() {
         signals: false,
         stats: false,
         vcd: true,
+        watch: Vec::new(),
     });
     let result = Experiment::digital(spec).run().unwrap();
     let digital = result.digital().unwrap();

@@ -42,6 +42,9 @@ const EXPECTED: &[(&str, &str, Severity)] = &[
     ("budget_too_small.spec", "IVL040", Severity::Warning),
     ("retry_deterministic.spec", "IVL041", Severity::Warning),
     ("service_workers_override.spec", "IVL050", Severity::Info),
+    ("grid_zero.spec", "IVL060", Severity::Error),
+    ("random_dag_unseeded.spec", "IVL061", Severity::Warning),
+    ("watch_unknown_node.spec", "IVL062", Severity::Error),
 ];
 
 #[test]

@@ -208,10 +208,14 @@ fn arb_digital(rng: &mut StdRng) -> DigitalSpec {
         }
         d = d.with_scenario(s);
     }
+    let watch = (0..rng.gen_range(0..3usize))
+        .map(|_| arb_name(rng))
+        .collect();
     d.with_outputs(OutputSelect {
         signals: rng.gen_range(0..2u32) == 0,
         stats: rng.gen_range(0..2u32) == 0,
         vcd: rng.gen_range(0..2u32) == 0,
+        watch,
     })
 }
 

@@ -2,8 +2,9 @@
 //!
 //! The build environment has no network access, so this workspace vendors
 //! the subset of the proptest 1.x API its test suites use: the
-//! [`proptest!`] macro, [`Strategy`] with [`Strategy::prop_map`], range and
-//! tuple strategies, [`collection::vec`], [`prop_assert!`]/
+//! [`proptest!`] macro, [`Strategy`] with [`Strategy::prop_map`], range,
+//! tuple and same-typed [`prop_oneof!`] strategies, [`collection::vec`],
+//! [`prop_assert!`]/
 //! [`prop_assert_eq!`]/[`prop_assume!`], and
 //! [`test_runner::ProptestConfig`]. Failing cases report their inputs but
 //! are **not shrunk**; generation is deterministic per test name so
@@ -69,7 +70,24 @@ pub mod prelude {
 
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Picks uniformly among same-typed strategy arms (no weights).
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// let coin = prop_oneof![Just(false), Just(true)];
+/// # let _ = coin;
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
 }
 
 /// Declares property tests. In test code, put `#[test]` on each

@@ -136,6 +136,32 @@ impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
 impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
 impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
+/// Strategy that picks uniformly among same-typed alternatives, created
+/// by [`crate::prop_oneof!`].
+///
+/// Unlike real proptest the arms must all be the same strategy type
+/// (commonly `Just(...)` over an enum) and weights are not supported —
+/// enough for the suites in this workspace.
+#[derive(Debug, Clone)]
+pub struct Union<S>(Vec<S>);
+
+impl<S: Strategy> Union<S> {
+    /// Builds a union over `arms`; panics if `arms` is empty.
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union(arms)
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> S::Value {
+        let idx = rng.gen_range(0..self.0.len());
+        self.0[idx].new_value(rng)
+    }
+}
+
 /// Strategy for `Vec`s, created by [`crate::collection::vec`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
